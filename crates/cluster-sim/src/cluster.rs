@@ -1,0 +1,62 @@
+//! Cluster topology.
+
+/// A virtual cluster: `n` identical nodes with fixed task-slot counts
+/// per node — the paper's setup is 2 map + 2 reduce slots per node
+/// ("Each node was configured to run at most two map and reduce tasks
+/// in parallel").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes `n`.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's node configuration with `n` nodes.
+    pub fn paper(nodes: usize) -> Self {
+        Self {
+            nodes,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+        }
+    }
+
+    /// Total concurrent map tasks.
+    pub fn map_slots(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total concurrent reduce tasks.
+    pub fn reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// The paper's task counts for `n` nodes in the scalability
+    /// experiment: `m = 2n`, `r = 10n` (Section VI-C).
+    pub fn paper_task_counts(&self) -> (usize, usize) {
+        (2 * self.nodes, 10 * self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup() {
+        let c = ClusterConfig::paper(10);
+        assert_eq!(c.map_slots(), 20);
+        assert_eq!(c.reduce_slots(), 20);
+        assert_eq!(c.paper_task_counts(), (20, 100));
+    }
+
+    #[test]
+    fn single_node() {
+        let c = ClusterConfig::paper(1);
+        assert_eq!(c.map_slots(), 2);
+        assert_eq!(c.paper_task_counts(), (2, 10));
+    }
+}

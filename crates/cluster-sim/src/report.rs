@@ -1,0 +1,72 @@
+//! Human-readable simulation reports.
+
+use crate::scheduler::PhaseResult;
+use crate::workload::SimOutcome;
+
+/// Formats a duration in milliseconds compactly.
+pub fn fmt_duration(ms: f64) -> String {
+    if ms >= 3_600_000.0 {
+        format!("{:.1}h", ms / 3_600_000.0)
+    } else if ms >= 60_000.0 {
+        format!("{:.1}min", ms / 60_000.0)
+    } else if ms >= 1_000.0 {
+        format!("{:.1}s", ms / 1_000.0)
+    } else {
+        format!("{ms:.0}ms")
+    }
+}
+
+/// One line per job plus the total — the shape of a `hadoop job`
+/// summary.
+pub fn render_outcome(outcome: &SimOutcome) -> String {
+    let mut out = String::new();
+    for (name, ms) in &outcome.jobs_ms {
+        out.push_str(&format!("  job {name:<16} {}\n", fmt_duration(*ms)));
+    }
+    out.push_str(&format!("  total{:<13} {}\n", "", fmt_duration(outcome.total_ms)));
+    out
+}
+
+/// Summarizes a phase: duration, slots, utilization.
+pub fn render_phase(label: &str, phase: &PhaseResult) -> String {
+    format!(
+        "{label}: {} on {} slots, {:.0}% utilized",
+        fmt_duration(phase.duration_ms),
+        phase.slots,
+        100.0 * phase.utilization()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::simulate_phase;
+
+    #[test]
+    fn durations_format_readably() {
+        assert_eq!(fmt_duration(500.0), "500ms");
+        assert_eq!(fmt_duration(2_000.0), "2.0s");
+        assert_eq!(fmt_duration(120_000.0), "2.0min");
+        assert_eq!(fmt_duration(7_200_000.0), "2.0h");
+    }
+
+    #[test]
+    fn outcome_report_lists_jobs_and_total() {
+        let outcome = SimOutcome {
+            jobs_ms: vec![("bdm".into(), 35_000.0), ("match".into(), 125_000.0)],
+            total_ms: 160_000.0,
+        };
+        let report = render_outcome(&outcome);
+        assert!(report.contains("bdm"));
+        assert!(report.contains("35.0s"));
+        assert!(report.contains("2.7min"));
+    }
+
+    #[test]
+    fn phase_report_shows_utilization() {
+        let phase = simulate_phase(&[10.0, 10.0, 10.0, 10.0], 4);
+        let report = render_phase("reduce", &phase);
+        assert!(report.contains("100% utilized"), "{report}");
+        assert!(report.contains("4 slots"));
+    }
+}

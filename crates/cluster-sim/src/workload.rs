@@ -1,0 +1,175 @@
+//! From per-task workloads to simulated job and workflow times.
+
+use crate::cluster::ClusterConfig;
+use crate::cost::CostModel;
+use crate::scheduler::simulate_phase;
+
+/// One MR job's task costs, ready for scheduling.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Job label (for reports).
+    pub name: String,
+    /// Map task costs (ms), in submission order.
+    pub map_tasks_ms: Vec<f64>,
+    /// Reduce task costs (ms), in submission order.
+    pub reduce_tasks_ms: Vec<f64>,
+}
+
+impl SimJob {
+    /// Builds a matching-job workload: `m` map tasks evenly sharing
+    /// `entities` inputs and `map_output` emissions, and one reduce
+    /// task per `(kv_in, comparisons)` entry.
+    pub fn matching(
+        name: impl Into<String>,
+        cost: &CostModel,
+        m: usize,
+        entities: u64,
+        map_output: u64,
+        reduce_tasks: &[(u64, u64)],
+    ) -> Self {
+        assert!(m > 0, "need at least one map task");
+        let per_map_records = entities / m as u64;
+        let per_map_emit = map_output / m as u64;
+        Self {
+            name: name.into(),
+            map_tasks_ms: (0..m)
+                .map(|_| cost.map_task_ms(per_map_records, per_map_emit))
+                .collect(),
+            reduce_tasks_ms: reduce_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &(kv_in, comparisons))| cost.reduce_task_ms(i, kv_in, comparisons))
+                .collect(),
+        }
+    }
+
+    /// Builds the BDM job's workload (Algorithm 3): scan + one count
+    /// emission per entity, `r` near-idle reduce tasks summing counts.
+    pub fn bdm(cost: &CostModel, m: usize, r: usize, entities: u64) -> Self {
+        assert!(m > 0 && r > 0);
+        let per_map = entities / m as u64;
+        // The side output doubles the per-record work; counts shuffle
+        // to reducers (combiner keeps this small — one record per
+        // (block, partition), bounded above by entities).
+        let per_reduce_kv = (entities / r as u64).min(50_000);
+        Self {
+            name: "bdm".into(),
+            map_tasks_ms: (0..m)
+                .map(|_| cost.map_task_ms(per_map, 2 * per_map))
+                .collect(),
+            reduce_tasks_ms: (0..r)
+                .map(|i| cost.reduce_task_ms(i, per_reduce_kv, 0))
+                .collect(),
+        }
+    }
+}
+
+/// Simulated timings of a job sequence on one cluster.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-job `(name, duration_ms)` including per-job overhead.
+    pub jobs_ms: Vec<(String, f64)>,
+    /// End-to-end duration (ms).
+    pub total_ms: f64,
+}
+
+impl SimOutcome {
+    /// Total in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ms / 1e3
+    }
+}
+
+/// Runs `jobs` sequentially (the ER workflow's Job 1 then Job 2) on
+/// `cluster` under `cost`'s per-job overhead.
+pub fn simulate_jobs(jobs: &[SimJob], cluster: &ClusterConfig, cost: &CostModel) -> SimOutcome {
+    let mut jobs_ms = Vec::with_capacity(jobs.len());
+    let mut total = 0.0;
+    for job in jobs {
+        let map_phase = simulate_phase(&job.map_tasks_ms, cluster.map_slots());
+        let reduce_phase = simulate_phase(&job.reduce_tasks_ms, cluster.reduce_slots());
+        let duration = cost.job_overhead_ms + map_phase.duration_ms + reduce_phase.duration_ms;
+        jobs_ms.push((job.name.clone(), duration));
+        total += duration;
+    }
+    SimOutcome {
+        jobs_ms,
+        total_ms: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn bdm_job_lands_near_the_papers_35s() {
+        // DS1: 114k entities, n = 10, m = 20, r = 100. The paper
+        // reports ~35 s of BDM overhead; defaults should land in the
+        // same regime (10-70 s), dominated by the per-job constant
+        // plus 5 reduce waves of task startup.
+        let job = SimJob::bdm(&cost(), 20, 100, 114_000);
+        let out = simulate_jobs(&[job], &ClusterConfig::paper(10), &cost());
+        let secs = out.total_secs();
+        assert!(
+            (10.0..70.0).contains(&secs),
+            "BDM job simulated at {secs:.1}s"
+        );
+    }
+
+    #[test]
+    fn skewed_reduce_load_dominates_makespan() {
+        let c = cost();
+        // One reduce task with 100M comparisons vs 9 idle ones.
+        let skewed = SimJob::matching("skewed", &c, 2, 1000, 1000, &[
+            (1000, 100_000_000),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+        ]);
+        let balanced_tasks: Vec<(u64, u64)> = (0..10).map(|_| (100, 10_000_000)).collect();
+        let balanced = SimJob::matching("balanced", &c, 2, 1000, 1000, &balanced_tasks);
+        let cluster = ClusterConfig::paper(5); // 10 reduce slots
+        let t_skewed = simulate_jobs(&[skewed], &cluster, &c).total_ms;
+        let t_balanced = simulate_jobs(&[balanced], &cluster, &c).total_ms;
+        assert!(
+            t_skewed > t_balanced * 3.0,
+            "skew must dominate: {t_skewed:.0} vs {t_balanced:.0}"
+        );
+    }
+
+    #[test]
+    fn more_nodes_shrink_balanced_workloads() {
+        let c = cost();
+        let tasks: Vec<(u64, u64)> = (0..100).map(|_| (1000, 2_000_000)).collect();
+        let job = |m: usize| SimJob::matching("m", &c, m, 100_000, 200_000, &tasks);
+        let t1 = simulate_jobs(&[job(2)], &ClusterConfig::paper(1), &c).total_ms;
+        let t10 = simulate_jobs(&[job(20)], &ClusterConfig::paper(10), &c).total_ms;
+        assert!(t10 < t1 / 5.0, "t1={t1:.0} t10={t10:.0}");
+    }
+
+    #[test]
+    fn job_overhead_is_charged_per_job() {
+        let c = cost();
+        let job = SimJob::matching("j", &c, 1, 0, 0, &[(0, 0)]);
+        let one = simulate_jobs(std::slice::from_ref(&job), &ClusterConfig::paper(1), &c).total_ms;
+        let two = simulate_jobs(&[job.clone(), job], &ClusterConfig::paper(1), &c).total_ms;
+        assert!((two - 2.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one map task")]
+    fn zero_map_tasks_rejected() {
+        let _ = SimJob::matching("bad", &cost(), 0, 10, 10, &[(1, 1)]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation — PairRange's two range formulas.
+//!
+//! The paper states Eq. (2) `⌊r·p/P⌋` in the text but implements
+//! `⌊p/⌈P/r⌉⌋` in Algorithm 2. They coincide when `r | P` but differ
+//! otherwise: the ceil-div variant starves trailing ranges (the last
+//! task can receive almost nothing, and with `P < r` whole tasks idle)
+//! while the proportional variant never deviates by more than one
+//! pair. This bench quantifies the worst-case and average imbalance of
+//! both across a sweep of (P, r).
+
+use er_bench::table::TextTable;
+use er_loadbalance::pair_range::ranges::{RangeIndexer, RangePolicy};
+
+fn stats(p: u64, r: usize, policy: RangePolicy) -> (f64, usize) {
+    let idx = RangeIndexer::new(p, r, policy);
+    let sizes: Vec<u64> = (0..r as u64).map(|k| idx.range_size(k)).collect();
+    let max = *sizes.iter().max().unwrap() as f64;
+    let idle = sizes.iter().filter(|&&s| s == 0).count();
+    let mean = p as f64 / r as f64;
+    (if mean == 0.0 { 1.0 } else { max / mean }, idle)
+}
+
+fn main() {
+    println!("== Ablation: Algorithm-2 range formula vs Equation (2) ==\n");
+    let mut table = TextTable::new(&[
+        "P",
+        "r",
+        "ceil-div max/mean",
+        "ceil-div idle tasks",
+        "prop max/mean",
+        "prop idle tasks",
+    ]);
+    let mut worst_ceil: f64 = 1.0;
+    let mut worst_prop: f64 = 1.0;
+    let cases: Vec<(u64, usize)> = vec![
+        (20, 3),
+        (10, 4),
+        (100, 13),
+        (1_000, 160),
+        (56_430_000, 160),
+        (56_430_000, 1_000),
+        (101, 100),
+        (110, 100),
+        (199, 100),
+    ];
+    let mut worst_idle_ceil = 0usize;
+    let mut worst_idle_prop = 0usize;
+    for &(p, r) in &cases {
+        let (c, ci) = stats(p, r, RangePolicy::CeilDiv);
+        let (q, qi) = stats(p, r, RangePolicy::Proportional);
+        worst_ceil = worst_ceil.max(c);
+        worst_prop = worst_prop.max(q);
+        worst_idle_ceil = worst_idle_ceil.max(ci);
+        worst_idle_prop = worst_idle_prop.max(qi);
+        table.row(vec![
+            p.to_string(),
+            r.to_string(),
+            format!("{c:.4}"),
+            ci.to_string(),
+            format!("{q:.4}"),
+            qi.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n[{}] max/mean is identical (max size = ceil(P/r) either way), but ceil-div",
+        if worst_prop <= worst_ceil { "PASS" } else { "WARN" },
+    );
+    println!(
+        "[{}] ceil-div leaves up to {} reduce tasks completely idle where proportional leaves {}",
+        if worst_idle_prop <= worst_idle_ceil { "PASS" } else { "WARN" },
+        worst_idle_ceil,
+        worst_idle_prop
+    );
+    println!("    conclusion: the formulas only diverge when P is within a small multiple");
+    println!("    of r (idle trailing tasks); at the paper's workloads (P >> r) they");
+    println!("    are equivalent, which is why the paper can state both interchangeably.");
+}

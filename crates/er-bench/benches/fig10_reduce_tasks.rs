@@ -1,0 +1,90 @@
+//! Figure 10 — execution times vs the number of reduce tasks (DS1).
+//!
+//! Fixed cluster of n = 10 nodes, m = 20 map tasks, r from 20 to 160
+//! (paper §VI-B). Expected shape: Basic stays high (bounded below by
+//! its largest block, ~70 % of all pairs) with collision peaks;
+//! BlockSplit and PairRange improve by ~6× at r = 160; PairRange edges
+//! ahead at large r (paper: 7 %).
+
+use er_bench::table::{fmt_ms, TextTable};
+use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_datagen::dataset::key_sequence;
+use er_datagen::ds1_spec;
+use er_loadbalance::StrategyKind;
+
+const NODES: usize = 10;
+const M: usize = 20;
+
+fn main() {
+    println!("== Figure 10: execution times for DS1 vs number of reduce tasks ==");
+    println!("   (n = {NODES}, m = {M}, r = 20..160)\n");
+    let cost = ExperimentCost::calibrated();
+    let keys = key_sequence(&ds1_spec(PAPER_SEED));
+    let bdm_cache: Vec<_> = vec![bdm_from_keys(&keys, M)];
+    let bdm = &bdm_cache[0];
+    println!(
+        "   DS1-like: {} entities, {} blocks, {} pairs\n",
+        keys.len(),
+        bdm.num_blocks(),
+        bdm.total_pairs()
+    );
+
+    let strategies = [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ];
+    let mut table = TextTable::new(&["r", "Basic", "BlockSplit", "PairRange"]);
+    let mut series: Vec<Series> = strategies
+        .iter()
+        .map(|s| Series::new(s.to_string()))
+        .collect();
+    for r in (20..=160).step_by(20) {
+        let mut cells = vec![r.to_string()];
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let outcome = simulate_strategy(bdm, strategy, NODES, r, &cost);
+            series[i].push(r as f64, outcome.total_ms);
+            cells.push(fmt_ms(outcome.total_ms));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    let basic = &series[0];
+    let bs = &series[1];
+    let pr = &series[2];
+    let factor = basic.last_y() / bs.last_y().min(pr.last_y());
+    println!(
+        "\n[{}] At r=160 the balanced strategies are {:.1}x faster than Basic (paper: ~6x)",
+        if factor > 3.0 { "PASS" } else { "WARN" },
+        factor
+    );
+    println!(
+        "[{}] Basic never leaves the largest-block lower bound (min {:.0}s vs balanced {:.0}s)",
+        if basic.min_y() > 2.0 * bs.min_y() {
+            "PASS"
+        } else {
+            "WARN"
+        },
+        basic.min_y() / 1e3,
+        bs.min_y() / 1e3
+    );
+    println!(
+        "[{}] BlockSplit is stable across r (max/min = {:.2})",
+        if bs.max_y() / bs.min_y() < 2.0 {
+            "PASS"
+        } else {
+            "WARN"
+        },
+        bs.max_y() / bs.min_y()
+    );
+    println!(
+        "[{}] PairRange benefits from more reduce tasks (r=160 is {:.2}x faster than r=20)",
+        if pr.first_y() / pr.last_y() > 1.0 {
+            "PASS"
+        } else {
+            "WARN"
+        },
+        pr.first_y() / pr.last_y()
+    );
+}

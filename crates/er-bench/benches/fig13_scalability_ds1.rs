@@ -1,0 +1,88 @@
+//! Figure 13 — execution times and speedup vs cluster size (DS1).
+//!
+//! n from 1 to 100 nodes with m = 2n, r = 10n (paper §VI-C).
+//! Expected shapes: Basic barely scales past 2 nodes (largest block ==
+//! lower bound); BlockSplit and PairRange scale near-linearly to ~10
+//! nodes, then flatten as per-task work shrinks toward task startup;
+//! at n = 100 BlockSplit noses ahead of PairRange, whose extra map
+//! output stops paying off on the small dataset.
+
+use er_bench::table::{fmt_ms, TextTable};
+use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_datagen::dataset::key_sequence;
+use er_datagen::ds1_spec;
+use er_loadbalance::StrategyKind;
+
+const NODE_STEPS: [usize; 7] = [1, 2, 5, 10, 20, 40, 100];
+
+fn main() {
+    println!("== Figure 13: execution times and speedup for DS1 (n = 1..100) ==");
+    println!("   (m = 2n, r = 10n)\n");
+    let cost = ExperimentCost::calibrated();
+    let keys = key_sequence(&ds1_spec(PAPER_SEED));
+
+    let strategies = [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ];
+    let mut series: Vec<Series> = strategies
+        .iter()
+        .map(|s| Series::new(s.to_string()))
+        .collect();
+    let mut table = TextTable::new(&[
+        "n", "m", "r", "Basic", "BlockSplit", "PairRange",
+    ]);
+    for &n in &NODE_STEPS {
+        let m = 2 * n;
+        let r = 10 * n;
+        let bdm = bdm_from_keys(&keys, m);
+        let mut cells = vec![n.to_string(), m.to_string(), r.to_string()];
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let outcome = simulate_strategy(&bdm, strategy, n, r, &cost);
+            series[i].push(n as f64, outcome.total_ms);
+            cells.push(fmt_ms(outcome.total_ms));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    println!("\n-- speedup (relative to n = 1) --\n");
+    let mut table = TextTable::new(&["n", "Basic", "BlockSplit", "PairRange"]);
+    for (idx, &n) in NODE_STEPS.iter().enumerate() {
+        table.row(vec![
+            n.to_string(),
+            format!("{:.1}", series[0].speedup().points[idx].1),
+            format!("{:.1}", series[1].speedup().points[idx].1),
+            format!("{:.1}", series[2].speedup().points[idx].1),
+        ]);
+    }
+    table.print();
+
+    let basic_speedup_100 = series[0].speedup().last_y();
+    let bs_speedup_10 = series[1].speedup().points[3].1;
+    let pr_speedup_10 = series[2].speedup().points[3].1;
+    println!(
+        "\n[{}] Basic does not scale: speedup at n=100 is only {:.1} (paper: ~flat beyond 2 nodes)",
+        if basic_speedup_100 < 4.0 { "PASS" } else { "WARN" },
+        basic_speedup_100
+    );
+    println!(
+        "[{}] BlockSplit speedup at n=10 is {:.1} (near-linear regime, paper: ~linear to 10 nodes)",
+        if bs_speedup_10 > 5.0 { "PASS" } else { "WARN" },
+        bs_speedup_10
+    );
+    println!(
+        "[{}] PairRange speedup at n=10 is {:.1}",
+        if pr_speedup_10 > 5.0 { "PASS" } else { "WARN" },
+        pr_speedup_10
+    );
+    let bs_100 = series[1].last_y();
+    let pr_100 = series[2].last_y();
+    println!(
+        "[{}] BlockSplit ≤ PairRange at n=100 on the small dataset ({} vs {}; paper: BlockSplit wins)",
+        if bs_100 <= pr_100 * 1.05 { "PASS" } else { "WARN" },
+        fmt_ms(bs_100),
+        fmt_ms(pr_100)
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 14 — execution times and speedup vs cluster size (DS2).
+//!
+//! The large dataset: ~1.4 M entities, pair volume ~2 000× DS1's.
+//! Expected shapes: BlockSplit and PairRange scale near-linearly to
+//! ~40 nodes (the reduce work per task stays far above task startup
+//! much longer than for DS1); PairRange matches or beats BlockSplit —
+//! its map-output overhead is amortized by the huge comparison volume
+//! ("the benefit of optimally balanced reduce tasks outweighs the
+//! additional overhead of handling more key-value pairs").
+
+use er_bench::table::{fmt_ms, TextTable};
+use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_datagen::dataset::key_sequence;
+use er_datagen::ds2_spec;
+use er_loadbalance::StrategyKind;
+
+const NODE_STEPS: [usize; 6] = [10, 20, 40, 60, 80, 100];
+
+fn main() {
+    println!("== Figure 14: execution times and speedup for DS2 (n = 10..100) ==");
+    println!("   (m = 2n, r = 10n; BlockSplit & PairRange — Basic is hopeless here)\n");
+    let cost = ExperimentCost::calibrated();
+    let keys = key_sequence(&ds2_spec(PAPER_SEED));
+    println!("   DS2-like: {} entities\n", keys.len());
+
+    let strategies = [StrategyKind::BlockSplit, StrategyKind::PairRange];
+    let mut series: Vec<Series> = strategies
+        .iter()
+        .map(|s| Series::new(s.to_string()))
+        .collect();
+    let mut table = TextTable::new(&["n", "m", "r", "BlockSplit", "PairRange"]);
+    for &n in &NODE_STEPS {
+        let m = 2 * n;
+        let r = 10 * n;
+        let bdm = bdm_from_keys(&keys, m);
+        let mut cells = vec![n.to_string(), m.to_string(), r.to_string()];
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let outcome = simulate_strategy(&bdm, strategy, n, r, &cost);
+            series[i].push(n as f64, outcome.total_ms);
+            cells.push(fmt_ms(outcome.total_ms));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    println!("\n-- speedup (relative to n = 10, x10) --\n");
+    let mut table = TextTable::new(&["n", "BlockSplit", "PairRange"]);
+    for (idx, &n) in NODE_STEPS.iter().enumerate() {
+        table.row(vec![
+            n.to_string(),
+            format!("{:.1}", 10.0 * series[0].speedup().points[idx].1),
+            format!("{:.1}", 10.0 * series[1].speedup().points[idx].1),
+        ]);
+    }
+    table.print();
+
+    // Near-linear to 40 nodes: going 10 -> 40 should buy ~3-4x.
+    let bs_40 = 10.0 * series[0].speedup().points[2].1;
+    let pr_40 = 10.0 * series[1].speedup().points[2].1;
+    println!(
+        "\n[{}] BlockSplit speedup at n=40 is {:.1} (paper: near-linear to ~40 nodes)",
+        if bs_40 > 25.0 { "PASS" } else { "WARN" },
+        bs_40
+    );
+    println!(
+        "[{}] PairRange speedup at n=40 is {:.1}",
+        if pr_40 > 25.0 { "PASS" } else { "WARN" },
+        pr_40
+    );
+    let pr_100 = series[1].last_y();
+    let bs_100 = series[0].last_y();
+    println!(
+        "[{}] PairRange ≤ BlockSplit at n=100 on the large dataset ({} vs {}; paper: PairRange preferable)",
+        if pr_100 <= bs_100 * 1.05 { "PASS" } else { "WARN" },
+        fmt_ms(pr_100),
+        fmt_ms(bs_100)
+    );
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the MapReduce engine and the ER
+//! pipeline at laptop scale: BDM job, full BlockSplit/PairRange runs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use er_bench::PAPER_SEED;
+use er_core::blocking::PrefixBlocking;
+use er_loadbalance::driver::{run_er, ErConfig};
+use er_loadbalance::StrategyKind;
+use mr_engine::input::partition_evenly;
+
+fn pipeline_input(scale: f64) -> Vec<Vec<((), er_loadbalance::Ent)>> {
+    let ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED).scaled(scale));
+    partition_evenly(
+        ds.entities
+            .into_iter()
+            .map(|e| ((), Arc::new(e)))
+            .collect(),
+        8,
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let input = pipeline_input(0.005);
+    let mut g = c.benchmark_group("er_pipeline_ds1_0.5pct");
+    for strategy in [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ] {
+        let config = ErConfig::new(strategy)
+            .with_blocking(Arc::new(PrefixBlocking::title3()))
+            .with_reduce_tasks(16)
+            .with_parallelism(4);
+        g.bench_function(strategy.to_string(), |b| {
+            b.iter_batched(
+                || input.clone(),
+                |input| run_er(input, &config).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_bdm_job(c: &mut Criterion) {
+    let input = pipeline_input(0.02);
+    c.bench_function("bdm_job_ds1_2pct", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |input| {
+                er_loadbalance::bdm_job::compute_bdm(
+                    input,
+                    Arc::new(PrefixBlocking::title3()),
+                    16,
+                    4,
+                    true,
+                )
+                .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline, bench_bdm_job
+}
+criterion_main!(benches);

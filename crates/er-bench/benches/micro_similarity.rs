@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the similarity kernels — the inner
+//! loop of every reduce task, and the constant the cluster simulator
+//! calibrates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use er_core::similarity::{
+    levenshtein_distance, levenshtein_within, Jaccard, JaroWinkler, NGram,
+    NormalizedLevenshtein, Similarity,
+};
+
+const A: &str = "babpro k3vd9qmzx21ab camera";
+const B: &str = "babpro k3vd9qmzx21ac camera";
+const C: &str = "zzmax w8jf02qrty45cd printer";
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("levenshtein/near", |b| {
+        b.iter(|| levenshtein_distance(black_box(A), black_box(B)))
+    });
+    g.bench_function("levenshtein/far", |b| {
+        b.iter(|| levenshtein_distance(black_box(A), black_box(C)))
+    });
+    g.bench_function("levenshtein_within/k5", |b| {
+        b.iter(|| levenshtein_within(black_box(A), black_box(C), 5))
+    });
+    g.bench_function("normalized_levenshtein", |b| {
+        let s = NormalizedLevenshtein;
+        b.iter(|| s.sim(black_box(A), black_box(B)))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        let s = JaroWinkler::default();
+        b.iter(|| s.sim(black_box(A), black_box(B)))
+    });
+    g.bench_function("jaccard", |b| {
+        let s = Jaccard;
+        b.iter(|| s.sim(black_box(A), black_box(B)))
+    });
+    g.bench_function("trigram", |b| {
+        let s = NGram::trigram();
+        b.iter(|| s.sim(black_box(A), black_box(B)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_similarity
+}
+criterion_main!(benches);

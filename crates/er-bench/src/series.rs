@@ -1,0 +1,103 @@
+//! Named numeric series with shape checks used by the figure benches.
+
+/// A labelled series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label (e.g. "BlockSplit").
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y value at the first x.
+    pub fn first_y(&self) -> f64 {
+        self.points.first().map(|&(_, y)| y).unwrap_or(f64::NAN)
+    }
+
+    /// y value at the last x.
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map(|&(_, y)| y).unwrap_or(f64::NAN)
+    }
+
+    /// Maximum y.
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::NAN, f64::max)
+    }
+
+    /// Minimum y.
+    pub fn min_y(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::NAN, f64::min)
+    }
+
+    /// Speedup series relative to the y at the first point
+    /// (`speedup(x) = y(first) / y(x)`), the paper's Figures 13/14.
+    pub fn speedup(&self) -> Series {
+        let base = self.first_y();
+        Series {
+            name: format!("{} speedup", self.name),
+            points: self
+                .points
+                .iter()
+                .map(|&(x, y)| (x, if y > 0.0 { base / y } else { f64::NAN }))
+                .collect(),
+        }
+    }
+
+    /// Is the series non-increasing within a tolerance factor?
+    pub fn roughly_decreasing(&self, slack: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 * (1.0 + slack))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(f64, f64)]) -> Series {
+        Series {
+            name: "t".into(),
+            points: points.to_vec(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_to_first_point() {
+        let s = series(&[(1.0, 100.0), (2.0, 50.0), (4.0, 25.0)]);
+        let sp = s.speedup();
+        assert_eq!(sp.points[0].1, 1.0);
+        assert_eq!(sp.points[1].1, 2.0);
+        assert_eq!(sp.points[2].1, 4.0);
+    }
+
+    #[test]
+    fn extremes() {
+        let s = series(&[(1.0, 5.0), (2.0, 9.0), (3.0, 2.0)]);
+        assert_eq!(s.max_y(), 9.0);
+        assert_eq!(s.min_y(), 2.0);
+        assert_eq!(s.first_y(), 5.0);
+        assert_eq!(s.last_y(), 2.0);
+    }
+
+    #[test]
+    fn monotonicity_with_slack() {
+        let s = series(&[(1.0, 100.0), (2.0, 60.0), (3.0, 62.0), (4.0, 40.0)]);
+        assert!(s.roughly_decreasing(0.05));
+        assert!(!s.roughly_decreasing(0.0));
+    }
+}

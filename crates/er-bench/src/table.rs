@@ -1,0 +1,117 @@
+//! Plain-text table rendering for bench reports.
+
+/// A simple fixed-column text table with right-aligned cells.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the cell count mismatches the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond duration compactly.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 60_000.0 {
+        format!("{:.1}min", ms / 60_000.0)
+    } else if ms >= 1_000.0 {
+        format!("{:.1}s", ms / 1_000.0)
+    } else {
+        format!("{ms:.0}ms")
+    }
+}
+
+/// Formats a large count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_ms(500.0), "500ms");
+        assert_eq!(fmt_ms(2_500.0), "2.5s");
+        assert_eq!(fmt_ms(120_000.0), "2.0min");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+}

@@ -1,0 +1,259 @@
+//! Blocking: partitioning entities into candidate blocks.
+//!
+//! Blocking restricts matching to entities sharing a *blocking key*
+//! derived from attribute values (Baxter et al., 2003). The paper's
+//! evaluation derives keys as the first three letters of the title; the
+//! degree of key skew is exactly what the load-balancing strategies
+//! must survive.
+
+pub mod soundex;
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::entity::Entity;
+
+pub use soundex::{soundex, SoundexBlocking};
+
+/// A blocking key. Cheap to clone (shared storage) because keys travel
+/// inside every shuffled composite key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockKey(Arc<str>);
+
+impl BlockKey {
+    /// Creates a key from any string-ish value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        BlockKey(Arc::from(s.as_ref()))
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The constant key `⊥` used to form Cartesian products for
+    /// entities without a valid blocking key (paper, Appendix I).
+    pub fn bottom() -> Self {
+        BlockKey::new("\u{22A5}")
+    }
+}
+
+impl fmt::Display for BlockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for BlockKey {
+    fn from(s: &str) -> Self {
+        BlockKey::new(s)
+    }
+}
+
+/// Derives blocking keys from entities.
+///
+/// `key` returns `None` when the entity has no valid blocking key (e.g.
+/// a product without manufacturer); such entities are handled by the
+/// Cartesian-product decomposition in `er-loadbalance::null_keys`.
+pub trait BlockingFunction: Send + Sync {
+    /// The (single-pass) blocking key of `entity`.
+    fn key(&self, entity: &Entity) -> Option<BlockKey>;
+
+    /// All blocking keys of `entity` — more than one for multi-pass
+    /// blocking. The default is the single-pass key.
+    fn keys(&self, entity: &Entity) -> Vec<BlockKey> {
+        self.key(entity).into_iter().collect()
+    }
+}
+
+/// Prefix blocking: the lower-cased first `len` characters of an
+/// attribute — the paper's "first three letters of the product or
+/// publication title".
+#[derive(Debug, Clone)]
+pub struct PrefixBlocking {
+    attribute: String,
+    len: usize,
+}
+
+impl PrefixBlocking {
+    /// Blocks on the first `len` characters of `attribute`.
+    pub fn new(attribute: impl Into<String>, len: usize) -> Self {
+        Self {
+            attribute: attribute.into(),
+            len,
+        }
+    }
+
+    /// The paper's default: first three letters of `title`.
+    pub fn title3() -> Self {
+        Self::new("title", 3)
+    }
+}
+
+impl BlockingFunction for PrefixBlocking {
+    fn key(&self, entity: &Entity) -> Option<BlockKey> {
+        let value = entity.get(&self.attribute)?;
+        let normalized: String = value
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .take(self.len)
+            .flat_map(char::to_lowercase)
+            .collect();
+        if normalized.is_empty() {
+            None
+        } else {
+            Some(BlockKey::new(normalized))
+        }
+    }
+}
+
+/// Blocks on the full (lower-cased) value of one attribute — e.g.
+/// "partition products by manufacturer" from the paper's introduction.
+#[derive(Debug, Clone)]
+pub struct AttributeBlocking {
+    attribute: String,
+}
+
+impl AttributeBlocking {
+    /// Blocks on the full value of `attribute`.
+    pub fn new(attribute: impl Into<String>) -> Self {
+        Self {
+            attribute: attribute.into(),
+        }
+    }
+}
+
+impl BlockingFunction for AttributeBlocking {
+    fn key(&self, entity: &Entity) -> Option<BlockKey> {
+        let v = entity.get(&self.attribute)?;
+        let trimmed = v.trim();
+        if trimmed.is_empty() {
+            None
+        } else {
+            Some(BlockKey::new(trimmed.to_lowercase()))
+        }
+    }
+}
+
+/// Assigns every entity the same key — turning blocking-based matching
+/// into the full Cartesian product. Used for the `⊥` sub-problems of
+/// the null-key decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantBlocking;
+
+impl BlockingFunction for ConstantBlocking {
+    fn key(&self, _entity: &Entity) -> Option<BlockKey> {
+        Some(BlockKey::bottom())
+    }
+}
+
+/// Multi-pass blocking: the union of keys from several pass functions
+/// (the paper's future-work extension, §VIII). An entity belongs to
+/// every block any pass assigns it; duplicate keys are removed so an
+/// entity enters a block at most once.
+pub struct MultiPassBlocking {
+    passes: Vec<Arc<dyn BlockingFunction>>,
+}
+
+impl MultiPassBlocking {
+    /// Combines the given passes.
+    pub fn new(passes: Vec<Arc<dyn BlockingFunction>>) -> Self {
+        Self { passes }
+    }
+}
+
+impl BlockingFunction for MultiPassBlocking {
+    /// The "primary" key of multi-pass blocking is the first pass's key.
+    fn key(&self, entity: &Entity) -> Option<BlockKey> {
+        self.passes.iter().find_map(|p| p.key(entity))
+    }
+
+    fn keys(&self, entity: &Entity) -> Vec<BlockKey> {
+        let mut keys: Vec<BlockKey> = self
+            .passes
+            .iter()
+            .flat_map(|p| p.keys(entity))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product(title: &str) -> Entity {
+        Entity::new(1, [("title", title)])
+    }
+
+    #[test]
+    fn prefix_blocking_takes_first_letters_lowercased() {
+        let b = PrefixBlocking::title3();
+        assert_eq!(b.key(&product("Canon EOS")).unwrap().as_str(), "can");
+        assert_eq!(b.key(&product("caNoN")).unwrap().as_str(), "can");
+    }
+
+    #[test]
+    fn prefix_blocking_skips_non_alphanumeric() {
+        let b = PrefixBlocking::title3();
+        assert_eq!(b.key(&product("  A-B C")).unwrap().as_str(), "abc");
+        assert_eq!(b.key(&product("№ 1a")).unwrap().as_str(), "1a");
+    }
+
+    #[test]
+    fn prefix_blocking_of_short_values_uses_what_exists() {
+        let b = PrefixBlocking::title3();
+        assert_eq!(b.key(&product("ab")).unwrap().as_str(), "ab");
+    }
+
+    #[test]
+    fn missing_or_empty_attribute_yields_no_key() {
+        let b = PrefixBlocking::title3();
+        assert_eq!(b.key(&Entity::new(1, [("brand", "x")])), None);
+        assert_eq!(b.key(&product("---")), None);
+        assert_eq!(b.key(&product("")), None);
+    }
+
+    #[test]
+    fn attribute_blocking_uses_whole_value() {
+        let b = AttributeBlocking::new("brand");
+        let e = Entity::new(1, [("brand", " Canon ")]);
+        assert_eq!(b.key(&e).unwrap().as_str(), "canon");
+        assert_eq!(b.key(&Entity::new(2, [("brand", "  ")])), None);
+    }
+
+    #[test]
+    fn constant_blocking_assigns_bottom_to_everything() {
+        let b = ConstantBlocking;
+        assert_eq!(b.key(&product("anything")).unwrap(), BlockKey::bottom());
+        assert_eq!(b.key(&Entity::new(1, [("x", "y")])).unwrap(), BlockKey::bottom());
+    }
+
+    #[test]
+    fn multipass_unions_and_dedups_keys() {
+        let mp = MultiPassBlocking::new(vec![
+            Arc::new(PrefixBlocking::title3()),
+            Arc::new(AttributeBlocking::new("brand")),
+        ]);
+        let e = Entity::new(1, [("title", "Canon EOS"), ("brand", "canon")]);
+        let keys: Vec<String> = mp.keys(&e).iter().map(|k| k.as_str().to_string()).collect();
+        assert_eq!(keys, vec!["can", "canon"]);
+
+        // Identical keys from different passes collapse.
+        let mp2 = MultiPassBlocking::new(vec![
+            Arc::new(PrefixBlocking::title3()),
+            Arc::new(PrefixBlocking::title3()),
+        ]);
+        assert_eq!(mp2.keys(&e).len(), 1);
+    }
+
+    #[test]
+    fn block_key_ordering_is_lexicographic() {
+        let mut ks = [BlockKey::new("z"), BlockKey::new("a"), BlockKey::new("m")];
+        ks.sort();
+        let s: Vec<&str> = ks.iter().map(BlockKey::as_str).collect();
+        assert_eq!(s, vec!["a", "m", "z"]);
+    }
+}

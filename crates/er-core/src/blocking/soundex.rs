@@ -1,0 +1,122 @@
+//! Soundex phonetic blocking — the record-linkage classic, and a
+//! natural second pass for multi-pass blocking: sound-alike names land
+//! in one block even when prefix blocking separates them ("Smith" vs
+//! "Smyth").
+
+use super::{BlockKey, BlockingFunction};
+use crate::entity::Entity;
+
+/// American Soundex code of the first word of an attribute.
+#[derive(Debug, Clone)]
+pub struct SoundexBlocking {
+    attribute: String,
+}
+
+impl SoundexBlocking {
+    /// Blocks on the Soundex code of `attribute`'s first word.
+    pub fn new(attribute: impl Into<String>) -> Self {
+        Self {
+            attribute: attribute.into(),
+        }
+    }
+}
+
+/// Computes the 4-character American Soundex code (letter + 3 digits)
+/// of `word`, or `None` if it contains no ASCII letter.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let &first = letters.first()?;
+    let digit = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => b'1',
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => b'2',
+            'D' | 'T' => b'3',
+            'L' => b'4',
+            'M' | 'N' => b'5',
+            'R' => b'6',
+            _ => 0, // vowels + H, W, Y
+        }
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        // H and W are transparent: they do not reset the run of equal
+        // codes; vowels do.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if d == 0 {
+            last_digit = 0;
+            continue;
+        }
+        if d != last_digit {
+            code.push(d as char);
+            if code.len() == 4 {
+                break;
+            }
+        }
+        last_digit = d;
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+impl BlockingFunction for SoundexBlocking {
+    fn key(&self, entity: &Entity) -> Option<BlockKey> {
+        let value = entity.get(&self.attribute)?;
+        let first_word = value.split_whitespace().next()?;
+        soundex(first_word).map(BlockKey::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn sound_alikes_share_a_block() {
+        let b = SoundexBlocking::new("name");
+        let smith = Entity::new(1, [("name", "Smith John")]);
+        let smyth = Entity::new(2, [("name", "Smyth John")]);
+        assert_eq!(b.key(&smith), b.key(&smyth));
+    }
+
+    #[test]
+    fn short_words_pad_with_zeros() {
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("Au").as_deref(), Some("A000"));
+    }
+
+    #[test]
+    fn non_alphabetic_input_has_no_code() {
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex(""), None);
+        let b = SoundexBlocking::new("name");
+        assert_eq!(b.key(&Entity::new(1, [("name", "42")])), None);
+        assert_eq!(b.key(&Entity::new(2, [("other", "x")])), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+}

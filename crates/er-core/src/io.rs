@@ -1,0 +1,222 @@
+//! Plain-text (TSV) entity I/O.
+//!
+//! A deliberately dependency-free interchange format so users can feed
+//! their own records into the pipeline: one header line with the union
+//! of attribute names, then one row per entity
+//! (`source <TAB> id <TAB> value…`). Missing attributes are encoded as
+//! `\N` (MySQL-style); tabs, newlines, backslashes and a literal `\N`
+//! inside values are backslash-escaped. Reading normalizes attribute
+//! order to the (sorted) column order; values, ids and sources survive
+//! byte-exactly.
+
+use std::collections::BTreeSet;
+use std::io::{self, BufRead, Write};
+
+use crate::entity::{Entity, SourceId};
+
+/// The cell encoding for "attribute absent".
+const NULL_CELL: &str = "\\N";
+
+fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    if out == NULL_CELL {
+        // A literal value "\N" must survive the round trip.
+        return "\\\\N".to_string();
+    }
+    out
+}
+
+fn unescape(cell: &str) -> Option<String> {
+    if cell == NULL_CELL {
+        return None;
+    }
+    let mut out = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('N') => out.push_str("\\N"),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Writes entities as TSV. Attribute columns are the sorted union of
+/// all attribute names.
+pub fn write_entities<W: Write>(mut w: W, entities: &[Entity]) -> io::Result<()> {
+    let attributes: BTreeSet<String> = entities
+        .iter()
+        .flat_map(|e| e.attributes().map(|(k, _)| k.to_string()))
+        .collect();
+    write!(w, "source\tid")?;
+    for a in &attributes {
+        write!(w, "\t{a}")?;
+    }
+    writeln!(w)?;
+    for e in entities {
+        write!(w, "{}\t{}", e.source().0, e.id().0)?;
+        for a in &attributes {
+            match e.get(a) {
+                Some(v) => write!(w, "\t{}", escape(v))?,
+                None => write!(w, "\t{NULL_CELL}")?,
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads entities from the TSV format written by [`write_entities`].
+pub fn read_entities<R: BufRead>(r: R) -> io::Result<Vec<Entity>> {
+    let mut lines = r.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Ok(Vec::new()),
+    };
+    let columns: Vec<&str> = header.split('\t').collect();
+    if columns.len() < 2 || columns[0] != "source" || columns[1] != "id" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "TSV header must start with 'source\\tid'",
+        ));
+    }
+    let attributes: Vec<String> = columns[2..].iter().map(|s| s.to_string()).collect();
+    let mut entities = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != attributes.len() + 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} cells, found {}",
+                    lineno + 2,
+                    attributes.len() + 2,
+                    cells.len()
+                ),
+            ));
+        }
+        let source: u8 = cells[0].parse().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "bad source id")
+        })?;
+        let id: u64 = cells[1]
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad entity id"))?;
+        let attrs: Vec<(String, String)> = attributes
+            .iter()
+            .zip(&cells[2..])
+            .filter_map(|(name, &cell)| unescape(cell).map(|v| (name.clone(), v)))
+            .collect();
+        entities.push(Entity::with_source(
+            SourceId(source),
+            id,
+            attrs.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+        ));
+    }
+    Ok(entities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entities: &[Entity]) -> Vec<Entity> {
+        let mut buf = Vec::new();
+        write_entities(&mut buf, entities).unwrap();
+        read_entities(io::BufReader::new(&buf[..])).unwrap()
+    }
+
+    /// Order-insensitive comparison: reading normalizes attribute
+    /// order to the sorted column order.
+    fn same_content(a: &[Entity], b: &[Entity]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.entity_ref() == y.entity_ref()
+                    && x.attributes().collect::<std::collections::BTreeMap<_, _>>()
+                        == y.attributes().collect::<std::collections::BTreeMap<_, _>>()
+            })
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let entities = vec![
+            Entity::new(0, [("title", "canon eos"), ("price", "99")]),
+            Entity::with_source(SourceId::S, 7, [("title", "nikon d800")]),
+        ];
+        let back = roundtrip(&entities);
+        assert!(same_content(&back, &entities));
+    }
+
+    #[test]
+    fn missing_attributes_stay_missing() {
+        let entities = vec![
+            Entity::new(0, [("title", "x")]),
+            Entity::new(1, [("brand", "y")]),
+        ];
+        let back = roundtrip(&entities);
+        assert_eq!(back[0].get("brand"), None);
+        assert_eq!(back[1].get("title"), None);
+        assert!(same_content(&back, &entities));
+    }
+
+    #[test]
+    fn special_characters_survive() {
+        let nasty = "tab\there\nnewline \\backslash\r";
+        let entities = vec![Entity::new(0, [("title", nasty)])];
+        let back = roundtrip(&entities);
+        assert_eq!(back[0].get("title"), Some(nasty));
+    }
+
+    #[test]
+    fn literal_null_marker_survives() {
+        let entities = vec![Entity::new(0, [("title", "\\N")])];
+        let back = roundtrip(&entities);
+        assert_eq!(back[0].get("title"), Some("\\N"));
+    }
+
+    #[test]
+    fn empty_value_is_not_null() {
+        let entities = vec![Entity::new(0, [("title", "")])];
+        let back = roundtrip(&entities);
+        assert_eq!(back[0].get("title"), Some(""));
+    }
+
+    #[test]
+    fn empty_input_and_bad_headers() {
+        assert!(read_entities(io::BufReader::new(&b""[..])).unwrap().is_empty());
+        let err = read_entities(io::BufReader::new(&b"nope\tid\tx\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let data = b"source\tid\ttitle\n0\t1\n";
+        let err = read_entities(io::BufReader::new(&data[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # er-core — entity resolution primitives
+//!
+//! The substrate the ICDE-2012 load-balancing strategies operate on:
+//!
+//! * an [`entity::Entity`] model (attributed records tagged with a
+//!   source, for one- and two-source matching),
+//! * [`blocking`] functions that derive blocking keys from attribute
+//!   values (prefix blocking — "first three letters of the title" — is
+//!   the paper's default; multi-pass blocking is its future-work
+//!   extension),
+//! * a [`similarity`] suite (the paper matches on edit distance with a
+//!   0.8 threshold; Jaro-Winkler, Jaccard and n-gram measures round out
+//!   the library),
+//! * a threshold [`matcher`] and a deduplicating [`result`] set with
+//!   quality metrics against a gold standard,
+//! * the [`pairs`] enumeration arithmetic shared by PairRange and the
+//!   analytic workload model.
+
+pub mod blocking;
+pub mod entity;
+pub mod io;
+pub mod matcher;
+pub mod pairs;
+pub mod result;
+pub mod similarity;
+
+pub use blocking::{BlockKey, BlockingFunction, ConstantBlocking, PrefixBlocking};
+pub use entity::{Entity, EntityId, EntityRef, SourceId};
+pub use matcher::{MatchRule, Matcher};
+pub use result::{GoldStandard, MatchPair, MatchResult, QualityReport};
+pub use similarity::{
+    CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Similarity,
+};

@@ -1,0 +1,190 @@
+//! Threshold matching of entity pairs.
+
+use std::sync::Arc;
+
+use crate::entity::Entity;
+use crate::similarity::{NormalizedLevenshtein, Similarity};
+
+/// One attribute-level comparison: similarity measure over one
+/// attribute, with an optional weight for aggregation.
+#[derive(Clone)]
+pub struct MatchRule {
+    /// Attribute whose values are compared.
+    pub attribute: String,
+    /// The similarity measure.
+    pub similarity: Arc<dyn Similarity>,
+    /// Relative weight within the aggregated score.
+    pub weight: f64,
+}
+
+impl MatchRule {
+    /// A rule with weight 1.
+    pub fn new(attribute: impl Into<String>, similarity: Arc<dyn Similarity>) -> Self {
+        Self {
+            attribute: attribute.into(),
+            similarity,
+            weight: 1.0,
+        }
+    }
+
+    /// Overrides the weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    fn score(&self, a: &Entity, b: &Entity) -> f64 {
+        match (a.get(&self.attribute), b.get(&self.attribute)) {
+            (Some(va), Some(vb)) => self.similarity.sim(va, vb),
+            // A missing attribute contributes zero evidence, which is
+            // the conservative choice for deduplication.
+            _ => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for MatchRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchRule")
+            .field("attribute", &self.attribute)
+            .field("similarity", &self.similarity.name())
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+/// A weighted-average multi-rule matcher with a decision threshold.
+///
+/// The paper's configuration is a single rule: normalized edit
+/// distance on `title` with threshold `0.8` — see
+/// [`Matcher::paper_default`].
+#[derive(Clone, Debug)]
+pub struct Matcher {
+    rules: Vec<MatchRule>,
+    threshold: f64,
+}
+
+impl Matcher {
+    /// Builds a matcher from rules and a threshold in `[0, 1]`.
+    ///
+    /// # Panics
+    /// If `rules` is empty, total weight is zero, or the threshold is
+    /// outside `[0, 1]`.
+    pub fn new(rules: Vec<MatchRule>, threshold: f64) -> Self {
+        assert!(!rules.is_empty(), "a matcher needs at least one rule");
+        assert!(
+            rules.iter().map(|r| r.weight).sum::<f64>() > 0.0,
+            "total rule weight must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be within [0, 1]"
+        );
+        Self { rules, threshold }
+    }
+
+    /// The paper's match configuration: edit distance on the title with
+    /// a minimal similarity of 0.8.
+    pub fn paper_default() -> Self {
+        Self::new(
+            vec![MatchRule::new("title", Arc::new(NormalizedLevenshtein))],
+            0.8,
+        )
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Weighted-average similarity of an entity pair.
+    pub fn score(&self, a: &Entity, b: &Entity) -> f64 {
+        let total_weight: f64 = self.rules.iter().map(|r| r.weight).sum();
+        let weighted: f64 = self
+            .rules
+            .iter()
+            .map(|r| r.weight * r.score(a, b))
+            .sum();
+        weighted / total_weight
+    }
+
+    /// Returns `Some(score)` iff the pair's score reaches the
+    /// threshold.
+    pub fn matches(&self, a: &Entity, b: &Entity) -> Option<f64> {
+        let s = self.score(a, b);
+        (s >= self.threshold).then_some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::Jaccard;
+
+    fn e(id: u64, title: &str) -> Entity {
+        Entity::new(id, [("title", title)])
+    }
+
+    #[test]
+    fn paper_default_thresholds_at_0_8() {
+        let m = Matcher::paper_default();
+        // One edit on a ten-char title: similarity 0.9 -> match.
+        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefghiX")).is_some());
+        // Three edits on ten chars: similarity 0.7 -> no match.
+        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefgXYZ")).is_none());
+        // Exactly at the threshold: 8/10 -> match (>=).
+        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefghXY")).is_some());
+    }
+
+    #[test]
+    fn missing_attribute_scores_zero() {
+        let m = Matcher::paper_default();
+        let no_title = Entity::new(3, [("brand", "canon")]);
+        assert_eq!(m.score(&e(1, "x"), &no_title), 0.0);
+        assert!(m.matches(&e(1, "x"), &no_title).is_none());
+    }
+
+    #[test]
+    fn weighted_aggregation() {
+        let m = Matcher::new(
+            vec![
+                MatchRule::new("title", Arc::new(NormalizedLevenshtein)).with_weight(3.0),
+                MatchRule::new("brand", Arc::new(Jaccard)).with_weight(1.0),
+            ],
+            0.5,
+        );
+        let a = Entity::new(1, [("title", "same"), ("brand", "alpha")]);
+        let b = Entity::new(2, [("title", "same"), ("brand", "beta")]);
+        // title: 1.0 weighted 3, brand: 0.0 weighted 1 -> 0.75
+        assert!((m.score(&a, &b) - 0.75).abs() < 1e-12);
+        assert!(m.matches(&a, &b).is_some());
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let m = Matcher::paper_default();
+        let (a, b) = (e(1, "kitten"), e(2, "sitting"));
+        assert!((m.score(&a, &b) - m.score(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn empty_rules_rejected() {
+        let _ = Matcher::new(vec![], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn bad_threshold_rejected() {
+        let _ = Matcher::new(
+            vec![MatchRule::new("title", Arc::new(NormalizedLevenshtein))],
+            1.5,
+        );
+    }
+
+    #[test]
+    fn debug_shows_measure_name() {
+        let m = Matcher::paper_default();
+        assert!(format!("{m:?}").contains("levenshtein"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Cosine similarity over token frequency vectors.
+
+use std::collections::BTreeMap;
+
+use super::Similarity;
+
+/// Cosine of the angle between lower-cased token *count* vectors.
+/// Unlike Jaccard, repeated tokens carry weight, which suits titles
+/// with meaningful repetition ("2 x 4 x 2").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineTokens;
+
+fn counts(s: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for t in s.split_whitespace() {
+        *out.entry(t.to_lowercase()).or_insert(0.0) += 1.0;
+    }
+    out
+}
+
+impl Similarity for CosineTokens {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ca = counts(a);
+        let cb = counts(b);
+        if ca.is_empty() && cb.is_empty() {
+            return 1.0;
+        }
+        if ca.is_empty() || cb.is_empty() {
+            return 0.0;
+        }
+        let dot: f64 = ca
+            .iter()
+            .filter_map(|(t, &x)| cb.get(t).map(|&y| x * y))
+            .sum();
+        let na: f64 = ca.values().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = cb.values().map(|x| x * x).sum::<f64>().sqrt();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_and_reordered() {
+        let c = CosineTokens;
+        assert!((c.sim("a b c", "a b c") - 1.0).abs() < 1e-12);
+        assert!((c.sim("a b c", "c a b") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_token_sets() {
+        assert_eq!(CosineTokens.sim("a b", "x y"), 0.0);
+    }
+
+    #[test]
+    fn repetition_matters() {
+        let c = CosineTokens;
+        let once = c.sim("spam ham", "spam eggs");
+        let thrice = c.sim("spam spam spam ham", "spam eggs");
+        assert!(thrice > once, "{thrice} vs {once}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!((CosineTokens.sim("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(CosineTokens.sim("", "a"), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_is_half() {
+        // {a,b} vs {a,c}: dot = 1, norms = sqrt(2) -> 0.5.
+        assert!((CosineTokens.sim("a b", "a c") - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Jaccard similarity over whitespace tokens.
+
+use std::collections::BTreeSet;
+
+use super::Similarity;
+
+/// Token-set Jaccard: `|A ∩ B| / |A ∪ B|` over lower-cased whitespace
+/// tokens. A natural fit for titles with reordered words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl Jaccard {
+    fn tokens(s: &str) -> BTreeSet<String> {
+        s.split_whitespace()
+            .map(|t| t.to_lowercase())
+            .collect()
+    }
+}
+
+impl Similarity for Jaccard {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ta = Self::tokens(a);
+        let tb = Self::tokens(b);
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        let inter = ta.intersection(&tb).count();
+        let union = ta.union(&tb).count();
+        inter as f64 / union as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_overlap() {
+        let j = Jaccard;
+        assert!((j.sim("canon eos 5d", "canon eos 7d") - 0.5).abs() < 1e-12);
+        assert!((j.sim("a b", "b a") - 1.0).abs() < 1e-12, "order-insensitive");
+        assert_eq!(j.sim("a b c", "x y z"), 0.0);
+    }
+
+    #[test]
+    fn case_insensitive_tokens() {
+        assert!((Jaccard.sim("Canon EOS", "canon eos") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!((Jaccard.sim("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(Jaccard.sim("", "word"), 0.0);
+        assert!((Jaccard.sim("  ", " ") - 1.0).abs() < 1e-12, "whitespace only == no tokens");
+    }
+
+    #[test]
+    fn duplicate_tokens_count_once() {
+        assert!((Jaccard.sim("a a a b", "a b") - 1.0).abs() < 1e-12);
+    }
+}

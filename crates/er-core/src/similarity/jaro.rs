@@ -1,0 +1,119 @@
+//! Jaro and Jaro-Winkler similarity — the classic record-linkage
+//! measure for short name-like strings.
+
+use super::Similarity;
+
+fn jaro(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus of up
+/// to four characters.
+#[derive(Debug, Clone, Copy)]
+pub struct JaroWinkler {
+    /// Prefix scaling factor, conventionally `0.1` (capped at `0.25`
+    /// so the result stays within `[0, 1]`).
+    pub prefix_scale: f64,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self { prefix_scale: 0.1 }
+    }
+}
+
+impl Similarity for JaroWinkler {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let j = jaro(&ac, &bc);
+        let prefix = ac
+            .iter()
+            .zip(bc.iter())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count();
+        let scale = self.prefix_scale.clamp(0.0, 0.25);
+        (j + prefix as f64 * scale * (1.0 - j)).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaro-winkler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jw(a: &str, b: &str) -> f64 {
+        JaroWinkler::default().sim(a, b)
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Classic Winkler examples (to 3 decimal places).
+        assert!((jw("MARTHA", "MARHTA") - 0.961).abs() < 1e-3);
+        assert!((jw("DIXON", "DICKSONX") - 0.813).abs() < 1e-3);
+        assert!((jw("JELLYFISH", "SMELLYFISH") - 0.896).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert!((jw("abc", "abc") - 1.0).abs() < 1e-12);
+        assert_eq!(jw("abc", "xyz"), 0.0);
+        assert!((jw("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(jw("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn prefix_bonus_raises_score() {
+        let plain = JaroWinkler { prefix_scale: 0.0 };
+        assert!(jw("prefixed", "prefixes") > plain.sim("prefixed", "prefixes"));
+    }
+
+    #[test]
+    fn oversized_scale_is_clamped() {
+        let wild = JaroWinkler { prefix_scale: 9.0 };
+        let s = wild.sim("abcd", "abcx");
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,173 @@
+//! Edit distance (Levenshtein) and its normalized similarity — the
+//! paper's match function: "Two entities were compared by computing
+//! the edit distance of their title. Two entities with a minimal
+//! similarity of 0.8 were regarded as matches."
+
+use super::Similarity;
+
+/// Unrestricted Levenshtein distance over Unicode scalar values,
+/// two-row dynamic programming, `O(|a|·|b|)` time and `O(min)` space.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Keep the inner row the shorter one for cache friendliness.
+    let (long, short) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Banded early-exit check: is `levenshtein_distance(a, b) <= k`?
+///
+/// Runs in `O(k·max(|a|,|b|))` by evaluating only a diagonal band of
+/// width `2k+1`, which is what makes thresholded matching at paper
+/// scale affordable: a 0.8 similarity threshold on titles bounds the
+/// permissible distance to 20 % of the longer title.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> bool {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    let (n, m) = (a_chars.len(), b_chars.len());
+    if n.abs_diff(m) > k {
+        return false;
+    }
+    if n == 0 {
+        return m <= k;
+    }
+    if m == 0 {
+        return n <= k;
+    }
+    const BIG: usize = usize::MAX / 2;
+    // prev[j] = distance for prefix lengths (i, j); band-limited.
+    let mut prev: Vec<usize> = vec![BIG; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
+        *p = j;
+    }
+    let mut cur: Vec<usize> = vec![BIG; m + 1];
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        if lo > hi {
+            return false;
+        }
+        cur[lo - 1] = BIG;
+        cur[lo.saturating_sub(1)] = if lo == 1 { i } else { BIG };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a_chars[i - 1] != b_chars[j - 1]);
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < m {
+            cur[hi + 1] = BIG;
+        }
+        if row_min > k {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] <= k
+}
+
+/// `1 − d(a,b) / max(|a|,|b|)`: the similarity the paper thresholds at
+/// 0.8. Empty-vs-empty compares as identical (similarity 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedLevenshtein;
+
+impl Similarity for NormalizedLevenshtein {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "levenshtein"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("", ""), 0);
+        assert_eq!(levenshtein_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(levenshtein_distance("café", "cafe"), 1);
+        assert_eq!(levenshtein_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn normalized_similarity_examples() {
+        let s = NormalizedLevenshtein;
+        assert!((s.sim("abcd", "abcd") - 1.0).abs() < 1e-12);
+        assert!((s.sim("abcde", "abcdX") - 0.8).abs() < 1e-12);
+        assert!((s.sim("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(s.sim("", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn banded_check_agrees_on_fixed_cases() {
+        assert!(levenshtein_within("kitten", "sitting", 3));
+        assert!(!levenshtein_within("kitten", "sitting", 2));
+        assert!(levenshtein_within("", "", 0));
+        assert!(!levenshtein_within("abcdef", "", 3));
+        assert!(levenshtein_within("abc", "abc", 0));
+    }
+
+    proptest! {
+        #[test]
+        fn banded_agrees_with_full_dp(a in "[a-d]{0,12}", b in "[a-d]{0,12}", k in 0usize..6) {
+            let d = levenshtein_distance(&a, &b);
+            prop_assert_eq!(levenshtein_within(&a, &b, k), d <= k,
+                "a={:?} b={:?} d={} k={}", a, b, d, k);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            let ab = levenshtein_distance(&a, &b);
+            let bc = levenshtein_distance(&b, &c);
+            let ac = levenshtein_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn distance_bounded_by_longer_string(a in "\\PC{0,10}", b in "\\PC{0,10}") {
+            let d = levenshtein_distance(&a, &b);
+            let max = a.chars().count().max(b.chars().count());
+            let min = a.chars().count().min(b.chars().count());
+            prop_assert!(d <= max);
+            prop_assert!(d >= max - min);
+        }
+    }
+}

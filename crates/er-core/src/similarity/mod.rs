@@ -1,0 +1,83 @@
+//! String similarity measures.
+//!
+//! Every measure maps a pair of strings to `[0, 1]`, is symmetric, and
+//! returns `1.0` for identical inputs — invariants enforced by property
+//! tests. The paper's evaluation uses normalized edit distance with a
+//! minimum similarity of `0.8`; the other measures make the library
+//! usable beyond the reproduction.
+
+mod cosine;
+mod jaccard;
+mod jaro;
+mod levenshtein;
+mod monge_elkan;
+mod ngram;
+
+pub use cosine::CosineTokens;
+pub use jaccard::Jaccard;
+pub use jaro::JaroWinkler;
+pub use levenshtein::{levenshtein_distance, levenshtein_within, NormalizedLevenshtein};
+pub use monge_elkan::MongeElkan;
+pub use ngram::NGram;
+
+/// A symmetric string similarity in `[0, 1]`.
+pub trait Similarity: Send + Sync {
+    /// Similarity of `a` and `b`; `1.0` means identical.
+    fn sim(&self, a: &str, b: &str) -> f64;
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_measures() -> Vec<Box<dyn Similarity>> {
+        vec![
+            Box::new(NormalizedLevenshtein),
+            Box::new(JaroWinkler::default()),
+            Box::new(Jaccard),
+            Box::new(NGram::trigram()),
+            Box::new(CosineTokens),
+            Box::new(MongeElkan::default()),
+        ]
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            all_measures().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn identity_is_one(s in "\\PC{0,24}") {
+            for m in all_measures() {
+                prop_assert!((m.sim(&s, &s) - 1.0).abs() < 1e-12,
+                    "{} not 1.0 on identical inputs {s:?}", m.name());
+            }
+        }
+
+        #[test]
+        fn symmetric(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+            for m in all_measures() {
+                let ab = m.sim(&a, &b);
+                let ba = m.sim(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-12,
+                    "{} asymmetric on {a:?}/{b:?}: {ab} vs {ba}", m.name());
+            }
+        }
+
+        #[test]
+        fn bounded(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+            for m in all_measures() {
+                let s = m.sim(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&s),
+                    "{} out of bounds on {a:?}/{b:?}: {s}", m.name());
+            }
+        }
+    }
+}

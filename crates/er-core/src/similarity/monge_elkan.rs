@@ -1,0 +1,117 @@
+//! Monge-Elkan similarity: token-level alignment with an inner
+//! character-level measure — the classic hybrid for multi-word titles
+//! where whole words move around.
+
+use std::sync::Arc;
+
+use super::Similarity;
+
+/// Symmetrized Monge-Elkan: for each token of one string take the best
+/// inner-similarity against the other string's tokens, average, and
+/// take the mean of both directions (the raw Monge-Elkan score is
+/// asymmetric; symmetrizing keeps the crate-wide symmetry invariant).
+#[derive(Clone)]
+pub struct MongeElkan {
+    inner: Arc<dyn Similarity>,
+}
+
+impl MongeElkan {
+    /// Uses `inner` to compare individual tokens.
+    pub fn new(inner: Arc<dyn Similarity>) -> Self {
+        Self { inner }
+    }
+
+    fn directed(&self, from: &[&str], to: &[&str]) -> f64 {
+        if from.is_empty() {
+            return if to.is_empty() { 1.0 } else { 0.0 };
+        }
+        let mut sum = 0.0;
+        for a in from {
+            let mut best: f64 = 0.0;
+            for b in to {
+                best = best.max(self.inner.sim(a, b));
+            }
+            sum += best;
+        }
+        sum / from.len() as f64
+    }
+}
+
+impl Default for MongeElkan {
+    fn default() -> Self {
+        Self::new(Arc::new(super::JaroWinkler::default()))
+    }
+}
+
+impl Similarity for MongeElkan {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ta: Vec<&str> = a.split_whitespace().collect();
+        let tb: Vec<&str> = b.split_whitespace().collect();
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        let ab = self.directed(&ta, &tb);
+        let ba = self.directed(&tb, &ta);
+        ((ab + ba) / 2.0).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "monge-elkan"
+    }
+}
+
+impl std::fmt::Debug for MongeElkan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MongeElkan")
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        let m = MongeElkan::default();
+        assert!((m.sim("canon eos kit", "canon eos kit") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_reordering_barely_matters() {
+        let m = MongeElkan::default();
+        let s = m.sim("eos canon kit", "canon eos kit");
+        assert!(s > 0.99, "got {s}");
+    }
+
+    #[test]
+    fn token_typos_degrade_gracefully() {
+        let m = MongeElkan::default();
+        let s = m.sim("canon eos kit", "cannon eos kid");
+        assert!(s > 0.8 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn disjoint_tokens_score_low() {
+        let m = MongeElkan::default();
+        assert!(m.sim("aaa bbb", "xyz qrs") < 0.5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = MongeElkan::default();
+        assert!((m.sim("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(m.sim("", "word"), 0.0);
+    }
+
+    #[test]
+    fn is_symmetric_by_construction() {
+        let m = MongeElkan::default();
+        // A case where raw Monge-Elkan is asymmetric (different token
+        // counts) — the symmetrized version must agree both ways.
+        let ab = m.sim("canon", "canon eos mark iii");
+        let ba = m.sim("canon eos mark iii", "canon");
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

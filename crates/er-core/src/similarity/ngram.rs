@@ -1,0 +1,99 @@
+//! Character n-gram similarity (Jaccard over padded n-grams).
+
+use std::collections::BTreeSet;
+
+use super::Similarity;
+
+/// Jaccard similarity over the sets of character `n`-grams, with the
+/// string padded by `n−1` sentinel characters on each side so that
+/// leading/trailing characters contribute as many grams as inner ones.
+#[derive(Debug, Clone, Copy)]
+pub struct NGram {
+    /// Gram width; must be at least 1.
+    pub n: usize,
+}
+
+impl NGram {
+    /// Trigram similarity, the usual default.
+    pub fn trigram() -> Self {
+        NGram { n: 3 }
+    }
+
+    fn grams(&self, s: &str) -> BTreeSet<Vec<char>> {
+        let n = self.n.max(1);
+        let pad = n - 1;
+        let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * pad);
+        chars.extend(std::iter::repeat_n('\u{0}', pad));
+        chars.extend(s.to_lowercase().chars());
+        chars.extend(std::iter::repeat_n('\u{0}', pad));
+        if chars.len() < n {
+            return BTreeSet::new();
+        }
+        chars.windows(n).map(|w| w.to_vec()).collect()
+    }
+}
+
+impl Default for NGram {
+    fn default() -> Self {
+        Self::trigram()
+    }
+}
+
+impl Similarity for NGram {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ga = self.grams(a);
+        let gb = self.grams(b);
+        if ga.is_empty() && gb.is_empty() {
+            return 1.0;
+        }
+        let inter = ga.intersection(&gb).count();
+        let union = ga.union(&gb).count();
+        inter as f64 / union as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "ngram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert!((NGram::trigram().sim("hello", "hello") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_typo_keeps_high_similarity() {
+        let s = NGram::trigram().sim("nikon coolpix", "nikon coolpyx");
+        assert!(s > 0.6, "got {s}");
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        assert_eq!(NGram::trigram().sim("aaa", "bbb"), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!((NGram::trigram().sim("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(NGram::trigram().sim("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn short_strings_still_produce_grams_via_padding() {
+        // "a" padded -> grams exist, and distinct letters differ.
+        let s = NGram::trigram().sim("a", "b");
+        assert_eq!(s, 0.0);
+        assert!((NGram::trigram().sim("a", "a") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n1_degenerates_to_character_jaccard() {
+        let uni = NGram { n: 1 };
+        assert!((uni.sim("abc", "cba") - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Dataset persistence: entities via `er_core::io` TSV plus a gold
+//! standard sidecar, so generated workloads can be saved once and
+//! reused across runs (or swapped for real data with known truth).
+
+use std::io::{self, BufRead, Write};
+
+use er_core::entity::{EntityId, EntityRef, SourceId};
+use er_core::result::{GoldStandard, MatchPair};
+
+use crate::dataset::Dataset;
+
+/// Writes a dataset: the entity TSV followed by a `#GOLD` section of
+/// `source,id,source,id` match pairs.
+pub fn write_dataset<W: Write>(mut w: W, dataset: &Dataset) -> io::Result<()> {
+    writeln!(w, "#NAME\t{}", dataset.name.replace(['\t', '\n'], " "))?;
+    er_core::io::write_entities(&mut w, &dataset.entities)?;
+    writeln!(w, "#GOLD")?;
+    for pair in dataset.gold.iter() {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}",
+            pair.lo().source.0,
+            pair.lo().id.0,
+            pair.hi().source.0,
+            pair.hi().id.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`].
+pub fn read_dataset<R: BufRead>(r: R) -> io::Result<Dataset> {
+    let mut lines = r.lines();
+    let name_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty dataset file"))??;
+    let name = name_line
+        .strip_prefix("#NAME\t")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing #NAME header"))?
+        .to_string();
+    // Split remaining lines at the #GOLD marker.
+    let mut entity_lines: Vec<String> = Vec::new();
+    let mut gold_lines: Vec<String> = Vec::new();
+    let mut in_gold = false;
+    for line in lines {
+        let line = line?;
+        if line == "#GOLD" {
+            in_gold = true;
+            continue;
+        }
+        if in_gold {
+            gold_lines.push(line);
+        } else {
+            entity_lines.push(line);
+        }
+    }
+    if !in_gold {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "missing #GOLD section",
+        ));
+    }
+    let entity_blob = entity_lines.join("\n");
+    let entities = er_core::io::read_entities(io::BufReader::new(entity_blob.as_bytes()))?;
+    let mut gold_pairs = Vec::new();
+    for (i, line) in gold_lines.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("gold line {}: expected 4 fields", i + 1),
+            ));
+        }
+        let parse = |s: &str| -> io::Result<u64> {
+            s.parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad gold id"))
+        };
+        let lo = EntityRef {
+            source: SourceId(parse(fields[0])? as u8),
+            id: EntityId(parse(fields[1])?),
+        };
+        let hi = EntityRef {
+            source: SourceId(parse(fields[2])? as u8),
+            id: EntityId(parse(fields[3])?),
+        };
+        gold_pairs.push(MatchPair::new(lo, hi));
+    }
+    Ok(Dataset {
+        name,
+        entities,
+        gold: GoldStandard::from_pairs(gold_pairs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ds1_spec, generate_products};
+
+    #[test]
+    fn dataset_round_trip_preserves_everything_relevant() {
+        let ds = generate_products(&ds1_spec(17).scaled(0.003));
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds).unwrap();
+        let back = read_dataset(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.len(), ds.len());
+        // Gold pairs identical.
+        let a: Vec<MatchPair> = ds.gold.iter().collect();
+        let b: Vec<MatchPair> = back.gold.iter().collect();
+        assert_eq!(a, b);
+        // Titles (the matched attribute) survive byte-exactly in order.
+        for (x, y) in ds.entities.iter().zip(&back.entities) {
+            assert_eq!(x.entity_ref(), y.entity_ref());
+            assert_eq!(x.get("title"), y.get("title"));
+        }
+    }
+
+    #[test]
+    fn missing_gold_section_is_an_error() {
+        let err = read_dataset(io::BufReader::new(&b"#NAME\tx\nsource\tid\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_name_is_an_error() {
+        let err = read_dataset(io::BufReader::new(&b"source\tid\n#GOLD\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_gold_is_fine() {
+        let ds = crate::skew::exponential_dataset(20, 4, 0.5, 3);
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds).unwrap();
+        let back = read_dataset(io::BufReader::new(&buf[..])).unwrap();
+        assert!(back.gold.is_empty());
+        assert_eq!(back.len(), 20);
+    }
+}

@@ -1,0 +1,114 @@
+//! DS2-like generator: publication records.
+//!
+//! The paper's DS2 holds ~1.4 M CiteSeerX publication records — an
+//! order of magnitude more entities than DS1 and, crucially for the
+//! scalability experiment, a total comparison count ~2 000× DS1's
+//! ("the average number of comparisons [per reduce task] is more than
+//! 2,000 times higher than for DS1", §VI-C). A dominant share of 28 %
+//! on 1.4 M entities yields ≈ 7.7·10¹⁰ dominant-block pairs versus
+//! DS1's ≈ 5.3·10⁷ total — landing the ratio in the right regime.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dataset::{build_skewed, Dataset, RecordStyle};
+use crate::vocab::{ACADEMIC_WORDS, SURNAMES, VENUES};
+use crate::DatasetSpec;
+
+/// The DS2-like default: 1.4 M publications, dominant prefix with 28 %
+/// of the entities, flat Zipf tail over 9 000 blocks.
+pub fn ds2_spec(seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        n_entities: 1_400_000,
+        n_blocks: 9_000,
+        dominant_share: 0.28,
+        zipf_exponent: 0.5,
+        dup_rate: 0.05,
+        seed,
+    }
+}
+
+struct PublicationStyle;
+
+impl RecordStyle for PublicationStyle {
+    fn title(&self, prefix: &str, code: &str, ordinal: usize) -> String {
+        let words: Vec<&str> = ACADEMIC_WORDS
+            .iter()
+            .copied()
+            .filter(|w| w.len() <= 5)
+            .collect();
+        let w = words[ordinal % words.len()];
+        format!("{prefix}{w} {code} study")
+    }
+
+    fn extra_attributes(&self, rng: &mut SmallRng) -> Vec<(String, String)> {
+        let a1 = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+        let a2 = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+        vec![
+            ("authors".to_string(), format!("{a1}, {a2}")),
+            (
+                "venue".to_string(),
+                VENUES[rng.gen_range(0..VENUES.len())].to_string(),
+            ),
+            ("year".to_string(), format!("{}", rng.gen_range(1995..2012))),
+        ]
+    }
+}
+
+/// Generates a DS2-like publication dataset.
+pub fn generate_publications(spec: &DatasetSpec) -> Dataset {
+    build_skewed(spec, "DS2-like publications", &PublicationStyle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{block_sizes, BlockStats};
+    use er_core::blocking::PrefixBlocking;
+    use er_core::pairs::triangle_pairs;
+
+    #[test]
+    fn scaled_ds2_has_publication_attributes() {
+        let ds = generate_publications(&ds2_spec(1).scaled(0.001));
+        let e = &ds.entities[0];
+        assert!(e.get("title").is_some());
+        assert!(e.get("authors").is_some());
+        assert!(e.get("venue").is_some());
+        assert!(e.get("year").is_some());
+    }
+
+    #[test]
+    fn titles_satisfy_length_cap() {
+        let ds = generate_publications(&ds2_spec(1).scaled(0.001));
+        for e in &ds.entities {
+            let t = e.get("title").unwrap();
+            assert!(t.chars().count() <= 29, "title too long: {t:?}");
+        }
+    }
+
+    #[test]
+    fn full_scale_pair_ratio_lands_near_2000x() {
+        // Computed from block sizes alone — no entity materialization.
+        let pair_total = |spec: &DatasetSpec| -> f64 {
+            block_sizes(spec)
+                .iter()
+                .map(|&s| triangle_pairs(s as u64) as f64)
+                .sum()
+        };
+        let p1 = pair_total(&crate::products::ds1_spec(0));
+        let p2 = pair_total(&ds2_spec(0));
+        let ratio = p2 / p1;
+        assert!(
+            (500.0..10_000.0).contains(&ratio),
+            "DS2/DS1 pair ratio {ratio:.0} outside the paper's ~2000x regime"
+        );
+    }
+
+    #[test]
+    fn scaled_ds2_block_distribution_is_skewed() {
+        let ds = generate_publications(&ds2_spec(2).scaled(0.002));
+        let stats = BlockStats::compute(&ds.entities, &PrefixBlocking::title3());
+        assert!(stats.largest_entity_share() > 0.2);
+        assert!(stats.largest_pair_share() > 0.7);
+    }
+}

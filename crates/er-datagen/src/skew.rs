@@ -1,0 +1,165 @@
+//! Block size distributions: the paper's §VI-A exponential family and
+//! a Zipf family for tails and ablations.
+
+use er_core::{Entity, GoldStandard};
+use rand::seq::SliceRandom;
+
+use crate::dataset::Dataset;
+use crate::duplicates::rs_code;
+use crate::rng::stream_rng;
+use crate::vocab::block_prefix;
+
+/// Apportions `total` into `weights.len()` integer parts proportional
+/// to `weights` (largest-remainder method). Parts may be zero; the
+/// result always sums to `total`.
+pub fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one weight");
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights must sum to a positive value");
+    let mut sizes: Vec<usize> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / wsum;
+        let floor = exact.floor() as usize;
+        sizes.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Distribute the residue to the largest remainders (ties broken by
+    // index for determinism).
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take(total - assigned) {
+        sizes[i] += 1;
+    }
+    sizes
+}
+
+/// §VI-A block sizes: `|Φ_k| ∝ e^(−s·k)` for `k = 0..b`, summing to
+/// `n_entities`. `s = 0` gives the uniform distribution; larger `s`
+/// concentrates entities in the first blocks.
+pub fn exponential_block_sizes(n_entities: usize, b: usize, s: f64) -> Vec<usize> {
+    assert!(b > 0, "need at least one block");
+    assert!(s >= 0.0, "skew factor must be non-negative");
+    let weights: Vec<f64> = (0..b).map(|k| (-s * k as f64).exp()).collect();
+    apportion(n_entities, &weights)
+}
+
+/// Zipf block sizes: `|Φ_k| ∝ (k+1)^(−e)`.
+pub fn zipf_block_sizes(n_entities: usize, b: usize, exponent: f64) -> Vec<usize> {
+    assert!(b > 0, "need at least one block");
+    let weights: Vec<f64> = (0..b).map(|k| ((k + 1) as f64).powf(-exponent)).collect();
+    apportion(n_entities, &weights)
+}
+
+/// Generates the §VI-A robustness dataset: `n_entities` entities over
+/// `b` blocks with exponential skew `s`, shuffled into arbitrary
+/// order. No duplicates are injected (the robustness experiment
+/// measures *time per pair*, not match quality), so every title embeds
+/// a distinct codeword.
+pub fn exponential_dataset(n_entities: usize, b: usize, s: f64, seed: u64) -> Dataset {
+    let sizes = exponential_block_sizes(n_entities, b, s);
+    let mut entities: Vec<Entity> = Vec::with_capacity(n_entities);
+    let mut id = 0u64;
+    for (k, &size) in sizes.iter().enumerate() {
+        let prefix = block_prefix(k);
+        for j in 0..size {
+            let title = format!("{prefix} {}", rs_code(j % crate::duplicates::code_capacity()));
+            entities.push(Entity::new(id, [("title", title.as_str())]));
+            id += 1;
+        }
+    }
+    let mut order_rng = stream_rng(seed, 0xE0);
+    entities.shuffle(&mut order_rng);
+    Dataset {
+        name: format!("exp(b={b}, s={s})"),
+        entities,
+        gold: GoldStandard::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::blocking::{BlockingFunction, PrefixBlocking};
+
+    #[test]
+    fn apportion_sums_to_total() {
+        for total in [0usize, 1, 7, 100, 12345] {
+            let sizes = apportion(total, &[3.0, 1.0, 1.0, 0.5]);
+            assert_eq!(sizes.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn apportion_is_proportional() {
+        let sizes = apportion(100, &[3.0, 1.0, 1.0]);
+        assert_eq!(sizes, vec![60, 20, 20]);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let sizes = exponential_block_sizes(1000, 100, 0.0);
+        assert!(sizes.iter().all(|&s| s == 10));
+    }
+
+    #[test]
+    fn skew_concentrates_in_first_block() {
+        let sizes = exponential_block_sizes(10_000, 100, 1.0);
+        assert_eq!(sizes.iter().sum::<usize>(), 10_000);
+        // With s=1, block 0 holds (1 - e^-1) ≈ 63% of the mass.
+        assert!(sizes[0] > 6_000 && sizes[0] < 6_700, "got {}", sizes[0]);
+        assert!(sizes[0] > sizes[1]);
+        assert!(sizes[1] > sizes[2]);
+    }
+
+    #[test]
+    fn skew_increases_pair_count() {
+        // The paper's example: 25+25 entities -> 600 pairs; 45+5 ->
+        // 1000 pairs. Generally more skew at fixed n means more pairs.
+        let pairs = |sizes: &[usize]| -> u64 {
+            sizes
+                .iter()
+                .map(|&s| er_core::pairs::triangle_pairs(s as u64))
+                .sum()
+        };
+        let p0 = pairs(&exponential_block_sizes(5_000, 100, 0.0));
+        let p05 = pairs(&exponential_block_sizes(5_000, 100, 0.5));
+        let p1 = pairs(&exponential_block_sizes(5_000, 100, 1.0));
+        assert!(p0 < p05 && p05 < p1, "{p0} {p05} {p1}");
+    }
+
+    #[test]
+    fn dataset_blocks_match_requested_sizes() {
+        let ds = exponential_dataset(500, 10, 0.8, 42);
+        assert_eq!(ds.entities.len(), 500);
+        let blocking = PrefixBlocking::title3();
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &ds.entities {
+            let k = blocking.key(e).expect("all entities have keys");
+            *counts.entry(k.as_str().to_string()).or_insert(0usize) += 1;
+        }
+        let expected = exponential_block_sizes(500, 10, 0.8);
+        for (k, &size) in expected.iter().enumerate() {
+            if size == 0 {
+                continue;
+            }
+            assert_eq!(counts.get(&block_prefix(k)).copied().unwrap_or(0), size);
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic_per_seed() {
+        let a = exponential_dataset(200, 20, 0.5, 7);
+        let b = exponential_dataset(200, 20, 0.5, 7);
+        let c = exponential_dataset(200, 20, 0.5, 8);
+        assert_eq!(a.entities, b.entities);
+        assert_ne!(a.entities, c.entities, "different seed, different order");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_skew_rejected() {
+        let _ = exponential_block_sizes(10, 5, -1.0);
+    }
+}

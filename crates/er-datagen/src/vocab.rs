@@ -1,0 +1,104 @@
+//! Embedded vocabulary for plausible-looking synthetic records.
+//!
+//! Block identity is controlled by deterministic 3-letter prefixes
+//! ([`block_prefix`]); vocabulary words only fill out the rest of the
+//! titles so that similarity computation operates on realistic string
+//! lengths and alphabets.
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "camera", "lens", "printer", "laptop", "monitor", "keyboard", "router", "speaker",
+    "headphones", "tablet", "charger", "battery", "tripod", "flash", "projector", "scanner",
+    "microphone", "webcam", "dock", "adapter", "enclosure", "drive", "memory", "case",
+    "backpack", "mouse", "display", "receiver", "amplifier", "turntable", "console", "drone",
+];
+
+/// Product qualifier words.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "pro", "max", "ultra", "mini", "plus", "lite", "air", "neo", "prime", "elite", "sport",
+    "studio", "compact", "wireless", "digital", "smart", "portable", "classic", "advanced",
+    "premium",
+];
+
+/// Academic title words for publication records.
+pub const ACADEMIC_WORDS: &[&str] = &[
+    "analysis", "approach", "algorithm", "adaptive", "framework", "distributed", "parallel",
+    "efficient", "scalable", "query", "processing", "optimization", "learning", "model",
+    "system", "network", "database", "index", "storage", "memory", "cache", "transaction",
+    "stream", "graph", "cluster", "partition", "schema", "integration", "resolution", "entity",
+    "matching", "similarity", "join", "aggregation", "sampling", "estimation", "evaluation",
+    "benchmark", "workload", "skew", "balancing", "mapreduce", "cloud", "replication",
+    "consistency", "recovery", "concurrency", "locking", "logging", "compression",
+];
+
+/// Publication venue names.
+pub const VENUES: &[&str] = &[
+    "ICDE", "SIGMOD", "VLDB", "EDBT", "CIKM", "KDD", "ICDM", "WWW", "SOCC", "OSDI", "NSDI",
+    "EuroSys", "ATC", "CIDR", "DASFAA",
+];
+
+/// Author surnames.
+pub const SURNAMES: &[&str] = &[
+    "Smith", "Mueller", "Chen", "Kumar", "Garcia", "Kim", "Olsen", "Rossi", "Novak", "Silva",
+    "Tanaka", "Ivanov", "Kowalski", "Andersen", "Dubois", "Haas", "Weber", "Schmidt", "Lang",
+    "Becker", "Vogel", "Koch", "Wolf", "Krause", "Peters",
+];
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "q", "r", "s", "t", "v", "w",
+    "x", "z",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "y"];
+
+/// Deterministic, pairwise-distinct, plausible 3-letter block prefix
+/// for block index `k` (consonant-vowel-consonant, e.g. "bab", "bac").
+///
+/// Capacity: 20 · 6 · 20 = 2 400 distinct prefixes; beyond that a
+/// numeric suffix keeps prefixes distinct but 4+ letters long (still a
+/// valid blocking key, just not colliding with the CVC space).
+pub fn block_prefix(k: usize) -> String {
+    let capacity = ONSETS.len() * VOWELS.len() * ONSETS.len();
+    if k < capacity {
+        let onset = ONSETS[k / (VOWELS.len() * ONSETS.len())];
+        let vowel = VOWELS[(k / ONSETS.len()) % VOWELS.len()];
+        let coda = ONSETS[k % ONSETS.len()];
+        format!("{onset}{vowel}{coda}")
+    } else {
+        format!("zz{}", k - capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn prefixes_are_distinct() {
+        let n = 3000;
+        let set: HashSet<String> = (0..n).map(block_prefix).collect();
+        assert_eq!(set.len(), n);
+    }
+
+    #[test]
+    fn cvc_prefixes_are_three_letters() {
+        for k in 0..2400 {
+            let p = block_prefix(k);
+            assert_eq!(p.chars().count(), 3, "prefix {p} for k={k}");
+            assert!(p.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn prefix_is_deterministic() {
+        assert_eq!(block_prefix(17), block_prefix(17));
+        assert_ne!(block_prefix(17), block_prefix(18));
+    }
+
+    #[test]
+    fn vocab_lists_are_nonempty_and_lowercase_where_expected() {
+        assert!(PRODUCT_NOUNS.len() >= 30);
+        assert!(ACADEMIC_WORDS.len() >= 40);
+        assert!(PRODUCT_NOUNS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+    }
+}

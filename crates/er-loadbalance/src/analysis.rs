@@ -1,0 +1,339 @@
+//! Analytic workload model: per-task workloads straight from the BDM.
+//!
+//! The paper-scale experiments (Figures 9–14) need per-reduce-task
+//! comparison counts and map-output sizes for datasets whose *pair*
+//! counts reach 10¹¹ — far beyond what any in-process execution could
+//! evaluate. All three strategies are deterministic functions of the
+//! BDM, so those quantities can be computed exactly without running a
+//! single comparison:
+//!
+//! * **Basic** — each block's pairs land on `hash(key) mod r` (the
+//!   same hash the engine's partitioner uses, so analysis and real
+//!   execution agree bucket for bucket);
+//! * **BlockSplit** — the greedy assignment *is* the workload;
+//! * **PairRange** — range sizes are closed-form; per-entity range
+//!   memberships (map output / reduce input) use the contiguity of
+//!   each entity's pair-index span: when every gap between an entity's
+//!   consecutive pair indexes is at most one range width, the hit
+//!   ranges form one interval (`O(1)` per entity, provably exact);
+//!   otherwise the mapper's own `relevant_ranges` runs (`O(x)` per
+//!   entity, only ever needed for blocks smaller than ~`P/r`).
+//!
+//! Equivalence with executed counters is asserted by
+//! `tests/analysis_matches_execution.rs`.
+
+use mr_engine::partitioner::HashPartitioner;
+
+use crate::bdm::BlockDistributionMatrix;
+use crate::block_split::{create_match_tasks, TaskAssignment};
+use crate::pair_range::mapper::relevant_ranges;
+use crate::pair_range::ranges::{RangeIndexer, RangePolicy};
+use crate::pair_range::enumeration::pair_index;
+use crate::StrategyKind;
+
+/// Exact per-task workloads of one strategy at `(m, r)` as induced by
+/// a BDM.
+#[derive(Debug, Clone)]
+pub struct StrategyWorkload {
+    /// The analyzed strategy.
+    pub strategy: StrategyKind,
+    /// Number of map tasks (the BDM's partition count).
+    pub m: usize,
+    /// Number of reduce tasks.
+    pub r: usize,
+    /// Key-value pairs the map phase emits (Figure 12's metric).
+    pub map_output_records: u64,
+    /// Comparisons per reduce task.
+    pub reduce_comparisons: Vec<u64>,
+    /// Key-value pairs received per reduce task.
+    pub reduce_input_records: Vec<u64>,
+}
+
+impl StrategyWorkload {
+    /// Total comparisons (equals the BDM's pair count for every
+    /// strategy — splitting never drops or duplicates pairs).
+    pub fn total_comparisons(&self) -> u64 {
+        self.reduce_comparisons.iter().sum()
+    }
+
+    /// Largest per-task comparison load — the quantity that bounds the
+    /// reduce phase's makespan.
+    pub fn max_comparisons(&self) -> u64 {
+        self.reduce_comparisons.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Max/mean comparison load.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_comparisons();
+        if total == 0 || self.reduce_comparisons.is_empty() {
+            return 1.0;
+        }
+        self.max_comparisons() as f64 / (total as f64 / self.reduce_comparisons.len() as f64)
+    }
+}
+
+/// Analyzes `strategy` over `bdm` for `r` reduce tasks.
+pub fn analyze(
+    bdm: &BlockDistributionMatrix,
+    strategy: StrategyKind,
+    r: usize,
+    policy: RangePolicy,
+) -> StrategyWorkload {
+    match strategy {
+        StrategyKind::Basic => analyze_basic(bdm, r),
+        StrategyKind::BlockSplit => analyze_block_split(bdm, r),
+        StrategyKind::PairRange => analyze_pair_range(bdm, r, policy),
+    }
+}
+
+fn analyze_basic(bdm: &BlockDistributionMatrix, r: usize) -> StrategyWorkload {
+    let mut comparisons = vec![0u64; r];
+    let mut inputs = vec![0u64; r];
+    let mut map_output = 0u64;
+    for k in 0..bdm.num_blocks() {
+        let bucket = HashPartitioner::bucket(bdm.key(k), r);
+        comparisons[bucket] += bdm.pairs_in_block(k);
+        inputs[bucket] += bdm.size(k);
+        map_output += bdm.size(k);
+    }
+    StrategyWorkload {
+        strategy: StrategyKind::Basic,
+        m: bdm.num_partitions(),
+        r,
+        map_output_records: map_output,
+        reduce_comparisons: comparisons,
+        reduce_input_records: inputs,
+    }
+}
+
+fn analyze_block_split(bdm: &BlockDistributionMatrix, r: usize) -> StrategyWorkload {
+    let m = bdm.num_partitions();
+    let tasks = create_match_tasks(bdm, r);
+    let assignment = TaskAssignment::greedy(tasks.clone(), r);
+    let comparisons = assignment.loads().to_vec();
+
+    let mut inputs = vec![0u64; r];
+    let mut map_output = 0u64;
+    // Which blocks were split? A block is split iff it has any
+    // non-unsplit task; unsplit blocks have exactly the (k, 0, 0) task.
+    let mut split = vec![false; bdm.num_blocks()];
+    let mut has_task = vec![false; bdm.num_blocks()];
+    for t in &tasks {
+        has_task[t.block] = true;
+        if !t.is_unsplit() {
+            split[t.block] = true;
+        }
+    }
+    // A block of >= 2 partitions whose (0,0) task is a *sub-block*
+    // task is also split; disambiguate via the paper's own criterion.
+    for (k, is_split) in split.iter_mut().enumerate() {
+        *is_split = !crate::block_split::match_tasks::fits_average(
+            bdm.pairs_in_block(k),
+            bdm.total_pairs(),
+            r,
+        );
+    }
+    for k in 0..bdm.num_blocks() {
+        if !split[k] {
+            if has_task[k] && bdm.pairs_in_block(k) > 0 {
+                map_output += bdm.size(k);
+                let rt = assignment
+                    .reduce_task_for(k, 0, 0)
+                    .expect("unsplit task exists");
+                inputs[rt] += bdm.size(k);
+            }
+        } else {
+            let nonempty =
+                (0..m).filter(|&p| bdm.size_in(k, p) > 0).count() as u64;
+            map_output += bdm.size(k) * nonempty;
+            for t in tasks.iter().filter(|t| t.block == k) {
+                let rt = assignment
+                    .reduce_task_for(t.block, t.i, t.j)
+                    .expect("assigned");
+                if t.i == t.j {
+                    inputs[rt] += bdm.size_in(k, t.i);
+                } else {
+                    inputs[rt] += bdm.size_in(k, t.i) + bdm.size_in(k, t.j);
+                }
+            }
+        }
+    }
+    StrategyWorkload {
+        strategy: StrategyKind::BlockSplit,
+        m,
+        r,
+        map_output_records: map_output,
+        reduce_comparisons: comparisons,
+        reduce_input_records: inputs,
+    }
+}
+
+fn analyze_pair_range(
+    bdm: &BlockDistributionMatrix,
+    r: usize,
+    policy: RangePolicy,
+) -> StrategyWorkload {
+    let ranges = RangeIndexer::new(bdm.total_pairs(), r, policy);
+    let comparisons: Vec<u64> = (0..r as u64).map(|t| ranges.range_size(t)).collect();
+
+    // Per-entity range memberships. Dense shortcut: if every gap
+    // between an entity's consecutive pair indexes is <= the minimum
+    // range width, the hit ranges are the full interval
+    // [range(first), range(last)]. The largest gap within a block of
+    // size N is < N (row gaps N-k-2, row->column junction N-x-1,
+    // column gaps 1), so N <= w_min makes the shortcut exact.
+    let w_min = if r as u64 > 0 && bdm.total_pairs() > 0 {
+        match policy {
+            RangePolicy::CeilDiv => bdm.total_pairs().div_ceil(r as u64),
+            RangePolicy::Proportional => bdm.total_pairs() / r as u64,
+        }
+    } else {
+        0
+    };
+    let mut membership_diff = vec![0i64; r + 1];
+    let mut map_output = 0u64;
+    for k in 0..bdm.num_blocks() {
+        let n = bdm.size(k);
+        if n < 2 {
+            continue;
+        }
+        if n <= w_min {
+            for x in 0..n {
+                let first = if x == 0 {
+                    pair_index(bdm, k, 0, 1)
+                } else {
+                    pair_index(bdm, k, 0, x)
+                };
+                let last = if x + 1 < n {
+                    pair_index(bdm, k, x, n - 1)
+                } else {
+                    pair_index(bdm, k, x.saturating_sub(1), n - 1)
+                };
+                let lo = ranges.range_of(first);
+                let hi = ranges.range_of(last);
+                membership_diff[lo as usize] += 1;
+                membership_diff[hi as usize + 1] -= 1;
+                map_output += hi - lo + 1;
+            }
+        } else {
+            for x in 0..n {
+                let hits = relevant_ranges(bdm, &ranges, k, x);
+                map_output += hits.len() as u64;
+                for t in hits {
+                    membership_diff[t as usize] += 1;
+                    membership_diff[t as usize + 1] -= 1;
+                }
+            }
+        }
+    }
+    let mut inputs = Vec::with_capacity(r);
+    let mut acc = 0i64;
+    for d in membership_diff.iter().take(r) {
+        acc += d;
+        inputs.push(acc as u64);
+    }
+    StrategyWorkload {
+        strategy: StrategyKind::PairRange,
+        m: bdm.num_partitions(),
+        r,
+        map_output_records: map_output,
+        reduce_comparisons: comparisons,
+        reduce_input_records: inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdm::running_example_bdm;
+
+    #[test]
+    fn basic_keeps_blocks_whole() {
+        let bdm = running_example_bdm();
+        let w = analyze(&bdm, StrategyKind::Basic, 3, RangePolicy::CeilDiv);
+        assert_eq!(w.total_comparisons(), 20);
+        assert_eq!(w.map_output_records, 14);
+        // Every bucket's load is a sum of whole-block pair counts
+        // (subsets of {6, 1, 3, 10}).
+        for &load in &w.reduce_comparisons {
+            assert!(load <= 20);
+        }
+    }
+
+    #[test]
+    fn block_split_analysis_matches_figure5() {
+        let bdm = running_example_bdm();
+        let w = analyze(&bdm, StrategyKind::BlockSplit, 3, RangePolicy::CeilDiv);
+        let mut loads = w.reduce_comparisons.clone();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![6, 7, 7]);
+        assert_eq!(w.map_output_records, 19, "paper: 19 KV pairs");
+        assert_eq!(w.total_comparisons(), 20);
+    }
+
+    #[test]
+    fn pair_range_analysis_matches_figure7() {
+        let bdm = running_example_bdm();
+        let w = analyze(&bdm, StrategyKind::PairRange, 3, RangePolicy::CeilDiv);
+        assert_eq!(w.reduce_comparisons, vec![7, 7, 6]);
+        assert_eq!(w.map_output_records, 18, "Figure 7 dataflow");
+        // Range 0: blocks w+x (6 entities); range 1: y + all of z (8);
+        // range 2: z without F (4).
+        assert_eq!(w.reduce_input_records, vec![6, 8, 4]);
+    }
+
+    #[test]
+    fn dense_and_exact_membership_paths_agree() {
+        // Force both paths on the same BDM by sweeping r: small r
+        // makes all blocks dense, large r forces the exact loop.
+        let bdm = running_example_bdm();
+        for r in 1..=25 {
+            let w = analyze(&bdm, StrategyKind::PairRange, r, RangePolicy::CeilDiv);
+            // Reference: brute-force memberships via relevant_ranges.
+            let ranges = RangeIndexer::new(bdm.total_pairs(), r, RangePolicy::CeilDiv);
+            let mut expect_output = 0u64;
+            let mut expect_inputs = vec![0u64; r];
+            for k in 0..bdm.num_blocks() {
+                for x in 0..bdm.size(k) {
+                    let hits = relevant_ranges(&bdm, &ranges, k, x);
+                    expect_output += hits.len() as u64;
+                    for t in hits {
+                        expect_inputs[t as usize] += 1;
+                    }
+                }
+            }
+            assert_eq!(w.map_output_records, expect_output, "r={r}");
+            assert_eq!(w.reduce_input_records, expect_inputs, "r={r}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_conserve_pairs() {
+        let bdm = running_example_bdm();
+        for r in [1usize, 2, 3, 7, 19, 40] {
+            for strategy in [
+                StrategyKind::Basic,
+                StrategyKind::BlockSplit,
+                StrategyKind::PairRange,
+            ] {
+                let w = analyze(&bdm, strategy, r, RangePolicy::CeilDiv);
+                assert_eq!(
+                    w.total_comparisons(),
+                    20,
+                    "{strategy} with r={r} lost or duplicated pairs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_range_is_near_perfectly_balanced() {
+        let bdm = running_example_bdm();
+        for r in [2usize, 3, 4, 5] {
+            let w = analyze(&bdm, StrategyKind::PairRange, r, RangePolicy::Proportional);
+            let max = w.max_comparisons();
+            let min = w.reduce_comparisons.iter().copied().min().unwrap();
+            assert!(max - min <= 1, "r={r}: {:?}", w.reduce_comparisons);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The Block Distribution Matrix (paper Section III-B).
+//!
+//! A `b × m` matrix giving the number of entities of each of `b`
+//! blocks in each of `m` input partitions. Both load-balancing
+//! strategies read it at map-task initialization to plan the entity
+//! redistribution. Block indexes are assigned in lexicographic
+//! blocking-key order — a deterministic stand-in for the paper's
+//! "(arbitrary) order of the blocks from the reduce output", which in
+//! the running example is lexicographic as well (w, x, y, z).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use er_core::blocking::BlockKey;
+use er_core::pairs::triangle_pairs;
+
+/// One row of the BDM: a block and its per-partition entity counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRow {
+    /// The blocking key of this block.
+    pub key: BlockKey,
+    /// Entity count per input partition (length `m`).
+    pub per_partition: Vec<u64>,
+    /// Total entities in the block.
+    pub total: u64,
+}
+
+/// The block distribution matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDistributionMatrix {
+    rows: Vec<BlockRow>,
+    by_key: BTreeMap<BlockKey, usize>,
+    num_partitions: usize,
+    /// `pair_offsets[k]` = o(k) = pairs in blocks 0..k; last entry = P.
+    pair_offsets: Vec<u64>,
+}
+
+impl BlockDistributionMatrix {
+    /// Builds a BDM from `(blocking key, partition index, count)`
+    /// triples — the output records of the BDM job (Algorithm 3).
+    ///
+    /// Duplicate `(key, partition)` triples are summed. `m` is the
+    /// total number of input partitions.
+    ///
+    /// # Panics
+    /// If a partition index is `>= m`.
+    pub fn from_counts(
+        m: usize,
+        counts: impl IntoIterator<Item = (BlockKey, usize, u64)>,
+    ) -> Self {
+        let mut per_key: BTreeMap<BlockKey, Vec<u64>> = BTreeMap::new();
+        for (key, partition, count) in counts {
+            assert!(
+                partition < m,
+                "partition index {partition} out of range (m = {m})"
+            );
+            per_key.entry(key).or_insert_with(|| vec![0; m])[partition] += count;
+        }
+        let mut rows = Vec::with_capacity(per_key.len());
+        let mut by_key = BTreeMap::new();
+        for (key, per_partition) in per_key {
+            let total = per_partition.iter().sum();
+            by_key.insert(key.clone(), rows.len());
+            rows.push(BlockRow {
+                key,
+                per_partition,
+                total,
+            });
+        }
+        let mut pair_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut acc = 0u64;
+        for row in &rows {
+            pair_offsets.push(acc);
+            acc += triangle_pairs(row.total);
+        }
+        pair_offsets.push(acc);
+        Self {
+            rows,
+            by_key,
+            num_partitions: m,
+            pair_offsets,
+        }
+    }
+
+    /// Convenience: builds the BDM directly from per-partition blocking
+    /// key sequences (used by the analytic experiment path, bypassing
+    /// job execution).
+    pub fn from_key_partitions(partitions: &[Vec<BlockKey>]) -> Self {
+        let m = partitions.len();
+        let mut counts: BTreeMap<(BlockKey, usize), u64> = BTreeMap::new();
+        for (p, keys) in partitions.iter().enumerate() {
+            for key in keys {
+                *counts.entry((key.clone(), p)).or_insert(0) += 1;
+            }
+        }
+        Self::from_counts(m, counts.into_iter().map(|((k, p), c)| (k, p, c)))
+    }
+
+    /// Number of blocks `b`.
+    pub fn num_blocks(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of input partitions `m`.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Index of the block with `key`, if present.
+    pub fn block_index(&self, key: &BlockKey) -> Option<usize> {
+        self.by_key.get(key).copied()
+    }
+
+    /// The blocking key of block `k`.
+    pub fn key(&self, k: usize) -> &BlockKey {
+        &self.rows[k].key
+    }
+
+    /// Row access.
+    pub fn row(&self, k: usize) -> &BlockRow {
+        &self.rows[k]
+    }
+
+    /// |Φ_k|: entities in block `k`.
+    pub fn size(&self, k: usize) -> u64 {
+        self.rows[k].total
+    }
+
+    /// |Φ_k^i|: entities of block `k` in partition `i`.
+    pub fn size_in(&self, k: usize, partition: usize) -> u64 {
+        self.rows[k].per_partition[partition]
+    }
+
+    /// Number of comparisons within block `k`.
+    pub fn pairs_in_block(&self, k: usize) -> u64 {
+        triangle_pairs(self.size(k))
+    }
+
+    /// o(k): comparisons in all blocks before `k` (paper formula).
+    pub fn pair_offset(&self, k: usize) -> u64 {
+        self.pair_offsets[k]
+    }
+
+    /// P: total comparisons over all blocks.
+    pub fn total_pairs(&self) -> u64 {
+        *self.pair_offsets.last().expect("offsets never empty")
+    }
+
+    /// Entity-index offset: number of entities of block `k` in
+    /// partitions before `partition` — what a map task adds to its
+    /// local enumeration to obtain global entity indexes (Section V).
+    pub fn entity_index_offset(&self, k: usize, partition: usize) -> u64 {
+        self.rows[k].per_partition[..partition].iter().sum()
+    }
+
+    /// Serializes to a TSV string (`key<TAB>partition<TAB>count` per
+    /// line, matching Algorithm 3's reduce output format).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for (p, &count) in row.per_partition.iter().enumerate() {
+                if count > 0 {
+                    let _ = writeln!(out, "{}\t{p}\t{count}", row.key);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the TSV format produced by [`Self::to_tsv`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_tsv(m: usize, tsv: &str) -> Option<Self> {
+        let mut counts = Vec::new();
+        for line in tsv.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let key = BlockKey::new(fields.next()?);
+            let partition: usize = fields.next()?.parse().ok()?;
+            let count: u64 = fields.next()?.parse().ok()?;
+            if partition >= m || fields.next().is_some() {
+                return None;
+            }
+            counts.push((key, partition, count));
+        }
+        Some(Self::from_counts(m, counts))
+    }
+}
+
+/// The paper's running example (Figures 3 and 4): 14 entities A–O in
+/// two partitions, four blocks w, x, y, z with per-partition counts
+/// `w:[2,2] x:[1,1] y:[2,1] z:[2,3]`. Exposed for tests, docs and the
+/// `paper_example` binary.
+pub fn running_example_bdm() -> BlockDistributionMatrix {
+    BlockDistributionMatrix::from_counts(
+        2,
+        vec![
+            (BlockKey::new("w"), 0, 2),
+            (BlockKey::new("w"), 1, 2),
+            (BlockKey::new("x"), 0, 1),
+            (BlockKey::new("x"), 1, 1),
+            (BlockKey::new("y"), 0, 2),
+            (BlockKey::new("y"), 1, 1),
+            (BlockKey::new("z"), 0, 2),
+            (BlockKey::new("z"), 1, 3),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_figure4() {
+        let bdm = running_example_bdm();
+        assert_eq!(bdm.num_blocks(), 4);
+        assert_eq!(bdm.num_partitions(), 2);
+        // Block order w, x, y, z as in the paper.
+        assert_eq!(bdm.key(0).as_str(), "w");
+        assert_eq!(bdm.key(3).as_str(), "z");
+        // Sizes 4, 2, 3, 5 — "block sizes vary between 2 and 5".
+        assert_eq!(bdm.size(0), 4);
+        assert_eq!(bdm.size(1), 2);
+        assert_eq!(bdm.size(2), 3);
+        assert_eq!(bdm.size(3), 5);
+        // The reduce output [z, 1, 3] of Figure 4.
+        assert_eq!(bdm.size_in(3, 1), 3);
+        assert_eq!(bdm.size_in(3, 0), 2);
+        // "the largest block with key z entails 50% of all comparisons"
+        assert_eq!(bdm.total_pairs(), 20);
+        assert_eq!(bdm.pairs_in_block(3), 10);
+        // Pair offsets of Figure 6: o = [0, 6, 7, 10].
+        assert_eq!(bdm.pair_offset(0), 0);
+        assert_eq!(bdm.pair_offset(1), 6);
+        assert_eq!(bdm.pair_offset(2), 7);
+        assert_eq!(bdm.pair_offset(3), 10);
+    }
+
+    #[test]
+    fn entity_index_offsets_follow_partition_order() {
+        let bdm = running_example_bdm();
+        // M is the first z-entity of partition 1; two z-entities
+        // precede it in partition 0 -> index offset 2 (paper: "M is
+        // the third entity of Φ3 and is thus assigned entity index 2").
+        assert_eq!(bdm.entity_index_offset(3, 1), 2);
+        assert_eq!(bdm.entity_index_offset(3, 0), 0);
+    }
+
+    #[test]
+    fn duplicate_counts_are_summed() {
+        let bdm = BlockDistributionMatrix::from_counts(
+            2,
+            vec![
+                (BlockKey::new("a"), 0, 1),
+                (BlockKey::new("a"), 0, 2),
+                (BlockKey::new("a"), 1, 4),
+            ],
+        );
+        assert_eq!(bdm.size_in(0, 0), 3);
+        assert_eq!(bdm.size(0), 7);
+    }
+
+    #[test]
+    fn from_key_partitions_counts_correctly() {
+        let k = |s: &str| BlockKey::new(s);
+        let bdm = BlockDistributionMatrix::from_key_partitions(&[
+            vec![k("w"), k("w"), k("x")],
+            vec![k("x"), k("w")],
+        ]);
+        assert_eq!(bdm.size_in(0, 0), 2);
+        assert_eq!(bdm.size_in(0, 1), 1);
+        assert_eq!(bdm.size_in(1, 0), 1);
+        assert_eq!(bdm.size_in(1, 1), 1);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let bdm = running_example_bdm();
+        assert_eq!(bdm.block_index(&BlockKey::new("y")), Some(2));
+        assert_eq!(bdm.block_index(&BlockKey::new("nope")), None);
+        assert_eq!(bdm.row(2).key.as_str(), "y");
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let bdm = running_example_bdm();
+        let tsv = bdm.to_tsv();
+        let parsed = BlockDistributionMatrix::from_tsv(2, &tsv).expect("parse");
+        assert_eq!(parsed, bdm);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(BlockDistributionMatrix::from_tsv(2, "a\t5\t1").is_none()); // partition >= m
+        assert!(BlockDistributionMatrix::from_tsv(2, "a\tnope\t1").is_none());
+        assert!(BlockDistributionMatrix::from_tsv(2, "a\t0").is_none());
+        assert!(BlockDistributionMatrix::from_tsv(2, "a\t0\t1\textra").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_partition_index_panics() {
+        let _ =
+            BlockDistributionMatrix::from_counts(1, vec![(BlockKey::new("a"), 3, 1)]);
+    }
+
+    #[test]
+    fn empty_bdm_is_valid() {
+        let bdm = BlockDistributionMatrix::from_counts(3, vec![]);
+        assert_eq!(bdm.num_blocks(), 0);
+        assert_eq!(bdm.total_pairs(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! BlockSplit map function (Algorithm 1, lines 1–44).
+
+use std::sync::Arc;
+
+use er_core::blocking::BlockKey;
+use mr_engine::mapper::{MapContext, MapTaskInfo, Mapper};
+
+use super::assign::TaskAssignment;
+use super::match_tasks::{create_match_tasks_with_policy, SplitPolicy};
+use crate::bdm::BlockDistributionMatrix;
+use crate::keys::{BlockSplitKey, BlockSplitValue};
+use crate::Keyed;
+
+/// The BlockSplit mapper. Each map task re-derives the match-task
+/// assignment from the (shared) BDM at `setup` time — mirroring the
+/// paper's `map_configure`, where every map task independently reads
+/// the BDM and computes the same deterministic assignment.
+#[derive(Clone)]
+pub struct BlockSplitMapper {
+    bdm: Arc<BlockDistributionMatrix>,
+    policy: SplitPolicy,
+    state: Option<TaskState>,
+}
+
+#[derive(Clone)]
+struct TaskState {
+    assignment: Arc<TaskAssignment>,
+    partition: usize,
+    m: usize,
+    r: usize,
+}
+
+impl BlockSplitMapper {
+    /// Creates the mapper over a computed BDM (paper split policy).
+    pub fn new(bdm: Arc<BlockDistributionMatrix>) -> Self {
+        Self::with_policy(bdm, SplitPolicy::paper())
+    }
+
+    /// Creates the mapper with an explicit split policy.
+    pub fn with_policy(bdm: Arc<BlockDistributionMatrix>, policy: SplitPolicy) -> Self {
+        Self {
+            bdm,
+            policy,
+            state: None,
+        }
+    }
+}
+
+impl Mapper for BlockSplitMapper {
+    type KIn = BlockKey;
+    type VIn = Keyed;
+    type KOut = BlockSplitKey;
+    type VOut = BlockSplitValue;
+    type Side = ();
+
+    fn setup(&mut self, info: &MapTaskInfo) {
+        let tasks =
+            create_match_tasks_with_policy(&self.bdm, info.num_reduce_tasks, self.policy);
+        self.state = Some(TaskState {
+            assignment: Arc::new(TaskAssignment::greedy(tasks, info.num_reduce_tasks)),
+            partition: info.task_index,
+            m: info.num_map_tasks,
+            r: info.num_reduce_tasks,
+        });
+    }
+
+    fn map(
+        &mut self,
+        key: &BlockKey,
+        keyed: &Keyed,
+        ctx: &mut MapContext<BlockSplitKey, BlockSplitValue, ()>,
+    ) {
+        let state = self.state.as_ref().expect("setup ran");
+        let Some(k) = self.bdm.block_index(key) else {
+            // A key absent from the BDM means the two jobs saw
+            // different data — a pipeline bug worth failing loudly on.
+            panic!("blocking key {key} not present in the BDM");
+        };
+        let comps = self.bdm.pairs_in_block(k);
+        let split = self
+            .policy
+            .should_split(self.bdm.size(k), comps, self.bdm.total_pairs(), state.r);
+        if !split {
+            if comps > 0 {
+                let rt = state
+                    .assignment
+                    .reduce_task_for(k, 0, 0)
+                    .expect("unsplit task exists for non-empty block");
+                ctx.emit(
+                    BlockSplitKey {
+                        reduce_task: rt as u32,
+                        block: k as u32,
+                        i: 0,
+                        j: 0,
+                    },
+                    BlockSplitValue::new(keyed.clone(), state.partition),
+                );
+            }
+        } else {
+            // Split block: emit for the own sub-block and every
+            // existing pairing with another partition's sub-block.
+            for i in 0..state.m {
+                let hi = state.partition.max(i);
+                let lo = state.partition.min(i);
+                if let Some(rt) = state.assignment.reduce_task_for(k, hi, lo) {
+                    ctx.emit(
+                        BlockSplitKey {
+                            reduce_task: rt as u32,
+                            block: k as u32,
+                            i: hi as u32,
+                            j: lo as u32,
+                        },
+                        BlockSplitValue::new(keyed.clone(), state.partition),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdm::running_example_bdm;
+    use crate::running_example;
+    use mr_engine::mapper::MapTaskInfo;
+
+    fn run_partition(p: usize) -> Vec<(BlockSplitKey, String)> {
+        let bdm = Arc::new(running_example_bdm());
+        let mut mapper = BlockSplitMapper::new(bdm);
+        let info = MapTaskInfo {
+            task_index: p,
+            num_map_tasks: 2,
+            num_reduce_tasks: 3,
+        };
+        mapper.setup(&info);
+        let mut out = Vec::new();
+        let input = running_example::annotated_partitions();
+        for (key, keyed) in &input[p] {
+            let mut ctx = MapContext::for_testing(info);
+            mapper.map(key, keyed, &mut ctx);
+            for (k, v) in ctx.output() {
+                out.push((*k, v.entity().get("name").unwrap().to_string()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn replication_only_for_the_split_block() {
+        // 14 entities; the 5 entities of block z are emitted twice
+        // (m = 2) -> 19 key-value pairs total (paper: "The replication
+        // of the five entities for the split block leads to 19
+        // key-value pairs for the 14 input entities").
+        let total = run_partition(0).len() + run_partition(1).len();
+        assert_eq!(total, 19);
+    }
+
+    #[test]
+    fn entity_m_goes_to_its_sub_block_and_the_cross_task() {
+        // M (partition 1, block z=3): sub-block task 3.1 at reduce 2
+        // and cross task 3.1x0 at reduce 1 (Figure 5).
+        let outputs = run_partition(1);
+        let m_keys: Vec<&BlockSplitKey> = outputs
+            .iter()
+            .filter(|(_, name)| name == "M")
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(m_keys.len(), 2);
+        assert!(m_keys
+            .iter()
+            .any(|k| (k.reduce_task, k.block, k.i, k.j) == (2, 3, 1, 1)));
+        assert!(m_keys
+            .iter()
+            .any(|k| (k.reduce_task, k.block, k.i, k.j) == (1, 3, 1, 0)));
+    }
+
+    #[test]
+    fn unsplit_entities_emit_once_with_assigned_reduce_task() {
+        // A (partition 0, block w=0) -> single emission to reduce 0.
+        let outputs = run_partition(0);
+        let a_keys: Vec<&BlockSplitKey> = outputs
+            .iter()
+            .filter(|(_, name)| name == "A")
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(a_keys.len(), 1);
+        assert_eq!(
+            (a_keys[0].reduce_task, a_keys[0].block, a_keys[0].i, a_keys[0].j),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not present in the BDM")]
+    fn unknown_key_panics() {
+        let bdm = Arc::new(running_example_bdm());
+        let mut mapper = BlockSplitMapper::new(bdm);
+        let info = MapTaskInfo {
+            task_index: 0,
+            num_map_tasks: 2,
+            num_reduce_tasks: 3,
+        };
+        mapper.setup(&info);
+        let keyed = Keyed::single(
+            BlockKey::new("nope"),
+            Arc::new(er_core::Entity::new(0, [("name", "X")])),
+        );
+        let mut ctx = MapContext::for_testing(info);
+        mapper.map(&BlockKey::new("nope"), &keyed, &mut ctx);
+    }
+}

@@ -1,0 +1,171 @@
+//! Shared pair-comparison context used by every strategy's reducer.
+
+use std::sync::Arc;
+
+use er_core::blocking::BlockKey;
+use er_core::result::MatchPair;
+use er_core::Matcher;
+use mr_engine::reducer::ReduceContext;
+
+use crate::{Keyed, COMPARISONS};
+
+/// Counter: pairs skipped by the multi-pass smallest-common-block rule
+/// (never incremented under single-pass blocking).
+pub const MULTIPASS_SKIPPED: &str = "er.multipass.skipped";
+
+/// Evaluates entity pairs inside reduce functions: applies the
+/// multi-pass dedup gate, counts comparisons, and (unless in
+/// count-only mode) runs the matcher and emits matches.
+#[derive(Clone)]
+pub struct PairComparer {
+    matcher: Arc<Matcher>,
+    count_only: bool,
+}
+
+impl PairComparer {
+    /// A comparer that evaluates similarity and emits matches.
+    pub fn new(matcher: Arc<Matcher>) -> Self {
+        Self {
+            matcher,
+            count_only: false,
+        }
+    }
+
+    /// A comparer that only counts comparisons — used by the timing
+    /// experiments, where the workload distribution matters but the
+    /// match output does not.
+    pub fn count_only(matcher: Arc<Matcher>) -> Self {
+        Self {
+            matcher,
+            count_only: true,
+        }
+    }
+
+    /// Whether this comparer skips similarity evaluation.
+    pub fn is_count_only(&self) -> bool {
+        self.count_only
+    }
+
+    /// Compares `a` and `b` within `current` block, emitting a match
+    /// record if the pair reaches the matcher's threshold.
+    pub fn compare(
+        &self,
+        a: &Keyed,
+        b: &Keyed,
+        current: &BlockKey,
+        ctx: &mut ReduceContext<MatchPair, f64>,
+    ) {
+        if !a.should_compare_in(b, current) {
+            ctx.add_counter(MULTIPASS_SKIPPED, 1);
+            return;
+        }
+        ctx.add_counter(COMPARISONS, 1);
+        if self.count_only {
+            return;
+        }
+        if let Some(score) = self.matcher.matches(&a.entity, &b.entity) {
+            ctx.emit(
+                MatchPair::new(a.entity.entity_ref(), b.entity.entity_ref()),
+                score,
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for PairComparer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairComparer")
+            .field("count_only", &self.count_only)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::Entity;
+    use mr_engine::reducer::ReduceTaskInfo;
+
+    fn ctx() -> ReduceContext<MatchPair, f64> {
+        ReduceContext::for_testing(ReduceTaskInfo {
+            task_index: 0,
+            num_reduce_tasks: 1,
+            num_map_tasks: 1,
+        })
+    }
+
+    fn keyed(id: u64, title: &str) -> Keyed {
+        Keyed::single(
+            BlockKey::new("blk"),
+            Arc::new(Entity::new(id, [("title", title)])),
+        )
+    }
+
+    #[test]
+    fn matching_pair_is_emitted_with_score() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut c = ctx();
+        comparer.compare(
+            &keyed(1, "abcdefghij"),
+            &keyed(2, "abcdefghiX"),
+            &BlockKey::new("blk"),
+            &mut c,
+        );
+        assert_eq!(c.info().task_index, 0);
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        assert_eq!(c.output().len(), 1);
+        assert!((c.output()[0].1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_matching_pair_is_counted_but_not_emitted() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut c = ctx();
+        comparer.compare(
+            &keyed(1, "abcdefghij"),
+            &keyed(2, "zzzzzzzzzz"),
+            &BlockKey::new("blk"),
+            &mut c,
+        );
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        assert!(c.output().is_empty());
+    }
+
+    #[test]
+    fn count_only_skips_matching() {
+        let comparer = PairComparer::count_only(Arc::new(Matcher::paper_default()));
+        assert!(comparer.is_count_only());
+        let mut c = ctx();
+        comparer.compare(
+            &keyed(1, "abcdefghij"),
+            &keyed(2, "abcdefghij"),
+            &BlockKey::new("blk"),
+            &mut c,
+        );
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        assert!(c.output().is_empty(), "count-only never emits");
+    }
+
+    #[test]
+    fn multipass_gate_skips_non_smallest_common_block() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let all: Arc<[BlockKey]> = Arc::from(
+            vec![BlockKey::new("aaa"), BlockKey::new("zzz")].into_boxed_slice(),
+        );
+        let a = Keyed::replica(
+            BlockKey::new("zzz"),
+            Arc::clone(&all),
+            Arc::new(Entity::new(1, [("title", "same title")])),
+        );
+        let b = Keyed::replica(
+            BlockKey::new("zzz"),
+            all,
+            Arc::new(Entity::new(2, [("title", "same title")])),
+        );
+        let mut c = ctx();
+        comparer.compare(&a, &b, &BlockKey::new("zzz"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 0);
+        assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 1);
+        assert!(c.output().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The end-to-end ER workflow (paper Figure 2).
+
+use std::sync::Arc;
+
+use er_core::blocking::{BlockingFunction, PrefixBlocking};
+use er_core::{MatchResult, Matcher};
+use mr_engine::engine::default_parallelism;
+use mr_engine::error::MrError;
+use mr_engine::input::Partitions;
+use mr_engine::metrics::JobMetrics;
+
+use crate::basic::basic_job;
+use crate::bdm::BlockDistributionMatrix;
+use crate::bdm_job::compute_bdm;
+use crate::block_split::{block_split_job_with_policy, SplitPolicy};
+use crate::compare::PairComparer;
+use crate::pair_range::{pair_range_job, RangePolicy};
+use crate::{Ent, StrategyKind};
+
+/// Configuration of one ER run.
+#[derive(Clone)]
+pub struct ErConfig {
+    /// Blocking function (paper default: first 3 letters of `title`).
+    pub blocking: Arc<dyn BlockingFunction>,
+    /// Match rule (paper default: edit distance ≥ 0.8 on `title`).
+    pub matcher: Arc<Matcher>,
+    /// Which strategy runs the matching job.
+    pub strategy: StrategyKind,
+    /// Number of reduce tasks `r` (both jobs).
+    pub reduce_tasks: usize,
+    /// Local worker threads.
+    pub parallelism: usize,
+    /// Range formula for PairRange.
+    pub range_policy: RangePolicy,
+    /// Pre-aggregate BDM counts per map task (paper footnote 2).
+    pub use_combiner: bool,
+    /// BlockSplit splitting policy (workload criterion + optional
+    /// memory cap).
+    pub split_policy: SplitPolicy,
+    /// Count comparisons without evaluating similarity (timing runs).
+    pub count_only: bool,
+}
+
+impl ErConfig {
+    /// Paper-default configuration for a strategy.
+    pub fn new(strategy: StrategyKind) -> Self {
+        Self {
+            blocking: Arc::new(PrefixBlocking::title3()),
+            matcher: Arc::new(Matcher::paper_default()),
+            strategy,
+            reduce_tasks: 4,
+            parallelism: default_parallelism(),
+            range_policy: RangePolicy::CeilDiv,
+            use_combiner: true,
+            split_policy: SplitPolicy::paper(),
+            count_only: false,
+        }
+    }
+
+    /// Overrides the blocking function.
+    pub fn with_blocking(mut self, blocking: Arc<dyn BlockingFunction>) -> Self {
+        self.blocking = blocking;
+        self
+    }
+
+    /// Overrides the matcher.
+    pub fn with_matcher(mut self, matcher: Arc<Matcher>) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Overrides the number of reduce tasks.
+    pub fn with_reduce_tasks(mut self, r: usize) -> Self {
+        self.reduce_tasks = r;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_parallelism(mut self, p: usize) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Overrides the PairRange range formula.
+    pub fn with_range_policy(mut self, policy: RangePolicy) -> Self {
+        self.range_policy = policy;
+        self
+    }
+
+    /// Switches comparison counting only (no similarity evaluation).
+    pub fn with_count_only(mut self, count_only: bool) -> Self {
+        self.count_only = count_only;
+        self
+    }
+
+    /// Forces BlockSplit to split any block larger than `cap`
+    /// entities, bounding reduce-side memory (see
+    /// [`crate::block_split::SplitPolicy`]).
+    pub fn with_memory_cap(mut self, cap: u64) -> Self {
+        self.split_policy = SplitPolicy::with_memory_cap(cap);
+        self
+    }
+
+    fn comparer(&self) -> PairComparer {
+        if self.count_only {
+            PairComparer::count_only(Arc::clone(&self.matcher))
+        } else {
+            PairComparer::new(Arc::clone(&self.matcher))
+        }
+    }
+}
+
+impl std::fmt::Debug for ErConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ErConfig")
+            .field("strategy", &self.strategy)
+            .field("reduce_tasks", &self.reduce_tasks)
+            .field("parallelism", &self.parallelism)
+            .field("range_policy", &self.range_policy)
+            .field("use_combiner", &self.use_combiner)
+            .field("split_policy", &self.split_policy)
+            .field("count_only", &self.count_only)
+            .finish()
+    }
+}
+
+/// Everything a completed run produces.
+#[derive(Debug)]
+pub struct ErOutcome {
+    /// The deduplicated match result.
+    pub result: MatchResult,
+    /// The BDM (absent for Basic, which runs without preprocessing).
+    pub bdm: Option<Arc<BlockDistributionMatrix>>,
+    /// Metrics of the BDM job (absent for Basic).
+    pub bdm_metrics: Option<JobMetrics>,
+    /// Metrics of the matching job.
+    pub match_metrics: JobMetrics,
+}
+
+impl ErOutcome {
+    /// Comparison counts per reduce task of the matching job — the
+    /// distribution the paper's strategies balance.
+    pub fn reduce_loads(&self) -> Vec<u64> {
+        self.match_metrics.per_reduce_counter(crate::COMPARISONS)
+    }
+
+    /// Total comparisons across all reduce tasks.
+    pub fn total_comparisons(&self) -> u64 {
+        self.reduce_loads().iter().sum()
+    }
+}
+
+/// Runs entity resolution over pre-partitioned input (each inner `Vec`
+/// is one input partition == one map task).
+///
+/// Entities without a valid blocking key are *skipped* (counted under
+/// [`crate::bdm_job::NULL_KEY_ENTITIES`]); use
+/// [`crate::null_keys::deduplicate_with_null_keys`] to include them
+/// via the paper's Cartesian decomposition.
+pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome, MrError> {
+    match config.strategy {
+        StrategyKind::Basic => {
+            let job = basic_job(
+                Arc::clone(&config.blocking),
+                config.comparer(),
+                config.reduce_tasks,
+                config.parallelism,
+            );
+            let out = job.run(input)?;
+            let mut result = MatchResult::new();
+            for (pair, score) in out.records {
+                result.insert(pair, score);
+            }
+            Ok(ErOutcome {
+                result,
+                bdm: None,
+                bdm_metrics: None,
+                match_metrics: out.metrics,
+            })
+        }
+        StrategyKind::BlockSplit | StrategyKind::PairRange => {
+            let (bdm, annotated, bdm_metrics) = compute_bdm(
+                input,
+                Arc::clone(&config.blocking),
+                config.reduce_tasks,
+                config.parallelism,
+                config.use_combiner,
+            )?;
+            let bdm = Arc::new(bdm);
+            let out = match config.strategy {
+                StrategyKind::BlockSplit => block_split_job_with_policy(
+                    Arc::clone(&bdm),
+                    config.comparer(),
+                    config.split_policy,
+                    config.reduce_tasks,
+                    config.parallelism,
+                )
+                .run(annotated)?,
+                _ => pair_range_job(
+                    Arc::clone(&bdm),
+                    config.comparer(),
+                    config.range_policy,
+                    config.reduce_tasks,
+                    config.parallelism,
+                )
+                .run(annotated)?,
+            };
+            let mut result = MatchResult::new();
+            for (pair, score) in out.records {
+                result.insert(pair, score);
+            }
+            Ok(ErOutcome {
+                result,
+                bdm: Some(bdm),
+                bdm_metrics: Some(bdm_metrics),
+                match_metrics: out.metrics,
+            })
+        }
+    }
+}
+
+/// Reference implementation: per-block all-pairs matching with no
+/// MapReduce — the ground truth every strategy must reproduce exactly.
+pub fn naive_reference(entities: &[Ent], config: &ErConfig) -> MatchResult {
+    use std::collections::BTreeMap;
+    let mut blocks: BTreeMap<er_core::blocking::BlockKey, Vec<crate::Keyed>> = BTreeMap::new();
+    for e in entities {
+        let mut keys = config.blocking.keys(e);
+        keys.sort();
+        keys.dedup();
+        if keys.is_empty() {
+            continue;
+        }
+        let all: Arc<[er_core::blocking::BlockKey]> = Arc::from(keys.into_boxed_slice());
+        for key in all.iter() {
+            blocks
+                .entry(key.clone())
+                .or_default()
+                .push(crate::Keyed::replica(key.clone(), Arc::clone(&all), Arc::clone(e)));
+        }
+    }
+    let mut result = MatchResult::new();
+    for (block_key, members) in &blocks {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (a, b) = (&members[i], &members[j]);
+                if !a.should_compare_in(b, block_key) {
+                    continue;
+                }
+                if let Some(score) = config.matcher.matches(&a.entity, &b.entity) {
+                    result.insert(
+                        er_core::result::MatchPair::new(
+                            a.entity.entity_ref(),
+                            b.entity.entity_ref(),
+                        ),
+                        score,
+                    );
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::running_example;
+
+    fn example_config(strategy: StrategyKind) -> ErConfig {
+        ErConfig::new(strategy)
+            .with_blocking(running_example::blocking())
+            .with_reduce_tasks(3)
+            .with_parallelism(1)
+            .with_count_only(true)
+    }
+
+    #[test]
+    fn all_strategies_compute_exactly_20_comparisons_on_the_example() {
+        for strategy in [
+            StrategyKind::Basic,
+            StrategyKind::BlockSplit,
+            StrategyKind::PairRange,
+        ] {
+            let outcome = run_er(
+                running_example::entity_partitions(),
+                &example_config(strategy),
+            )
+            .unwrap();
+            assert_eq!(
+                outcome.total_comparisons(),
+                20,
+                "{strategy} must evaluate each of the 20 pairs exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn block_split_loads_match_figure5() {
+        let outcome = run_er(
+            running_example::entity_partitions(),
+            &example_config(StrategyKind::BlockSplit),
+        )
+        .unwrap();
+        let mut loads = outcome.reduce_loads();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![6, 7, 7]);
+    }
+
+    #[test]
+    fn pair_range_loads_match_figure6() {
+        let outcome = run_er(
+            running_example::entity_partitions(),
+            &example_config(StrategyKind::PairRange),
+        )
+        .unwrap();
+        assert_eq!(outcome.reduce_loads(), vec![7, 7, 6]);
+    }
+
+    #[test]
+    fn basic_has_no_bdm() {
+        let outcome = run_er(
+            running_example::entity_partitions(),
+            &example_config(StrategyKind::Basic),
+        )
+        .unwrap();
+        assert!(outcome.bdm.is_none());
+        assert!(outcome.bdm_metrics.is_none());
+    }
+
+    #[test]
+    fn load_balanced_strategies_expose_the_bdm() {
+        let outcome = run_er(
+            running_example::entity_partitions(),
+            &example_config(StrategyKind::BlockSplit),
+        )
+        .unwrap();
+        let bdm = outcome.bdm.expect("BDM computed");
+        assert_eq!(bdm.total_pairs(), 20);
+        assert!(outcome.bdm_metrics.is_some());
+    }
+}

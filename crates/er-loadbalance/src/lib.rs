@@ -1,0 +1,202 @@
+//! # er-loadbalance — BlockSplit & PairRange
+//!
+//! The primary contribution of *"Load Balancing for MapReduce-based
+//! Entity Resolution"* (Kolb, Thor, Rahm; ICDE 2012): skew-resistant
+//! redistribution of blocking-based entity resolution across MapReduce
+//! reduce tasks.
+//!
+//! The workflow (paper Figure 2) runs two MR jobs on the same input
+//! partitioning:
+//!
+//! 1. **BDM job** ([`bdm_job`], Algorithm 3): counts entities per
+//!    (block, input partition) into the [`bdm::BlockDistributionMatrix`]
+//!    and side-writes blocking-key-annotated entities `Π'_i`.
+//! 2. **Matching job** with one of three strategies:
+//!    * [`basic`] — hash blocking keys to reduce tasks (the skew-prone
+//!      baseline),
+//!    * [`block_split`] — Algorithm 1: split large blocks into
+//!      sub-blocks by input partition, form match tasks, assign
+//!      greedily by descending size,
+//!    * [`pair_range`] — Algorithm 2: enumerate all comparison pairs
+//!      globally and give each reduce task an equal range.
+//!
+//! [`two_source`] extends BlockSplit and PairRange to linkage between
+//! two sources (Appendix I); [`null_keys`] composes matching for
+//! entities without a valid blocking key; [`multipass`] implements the
+//! paper's future-work multi-pass blocking; [`analysis`] computes exact
+//! per-task workloads straight from the BDM (no execution) for the
+//! paper-scale experiments; [`driver`] wires everything together.
+
+pub mod analysis;
+pub mod basic;
+pub mod bdm;
+pub mod bdm_job;
+pub mod block_split;
+pub mod compare;
+pub mod driver;
+pub mod keys;
+pub mod multipass;
+pub mod null_keys;
+pub mod pair_range;
+pub mod running_example;
+pub mod stats;
+pub mod two_source;
+
+use std::sync::Arc;
+
+use er_core::blocking::BlockKey;
+use er_core::Entity;
+
+pub use analysis::{analyze, StrategyWorkload};
+pub use bdm::BlockDistributionMatrix;
+pub use driver::{run_er, ErConfig, ErOutcome};
+pub use pair_range::ranges::RangePolicy;
+pub use stats::WorkloadStats;
+
+/// Counter name used by every strategy's reducer for the number of
+/// pair comparisons it performed — the workload unit the paper's load
+/// balancing equalizes.
+pub const COMPARISONS: &str = "er.comparisons";
+
+/// Shared-ownership entity handle used as the MR value payload.
+/// Replication (BlockSplit emits split-block entities `m` times) then
+/// clones a pointer, not the record.
+pub type Ent = Arc<Entity>;
+
+/// An entity annotated with its blocking key(s) — the record format of
+/// the BDM job's *additional output* `Π'_i`, i.e. the matching job's
+/// input.
+///
+/// `all_keys` carries every blocking key of the entity (length 1 for
+/// single-pass blocking). Multi-pass blocking replicates the entity
+/// into several blocks; reducers then compare a pair only in its
+/// lexicographically smallest common block so results stay duplicate
+/// free (see [`multipass`]).
+#[derive(Debug, Clone)]
+pub struct Keyed {
+    /// The blocking key of this replica (∈ `all_keys`).
+    pub key: BlockKey,
+    /// All blocking keys of the entity, sorted.
+    pub all_keys: Arc<[BlockKey]>,
+    /// The entity itself.
+    pub entity: Ent,
+}
+
+impl Keyed {
+    /// Annotates an entity with a single blocking key.
+    pub fn single(key: BlockKey, entity: Ent) -> Self {
+        Keyed {
+            all_keys: Arc::from(vec![key.clone()].into_boxed_slice()),
+            key,
+            entity,
+        }
+    }
+
+    /// Annotates one replica of a multi-pass-blocked entity.
+    ///
+    /// # Panics
+    /// If `key` is not contained in `all_keys`.
+    pub fn replica(key: BlockKey, all_keys: Arc<[BlockKey]>, entity: Ent) -> Self {
+        assert!(
+            all_keys.contains(&key),
+            "replica key {key} missing from the entity's key set"
+        );
+        Keyed {
+            key,
+            all_keys,
+            entity,
+        }
+    }
+
+    /// True iff this pair should be compared in `current` block: the
+    /// smallest common key of the two entities must be `current`
+    /// (trivially true for single-pass blocking).
+    pub fn should_compare_in(&self, other: &Keyed, current: &BlockKey) -> bool {
+        let mut a = self.all_keys.iter();
+        let mut b = other.all_keys.iter();
+        // Both key lists are sorted: merge-walk to the first common key.
+        let mut x = a.next();
+        let mut y = b.next();
+        while let (Some(ka), Some(kb)) = (x, y) {
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Equal => return ka == current,
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+            }
+        }
+        // No common key: the pair met in a block neither claims — a
+        // framework bug; never compare.
+        false
+    }
+}
+
+/// Which matching strategy the second MR job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Hash the blocking key (paper Section III, "Basic").
+    Basic,
+    /// Block-based load balancing (paper Section IV).
+    BlockSplit,
+    /// Pair-based load balancing (paper Section V).
+    PairRange,
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyKind::Basic => write!(f, "Basic"),
+            StrategyKind::BlockSplit => write!(f, "BlockSplit"),
+            StrategyKind::PairRange => write!(f, "PairRange"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(keys: &[&str], replica: &str) -> Keyed {
+        let all: Vec<BlockKey> = keys.iter().map(BlockKey::new).collect();
+        Keyed::replica(
+            BlockKey::new(replica),
+            Arc::from(all.into_boxed_slice()),
+            Arc::new(Entity::new(1, [("title", "t")])),
+        )
+    }
+
+    #[test]
+    fn single_key_always_compares_in_its_block() {
+        let a = Keyed::single(BlockKey::new("abc"), Arc::new(Entity::new(1, [("t", "x")])));
+        let b = Keyed::single(BlockKey::new("abc"), Arc::new(Entity::new(2, [("t", "y")])));
+        assert!(a.should_compare_in(&b, &BlockKey::new("abc")));
+    }
+
+    #[test]
+    fn multipass_compares_only_in_smallest_common_block() {
+        let a = keyed(&["aaa", "mmm"], "mmm");
+        let b = keyed(&["aaa", "mmm", "zzz"], "mmm");
+        assert!(a.should_compare_in(&b, &BlockKey::new("aaa")));
+        assert!(!a.should_compare_in(&b, &BlockKey::new("mmm")));
+        assert!(!a.should_compare_in(&b, &BlockKey::new("zzz")));
+    }
+
+    #[test]
+    fn disjoint_key_sets_never_compare() {
+        let a = keyed(&["aaa"], "aaa");
+        let b = keyed(&["bbb"], "bbb");
+        assert!(!a.should_compare_in(&b, &BlockKey::new("aaa")));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the entity's key set")]
+    fn replica_key_must_be_member() {
+        let _ = keyed(&["aaa"], "zzz");
+    }
+
+    #[test]
+    fn strategy_kind_display() {
+        assert_eq!(StrategyKind::Basic.to_string(), "Basic");
+        assert_eq!(StrategyKind::BlockSplit.to_string(), "BlockSplit");
+        assert_eq!(StrategyKind::PairRange.to_string(), "PairRange");
+    }
+}

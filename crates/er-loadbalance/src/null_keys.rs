@@ -1,0 +1,335 @@
+//! Entities without a valid blocking key (paper Section III and
+//! Appendix I).
+//!
+//! One source: `match(R) = matchB(R−R∅) ∪ match⊥(R−R∅, R∅) ∪
+//! allPairs(R∅)` — the last two terms together are the paper's
+//! "Cartesian product of R×R∅".
+//!
+//! Two sources: `matchB(R,S) = matchB(R−R∅, S−S∅) ∪ match⊥(R, S∅) ∪
+//! match⊥(R∅, S−S∅)`.
+//!
+//! The `⊥` sub-problems run the regular machinery under
+//! [`ConstantBlocking`]: every entity lands in one block, which the
+//! load-balancing strategies then split — so even the degenerate
+//! Cartesian product is processed skew-free.
+
+use std::sync::Arc;
+
+use er_core::blocking::{BlockingFunction, ConstantBlocking};
+use er_core::{MatchResult, SourceId};
+use mr_engine::error::MrError;
+use mr_engine::input::Partitions;
+
+use crate::driver::{run_er, ErConfig};
+use crate::two_source::run_linkage;
+use crate::Ent;
+
+/// Input split by blocking-key validity, preserving partition shape.
+#[derive(Debug)]
+pub struct NullKeySplit {
+    /// Partitions of entities with at least one valid key.
+    pub keyed: Partitions<(), Ent>,
+    /// Partitions of entities without any key.
+    pub null: Partitions<(), Ent>,
+}
+
+impl NullKeySplit {
+    /// Total keyed entities.
+    pub fn keyed_count(&self) -> usize {
+        self.keyed.iter().map(Vec::len).sum()
+    }
+
+    /// Total keyless entities.
+    pub fn null_count(&self) -> usize {
+        self.null.iter().map(Vec::len).sum()
+    }
+}
+
+/// Splits partitions by whether the blocking function yields a key.
+pub fn split_by_key(
+    input: &Partitions<(), Ent>,
+    blocking: &dyn BlockingFunction,
+) -> NullKeySplit {
+    let mut keyed: Partitions<(), Ent> = Vec::with_capacity(input.len());
+    let mut null: Partitions<(), Ent> = Vec::with_capacity(input.len());
+    for partition in input {
+        let mut k = Vec::new();
+        let mut n = Vec::new();
+        for ((), e) in partition {
+            if blocking.keys(e).is_empty() {
+                n.push(((), Arc::clone(e)));
+            } else {
+                k.push(((), Arc::clone(e)));
+            }
+        }
+        keyed.push(k);
+        null.push(n);
+    }
+    NullKeySplit { keyed, null }
+}
+
+/// Breakdown of a null-key-aware run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullKeyReport {
+    /// Matches from regular blocking-based matching.
+    pub blocked_matches: usize,
+    /// Matches from the keyed × keyless Cartesian part(s).
+    pub cartesian_matches: usize,
+    /// Matches among keyless entities (one-source only).
+    pub null_null_matches: usize,
+}
+
+/// Deduplicates one source including keyless entities.
+pub fn deduplicate_with_null_keys(
+    input: &Partitions<(), Ent>,
+    config: &ErConfig,
+) -> Result<(MatchResult, NullKeyReport), MrError> {
+    let split = split_by_key(input, config.blocking.as_ref());
+    let mut result = MatchResult::new();
+    let mut report = NullKeyReport::default();
+
+    // matchB(R − R∅)
+    if split.keyed_count() > 0 {
+        let outcome = run_er(split.keyed.clone(), config)?;
+        report.blocked_matches = outcome.result.len();
+        result.union(&outcome.result);
+    }
+    if split.null_count() > 0 {
+        let bottom: Arc<dyn BlockingFunction> = Arc::new(ConstantBlocking);
+        // match⊥(R − R∅, R∅): keyed partitions as side R, keyless as
+        // side S of a constant-key linkage.
+        if split.keyed_count() > 0 {
+            let mut partitions = split.keyed.clone();
+            partitions.extend(split.null.clone());
+            let mut sources = vec![SourceId::R; split.keyed.len()];
+            sources.extend(vec![SourceId::S; split.null.len()]);
+            let cfg = config.clone().with_blocking(Arc::clone(&bottom));
+            let outcome = run_linkage(partitions, sources, &cfg)?;
+            report.cartesian_matches = outcome.result.len();
+            result.union(&outcome.result);
+        }
+        // allPairs(R∅): one-source matching under the constant key.
+        if split.null_count() > 1 {
+            let cfg = config.clone().with_blocking(bottom);
+            let outcome = run_er(split.null.clone(), &cfg)?;
+            report.null_null_matches = outcome.result.len();
+            result.union(&outcome.result);
+        }
+    }
+    Ok((result, report))
+}
+
+/// Links two sources including keyless entities on either side.
+pub fn link_with_null_keys(
+    input: &Partitions<(), Ent>,
+    sources: &[SourceId],
+    config: &ErConfig,
+) -> Result<(MatchResult, NullKeyReport), MrError> {
+    assert_eq!(input.len(), sources.len());
+    let split = split_by_key(input, config.blocking.as_ref());
+    let mut result = MatchResult::new();
+    let mut report = NullKeyReport::default();
+
+    // matchB(R − R∅, S − S∅)
+    if split.keyed_count() > 0 {
+        let outcome = run_linkage(split.keyed.clone(), sources.to_vec(), config)?;
+        report.blocked_matches = outcome.result.len();
+        result.union(&outcome.result);
+    }
+    let bottom: Arc<dyn BlockingFunction> = Arc::new(ConstantBlocking);
+    // match⊥(R, S∅): all of R (keyed + keyless) against keyless S.
+    let r_all: Partitions<(), Ent> = input
+        .iter()
+        .zip(sources)
+        .filter(|(_, &s)| s == SourceId::R)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let s_null: Partitions<(), Ent> = split
+        .null
+        .iter()
+        .zip(sources)
+        .filter(|(_, &s)| s == SourceId::S)
+        .map(|(p, _)| p.clone())
+        .collect();
+    if !r_all.iter().all(Vec::is_empty) && !s_null.iter().all(Vec::is_empty) {
+        let mut partitions = r_all.clone();
+        partitions.extend(s_null.clone());
+        let mut tags = vec![SourceId::R; r_all.len()];
+        tags.extend(vec![SourceId::S; s_null.len()]);
+        let cfg = config.clone().with_blocking(Arc::clone(&bottom));
+        let outcome = run_linkage(partitions, tags, &cfg)?;
+        report.cartesian_matches += outcome.result.len();
+        result.union(&outcome.result);
+    }
+    // match⊥(R∅, S − S∅)
+    let r_null: Partitions<(), Ent> = split
+        .null
+        .iter()
+        .zip(sources)
+        .filter(|(_, &s)| s == SourceId::R)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let s_keyed: Partitions<(), Ent> = split
+        .keyed
+        .iter()
+        .zip(sources)
+        .filter(|(_, &s)| s == SourceId::S)
+        .map(|(p, _)| p.clone())
+        .collect();
+    if !r_null.iter().all(Vec::is_empty) && !s_keyed.iter().all(Vec::is_empty) {
+        let mut partitions = r_null.clone();
+        partitions.extend(s_keyed.clone());
+        let mut tags = vec![SourceId::R; r_null.len()];
+        tags.extend(vec![SourceId::S; s_keyed.len()]);
+        let cfg = config.clone().with_blocking(bottom);
+        let outcome = run_linkage(partitions, tags, &cfg)?;
+        report.cartesian_matches += outcome.result.len();
+        result.union(&outcome.result);
+    }
+    Ok((result, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategyKind;
+    use er_core::blocking::PrefixBlocking;
+    use er_core::Entity;
+
+    fn ent(id: u64, title: Option<&str>) -> ((), Ent) {
+        match title {
+            Some(t) => ((), Arc::new(Entity::new(id, [("title", t)]))),
+            None => ((), Arc::new(Entity::new(id, [("brand", "keyless")]))),
+        }
+    }
+
+    fn config(strategy: StrategyKind) -> ErConfig {
+        ErConfig::new(strategy)
+            .with_blocking(Arc::new(PrefixBlocking::new("title", 2)))
+            .with_reduce_tasks(3)
+            .with_parallelism(1)
+    }
+
+    #[test]
+    fn split_preserves_partition_shape() {
+        let input = vec![
+            vec![ent(0, Some("aa x")), ent(1, None)],
+            vec![ent(2, None), ent(3, Some("bb y"))],
+        ];
+        let split = split_by_key(&input, &PrefixBlocking::new("title", 2));
+        assert_eq!(split.keyed.len(), 2);
+        assert_eq!(split.null.len(), 2);
+        assert_eq!(split.keyed_count(), 2);
+        assert_eq!(split.null_count(), 2);
+    }
+
+    #[test]
+    fn keyless_duplicates_are_found_via_cartesian_parts() {
+        // Entity 1 (keyless) duplicates entity 0 (keyed) — only the
+        // Cartesian part can find the pair. Entities 2 and 3 are
+        // keyless duplicates of each other — only the null×null part
+        // can find them.
+        let input = vec![
+            vec![
+                (
+                    (),
+                    Arc::new(Entity::new(
+                        0,
+                        [("title", "aa same text here"), ("brand", "dupmark")],
+                    )),
+                ),
+                // Keyless (no title): only the brand rule can link it
+                // to entity 0.
+                ((), Arc::new(Entity::new(1, [("brand", "dupmark")]))),
+            ],
+            vec![
+                ((), Arc::new(Entity::new(2, [("brand", "zz unique text")]))),
+                ((), Arc::new(Entity::new(3, [("brand", "zz unique text")]))),
+            ],
+        ];
+        // Matcher on `brand`? The paper matcher uses `title`; give the
+        // keyless entities no title so the matcher must use what it
+        // can: here we simply match on brand via a custom matcher.
+        use er_core::matcher::{MatchRule, Matcher};
+        use er_core::similarity::NormalizedLevenshtein;
+        let matcher = Arc::new(Matcher::new(
+            vec![
+                MatchRule::new("title", Arc::new(NormalizedLevenshtein)).with_weight(1.0),
+                MatchRule::new("brand", Arc::new(NormalizedLevenshtein)).with_weight(1.0),
+            ],
+            0.4,
+        ));
+        for strategy in [
+            StrategyKind::Basic,
+            StrategyKind::BlockSplit,
+            StrategyKind::PairRange,
+        ] {
+            let cfg = config(strategy).with_matcher(Arc::clone(&matcher));
+            let (result, report) = deduplicate_with_null_keys(&input, &cfg).unwrap();
+            assert!(
+                report.cartesian_matches >= 1,
+                "{strategy}: keyed x keyless duplicate missed: {report:?}"
+            );
+            assert!(
+                report.null_null_matches >= 1,
+                "{strategy}: keyless x keyless duplicate missed"
+            );
+            assert!(result.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn no_null_keys_degenerates_to_plain_matching() {
+        let input = vec![
+            vec![ent(0, Some("aa same text here")), ent(1, Some("aa same text herX"))],
+            vec![ent(2, Some("bb other"))],
+        ];
+        let cfg = config(StrategyKind::BlockSplit);
+        let (result, report) = deduplicate_with_null_keys(&input, &cfg).unwrap();
+        let direct = run_er(input.clone(), &cfg).unwrap();
+        assert_eq!(result.pair_set(), direct.result.pair_set());
+        assert_eq!(report.cartesian_matches, 0);
+        assert_eq!(report.null_null_matches, 0);
+    }
+
+    #[test]
+    fn two_source_decomposition_covers_all_parts() {
+        // R: one keyed + one keyless; S: one keyed + one keyless.
+        let input = vec![
+            vec![ent(0, Some("aa alpha beta")), ent(1, None)],
+            vec![
+                (
+                    (),
+                    Arc::new(Entity::with_source(
+                        SourceId::S,
+                        10,
+                        [("title", "aa alpha beta")],
+                    )),
+                ),
+                (
+                    (),
+                    Arc::new(Entity::with_source(SourceId::S, 11, [("brand", "keyless")])),
+                ),
+            ],
+        ];
+        let sources = vec![SourceId::R, SourceId::S];
+        use er_core::matcher::{MatchRule, Matcher};
+        use er_core::similarity::NormalizedLevenshtein;
+        let matcher = Arc::new(Matcher::new(
+            vec![
+                MatchRule::new("title", Arc::new(NormalizedLevenshtein)).with_weight(1.0),
+                MatchRule::new("brand", Arc::new(NormalizedLevenshtein)).with_weight(1.0),
+            ],
+            0.4,
+        ));
+        let cfg = config(StrategyKind::PairRange).with_matcher(matcher);
+        let (result, report) = link_with_null_keys(&input, &sources, &cfg).unwrap();
+        // Blocked: R#0 ~ S#10 (same title). Cartesian: R#1 ~ S#11
+        // (same brand) via match⊥(R, S∅).
+        assert!(report.blocked_matches >= 1, "{report:?}");
+        assert!(report.cartesian_matches >= 1, "{report:?}");
+        for (pair, _) in result.iter() {
+            assert_ne!(pair.lo().source, pair.hi().source);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! PairRange for two sources (paper Appendix I-B).
+//!
+//! Entities are enumerated per block *and source*; the pair index of
+//! `(x ∈ R, y ∈ S)` is `x·|Φ_i,S| + y + o(i)`. An R entity's pairs
+//! form one contiguous run (its whole matrix row), an S entity's pairs
+//! stride by `|Φ_i,S|` (its matrix column).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use er_core::blocking::BlockKey;
+use er_core::result::MatchPair;
+use er_core::SourceId;
+use mr_engine::engine::Job;
+use mr_engine::mapper::{MapContext, MapTaskInfo, Mapper};
+use mr_engine::reducer::{Group, ReduceContext, Reducer};
+
+use super::TwoSourceBdm;
+use crate::compare::PairComparer;
+use crate::keys::{PairRangeKey, PairRangeValue};
+use crate::pair_range::ranges::{RangeIndexer, RangePolicy};
+use crate::Keyed;
+
+/// Ranges relevant for an entity (shared with tests/benches).
+pub fn relevant_ranges_two_source(
+    ts: &TwoSourceBdm,
+    ranges: &RangeIndexer,
+    block: usize,
+    source: SourceId,
+    index: u64,
+) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    let (nr, ns) = (ts.size_r(block), ts.size_s(block));
+    if nr == 0 || ns == 0 {
+        return out;
+    }
+    if source == SourceId::R {
+        // Row: pairs (index, 0) .. (index, ns-1) — contiguous.
+        let first = ranges.range_of(ts.pair_index(block, index, 0));
+        let last = ranges.range_of(ts.pair_index(block, index, ns - 1));
+        out.extend(first..=last);
+    } else {
+        // Column: pairs (0, index) .. (nr-1, index) — stride ns.
+        for x in 0..nr {
+            out.insert(ranges.range_of(ts.pair_index(block, x, index)));
+        }
+    }
+    out
+}
+
+/// The two-source PairRange mapper.
+#[derive(Clone)]
+pub struct TwoSourcePairRangeMapper {
+    ts: Arc<TwoSourceBdm>,
+    policy: RangePolicy,
+    state: Option<State>,
+}
+
+#[derive(Clone)]
+struct State {
+    next_index: Vec<u64>,
+    ranges: RangeIndexer,
+    source: SourceId,
+}
+
+impl TwoSourcePairRangeMapper {
+    /// Creates the mapper.
+    pub fn new(ts: Arc<TwoSourceBdm>, policy: RangePolicy) -> Self {
+        Self {
+            ts,
+            policy,
+            state: None,
+        }
+    }
+}
+
+impl Mapper for TwoSourcePairRangeMapper {
+    type KIn = BlockKey;
+    type VIn = Keyed;
+    type KOut = PairRangeKey;
+    type VOut = PairRangeValue;
+    type Side = ();
+
+    fn setup(&mut self, info: &MapTaskInfo) {
+        let next_index = (0..self.ts.num_blocks())
+            .map(|k| self.ts.entity_index_offset(k, info.task_index))
+            .collect();
+        self.state = Some(State {
+            next_index,
+            ranges: RangeIndexer::new(
+                self.ts.total_pairs(),
+                info.num_reduce_tasks,
+                self.policy,
+            ),
+            source: self.ts.source_of(info.task_index),
+        });
+    }
+
+    fn map(
+        &mut self,
+        key: &BlockKey,
+        keyed: &Keyed,
+        ctx: &mut MapContext<PairRangeKey, PairRangeValue, ()>,
+    ) {
+        let state = self.state.as_mut().expect("setup ran");
+        let Some(block) = self.ts.block_index(key) else {
+            panic!("blocking key {key} not present in the BDM");
+        };
+        let index = state.next_index[block];
+        state.next_index[block] += 1;
+        for range in
+            relevant_ranges_two_source(&self.ts, &state.ranges, block, state.source, index)
+        {
+            ctx.emit(
+                PairRangeKey {
+                    range: range as u32,
+                    block: block as u32,
+                    source: state.source,
+                    index,
+                },
+                PairRangeValue {
+                    keyed: keyed.clone(),
+                    index,
+                },
+            );
+        }
+    }
+}
+
+/// The two-source PairRange reducer: R entities arrive first (the key
+/// sorts source `R` before `S`), get buffered, and every streamed S
+/// entity is paired against them, keeping only this range's pairs.
+#[derive(Clone)]
+pub struct TwoSourcePairRangeReducer {
+    ts: Arc<TwoSourceBdm>,
+    comparer: PairComparer,
+    policy: RangePolicy,
+    ranges: Option<RangeIndexer>,
+}
+
+impl TwoSourcePairRangeReducer {
+    /// Creates the reducer.
+    pub fn new(ts: Arc<TwoSourceBdm>, comparer: PairComparer, policy: RangePolicy) -> Self {
+        Self {
+            ts,
+            comparer,
+            policy,
+            ranges: None,
+        }
+    }
+}
+
+impl Reducer for TwoSourcePairRangeReducer {
+    type KIn = PairRangeKey;
+    type VIn = PairRangeValue;
+    type KOut = MatchPair;
+    type VOut = f64;
+
+    fn setup(&mut self, info: &mr_engine::reducer::ReduceTaskInfo) {
+        self.ranges = Some(RangeIndexer::new(
+            self.ts.total_pairs(),
+            info.num_reduce_tasks,
+            self.policy,
+        ));
+    }
+
+    fn reduce(
+        &mut self,
+        group: Group<'_, PairRangeKey, PairRangeValue>,
+        ctx: &mut ReduceContext<MatchPair, f64>,
+    ) {
+        let ranges = self.ranges.expect("setup ran");
+        let gk = *group.key();
+        let block = gk.block as usize;
+        let my_range = gk.range as u64;
+        let block_key = group
+            .values()
+            .next()
+            .expect("groups are non-empty")
+            .keyed
+            .key
+            .clone();
+        let mut r_buffer: Vec<&PairRangeValue> = Vec::new();
+        for (key, value) in group.iter() {
+            if key.source == SourceId::R {
+                r_buffer.push(value);
+            } else {
+                for e1 in &r_buffer {
+                    let p = self.ts.pair_index(block, e1.index, value.index);
+                    let k = ranges.range_of(p);
+                    if k == my_range {
+                        self.comparer
+                            .compare(&e1.keyed, &value.keyed, &block_key, ctx);
+                    } else if k > my_range {
+                        // Pair index grows with the R index for a fixed
+                        // S entity: nothing later in the buffer fits.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the two-source PairRange job.
+pub fn pair_range_two_source_job(
+    ts: Arc<TwoSourceBdm>,
+    comparer: PairComparer,
+    policy: RangePolicy,
+    reduce_tasks: usize,
+    parallelism: usize,
+) -> Job<TwoSourcePairRangeMapper, TwoSourcePairRangeReducer> {
+    Job::builder(
+        "er-pair-range-2src",
+        TwoSourcePairRangeMapper::new(Arc::clone(&ts), policy),
+        TwoSourcePairRangeReducer::new(ts, comparer, policy),
+    )
+    .reduce_tasks(reduce_tasks)
+    .parallelism(parallelism)
+    .partitioner(PairRangeKey::partitioner())
+    .group_by(PairRangeKey::group_cmp())
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_source::appendix_example;
+    use crate::COMPARISONS;
+    use er_core::Matcher;
+
+    #[test]
+    fn entity_c_is_sent_to_ranges_1_and_2() {
+        // Paper: "map emits two keys (1.3.R.0) and (2.3.R.0)" for C.
+        let ts = appendix_example::bdm();
+        let ranges = RangeIndexer::new(12, 3, RangePolicy::CeilDiv);
+        let hits = relevant_ranges_two_source(&ts, &ranges, 3, SourceId::R, 0);
+        assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_side_blocks_emit_nothing() {
+        // Block y (index 2) has no S entities: F must go nowhere.
+        let ts = appendix_example::bdm();
+        let ranges = RangeIndexer::new(12, 3, RangePolicy::CeilDiv);
+        let hits = relevant_ranges_two_source(&ts, &ranges, 2, SourceId::R, 0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn job_computes_exactly_the_12_cross_pairs_evenly() {
+        let ts = Arc::new(appendix_example::bdm());
+        let job = pair_range_two_source_job(
+            Arc::clone(&ts),
+            PairComparer::count_only(Arc::new(Matcher::paper_default())),
+            RangePolicy::CeilDiv,
+            3,
+            1,
+        );
+        let out = job.run(appendix_example::annotated_partitions()).unwrap();
+        assert_eq!(out.metrics.counters.get(COMPARISONS), 12);
+        assert_eq!(
+            out.metrics.per_reduce_counter(COMPARISONS),
+            vec![4, 4, 4],
+            "paper: three ranges of size 4"
+        );
+    }
+
+    #[test]
+    fn results_are_cross_source_only() {
+        let ts = Arc::new(appendix_example::bdm());
+        let job = pair_range_two_source_job(
+            Arc::clone(&ts),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            RangePolicy::CeilDiv,
+            3,
+            1,
+        );
+        let out = job.run(appendix_example::annotated_partitions()).unwrap();
+        for (pair, _) in &out.records {
+            assert_ne!(pair.lo().source, pair.hi().source);
+        }
+    }
+}

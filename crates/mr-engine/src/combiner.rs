@@ -1,0 +1,103 @@
+//! Optional per-map-task combiner.
+//!
+//! The paper's footnote 2 suggests "a combine function that aggregates
+//! the frequencies of the blocking keys per map task" as a BDM-job
+//! optimization; this module provides exactly that machinery.
+//!
+//! Semantics follow Hadoop's contract: the combiner runs over the map
+//! task's local output, on groups of keys that compare equal under the
+//! job's *sort* comparator, and must be an associative + commutative
+//! reduction of values for a fixed key. The engine applies it once per
+//! map task (Hadoop may apply it zero or more times per spill — any
+//! number of applications must be legal; our tests assert idempotence
+//! of a second application for the shipped combiners).
+
+use std::sync::Arc;
+
+/// Reduces all values of one locally sorted key group to fewer values.
+///
+/// `combine(key, values)` returns the replacement values (commonly a
+/// single element).
+pub type Combiner<K, V> = Arc<dyn Fn(&K, Vec<V>) -> Vec<V> + Send + Sync>;
+
+/// A combiner that sums `u64` values per key — the word-count /
+/// BDM-frequency combiner.
+pub fn sum_u64_combiner<K>() -> Combiner<K, u64> {
+    Arc::new(|_k: &K, values: Vec<u64>| vec![values.into_iter().sum()])
+}
+
+/// A combiner that keeps only the first value per key (dedup).
+pub fn first_value_combiner<K, V: Clone + Send + Sync + 'static>() -> Combiner<K, V> {
+    Arc::new(|_k: &K, mut values: Vec<V>| {
+        values.truncate(1);
+        values
+    })
+}
+
+/// Applies `combiner` to a map task's output, grouping equal keys under
+/// `sort_cmp`. Stable: group order follows first occurrence in sorted
+/// order; the function sorts a copy of the output.
+pub(crate) fn apply_combiner<K: Clone, V: Clone>(
+    output: Vec<(K, V)>,
+    sort_cmp: &crate::comparator::KeyCmp<K>,
+    combiner: &Combiner<K, V>,
+) -> Vec<(K, V)> {
+    if output.is_empty() {
+        return output;
+    }
+    let mut sorted = output;
+    sorted.sort_by(|a, b| sort_cmp(&a.0, &b.0));
+    let mut result: Vec<(K, V)> = Vec::with_capacity(sorted.len());
+    let mut iter = sorted.into_iter();
+    let (first_k, first_v) = iter.next().expect("non-empty");
+    let mut group_key = first_k;
+    let mut group_vals = vec![first_v];
+    for (k, v) in iter {
+        if sort_cmp(&k, &group_key) == std::cmp::Ordering::Equal {
+            group_vals.push(v);
+        } else {
+            let combined = combiner(&group_key, std::mem::take(&mut group_vals));
+            result.extend(combined.into_iter().map(|v| (group_key.clone(), v)));
+            group_key = k;
+            group_vals.push(v);
+        }
+    }
+    let combined = combiner(&group_key, group_vals);
+    result.extend(combined.into_iter().map(|v| (group_key.clone(), v)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::natural_order;
+
+    #[test]
+    fn sum_combiner_aggregates_per_key() {
+        let out = vec![("b", 1u64), ("a", 2), ("b", 3), ("a", 4), ("c", 5)];
+        let combined = apply_combiner(out, &natural_order(), &sum_u64_combiner());
+        assert_eq!(combined, vec![("a", 6), ("b", 4), ("c", 5)]);
+    }
+
+    #[test]
+    fn combining_twice_is_idempotent() {
+        let out = vec![("x", 1u64), ("x", 1), ("y", 7)];
+        let once = apply_combiner(out, &natural_order(), &sum_u64_combiner());
+        let twice = apply_combiner(once.clone(), &natural_order(), &sum_u64_combiner());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn first_value_combiner_dedups() {
+        let out = vec![(1u32, "a"), (1, "b"), (2, "c")];
+        let combined = apply_combiner(out, &natural_order(), &first_value_combiner());
+        assert_eq!(combined, vec![(1, "a"), (2, "c")]);
+    }
+
+    #[test]
+    fn empty_output_passes_through() {
+        let out: Vec<(u8, u64)> = vec![];
+        let combined = apply_combiner(out, &natural_order(), &sum_u64_combiner());
+        assert!(combined.is_empty());
+    }
+}

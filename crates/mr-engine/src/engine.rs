@@ -1,0 +1,619 @@
+//! Job definition and execution.
+//!
+//! Execution proceeds in two phases, exactly like Hadoop with a barrier
+//! between them: all map tasks run (on the worker pool), their output
+//! is partitioned into `r` buckets per task, then each reduce task
+//! merges its buckets **in map-task order**, stable-sorts by the sort
+//! comparator, forms groups under the grouping comparator, and invokes
+//! the reducer per group.
+//!
+//! Stability + fixed merge order make job output a pure function of
+//! (input, job definition) — independent of `parallelism`. The test
+//! suite asserts this determinism property.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::combiner::{apply_combiner, Combiner};
+use crate::comparator::{natural_order, KeyCmp};
+use crate::counters::{self, CounterSet};
+use crate::error::MrError;
+use crate::input::Partitions;
+use crate::mapper::{run_map_task, MapTaskInfo, Mapper};
+use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
+use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::pool::run_tasks;
+use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+
+/// Result of a completed job.
+#[derive(Debug)]
+pub struct JobOutput<KO, VO, S> {
+    /// Reduce outputs concatenated in reduce-task order.
+    pub records: Vec<(KO, VO)>,
+    /// Reduce outputs per reduce task.
+    pub reduce_outputs: Vec<Vec<(KO, VO)>>,
+    /// Side-output records per map task ("additional output" files on
+    /// the simulated DFS; index == map task index == input partition).
+    pub side_outputs: Vec<Vec<S>>,
+    /// Execution metrics.
+    pub metrics: JobMetrics,
+}
+
+/// A fully configured MapReduce job.
+pub struct Job<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    name: String,
+    mapper: M,
+    reducer: R,
+    partitioner: Arc<dyn Partitioner<M::KOut>>,
+    sort_cmp: KeyCmp<M::KOut>,
+    group_cmp: KeyCmp<M::KOut>,
+    combiner: Option<Combiner<M::KOut, M::VOut>>,
+    reduce_tasks: usize,
+    parallelism: usize,
+}
+
+impl<M, R> Job<M, R>
+where
+    M: Mapper,
+    M::KOut: Ord,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Starts building a job with natural-order sorting/grouping and a
+    /// hash partitioner (Hadoop defaults).
+    pub fn builder(name: impl Into<String>, mapper: M, reducer: R) -> JobBuilder<M, R>
+    where
+        M::KOut: std::hash::Hash + Sync,
+    {
+        JobBuilder {
+            name: name.into(),
+            mapper,
+            reducer,
+            partitioner: Arc::new(HashPartitioner),
+            sort_cmp: natural_order::<M::KOut>(),
+            group_cmp: natural_order::<M::KOut>(),
+            combiner: None,
+            reduce_tasks: 1,
+            parallelism: default_parallelism(),
+        }
+    }
+}
+
+/// Number of worker threads used when the caller does not override it.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Builder for [`Job`].
+pub struct JobBuilder<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    name: String,
+    mapper: M,
+    reducer: R,
+    partitioner: Arc<dyn Partitioner<M::KOut>>,
+    sort_cmp: KeyCmp<M::KOut>,
+    group_cmp: KeyCmp<M::KOut>,
+    combiner: Option<Combiner<M::KOut, M::VOut>>,
+    reduce_tasks: usize,
+    parallelism: usize,
+}
+
+impl<M, R> JobBuilder<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Sets the number of reduce tasks `r`.
+    pub fn reduce_tasks(mut self, r: usize) -> Self {
+        self.reduce_tasks = r;
+        self
+    }
+
+    /// Sets the number of local worker threads (task slots).
+    pub fn parallelism(mut self, p: usize) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Replaces the partition function (`part`).
+    pub fn partitioner(mut self, p: impl Partitioner<M::KOut> + 'static) -> Self {
+        self.partitioner = Arc::new(p);
+        self
+    }
+
+    /// Replaces the sort comparator (`comp`).
+    pub fn sort_by(mut self, cmp: KeyCmp<M::KOut>) -> Self {
+        self.sort_cmp = cmp;
+        self
+    }
+
+    /// Replaces the grouping comparator (`group`). Must be coarser than
+    /// or equal to the sort comparator.
+    pub fn group_by(mut self, cmp: KeyCmp<M::KOut>) -> Self {
+        self.group_cmp = cmp;
+        self
+    }
+
+    /// Installs a per-map-task combiner.
+    pub fn combiner(mut self, c: Combiner<M::KOut, M::VOut>) -> Self {
+        self.combiner = Some(c);
+        self
+    }
+
+    /// Finalizes the job.
+    pub fn build(self) -> Job<M, R> {
+        Job {
+            name: self.name,
+            mapper: self.mapper,
+            reducer: self.reducer,
+            partitioner: self.partitioner,
+            sort_cmp: self.sort_cmp,
+            group_cmp: self.group_cmp,
+            combiner: self.combiner,
+            reduce_tasks: self.reduce_tasks,
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+struct MapTaskResult<K, V, S> {
+    buckets: Vec<Vec<(K, V)>>,
+    side: Vec<S>,
+    metrics: TaskMetrics,
+}
+
+impl<M, R> Job<M, R>
+where
+    M: Mapper,
+    M::KOut: Sync,
+    M::VOut: Sync,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// Executes the job over the given input partitions.
+    ///
+    /// The number of map tasks `m` equals `input.len()`.
+    pub fn run(
+        &self,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        let job_start = Instant::now();
+        let m = input.len();
+        let r = self.reduce_tasks;
+        if m == 0 {
+            return Err(MrError::NoMapTasks);
+        }
+        if r == 0 {
+            return Err(MrError::NoReduceTasks);
+        }
+        if self.parallelism == 0 {
+            return Err(MrError::ZeroParallelism);
+        }
+
+        // ---- Map phase -------------------------------------------------
+        let map_results: Vec<Result<MapTaskResult<M::KOut, M::VOut, M::Side>, MrError>> =
+            run_tasks(m, self.parallelism, |i| {
+                let start = Instant::now();
+                let info = MapTaskInfo {
+                    task_index: i,
+                    num_map_tasks: m,
+                    num_reduce_tasks: r,
+                };
+                let mut ctx = run_map_task(&self.mapper, info, &input[i]);
+                let pre_combine = ctx.out.len() as u64;
+                ctx.counters
+                    .add(counters::MAP_OUTPUT_RECORDS_PRECOMBINE, pre_combine);
+                let out = match &self.combiner {
+                    Some(c) => apply_combiner(std::mem::take(&mut ctx.out), &self.sort_cmp, c),
+                    None => std::mem::take(&mut ctx.out),
+                };
+                ctx.counters
+                    .add(counters::MAP_OUTPUT_RECORDS, out.len() as u64);
+                let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
+                    (0..r).map(|_| Vec::new()).collect();
+                for (k, v) in out {
+                    let p = self.partitioner.partition(&k, r);
+                    if p >= r {
+                        return Err(MrError::PartitionOutOfRange {
+                            got: p,
+                            num_reduce_tasks: r,
+                        });
+                    }
+                    buckets[p].push((k, v));
+                }
+                let metrics = TaskMetrics {
+                    kind: TaskKind::Map,
+                    index: i,
+                    records_in: input[i].len() as u64,
+                    records_out: buckets.iter().map(|b| b.len() as u64).sum(),
+                    counters: ctx.counters,
+                    wall: start.elapsed(),
+                };
+                Ok(MapTaskResult {
+                    buckets,
+                    side: ctx.side,
+                    metrics,
+                })
+            });
+        let mut map_tasks_metrics = Vec::with_capacity(m);
+        let mut side_outputs = Vec::with_capacity(m);
+        let mut all_buckets: Vec<Vec<Vec<(M::KOut, M::VOut)>>> = Vec::with_capacity(m);
+        for res in map_results {
+            let task = res?;
+            map_tasks_metrics.push(task.metrics);
+            side_outputs.push(task.side);
+            all_buckets.push(task.buckets);
+        }
+
+        // ---- Shuffle ---------------------------------------------------
+        // Reduce task j receives the concatenation of bucket j of every
+        // map task, in map-task order, then a *stable* sort by the sort
+        // comparator. Values with equal sort keys therefore keep
+        // (map task, emission) order — the Hadoop-like guarantee that
+        // keeps sub-block entities of one input partition contiguous.
+        let mut reduce_inputs: Vec<Vec<(M::KOut, M::VOut)>> = (0..r).map(|_| Vec::new()).collect();
+        for task_buckets in all_buckets {
+            for (j, bucket) in task_buckets.into_iter().enumerate() {
+                reduce_inputs[j].extend(bucket);
+            }
+        }
+        let sort_cmp = &self.sort_cmp;
+        let mut sorted_inputs: Vec<Vec<(M::KOut, M::VOut)>> = Vec::with_capacity(r);
+        for mut run in reduce_inputs {
+            run.sort_by(|a, b| sort_cmp(&a.0, &b.0));
+            sorted_inputs.push(run);
+        }
+
+        // ---- Reduce phase ----------------------------------------------
+        let reduce_results: Vec<(Vec<(R::KOut, R::VOut)>, TaskMetrics)> =
+            run_tasks(r, self.parallelism, |j| {
+                let start = Instant::now();
+                let info = ReduceTaskInfo {
+                    task_index: j,
+                    num_reduce_tasks: r,
+                    num_map_tasks: m,
+                };
+                let mut reducer = self.reducer.clone();
+                let mut ctx = ReduceContext::new(info);
+                reducer.setup(&info);
+                let run = &sorted_inputs[j];
+                let mut groups = 0u64;
+                let mut lo = 0usize;
+                while lo < run.len() {
+                    let mut hi = lo + 1;
+                    while hi < run.len()
+                        && (self.group_cmp)(&run[hi].0, &run[lo].0) == std::cmp::Ordering::Equal
+                    {
+                        hi += 1;
+                    }
+                    reducer.reduce(Group::new(&run[lo..hi]), &mut ctx);
+                    groups += 1;
+                    lo = hi;
+                }
+                reducer.finish(&mut ctx);
+                ctx.counters
+                    .add(counters::REDUCE_INPUT_RECORDS, run.len() as u64);
+                ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
+                ctx.counters
+                    .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
+                let metrics = TaskMetrics {
+                    kind: TaskKind::Reduce,
+                    index: j,
+                    records_in: run.len() as u64,
+                    records_out: ctx.out.len() as u64,
+                    counters: ctx.counters,
+                    wall: start.elapsed(),
+                };
+                (ctx.out, metrics)
+            });
+
+        let mut reduce_outputs = Vec::with_capacity(r);
+        let mut reduce_tasks_metrics = Vec::with_capacity(r);
+        let mut records = Vec::new();
+        for (out, metrics) in reduce_results {
+            records.extend(out.iter().cloned());
+            reduce_outputs.push(out);
+            reduce_tasks_metrics.push(metrics);
+        }
+
+        let mut counters_total = CounterSet::new();
+        for t in map_tasks_metrics.iter().chain(reduce_tasks_metrics.iter()) {
+            counters_total.merge(&t.counters);
+        }
+        let metrics = JobMetrics {
+            job_name: self.name.clone(),
+            map_tasks: map_tasks_metrics,
+            reduce_tasks: reduce_tasks_metrics,
+            counters: counters_total,
+            wall: job_start.elapsed(),
+        };
+        Ok(JobOutput {
+            records,
+            reduce_outputs,
+            side_outputs,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{ClosureMapper, ClosureReducer};
+    use crate::comparator::by_projection;
+    use crate::input::partition_evenly;
+    use crate::mapper::MapContext;
+    use crate::partitioner::FnPartitioner;
+
+    type WcMapper = ClosureMapper<(), String, String, u64, ()>;
+    type WcReducer = ClosureReducer<String, u64, String, u64>;
+
+    fn wordcount_job(r: usize, parallelism: usize) -> Job<WcMapper, WcReducer> {
+        let mapper = ClosureMapper::new(|_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
+                let sum: u64 = group.values().sum();
+                ctx.emit(group.key().clone(), sum);
+            },
+        );
+        Job::builder("wc", mapper, reducer)
+            .reduce_tasks(r)
+            .parallelism(parallelism)
+            .build()
+    }
+
+    fn lines(ls: &[&str]) -> Vec<((), String)> {
+        ls.iter().map(|l| ((), l.to_string())).collect()
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let input = partition_evenly(lines(&["a b a", "c b", "a"]), 2);
+        let out = wordcount_job(3, 2).run(input).unwrap();
+        let mut counts = out.records;
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+        assert_eq!(out.metrics.map_input_records(), 3);
+        assert_eq!(out.metrics.map_output_records(), 6);
+    }
+
+    #[test]
+    fn determinism_across_parallelism_levels() {
+        let input = lines(&["x y z", "y z", "z z y x", "w", "x w y"]);
+        let mut reference: Option<Vec<(String, u64)>> = None;
+        for p in [1, 2, 4, 8] {
+            let out = wordcount_job(4, p)
+                .run(partition_evenly(input.clone(), 3))
+                .unwrap();
+            // Full per-reduce-task structure must match, not just the
+            // multiset of records.
+            let flat: Vec<(String, u64)> = out.reduce_outputs.concat();
+            match &reference {
+                None => reference = Some(flat),
+                Some(r) => assert_eq!(r, &flat, "parallelism {p} changed the output"),
+            }
+        }
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_but_not_result() {
+        let input = partition_evenly(lines(&["a a a a", "a a a b"]), 2);
+        let no_combine = wordcount_job(2, 1).run(input.clone()).unwrap();
+
+        let mapper = ClosureMapper::new(|_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
+                let sum: u64 = group.values().sum();
+                ctx.emit(group.key().clone(), sum);
+            },
+        );
+        let combined_job = Job::builder("wc+c", mapper, reducer)
+            .reduce_tasks(2)
+            .parallelism(1)
+            .combiner(crate::combiner::sum_u64_combiner())
+            .build();
+        let combined = combined_job.run(input).unwrap();
+
+        let mut a = no_combine.records.clone();
+        let mut b = combined.records.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change the job result");
+        assert_eq!(no_combine.metrics.map_output_records(), 8);
+        // Task 0 emits only "a" x4 -> 1 pair; task 1 emits a x3, b -> 2.
+        assert_eq!(combined.metrics.map_output_records(), 3);
+        assert_eq!(
+            combined
+                .metrics
+                .counters
+                .get(counters::MAP_OUTPUT_RECORDS_PRECOMBINE),
+            8
+        );
+    }
+
+    #[test]
+    fn coarse_grouping_exposes_individual_keys() {
+        // Sort by (block, seq), group by block only; the reducer sees
+        // the sequence numbers through the per-value key — the exact
+        // mechanism PairRange needs for its entity indexes.
+        let mapper = ClosureMapper::new(
+            |_: &(), v: &(u32, u32), ctx: &mut MapContext<(u32, u32), u32, ()>| {
+                ctx.emit(*v, v.1 * 100);
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, (u32, u32), u32>, ctx: &mut ReduceContext<u32, Vec<u32>>| {
+                let seqs: Vec<u32> = group.iter().map(|(k, _)| k.1).collect();
+                ctx.emit(group.key().0, seqs);
+            },
+        );
+        let input = partition_evenly(
+            vec![
+                ((), (1u32, 3u32)),
+                ((), (1, 1)),
+                ((), (2, 5)),
+                ((), (1, 2)),
+                ((), (2, 4)),
+            ],
+            2,
+        );
+        let job = Job::builder("grouping", mapper, reducer)
+            .reduce_tasks(1)
+            .parallelism(1)
+            .group_by(by_projection(|k: &(u32, u32)| k.0))
+            .build();
+        let out = job.run(input).unwrap();
+        assert_eq!(
+            out.records,
+            vec![(1, vec![1, 2, 3]), (2, vec![4, 5])],
+            "groups must be contiguous and sorted by the full key"
+        );
+    }
+
+    #[test]
+    fn stable_shuffle_keeps_map_task_order_for_equal_keys() {
+        // All records share one key; values must arrive in (map task,
+        // emission) order at the single reduce task.
+        let mapper =
+            ClosureMapper::new(|_: &(), v: &String, ctx: &mut MapContext<u8, String, ()>| {
+                ctx.emit(0u8, v.clone());
+            });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, u8, String>, ctx: &mut ReduceContext<(), Vec<String>>| {
+                ctx.emit((), group.values().cloned().collect());
+            },
+        );
+        let input = vec![
+            vec![((), "m0-a".to_string()), ((), "m0-b".to_string())],
+            vec![((), "m1-a".to_string())],
+            vec![((), "m2-a".to_string()), ((), "m2-b".to_string())],
+        ];
+        let job = Job::builder("stable", mapper, reducer)
+            .reduce_tasks(1)
+            .parallelism(4)
+            .build();
+        let out = job.run(input).unwrap();
+        assert_eq!(
+            out.records[0].1,
+            vec!["m0-a", "m0-b", "m1-a", "m2-a", "m2-b"]
+        );
+    }
+
+    #[test]
+    fn custom_partitioner_routes_by_key_component() {
+        let mapper = ClosureMapper::new(
+            |_: &(), v: &u32, ctx: &mut MapContext<(usize, u32), u32, ()>| {
+                ctx.emit(((*v % 2) as usize, *v), *v);
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, (usize, u32), u32>, ctx: &mut ReduceContext<usize, u32>| {
+                for v in group.values() {
+                    ctx.emit(group.key().0, *v);
+                }
+            },
+        );
+        let job = Job::builder("route", mapper, reducer)
+            .reduce_tasks(2)
+            .parallelism(1)
+            .partitioner(FnPartitioner::new(|k: &(usize, u32), r: usize| k.0 % r))
+            .build();
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let out = job.run(input).unwrap();
+        // Reduce task 0 got evens, task 1 got odds.
+        assert!(out.reduce_outputs[0].iter().all(|(_, v)| v % 2 == 0));
+        assert!(out.reduce_outputs[1].iter().all(|(_, v)| v % 2 == 1));
+        assert_eq!(out.reduce_outputs[0].len(), 5);
+        assert_eq!(out.reduce_outputs[1].len(), 5);
+    }
+
+    #[test]
+    fn out_of_range_partition_is_an_error() {
+        let mapper = ClosureMapper::new(|_: &(), v: &u32, ctx: &mut MapContext<u32, u32, ()>| {
+            ctx.emit(*v, *v);
+        });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, u32, u32>, ctx: &mut ReduceContext<u32, u32>| {
+                ctx.emit(*group.key(), group.len() as u32);
+            },
+        );
+        let job = Job::builder("bad", mapper, reducer)
+            .reduce_tasks(2)
+            .parallelism(1)
+            .partitioner(FnPartitioner::new(|_: &u32, _| 99))
+            .build();
+        let err = job.run(vec![vec![((), 1u32)]]).unwrap_err();
+        assert_eq!(
+            err,
+            MrError::PartitionOutOfRange {
+                got: 99,
+                num_reduce_tasks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_input_partitions_still_run() {
+        // m partitions where some are empty: valid (paper's BDM may
+        // contain empty partitions for a block).
+        let input = vec![lines(&["a"]).remove(0)].into_iter().map(|kv| vec![kv]).collect::<Vec<_>>();
+        let mut input = input;
+        input.push(vec![]); // empty partition
+        let out = wordcount_job(2, 1).run(input).unwrap();
+        assert_eq!(out.records, vec![("a".to_string(), 1)]);
+        assert_eq!(out.metrics.map_tasks.len(), 2);
+    }
+
+    #[test]
+    fn no_input_is_an_error() {
+        let err = wordcount_job(1, 1).run(vec![]).unwrap_err();
+        assert_eq!(err, MrError::NoMapTasks);
+    }
+
+    #[test]
+    fn zero_reduce_tasks_is_an_error() {
+        let err = wordcount_job(0, 1)
+            .run(partition_evenly(lines(&["a"]), 1))
+            .unwrap_err();
+        assert_eq!(err, MrError::NoReduceTasks);
+    }
+
+    #[test]
+    fn metrics_record_per_task_data() {
+        let input = partition_evenly(lines(&["a b", "c d e", "f"]), 3);
+        let out = wordcount_job(2, 1).run(input).unwrap();
+        assert_eq!(out.metrics.map_tasks.len(), 3);
+        assert_eq!(out.metrics.reduce_tasks.len(), 2);
+        assert_eq!(out.metrics.map_tasks[0].records_in, 1);
+        assert_eq!(out.metrics.map_tasks[1].records_out, 3);
+        let group_total: u64 = out
+            .metrics
+            .reduce_tasks
+            .iter()
+            .map(|t| t.counter(counters::REDUCE_INPUT_GROUPS))
+            .sum();
+        assert_eq!(group_total, 6, "six distinct words -> six groups");
+    }
+}

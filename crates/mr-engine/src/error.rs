@@ -1,0 +1,68 @@
+//! Engine configuration and execution errors.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::engine::Job::run`] and helpers.
+///
+/// User map/reduce functions are infallible by construction (mirroring
+/// the paper's pseudo-code); every error here is a configuration or
+/// input-shape problem detected before any task runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// A job was configured with zero reduce tasks.
+    NoReduceTasks,
+    /// A job received an empty list of input partitions (zero map tasks).
+    NoMapTasks,
+    /// The partitioner returned an out-of-range reduce task index.
+    PartitionOutOfRange {
+        /// Index the partitioner produced.
+        got: usize,
+        /// Number of configured reduce tasks.
+        num_reduce_tasks: usize,
+    },
+    /// `parallelism` was zero.
+    ZeroParallelism,
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::NoReduceTasks => write!(f, "job configured with zero reduce tasks"),
+            MrError::NoMapTasks => write!(f, "job received no input partitions"),
+            MrError::PartitionOutOfRange {
+                got,
+                num_reduce_tasks,
+            } => write!(
+                f,
+                "partitioner returned reduce task {got} but only {num_reduce_tasks} exist"
+            ),
+            MrError::ZeroParallelism => write!(f, "parallelism must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(MrError::NoReduceTasks.to_string().contains("zero reduce"));
+        assert!(MrError::NoMapTasks.to_string().contains("no input"));
+        let e = MrError::PartitionOutOfRange {
+            got: 9,
+            num_reduce_tasks: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        assert!(MrError::ZeroParallelism.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MrError::NoReduceTasks, MrError::NoReduceTasks);
+        assert_ne!(MrError::NoReduceTasks, MrError::NoMapTasks);
+    }
+}

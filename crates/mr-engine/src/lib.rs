@@ -1,0 +1,99 @@
+//! # mr-engine — an in-process MapReduce runtime
+//!
+//! A from-scratch implementation of the MapReduce execution model of
+//! Dean & Ghemawat (OSDI 2004) as refined by Hadoop, providing exactly
+//! the extension points that "Load Balancing for MapReduce-based Entity
+//! Resolution" (Kolb, Thor, Rahm; ICDE 2012) relies on:
+//!
+//! * user-defined [`Mapper`] and [`Reducer`] functions over key/value
+//!   pairs, executed in parallel over `m` map tasks and `r` reduce
+//!   tasks;
+//! * a [`Partitioner`] (`part`) that may inspect only *part* of a
+//!   composite key to route map output to reduce tasks;
+//! * a sort comparator (`comp`) ordering all keys of a reduce task;
+//! * a grouping comparator (`group`) that may be *coarser* than the
+//!   sort order, so a single `reduce` call can observe multiple
+//!   distinct keys (the key is exposed per value, Hadoop-style);
+//! * an optional per-map-task [`Combiner`];
+//! * map-side *additional output* to a simulated distributed file
+//!   system ([`Mapper::Side`]), partition-aligned so a follow-up job
+//!   sees the same input partitioning (Algorithm 3 of the paper);
+//! * named counters and per-task metrics (records, emitted pairs,
+//!   custom counters such as `comparisons`, wall time).
+//!
+//! The shuffle is **deterministic**: for each reduce task the buckets
+//! produced by map tasks are concatenated in map-task order and sorted
+//! with a *stable* sort. Therefore values with equal sort keys arrive
+//! in (map task index, emission order) — the property Hadoop exhibits
+//! in practice and that the BlockSplit reducer of the paper exploits.
+//! Determinism holds at any level of [`JobBuilder::parallelism`].
+//!
+//! ```
+//! use mr_engine::prelude::*;
+//!
+//! // Word count: the "hello world" of MapReduce.
+//! let mapper = ClosureMapper::new(|_k: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+//!     for w in line.split_whitespace() {
+//!         ctx.emit(w.to_string(), 1);
+//!     }
+//! });
+//! let reducer = ClosureReducer::new(|group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
+//!     let total: u64 = group.values().sum();
+//!     ctx.emit(group.key().clone(), total);
+//! });
+//! let input = partition_evenly(
+//!     vec![((), "a b a".to_string()), ((), "b a".to_string())], 2);
+//! let out = Job::builder("wordcount", mapper, reducer)
+//!     .reduce_tasks(2)
+//!     .build()
+//!     .run(input)
+//!     .unwrap();
+//! let mut counts = out.records;
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 3), ("b".into(), 2)]);
+//! ```
+
+// A generic MapReduce surface is inherently type-heavy: mappers carry
+// five type parameters and closures reference them all. Aliasing each
+// shape would obscure, not clarify.
+#![allow(clippy::type_complexity)]
+
+pub mod adapters;
+pub mod combiner;
+pub mod comparator;
+pub mod counters;
+pub mod engine;
+pub mod error;
+pub mod input;
+pub mod mapper;
+pub mod metrics;
+pub mod partitioner;
+pub mod pipeline;
+pub mod pool;
+pub mod reducer;
+
+pub use adapters::{ClosureMapper, ClosureReducer};
+pub use combiner::Combiner;
+pub use comparator::{natural_order, KeyCmp};
+pub use counters::CounterSet;
+pub use engine::{Job, JobBuilder, JobOutput};
+pub use error::MrError;
+pub use input::{partition_evenly, partition_round_robin, Partitions};
+pub use mapper::{MapContext, MapTaskInfo, Mapper};
+pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
+pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
+pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+
+/// Convenience glob-import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::adapters::{ClosureMapper, ClosureReducer};
+    pub use crate::comparator::natural_order;
+    pub use crate::counters::CounterSet;
+    pub use crate::engine::{Job, JobBuilder, JobOutput};
+    pub use crate::error::MrError;
+    pub use crate::input::{partition_evenly, partition_round_robin, Partitions};
+    pub use crate::mapper::{MapContext, MapTaskInfo, Mapper};
+    pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
+    pub use crate::partitioner::{FnPartitioner, HashPartitioner, Partitioner};
+    pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+}

@@ -1,0 +1,171 @@
+//! Per-task and per-job execution metrics.
+//!
+//! Metrics serve two purposes in this reproduction:
+//!
+//! 1. **Observability** of the real in-process execution (wall time,
+//!    records, custom counters), and
+//! 2. **Input for the cluster simulator** (`cluster-sim`), which
+//!    replays the exact per-task workloads recorded here on a virtual
+//!    n-node Hadoop cluster to estimate paper-scale execution times.
+
+use std::time::Duration;
+
+use crate::counters::{self, CounterSet};
+
+/// Whether a task ran in the map or reduce phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A map task (one per input partition).
+    Map,
+    /// A reduce task (one per configured reduce partition).
+    Reduce,
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::Map => write!(f, "map"),
+            TaskKind::Reduce => write!(f, "reduce"),
+        }
+    }
+}
+
+/// Metrics for a single executed task.
+#[derive(Debug, Clone)]
+pub struct TaskMetrics {
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase (`0..m` or `0..r`).
+    pub index: usize,
+    /// Key-value pairs consumed.
+    pub records_in: u64,
+    /// Key-value pairs produced (post-combine for map tasks).
+    pub records_out: u64,
+    /// All counters touched by this task, including engine counters.
+    pub counters: CounterSet,
+    /// Wall-clock time of the task body (excludes scheduling waits).
+    pub wall: Duration,
+}
+
+impl TaskMetrics {
+    /// Value of a named counter for this task.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name)
+    }
+}
+
+/// Metrics for one completed MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub job_name: String,
+    /// One entry per map task, in task order.
+    pub map_tasks: Vec<TaskMetrics>,
+    /// One entry per reduce task, in task order.
+    pub reduce_tasks: Vec<TaskMetrics>,
+    /// Aggregated counters over all tasks.
+    pub counters: CounterSet,
+    /// Wall-clock duration of the whole job on the local worker pool.
+    pub wall: Duration,
+}
+
+impl JobMetrics {
+    /// Total key-value pairs emitted by the map phase (post-combine).
+    ///
+    /// This is the quantity plotted in the paper's Figure 12.
+    pub fn map_output_records(&self) -> u64 {
+        self.counters.get(counters::MAP_OUTPUT_RECORDS)
+    }
+
+    /// Total records consumed by map tasks.
+    pub fn map_input_records(&self) -> u64 {
+        self.counters.get(counters::MAP_INPUT_RECORDS)
+    }
+
+    /// Per-reduce-task values of an arbitrary counter, in task order.
+    ///
+    /// `per_reduce_counter("comparisons")` yields the reduce workload
+    /// distribution that the paper's load-balancing strategies aim to
+    /// flatten.
+    pub fn per_reduce_counter(&self, name: &str) -> Vec<u64> {
+        self.reduce_tasks.iter().map(|t| t.counter(name)).collect()
+    }
+
+    /// Max/mean ratio of a per-reduce-task counter: 1.0 is a perfect
+    /// balance, large values indicate skew.
+    pub fn reduce_imbalance(&self, name: &str) -> f64 {
+        let loads = self.per_reduce_counter(name);
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let sum: u64 = loads.iter().sum();
+        if sum == 0 || loads.is_empty() {
+            return 1.0;
+        }
+        let mean = sum as f64 / loads.len() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(kind: TaskKind, index: usize, cmp: u64) -> TaskMetrics {
+        let mut counters = CounterSet::new();
+        counters.add("comparisons", cmp);
+        TaskMetrics {
+            kind,
+            index,
+            records_in: 1,
+            records_out: 1,
+            counters,
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    fn job(loads: &[u64]) -> JobMetrics {
+        JobMetrics {
+            job_name: "t".into(),
+            map_tasks: vec![],
+            reduce_tasks: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| task(TaskKind::Reduce, i, l))
+                .collect(),
+            counters: CounterSet::new(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn per_reduce_counter_orders_by_task() {
+        let j = job(&[5, 3, 8]);
+        assert_eq!(j.per_reduce_counter("comparisons"), vec![5, 3, 8]);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_load_is_one() {
+        let j = job(&[4, 4, 4, 4]);
+        assert!((j.reduce_imbalance("comparisons") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        // One task does all the work among four: max/mean = 4.
+        let j = job(&[12, 0, 0, 0]);
+        assert!((j.reduce_imbalance("comparisons") - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_empty_or_zero_load_is_one() {
+        let j = job(&[0, 0]);
+        assert_eq!(j.reduce_imbalance("comparisons"), 1.0);
+        let j = job(&[]);
+        assert_eq!(j.reduce_imbalance("comparisons"), 1.0);
+    }
+
+    #[test]
+    fn task_kind_display() {
+        assert_eq!(TaskKind::Map.to_string(), "map");
+        assert_eq!(TaskKind::Reduce.to_string(), "reduce");
+    }
+}

@@ -1,0 +1,98 @@
+//! Multi-job dataflows.
+//!
+//! The paper's ER workflow (Figure 2) chains two MR jobs: the BDM job
+//! whose *side output* (entities annotated with their blocking key,
+//! written per map task) becomes the — identically partitioned — input
+//! of the matching job. This module provides the small amount of glue
+//! for that pattern plus invariant checks.
+
+use crate::input::Partitions;
+
+/// Converts the side outputs of a completed job into the input
+/// partitions of a follow-up job.
+///
+/// Side outputs are collected per map task, so using them as input
+/// partitions guarantees the second job sees the *same* partitioning of
+/// the data as the first — the property Algorithms 1–3 require ("by
+/// prohibiting the splitting of input files, it is ensured that the
+/// second MR job receives the same partitioning of the input data as
+/// the first job").
+pub fn side_outputs_as_input<K, V>(side_outputs: Vec<Vec<(K, V)>>) -> Partitions<K, V> {
+    side_outputs
+}
+
+/// Checks that two partitionings have identical shape (same number of
+/// partitions, same number of records per partition). Used by the ER
+/// driver as a debug assertion between Job 1 and Job 2.
+pub fn same_shape<K1, V1, K2, V2>(a: &Partitions<K1, V1>, b: &Partitions<K2, V2>) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.len() == y.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{ClosureMapper, ClosureReducer};
+    use crate::engine::Job;
+    use crate::input::partition_evenly;
+    use crate::mapper::MapContext;
+    use crate::reducer::{Group, ReduceContext};
+
+    #[test]
+    fn side_outputs_feed_a_second_job_with_identical_partitioning() {
+        // Job 1: annotate each number with its parity, side-output the
+        // annotated records, reduce-output parity counts.
+        let mapper1 = ClosureMapper::new(
+            |_: &(), v: &u32, ctx: &mut MapContext<bool, u64, (bool, u32)>| {
+                let even = v.is_multiple_of(2);
+                ctx.side_output((even, *v));
+                ctx.emit(even, 1);
+            },
+        );
+        let reducer1 = ClosureReducer::new(
+            |group: Group<'_, bool, u64>, ctx: &mut ReduceContext<bool, u64>| {
+                ctx.emit(*group.key(), group.values().sum());
+            },
+        );
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let shapes: Vec<usize> = input.iter().map(Vec::len).collect();
+        let job1 = Job::builder("annotate", mapper1, reducer1)
+            .reduce_tasks(2)
+            .parallelism(1)
+            .build();
+        let out1 = job1.run(input).unwrap();
+
+        let input2 = side_outputs_as_input(out1.side_outputs);
+        let shapes2: Vec<usize> = input2.iter().map(Vec::len).collect();
+        assert_eq!(shapes, shapes2, "partition shape must be preserved");
+
+        // Job 2: sum values per parity from the annotated records.
+        let mapper2 =
+            ClosureMapper::new(|even: &bool, v: &u32, ctx: &mut MapContext<bool, u64, ()>| {
+                ctx.emit(*even, u64::from(*v));
+            });
+        let reducer2 = ClosureReducer::new(
+            |group: Group<'_, bool, u64>, ctx: &mut ReduceContext<bool, u64>| {
+                ctx.emit(*group.key(), group.values().sum());
+            },
+        );
+        let job2 = Job::builder("sum", mapper2, reducer2)
+            .reduce_tasks(2)
+            .parallelism(1)
+            .build();
+        let out2 = job2.run(input2).unwrap();
+        let mut sums = out2.records;
+        sums.sort();
+        assert_eq!(sums, vec![(false, 25), (true, 20)]);
+    }
+
+    #[test]
+    fn same_shape_detects_mismatch() {
+        let a: Partitions<(), u8> = vec![vec![((), 1)], vec![]];
+        let b: Partitions<(), u8> = vec![vec![((), 2)], vec![]];
+        let c: Partitions<(), u8> = vec![vec![], vec![((), 2)]];
+        assert!(same_shape(&a, &b));
+        assert!(!same_shape(&a, &c));
+        let d: Partitions<(), u8> = vec![vec![((), 1)]];
+        assert!(!same_shape(&a, &d));
+    }
+}

@@ -1,0 +1,100 @@
+//! A minimal deterministic work pool for running homogeneous tasks.
+//!
+//! Workers pull task indices from an atomic cursor; results land in
+//! index-addressed slots, so the result vector is always in task order
+//! regardless of completion order — the keystone of the engine's
+//! determinism guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `count` tasks produced by `f(task_index)` on up to
+/// `parallelism` worker threads and returns results in task order.
+///
+/// With `parallelism == 1` everything runs on the calling thread (no
+/// spawn overhead), which keeps unit tests fast and stack traces clean.
+pub fn run_tasks<T, F>(count: usize, parallelism: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(parallelism > 0, "parallelism must be at least 1");
+    if count == 0 {
+        return Vec::new();
+    }
+    if parallelism == 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = parallelism.min(count);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                let prev = slots[i].lock().replace(result);
+                assert!(prev.is_none(), "slot {i} written twice");
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| panic!("task {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order() {
+        // Make later tasks finish earlier by sleeping inversely.
+        let out = run_tasks(8, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((8 - i as u64) * 2));
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel_path() {
+        let seq = run_tasks(20, 1, |i| i * i);
+        let par = run_tasks(20, 6, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_tasks(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<u8> = run_tasks(0, 4, |_| unreachable!("no tasks to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_panics() {
+        let _ = run_tasks(1, 0, |i| i);
+    }
+}

@@ -1,0 +1,72 @@
+//! Product deduplication at realistic scale: a DS1-like catalog with
+//! injected duplicates, deduplicated by all three strategies, with
+//! match quality evaluated against the gold standard and workload
+//! balance compared.
+//!
+//! ```sh
+//! cargo run --release --example product_dedup
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dedupe_mr::prelude::*;
+use er_datagen::{ds1_spec, generate_products};
+
+fn main() {
+    // 2% of DS1: ~2,300 products, same skew shape as the paper's
+    // dataset (the dominant 3-letter prefix carries most pairs).
+    let dataset = generate_products(&ds1_spec(7).scaled(0.02));
+    println!(
+        "dataset: {} entities, {} gold duplicate pairs\n",
+        dataset.len(),
+        dataset.gold.len()
+    );
+    let input = partition_evenly(
+        dataset
+            .entities
+            .iter()
+            .map(|e| ((), Arc::new(e.clone())))
+            .collect::<Vec<_>>(),
+        8,
+    );
+
+    println!(
+        "{:<11} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10} {:>9}",
+        "strategy", "matches", "compars", "precis", "recall", "f1", "imbalance", "wall"
+    );
+    for strategy in [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ] {
+        let config = ErConfig::new(strategy)
+            .with_reduce_tasks(16)
+            .with_parallelism(4);
+        let start = Instant::now();
+        let outcome = run_er(input.clone(), &config).expect("pipeline runs");
+        let wall = start.elapsed();
+        let quality = QualityReport::evaluate(&outcome.result, &dataset.gold);
+        let stats = WorkloadStats::from_metrics(strategy, &outcome.match_metrics);
+        println!(
+            "{:<11} {:>9} {:>9} {:>8.3} {:>8.3} {:>9.3} {:>10.2} {:>8.0}ms",
+            strategy.to_string(),
+            outcome.result.len(),
+            stats.total_comparisons(),
+            quality.precision(),
+            quality.recall(),
+            quality.f1(),
+            stats.imbalance(),
+            wall.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!("\nnotes:");
+    println!("  * all strategies produce identical match results — load balancing");
+    println!("    only changes *where* pairs are compared, never *which*;");
+    println!("  * precision is 1.0 by the generator's similarity-margin design;");
+    println!("  * recall < 1.0 only if a duplicate's typo broke its blocking prefix");
+    println!("    (disabled by default) — blocking never sees such pairs;");
+    println!("  * 'imbalance' is max/mean comparisons per reduce task: Basic's grows");
+    println!("    with the dominant block while BlockSplit/PairRange stay near 1.");
+}

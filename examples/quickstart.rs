@@ -1,0 +1,62 @@
+//! Quickstart: deduplicate a small product catalog with BlockSplit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+
+fn main() {
+    // A toy catalog. Titles blocked on their first three letters;
+    // matching is normalized edit distance with threshold 0.8 — the
+    // paper's configuration.
+    let catalog = [
+        "canon eos 5d mark iii body",
+        "canon eos 5d mark iri body", // typo'd duplicate
+        "canon powershot g7x",
+        "nikon d800 body only",
+        "nikon d800 body onli", // typo'd duplicate
+        "nikon coolpix p900",
+        "sony alpha 7r iv kit",
+        "dell ultrasharp 27 monitor",
+    ];
+    let entities: Vec<Ent> = catalog
+        .iter()
+        .enumerate()
+        .map(|(id, title)| Arc::new(Entity::new(id as u64, [("title", *title)])))
+        .collect();
+
+    // Two input partitions == two map tasks, exactly like splitting an
+    // input file on a distributed file system.
+    let input = partition_evenly(entities.iter().map(|e| ((), Arc::clone(e))).collect(), 2);
+
+    let config = ErConfig::new(StrategyKind::BlockSplit)
+        .with_reduce_tasks(4)
+        .with_parallelism(2);
+    let outcome = run_er(input, &config).expect("pipeline runs");
+
+    println!("matches found:");
+    for (pair, score) in outcome.result.iter() {
+        let title = |r: EntityRef| entities[r.id.0 as usize].get("title").unwrap().to_string();
+        println!("  {:.3}  {:?} == {:?}", score, title(pair.lo()), title(pair.hi()));
+    }
+
+    let bdm = outcome.bdm.as_ref().expect("BlockSplit computes a BDM");
+    println!("\nblock distribution matrix ({} blocks):", bdm.num_blocks());
+    for k in 0..bdm.num_blocks() {
+        println!(
+            "  block {:>2} key={:<4} entities={} pairs={}",
+            k,
+            bdm.key(k).to_string(),
+            bdm.size(k),
+            bdm.pairs_in_block(k)
+        );
+    }
+    println!(
+        "\nreduce-task comparison loads: {:?} (total {})",
+        outcome.reduce_loads(),
+        outcome.total_comparisons()
+    );
+}

@@ -1,0 +1,59 @@
+//! # dedupe-mr
+//!
+//! Load-balanced MapReduce-based entity resolution: a full Rust
+//! implementation of *"Load Balancing for MapReduce-based Entity
+//! Resolution"* (Kolb, Thor, Rahm; ICDE 2012) — the **BlockSplit** and
+//! **PairRange** skew-handling strategies, the **Block Distribution
+//! Matrix** preprocessing job, the **Basic** baseline, two-source
+//! matching, null-key handling and multi-pass blocking — together with
+//! every substrate the paper depends on: an in-process MapReduce
+//! runtime, an entity-resolution core (blocking, similarity,
+//! matching), synthetic workload generators, and a virtual Hadoop
+//! cluster for paper-scale timing studies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dedupe_mr::prelude::*;
+//!
+//! // Three product offers; two are near-duplicates.
+//! let entities: Vec<Ent> = vec![
+//!     Arc::new(Entity::new(0, [("title", "canon eos 5d mark iii")])),
+//!     Arc::new(Entity::new(1, [("title", "canon eos 5d mark iri")])),
+//!     Arc::new(Entity::new(2, [("title", "nikon d800 body only")])),
+//! ];
+//! let input = partition_evenly(entities.into_iter().map(|e| ((), e)).collect(), 2);
+//!
+//! let config = ErConfig::new(StrategyKind::BlockSplit)
+//!     .with_reduce_tasks(4)
+//!     .with_parallelism(2);
+//! let outcome = run_er(input, &config).unwrap();
+//! assert_eq!(outcome.result.len(), 1); // the canon pair
+//! ```
+
+pub use cluster_sim;
+pub use er_core;
+pub use er_datagen;
+pub use er_loadbalance;
+pub use mr_engine;
+
+/// The most common imports for building ER pipelines.
+pub mod prelude {
+    pub use er_core::blocking::{
+        AttributeBlocking, BlockKey, BlockingFunction, ConstantBlocking, MultiPassBlocking,
+        PrefixBlocking,
+    };
+    pub use er_core::{
+        Entity, EntityId, EntityRef, GoldStandard, MatchPair, MatchResult, MatchRule, Matcher,
+        QualityReport, SourceId,
+    };
+    pub use er_loadbalance::driver::{naive_reference, run_er, ErConfig, ErOutcome};
+    pub use er_loadbalance::null_keys::{deduplicate_with_null_keys, link_with_null_keys};
+    pub use er_loadbalance::two_source::run_linkage;
+    pub use er_loadbalance::{
+        BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats,
+        COMPARISONS,
+    };
+    pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
+}

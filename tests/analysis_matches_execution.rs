@@ -1,0 +1,104 @@
+//! The analytic workload model must agree *exactly* with executed
+//! counters — it is the foundation of every paper-scale experiment.
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+use er_datagen::{ds1_spec, generate_products};
+use er_loadbalance::analysis::analyze;
+
+fn dataset_input(m: usize) -> (Partitions<(), Ent>, usize) {
+    let ds = generate_products(&ds1_spec(31).scaled(0.01));
+    let n = ds.len();
+    (
+        partition_evenly(
+            ds.entities
+                .into_iter()
+                .map(|e| ((), Arc::new(e)))
+                .collect(),
+            m,
+        ),
+        n,
+    )
+}
+
+#[test]
+fn analysis_equals_execution_for_every_strategy() {
+    for (m, r) in [(3usize, 5usize), (5, 16), (8, 40)] {
+        let (input, _) = dataset_input(m);
+        for strategy in [
+            StrategyKind::Basic,
+            StrategyKind::BlockSplit,
+            StrategyKind::PairRange,
+        ] {
+            let config = ErConfig::new(strategy)
+                .with_reduce_tasks(r)
+                .with_parallelism(2)
+                .with_count_only(true);
+            let outcome = run_er(input.clone(), &config).unwrap();
+            // Basic computes no BDM: derive one from the input for the
+            // analysis side.
+            let bdm = match &outcome.bdm {
+                Some(b) => Arc::clone(b),
+                None => {
+                    let keys: Vec<Vec<BlockKey>> = input
+                        .iter()
+                        .map(|part| {
+                            part.iter()
+                                .filter_map(|(_, e)| PrefixBlocking::title3().key(e))
+                                .collect()
+                        })
+                        .collect();
+                    Arc::new(BlockDistributionMatrix::from_key_partitions(&keys))
+                }
+            };
+            let workload = analyze(&bdm, strategy, r, RangePolicy::CeilDiv);
+
+            assert_eq!(
+                workload.reduce_comparisons,
+                outcome.reduce_loads(),
+                "{strategy} m={m} r={r}: per-task comparisons diverge"
+            );
+            assert_eq!(
+                workload.map_output_records,
+                outcome.match_metrics.map_output_records(),
+                "{strategy} m={m} r={r}: map output diverges"
+            );
+            let executed_inputs: Vec<u64> = outcome
+                .match_metrics
+                .reduce_tasks
+                .iter()
+                .map(|t| t.records_in)
+                .collect();
+            assert_eq!(
+                workload.reduce_input_records, executed_inputs,
+                "{strategy} m={m} r={r}: reduce inputs diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_conserves_total_pairs() {
+    let (input, _) = dataset_input(4);
+    let config = ErConfig::new(StrategyKind::BlockSplit)
+        .with_reduce_tasks(8)
+        .with_parallelism(1)
+        .with_count_only(true);
+    let outcome = run_er(input, &config).unwrap();
+    let bdm = outcome.bdm.unwrap();
+    for r in [1usize, 2, 7, 33, 129] {
+        for strategy in [
+            StrategyKind::Basic,
+            StrategyKind::BlockSplit,
+            StrategyKind::PairRange,
+        ] {
+            let w = analyze(&bdm, strategy, r, RangePolicy::CeilDiv);
+            assert_eq!(
+                w.total_comparisons(),
+                bdm.total_pairs(),
+                "{strategy} r={r} lost pairs"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The memory-guard extension of BlockSplit's split policy: blocks
+//! larger than the cap split even when their workload fits the
+//! average, bounding the entities any reduce group must buffer.
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+use er_loadbalance::block_split::{create_match_tasks_with_policy, SplitPolicy};
+
+fn one_big_block(n: usize, m: usize) -> Partitions<(), Ent> {
+    let entities: Vec<Ent> = (0..n)
+        .map(|id| {
+            Arc::new(Entity::new(
+                id as u64,
+                [("title", format!("aaa item {id:05}").as_str())],
+            ))
+        })
+        .collect();
+    partition_round_robin(entities.into_iter().map(|e| ((), e)).collect(), m)
+}
+
+#[test]
+fn capped_run_produces_identical_matches() {
+    let input = one_big_block(60, 4);
+    let plain = ErConfig::new(StrategyKind::BlockSplit)
+        .with_reduce_tasks(1)
+        .with_parallelism(2);
+    let capped = plain.clone().with_memory_cap(20);
+    let a = run_er(input.clone(), &plain).unwrap();
+    let b = run_er(input, &capped).unwrap();
+    assert_eq!(a.result.pair_set(), b.result.pair_set());
+    assert_eq!(a.total_comparisons(), b.total_comparisons());
+}
+
+#[test]
+fn cap_bounds_reduce_group_buffering() {
+    // r = 1: the paper's policy keeps the 60-entity block whole (one
+    // reduce group buffers all 60); a 20-entity cap splits it into
+    // sub-blocks of ~15 (round-robin over 4 partitions), so no group
+    // buffers more than two sub-blocks.
+    let n = 60u64;
+    let m = 4usize;
+    let input = one_big_block(n as usize, m);
+
+    let plain = run_er(
+        one_big_block(n as usize, m),
+        &ErConfig::new(StrategyKind::BlockSplit)
+            .with_reduce_tasks(1)
+            .with_parallelism(1)
+            .with_count_only(true),
+    )
+    .unwrap();
+    let max_group_plain = plain
+        .match_metrics
+        .reduce_tasks
+        .iter()
+        .map(|t| t.records_in)
+        .max()
+        .unwrap();
+    assert_eq!(max_group_plain, n, "uncapped: the whole block in one task");
+
+    let capped = run_er(
+        input,
+        &ErConfig::new(StrategyKind::BlockSplit)
+            .with_reduce_tasks(1)
+            .with_parallelism(1)
+            .with_count_only(true)
+            .with_memory_cap(20),
+    )
+    .unwrap();
+    // All match tasks share reduce task 0 (r = 1), but each *group*
+    // (match task) holds at most two sub-blocks of 15.
+    let groups = capped
+        .match_metrics
+        .reduce_tasks
+        .iter()
+        .map(|t| t.counter("mr.reduce.input.groups"))
+        .sum::<u64>();
+    assert!(groups > 1, "the cap must create multiple match tasks");
+    assert_eq!(capped.total_comparisons(), n * (n - 1) / 2);
+}
+
+#[test]
+fn cap_splits_below_average_blocks() {
+    use er_loadbalance::bdm::BlockDistributionMatrix;
+    // Two equal blocks, r = 2: each fits the average exactly, so the
+    // paper's policy keeps both whole; a cap of 5 splits both.
+    let bdm = BlockDistributionMatrix::from_counts(
+        2,
+        vec![
+            (BlockKey::new("a"), 0, 4),
+            (BlockKey::new("a"), 1, 4),
+            (BlockKey::new("b"), 0, 4),
+            (BlockKey::new("b"), 1, 4),
+        ],
+    );
+    let plain = create_match_tasks_with_policy(&bdm, 2, SplitPolicy::paper());
+    assert_eq!(plain.len(), 2, "both blocks whole under the paper policy");
+    let capped = create_match_tasks_with_policy(&bdm, 2, SplitPolicy::with_memory_cap(5));
+    assert_eq!(capped.len(), 6, "3 tasks per block once capped");
+    let total: u64 = capped.iter().map(|t| t.comparisons).sum();
+    assert_eq!(total, 2 * 28, "pairs conserved");
+}

@@ -1,0 +1,136 @@
+//! Every concrete number of the paper's running example (Figures 3–7)
+//! and two-source appendix (Figures 15–17), checked end to end through
+//! the public facade.
+
+use dedupe_mr::prelude::*;
+use er_loadbalance::running_example;
+use er_loadbalance::two_source::appendix_example;
+
+fn example_config(strategy: StrategyKind) -> ErConfig {
+    ErConfig::new(strategy)
+        .with_blocking(running_example::blocking())
+        .with_reduce_tasks(3)
+        .with_parallelism(1)
+        .with_count_only(true)
+}
+
+#[test]
+fn bdm_matches_figure_4() {
+    let outcome = run_er(
+        running_example::entity_partitions(),
+        &example_config(StrategyKind::BlockSplit),
+    )
+    .unwrap();
+    let bdm = outcome.bdm.expect("BDM computed");
+    // b = 4 blocks over m = 2 partitions; row [z, 1, 3] from Figure 4.
+    assert_eq!(bdm.num_blocks(), 4);
+    assert_eq!(bdm.num_partitions(), 2);
+    assert_eq!(bdm.size_in(3, 1), 3);
+    // Block sizes 4, 2, 3, 5; pair offsets 0, 6, 7, 10; P = 20.
+    assert_eq!(
+        (bdm.size(0), bdm.size(1), bdm.size(2), bdm.size(3)),
+        (4, 2, 3, 5)
+    );
+    assert_eq!(bdm.total_pairs(), 20);
+    assert_eq!(bdm.pair_offset(3), 10);
+}
+
+#[test]
+fn block_split_matches_figure_5() {
+    let outcome = run_er(
+        running_example::entity_partitions(),
+        &example_config(StrategyKind::BlockSplit),
+    )
+    .unwrap();
+    // 19 map output KV pairs (14 entities + 5 replicas of block z).
+    assert_eq!(outcome.match_metrics.map_output_records(), 19);
+    // Reduce loads 7 / 7 / 6 ("between six and seven comparisons").
+    let mut loads = outcome.reduce_loads();
+    loads.sort_unstable();
+    assert_eq!(loads, vec![6, 7, 7]);
+    assert_eq!(outcome.total_comparisons(), 20);
+}
+
+#[test]
+fn pair_range_matches_figures_6_and_7() {
+    let outcome = run_er(
+        running_example::entity_partitions(),
+        &example_config(StrategyKind::PairRange),
+    )
+    .unwrap();
+    // Ranges [0,6], [7,13], [14,19] -> loads 7, 7, 6 in task order.
+    assert_eq!(outcome.reduce_loads(), vec![7, 7, 6]);
+    // Figure 7's dataflow: 18 emitted KV pairs (range 0: 6 entities,
+    // range 1: 8, range 2: 4).
+    assert_eq!(outcome.match_metrics.map_output_records(), 18);
+    let inputs: Vec<u64> = outcome
+        .match_metrics
+        .reduce_tasks
+        .iter()
+        .map(|t| t.records_in)
+        .collect();
+    assert_eq!(inputs, vec![6, 8, 4]);
+}
+
+#[test]
+fn basic_computes_the_same_20_pairs_without_balancing() {
+    let outcome = run_er(
+        running_example::entity_partitions(),
+        &example_config(StrategyKind::Basic),
+    )
+    .unwrap();
+    assert_eq!(outcome.total_comparisons(), 20);
+    assert_eq!(outcome.match_metrics.map_output_records(), 14);
+    assert!(outcome.bdm.is_none(), "Basic runs without the BDM job");
+}
+
+#[test]
+fn appendix_example_matches_figures_15_to_17() {
+    for strategy in [StrategyKind::BlockSplit, StrategyKind::PairRange] {
+        let outcome = run_linkage(
+            appendix_example::entity_partitions(),
+            appendix_example::partition_sources(),
+            &example_config(strategy),
+        )
+        .unwrap();
+        assert_eq!(outcome.total_comparisons(), 12, "{strategy}: 12 pairs");
+        assert_eq!(
+            outcome.reduce_loads(),
+            vec![4, 4, 4],
+            "{strategy}: three ranges/tasks of 4"
+        );
+    }
+}
+
+#[test]
+fn all_strategies_find_the_same_matches_with_real_similarity() {
+    // Run with actual edit-distance matching (threshold lowered so the
+    // single-letter example titles produce matches).
+    let matcher = std::sync::Arc::new(Matcher::new(
+        vec![MatchRule::new(
+            "title",
+            std::sync::Arc::new(er_core::similarity::JaroWinkler::default()),
+        )],
+        0.5,
+    ));
+    let mut reference: Option<std::collections::BTreeSet<MatchPair>> = None;
+    for strategy in [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ] {
+        let config = example_config(strategy)
+            .with_count_only(false)
+            .with_matcher(matcher.clone());
+        let outcome = run_er(running_example::entity_partitions(), &config).unwrap();
+        let pairs = outcome.result.pair_set();
+        match &reference {
+            None => reference = Some(pairs),
+            Some(r) => assert_eq!(r, &pairs, "{strategy} differs"),
+        }
+    }
+    assert!(
+        !reference.unwrap().is_empty(),
+        "the lowered threshold must produce at least one match"
+    );
+}
