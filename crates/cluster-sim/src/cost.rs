@@ -108,8 +108,7 @@ impl CostModel {
     /// and performing `comparisons` comparisons; the work portion is
     /// scaled by the task's computational-skew multiplier.
     pub fn reduce_task_ms(&self, index: usize, kv_in: u64, comparisons: u64) -> f64 {
-        let work =
-            (kv_in as f64 * self.shuffle_ns + comparisons as f64 * self.pair_ns) / 1e6;
+        let work = (kv_in as f64 * self.shuffle_ns + comparisons as f64 * self.pair_ns) / 1e6;
         self.task_startup_ms + work * self.skew_multiplier(index)
     }
 
@@ -195,7 +194,9 @@ mod tests {
         let mean = a.iter().sum::<f64>() / a.len() as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         let amplitude = model.comp_skew_cv * 3f64.sqrt();
-        assert!(a.iter().all(|&m| m >= 1.0 - amplitude - 1e-9 && m <= 1.0 + amplitude + 1e-9));
+        assert!(a
+            .iter()
+            .all(|&m| m >= 1.0 - amplitude - 1e-9 && m <= 1.0 + amplitude + 1e-9));
         // Realized CV close to configured.
         let var = a.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / a.len() as f64;
         let cv = var.sqrt() / mean;

@@ -23,7 +23,11 @@ pub fn render_outcome(outcome: &SimOutcome) -> String {
     for (name, ms) in &outcome.jobs_ms {
         out.push_str(&format!("  job {name:<16} {}\n", fmt_duration(*ms)));
     }
-    out.push_str(&format!("  total{:<13} {}\n", "", fmt_duration(outcome.total_ms)));
+    out.push_str(&format!(
+        "  total{:<13} {}\n",
+        "",
+        fmt_duration(outcome.total_ms)
+    ));
     out
 }
 

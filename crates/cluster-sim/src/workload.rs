@@ -125,18 +125,25 @@ mod tests {
     fn skewed_reduce_load_dominates_makespan() {
         let c = cost();
         // One reduce task with 100M comparisons vs 9 idle ones.
-        let skewed = SimJob::matching("skewed", &c, 2, 1000, 1000, &[
-            (1000, 100_000_000),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-            (0, 0),
-        ]);
+        let skewed = SimJob::matching(
+            "skewed",
+            &c,
+            2,
+            1000,
+            1000,
+            &[
+                (1000, 100_000_000),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+                (0, 0),
+            ],
+        );
         let balanced_tasks: Vec<(u64, u64)> = (0..10).map(|_| (100, 10_000_000)).collect();
         let balanced = SimJob::matching("balanced", &c, 2, 1000, 1000, &balanced_tasks);
         let cluster = ClusterConfig::paper(5); // 10 reduce slots

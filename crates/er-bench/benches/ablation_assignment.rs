@@ -23,13 +23,7 @@ fn main() {
     println!("== Ablation: greedy LPT vs round-robin match-task assignment ==\n");
     let keys = key_sequence(&ds1_spec(PAPER_SEED));
     let bdm = bdm_from_keys(&keys, 20);
-    let mut table = TextTable::new(&[
-        "r",
-        "tasks",
-        "LPT max load",
-        "RR max load",
-        "RR/LPT",
-    ]);
+    let mut table = TextTable::new(&["r", "tasks", "LPT max load", "RR max load", "RR/LPT"]);
     let mut ratios = Vec::new();
     for r in [20usize, 40, 80, 160] {
         let tasks = create_match_tasks(&bdm, r);

@@ -22,12 +22,7 @@ fn main() {
         .iter()
         .map(|e| ((), Arc::new(e.clone())))
         .collect();
-    let mut table = TextTable::new(&[
-        "combiner",
-        "shuffled records",
-        "wall time",
-        "bdm blocks",
-    ]);
+    let mut table = TextTable::new(&["combiner", "shuffled records", "wall time", "bdm blocks"]);
     let mut shuffled = Vec::new();
     let mut bdms = Vec::new();
     for use_combiner in [false, true] {

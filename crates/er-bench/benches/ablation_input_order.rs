@@ -35,12 +35,7 @@ fn main() {
         ("sorted by key", sorted_keys(&shuffled)),
         ("round-robin", round_robin(&shuffled, 20)),
     ];
-    let mut table = TextTable::new(&[
-        "layout",
-        "max reduce load",
-        "imbalance",
-        "map KV pairs",
-    ]);
+    let mut table = TextTable::new(&["layout", "max reduce load", "imbalance", "map KV pairs"]);
     let mut max_loads = Vec::new();
     for (name, keys) in &layouts {
         let bdm = bdm_from_keys(keys, 20);

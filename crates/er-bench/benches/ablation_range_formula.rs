@@ -64,11 +64,19 @@ fn main() {
     table.print();
     println!(
         "\n[{}] max/mean is identical (max size = ceil(P/r) either way), but ceil-div",
-        if worst_prop <= worst_ceil { "PASS" } else { "WARN" },
+        if worst_prop <= worst_ceil {
+            "PASS"
+        } else {
+            "WARN"
+        },
     );
     println!(
         "[{}] ceil-div leaves up to {} reduce tasks completely idle where proportional leaves {}",
-        if worst_idle_prop <= worst_idle_ceil { "PASS" } else { "WARN" },
+        if worst_idle_prop <= worst_idle_ceil {
+            "PASS"
+        } else {
+            "WARN"
+        },
         worst_idle_ceil,
         worst_idle_prop
     );

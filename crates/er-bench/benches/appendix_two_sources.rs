@@ -17,12 +17,7 @@ use er_loadbalance::{StrategyKind, COMPARISONS};
 
 fn example_section() {
     println!("-- Figures 15-17: the worked example (12 cross-source pairs, r = 3) --\n");
-    let mut table = TextTable::new(&[
-        "strategy",
-        "comparisons",
-        "reduce loads",
-        "map KV pairs",
-    ]);
+    let mut table = TextTable::new(&["strategy", "comparisons", "reduce loads", "map KV pairs"]);
     for strategy in [
         StrategyKind::Basic,
         StrategyKind::BlockSplit,
@@ -85,12 +80,7 @@ fn linkage_section() {
         sources.push(SourceId::S);
     }
 
-    let mut table = TextTable::new(&[
-        "strategy",
-        "comparisons",
-        "max/mean load",
-        "matches",
-    ]);
+    let mut table = TextTable::new(&["strategy", "comparisons", "max/mean load", "matches"]);
     for strategy in [
         StrategyKind::Basic,
         StrategyKind::BlockSplit,

@@ -41,25 +41,23 @@ fn main() {
         "pairs",
         "pair share",
     ]);
-    let (_, _, p1, _, row1) = full_scale_row("DS1-like (products)", &ds1_spec(er_bench::PAPER_SEED));
+    let (_, _, p1, _, row1) =
+        full_scale_row("DS1-like (products)", &ds1_spec(er_bench::PAPER_SEED));
     let (_, _, p2, _, row2) =
         full_scale_row("DS2-like (publications)", &ds2_spec(er_bench::PAPER_SEED));
     table.row(row1);
     table.row(row2);
     table.print();
 
-    println!("\nDS2/DS1 pair ratio: {:.0}x (paper: \"more than 2,000 times\")", p2 as f64 / p1 as f64);
+    println!(
+        "\nDS2/DS1 pair ratio: {:.0}x (paper: \"more than 2,000 times\")",
+        p2 as f64 / p1 as f64
+    );
 
     // Materialized (scaled) datasets: verify the generator reproduces
     // the same shares with real entities and gold standards.
     println!("\n-- materialized at bench scale (real entities + gold standard) --\n");
-    let mut table = TextTable::new(&[
-        "dataset",
-        "entities",
-        "blocks",
-        "pair share",
-        "gold pairs",
-    ]);
+    let mut table = TextTable::new(&["dataset", "entities", "blocks", "pair share", "gold pairs"]);
     for (name, ds) in [
         (
             "DS1-like @10%",

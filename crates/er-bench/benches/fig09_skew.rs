@@ -89,7 +89,12 @@ fn main() {
     // strategies (fixed BDM overhead amortizes over more pairs), then
     // flattens. Check monotone amortization plus flatness at s >= 0.4.
     let flat_region = |s: &Series| {
-        let ys: Vec<f64> = s.points.iter().filter(|(x, _)| *x >= 0.39).map(|&(_, y)| y).collect();
+        let ys: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|(x, _)| *x >= 0.39)
+            .map(|&(_, y)| y)
+            .collect();
         ys.iter().cloned().fold(0.0, f64::max) / ys.iter().cloned().fold(f64::MAX, f64::min)
     };
     let bs_flat = flat_region(bs);

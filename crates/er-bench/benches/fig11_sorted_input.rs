@@ -70,7 +70,9 @@ fn main() {
     let k_dom = (0..bdm_unsorted.num_blocks())
         .max_by_key(|&k| bdm_unsorted.size(k))
         .unwrap();
-    let span_u = (0..M).filter(|&p| bdm_unsorted.size_in(k_dom, p) > 0).count();
+    let span_u = (0..M)
+        .filter(|&p| bdm_unsorted.size_in(k_dom, p) > 0)
+        .count();
     let span_s = (0..M).filter(|&p| bdm_sorted.size_in(k_dom, p) > 0).count();
     println!(
         "    dominant block spans {span_u} partitions unsorted vs {span_s} sorted -> fewer sub-blocks to split into"

@@ -66,7 +66,11 @@ fn main() {
     let growth = pr_all.last().unwrap() - pr_all.first().unwrap();
     println!(
         "[{}] PairRange grows ~linearly with r (monotone: {monotone}, +{} pairs from r=20 to 160)",
-        if monotone && growth > 0 { "PASS" } else { "WARN" },
+        if monotone && growth > 0 {
+            "PASS"
+        } else {
+            "WARN"
+        },
         fmt_count(growth)
     );
     println!(

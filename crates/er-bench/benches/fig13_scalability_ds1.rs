@@ -30,9 +30,7 @@ fn main() {
         .iter()
         .map(|s| Series::new(s.to_string()))
         .collect();
-    let mut table = TextTable::new(&[
-        "n", "m", "r", "Basic", "BlockSplit", "PairRange",
-    ]);
+    let mut table = TextTable::new(&["n", "m", "r", "Basic", "BlockSplit", "PairRange"]);
     for &n in &NODE_STEPS {
         let m = 2 * n;
         let r = 10 * n;
@@ -64,7 +62,11 @@ fn main() {
     let pr_speedup_10 = series[2].speedup().points[3].1;
     println!(
         "\n[{}] Basic does not scale: speedup at n=100 is only {:.1} (paper: ~flat beyond 2 nodes)",
-        if basic_speedup_100 < 4.0 { "PASS" } else { "WARN" },
+        if basic_speedup_100 < 4.0 {
+            "PASS"
+        } else {
+            "WARN"
+        },
         basic_speedup_100
     );
     println!(

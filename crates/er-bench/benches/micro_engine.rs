@@ -13,10 +13,7 @@ use mr_engine::input::partition_evenly;
 fn pipeline_input(scale: f64) -> Vec<Vec<((), er_loadbalance::Ent)>> {
     let ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED).scaled(scale));
     partition_evenly(
-        ds.entities
-            .into_iter()
-            .map(|e| ((), Arc::new(e)))
-            .collect(),
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
         8,
     )
 }
@@ -44,6 +41,39 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// Not a timing benchmark: prints where the shuffle cost lives. With
+/// map-side sorted runs and reduce-side merging, the coordinator's
+/// shuffle share must be a sliver of job wall time — the merge is
+/// absorbed into reduce-task wall time on the worker pool.
+fn report_shuffle_location(_c: &mut Criterion) {
+    use er_core::Matcher;
+    use er_loadbalance::basic::basic_job;
+    use er_loadbalance::compare::PairComparer;
+
+    let input = pipeline_input(0.02);
+    let job = basic_job(
+        Arc::new(PrefixBlocking::title3()),
+        PairComparer::new(Arc::new(Matcher::paper_default())),
+        16,
+        4,
+    );
+    let out = job.run(input).unwrap();
+    let m = &out.metrics;
+    let reduce_wall: std::time::Duration = m.reduce_tasks.iter().map(|t| t.wall).sum();
+    println!(
+        "shuffle location: coordinator {:?} ({:.2}% of job wall {:?}); \
+         reduce tasks absorb the merge ({:?} summed reduce wall)",
+        m.shuffle_wall,
+        100.0 * m.shuffle_wall.as_secs_f64() / m.wall.as_secs_f64().max(1e-9),
+        m.wall,
+        reduce_wall,
+    );
+    assert!(
+        m.shuffle_wall.as_secs_f64() < 0.25 * m.wall.as_secs_f64(),
+        "coordinator-side shuffle must be a transpose, not a sort"
+    );
+}
+
 fn bench_bdm_job(c: &mut Criterion) {
     let input = pipeline_input(0.02);
     c.bench_function("bdm_job_ds1_2pct", |b| {
@@ -67,6 +97,6 @@ fn bench_bdm_job(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_bdm_job
+    targets = bench_pipeline, bench_bdm_job, report_shuffle_location
 }
 criterion_main!(benches);

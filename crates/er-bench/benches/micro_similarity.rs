@@ -1,16 +1,114 @@
 //! Criterion micro-benchmarks for the similarity kernels — the inner
 //! loop of every reduce task, and the constant the cluster simulator
 //! calibrates.
+//!
+//! The `blocked_matching` group measures the tentpole win: all-pairs
+//! matching over one block through the naive per-pair string path vs
+//! the prepare-once path (`Matcher::prepare` + `score_prepared`).
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use er_core::similarity::{
-    levenshtein_distance, levenshtein_within, Jaccard, JaroWinkler, NGram,
+    levenshtein_distance, levenshtein_within, Jaccard, JaroWinkler, MongeElkan, NGram,
     NormalizedLevenshtein, Similarity,
 };
+use er_core::{Entity, MatchRule, Matcher};
 
 const A: &str = "babpro k3vd9qmzx21ab camera";
 const B: &str = "babpro k3vd9qmzx21ac camera";
 const C: &str = "zzmax w8jf02qrty45cd printer";
+
+/// One synthetic block of near-duplicate product titles.
+fn block(size: usize) -> Vec<Entity> {
+    (0..size)
+        .map(|i| {
+            Entity::new(
+                i as u64,
+                [(
+                    "title",
+                    format!("babpro k3vd9qmzx21ab camera kit rev{:02}", i % 17).as_str(),
+                )],
+            )
+        })
+        .collect()
+}
+
+fn all_pairs_naive(matcher: &Matcher, entities: &[Entity]) -> usize {
+    let mut matches = 0;
+    for i in 0..entities.len() {
+        for j in (i + 1)..entities.len() {
+            if matcher.matches(&entities[i], &entities[j]).is_some() {
+                matches += 1;
+            }
+        }
+    }
+    matches
+}
+
+fn all_pairs_prepared(matcher: &Matcher, entities: &[Entity]) -> usize {
+    let prepared: Vec<_> = entities.iter().map(|e| matcher.prepare(e)).collect();
+    let mut matches = 0;
+    for i in 0..prepared.len() {
+        for j in (i + 1)..prepared.len() {
+            if matcher
+                .matches_prepared(&prepared[i], &prepared[j])
+                .is_some()
+            {
+                matches += 1;
+            }
+        }
+    }
+    matches
+}
+
+fn bench_blocked_matching(c: &mut Criterion) {
+    const BLOCK: usize = 48;
+    let entities = block(BLOCK);
+    let configs: Vec<(&str, Matcher)> = vec![
+        (
+            "levenshtein",
+            Matcher::new(
+                vec![MatchRule::new("title", Arc::new(NormalizedLevenshtein))],
+                0.8,
+            ),
+        ),
+        (
+            "trigram",
+            Matcher::new(
+                vec![MatchRule::new("title", Arc::new(NGram::trigram()))],
+                0.8,
+            ),
+        ),
+        (
+            "jaccard",
+            Matcher::new(vec![MatchRule::new("title", Arc::new(Jaccard))], 0.5),
+        ),
+        (
+            "monge-elkan",
+            Matcher::new(
+                vec![MatchRule::new("title", Arc::new(MongeElkan::default()))],
+                0.8,
+            ),
+        ),
+    ];
+    let mut g = c.benchmark_group(format!("blocked_matching_b{BLOCK}"));
+    for (name, matcher) in &configs {
+        // Sanity: both paths must agree before we time them.
+        assert_eq!(
+            all_pairs_naive(matcher, &entities),
+            all_pairs_prepared(matcher, &entities),
+            "{name}: prepared path diverged"
+        );
+        g.bench_function(format!("{name}/naive"), |b| {
+            b.iter(|| all_pairs_naive(black_box(matcher), black_box(&entities)))
+        });
+        g.bench_function(format!("{name}/prepared"), |b| {
+            b.iter(|| all_pairs_prepared(black_box(matcher), black_box(&entities)))
+        });
+    }
+    g.finish();
+}
 
 fn bench_similarity(c: &mut Criterion) {
     let mut g = c.benchmark_group("similarity");
@@ -45,6 +143,6 @@ fn bench_similarity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_similarity
+    targets = bench_similarity, bench_blocked_matching
 }
 criterion_main!(benches);

@@ -17,7 +17,5 @@ pub mod setup;
 pub mod table;
 
 pub use series::Series;
-pub use setup::{
-    bdm_from_keys, simulate_strategy, sorted_keys, ExperimentCost, PAPER_SEED,
-};
+pub use setup::{bdm_from_keys, simulate_strategy, sorted_keys, ExperimentCost, PAPER_SEED};
 pub use table::TextTable;

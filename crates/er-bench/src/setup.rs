@@ -149,9 +149,7 @@ mod tests {
         let bdm = bdm_from_keys(&sorted, 8);
         // The largest block occupies ceil(size / partition_size)
         // contiguous partitions, far fewer than all 8.
-        let k0 = (0..bdm.num_blocks())
-            .max_by_key(|&k| bdm.size(k))
-            .unwrap();
+        let k0 = (0..bdm.num_blocks()).max_by_key(|&k| bdm.size(k)).unwrap();
         let occupied = (0..8).filter(|&p| bdm.size_in(k0, p) > 0).count();
         let shuffled_bdm = bdm_from_keys(&ks, 8);
         let occupied_shuffled = (0..8).filter(|&p| shuffled_bdm.size_in(k0, p) > 0).count();

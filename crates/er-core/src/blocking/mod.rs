@@ -169,11 +169,7 @@ impl BlockingFunction for MultiPassBlocking {
     }
 
     fn keys(&self, entity: &Entity) -> Vec<BlockKey> {
-        let mut keys: Vec<BlockKey> = self
-            .passes
-            .iter()
-            .flat_map(|p| p.keys(entity))
-            .collect();
+        let mut keys: Vec<BlockKey> = self.passes.iter().flat_map(|p| p.keys(entity)).collect();
         keys.sort();
         keys.dedup();
         keys
@@ -228,7 +224,10 @@ mod tests {
     fn constant_blocking_assigns_bottom_to_everything() {
         let b = ConstantBlocking;
         assert_eq!(b.key(&product("anything")).unwrap(), BlockKey::bottom());
-        assert_eq!(b.key(&Entity::new(1, [("x", "y")])).unwrap(), BlockKey::bottom());
+        assert_eq!(
+            b.key(&Entity::new(1, [("x", "y")])).unwrap(),
+            BlockKey::bottom()
+        );
     }
 
     #[test]

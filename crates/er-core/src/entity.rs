@@ -71,7 +71,10 @@ pub struct Entity {
 
 impl Entity {
     /// Creates an entity in source [`SourceId::R`].
-    pub fn new(id: u64, attributes: impl IntoIterator<Item = (impl AsRef<str>, impl AsRef<str>)>) -> Self {
+    pub fn new(
+        id: u64,
+        attributes: impl IntoIterator<Item = (impl AsRef<str>, impl AsRef<str>)>,
+    ) -> Self {
         Self::with_source(SourceId::R, id, attributes)
     }
 

@@ -120,9 +120,9 @@ pub fn read_entities<R: BufRead>(r: R) -> io::Result<Vec<Entity>> {
                 ),
             ));
         }
-        let source: u8 = cells[0].parse().map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, "bad source id")
-        })?;
+        let source: u8 = cells[0]
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad source id"))?;
         let id: u64 = cells[1]
             .parse()
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad entity id"))?;
@@ -207,7 +207,9 @@ mod tests {
 
     #[test]
     fn empty_input_and_bad_headers() {
-        assert!(read_entities(io::BufReader::new(&b""[..])).unwrap().is_empty());
+        assert!(read_entities(io::BufReader::new(&b""[..]))
+            .unwrap()
+            .is_empty());
         let err = read_entities(io::BufReader::new(&b"nope\tid\tx\n"[..])).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

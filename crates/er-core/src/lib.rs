@@ -26,8 +26,9 @@ pub mod similarity;
 
 pub use blocking::{BlockKey, BlockingFunction, ConstantBlocking, PrefixBlocking};
 pub use entity::{Entity, EntityId, EntityRef, SourceId};
-pub use matcher::{MatchRule, Matcher};
+pub use matcher::{MatchRule, Matcher, MatcherCache, PreparedEntity};
 pub use result::{GoldStandard, MatchPair, MatchResult, QualityReport};
 pub use similarity::{
-    CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Similarity,
+    CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Prepared,
+    Similarity,
 };

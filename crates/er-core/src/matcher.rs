@@ -1,9 +1,18 @@
 //! Threshold matching of entity pairs.
+//!
+//! The hot path of every reduce task is [`Matcher::matches`] over all
+//! O(b²) pairs of a block. [`Matcher::prepare`] converts an entity
+//! into a [`PreparedEntity`] (one [`Prepared`] form per rule) exactly
+//! once; [`Matcher::matches_prepared`] then scores pairs without
+//! re-tokenizing or re-allocating. [`MatcherCache`] memoizes prepared
+//! entities by [`EntityRef`] for reducers whose groups revisit the
+//! same entity (PairRange replicas, multi-pass blocking).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::entity::Entity;
-use crate::similarity::{NormalizedLevenshtein, Similarity};
+use crate::entity::{Entity, EntityRef};
+use crate::similarity::{NormalizedLevenshtein, Prepared, Similarity};
 
 /// One attribute-level comparison: similarity measure over one
 /// attribute, with an optional weight for aggregation.
@@ -62,6 +71,9 @@ impl std::fmt::Debug for MatchRule {
 pub struct Matcher {
     rules: Vec<MatchRule>,
     threshold: f64,
+    /// Cached `Σ weight` — every score divides by it, so it is
+    /// computed once at construction, not per pair.
+    total_weight: f64,
 }
 
 impl Matcher {
@@ -72,15 +84,17 @@ impl Matcher {
     /// outside `[0, 1]`.
     pub fn new(rules: Vec<MatchRule>, threshold: f64) -> Self {
         assert!(!rules.is_empty(), "a matcher needs at least one rule");
-        assert!(
-            rules.iter().map(|r| r.weight).sum::<f64>() > 0.0,
-            "total rule weight must be positive"
-        );
+        let total_weight: f64 = rules.iter().map(|r| r.weight).sum();
+        assert!(total_weight > 0.0, "total rule weight must be positive");
         assert!(
             (0.0..=1.0).contains(&threshold),
             "threshold must be within [0, 1]"
         );
-        Self { rules, threshold }
+        Self {
+            rules,
+            threshold,
+            total_weight,
+        }
     }
 
     /// The paper's match configuration: edit distance on the title with
@@ -99,13 +113,8 @@ impl Matcher {
 
     /// Weighted-average similarity of an entity pair.
     pub fn score(&self, a: &Entity, b: &Entity) -> f64 {
-        let total_weight: f64 = self.rules.iter().map(|r| r.weight).sum();
-        let weighted: f64 = self
-            .rules
-            .iter()
-            .map(|r| r.weight * r.score(a, b))
-            .sum();
-        weighted / total_weight
+        let weighted: f64 = self.rules.iter().map(|r| r.weight * r.score(a, b)).sum();
+        weighted / self.total_weight
     }
 
     /// Returns `Some(score)` iff the pair's score reaches the
@@ -113,6 +122,173 @@ impl Matcher {
     pub fn matches(&self, a: &Entity, b: &Entity) -> Option<f64> {
         let s = self.score(a, b);
         (s >= self.threshold).then_some(s)
+    }
+
+    /// Preprocesses an entity once for repeated scoring: each rule's
+    /// attribute value (if present) is converted into that rule's
+    /// similarity measure's [`Prepared`] form.
+    pub fn prepare(&self, e: &Entity) -> PreparedEntity {
+        PreparedEntity {
+            entity_ref: e.entity_ref(),
+            values: self
+                .rules
+                .iter()
+                .map(|r| e.get(&r.attribute).map(|v| r.similarity.prepare(v)))
+                .collect(),
+        }
+    }
+
+    /// Weighted-average similarity over prepared entities — bit-exact
+    /// with [`Matcher::score`] on the same entities (the string path
+    /// is defined in terms of the prepared path).
+    ///
+    /// # Panics
+    /// If either argument was prepared by a matcher with a different
+    /// rule list.
+    pub fn score_prepared(&self, a: &PreparedEntity, b: &PreparedEntity) -> f64 {
+        assert_eq!(
+            self.rules.len(),
+            a.values.len(),
+            "prepared entity {} does not match this matcher's rules",
+            a.entity_ref
+        );
+        assert_eq!(
+            self.rules.len(),
+            b.values.len(),
+            "prepared entity {} does not match this matcher's rules",
+            b.entity_ref
+        );
+        let weighted: f64 = self
+            .rules
+            .iter()
+            .zip(a.values.iter().zip(b.values.iter()))
+            .map(|(rule, (va, vb))| match (va, vb) {
+                (Some(pa), Some(pb)) => rule.weight * rule.similarity.sim_prepared(pa, pb),
+                // A missing attribute contributes zero evidence, same
+                // as the string path.
+                _ => 0.0,
+            })
+            .sum();
+        weighted / self.total_weight
+    }
+
+    /// Threshold decision over prepared entities; `Some(score)` iff
+    /// the pair matches.
+    ///
+    /// For the common single-rule, unit-weight configuration (the
+    /// paper's default) the score equals the rule similarity
+    /// bit-exactly, so the decision is delegated to the measure's
+    /// threshold-aware kernel
+    /// ([`Similarity::sim_prepared_at_least`]), which may abandon
+    /// hopeless pairs early (banded edit distance). Decisions and
+    /// scores are identical to the exact path in all cases.
+    pub fn matches_prepared(&self, a: &PreparedEntity, b: &PreparedEntity) -> Option<f64> {
+        if let [rule] = self.rules.as_slice() {
+            if rule.weight == 1.0 {
+                assert_eq!(
+                    a.values.len(),
+                    1,
+                    "prepared entity {} does not match this matcher's rules",
+                    a.entity_ref
+                );
+                assert_eq!(
+                    b.values.len(),
+                    1,
+                    "prepared entity {} does not match this matcher's rules",
+                    b.entity_ref
+                );
+                return match (&a.values[0], &b.values[0]) {
+                    (Some(pa), Some(pb)) => {
+                        rule.similarity
+                            .sim_prepared_at_least(pa, pb, self.threshold)
+                    }
+                    // Missing attribute scores zero, exactly like the
+                    // weighted path.
+                    _ => (0.0 >= self.threshold).then_some(0.0),
+                };
+            }
+        }
+        let s = self.score_prepared(a, b);
+        (s >= self.threshold).then_some(s)
+    }
+}
+
+/// An entity preprocessed against one [`Matcher`]: the `i`-th slot is
+/// the [`Prepared`] form of the attribute rule `i` compares (or `None`
+/// when the entity lacks that attribute).
+#[derive(Debug, Clone)]
+pub struct PreparedEntity {
+    entity_ref: EntityRef,
+    values: Vec<Option<Prepared>>,
+}
+
+impl PreparedEntity {
+    /// The `(source, id)` of the entity this was prepared from.
+    pub fn entity_ref(&self) -> EntityRef {
+        self.entity_ref
+    }
+}
+
+/// Memoizing cache of [`PreparedEntity`] values keyed by entity
+/// reference — one prepare per distinct entity per cache lifetime, no
+/// matter how many reduce groups (PairRange ranges, multi-pass
+/// replicas) revisit it.
+///
+/// Entries are `Arc`-shared so holding a prepared handle in a pair
+/// buffer never copies the underlying representation. The cache is
+/// intended to live for one reduce task; clone-derived copies start
+/// empty state-wise only if cloned before first use, so reducers
+/// should create it in `setup` or hold it per instance.
+#[derive(Debug, Clone)]
+pub struct MatcherCache {
+    matcher: Arc<Matcher>,
+    prepared: HashMap<EntityRef, Arc<PreparedEntity>>,
+}
+
+impl MatcherCache {
+    /// An empty cache bound to `matcher`.
+    pub fn new(matcher: Arc<Matcher>) -> Self {
+        Self {
+            matcher,
+            prepared: HashMap::new(),
+        }
+    }
+
+    /// The matcher this cache prepares against.
+    pub fn matcher(&self) -> &Arc<Matcher> {
+        &self.matcher
+    }
+
+    /// The prepared form of `e`, computing it on first sight.
+    pub fn prepared(&mut self, e: &Entity) -> Arc<PreparedEntity> {
+        Arc::clone(
+            self.prepared
+                .entry(e.entity_ref())
+                .or_insert_with(|| Arc::new(self.matcher.prepare(e))),
+        )
+    }
+
+    /// Threshold decision using cached prepared forms for both sides.
+    pub fn matches(&mut self, a: &Entity, b: &Entity) -> Option<f64> {
+        let pa = self.prepared(a);
+        let pb = self.prepared(b);
+        self.matcher.matches_prepared(&pa, &pb)
+    }
+
+    /// Number of entities prepared so far.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// True when nothing has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// Drops all cached entries (e.g. between unrelated inputs whose
+    /// entity ids overlap).
+    pub fn clear(&mut self) {
+        self.prepared.clear();
     }
 }
 
@@ -129,11 +305,17 @@ mod tests {
     fn paper_default_thresholds_at_0_8() {
         let m = Matcher::paper_default();
         // One edit on a ten-char title: similarity 0.9 -> match.
-        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefghiX")).is_some());
+        assert!(m
+            .matches(&e(1, "abcdefghij"), &e(2, "abcdefghiX"))
+            .is_some());
         // Three edits on ten chars: similarity 0.7 -> no match.
-        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefgXYZ")).is_none());
+        assert!(m
+            .matches(&e(1, "abcdefghij"), &e(2, "abcdefgXYZ"))
+            .is_none());
         // Exactly at the threshold: 8/10 -> match (>=).
-        assert!(m.matches(&e(1, "abcdefghij"), &e(2, "abcdefghXY")).is_some());
+        assert!(m
+            .matches(&e(1, "abcdefghij"), &e(2, "abcdefghXY"))
+            .is_some());
     }
 
     #[test]
@@ -186,5 +368,107 @@ mod tests {
     fn debug_shows_measure_name() {
         let m = Matcher::paper_default();
         assert!(format!("{m:?}").contains("levenshtein"));
+    }
+
+    #[test]
+    fn prepared_scoring_is_bit_exact_with_string_scoring() {
+        let m = Matcher::new(
+            vec![
+                MatchRule::new("title", Arc::new(NormalizedLevenshtein)).with_weight(2.0),
+                MatchRule::new("brand", Arc::new(Jaccard)),
+            ],
+            0.5,
+        );
+        let a = Entity::new(1, [("title", "canon eos 5d"), ("brand", "canon inc")]);
+        let b = Entity::new(2, [("title", "canon eos 7d")]);
+        let (pa, pb) = (m.prepare(&a), m.prepare(&b));
+        assert_eq!(
+            m.score(&a, &b).to_bits(),
+            m.score_prepared(&pa, &pb).to_bits()
+        );
+        assert_eq!(m.matches(&a, &b), m.matches_prepared(&pa, &pb));
+    }
+
+    #[test]
+    fn fast_path_decision_equals_exact_path() {
+        // paper_default is single-rule unit-weight -> banded fast
+        // path; decisions and scores must match the string path.
+        let m = Matcher::paper_default();
+        for (ta, tb) in [
+            ("abcdefghij", "abcdefghij"),
+            ("abcdefghij", "abcdefghiX"),
+            ("abcdefghij", "abcdefghXY"), // exactly at 0.8
+            ("abcdefghij", "abcdefgXYZ"), // just below
+            ("abcdefghij", "zzzzzzzzzz"),
+            ("", ""),
+            ("", "abc"),
+        ] {
+            let (a, b) = (e(1, ta), e(2, tb));
+            let (pa, pb) = (m.prepare(&a), m.prepare(&b));
+            assert_eq!(
+                m.matches_prepared(&pa, &pb).map(f64::to_bits),
+                m.matches(&a, &b).map(f64::to_bits),
+                "{ta:?} vs {tb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_entity_tracks_missing_attributes() {
+        let m = Matcher::paper_default();
+        let no_title = Entity::new(3, [("brand", "canon")]);
+        let p = m.prepare(&no_title);
+        let q = m.prepare(&e(1, "x"));
+        assert_eq!(m.score_prepared(&p, &q), 0.0);
+        assert_eq!(p.entity_ref(), no_title.entity_ref());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this matcher's rules")]
+    fn foreign_prepared_entity_is_rejected() {
+        let one_rule = Matcher::paper_default();
+        let two_rules = Matcher::new(
+            vec![
+                MatchRule::new("title", Arc::new(NormalizedLevenshtein)),
+                MatchRule::new("brand", Arc::new(Jaccard)),
+            ],
+            0.5,
+        );
+        let p1 = one_rule.prepare(&e(1, "a"));
+        let p2 = two_rules.prepare(&e(2, "b"));
+        let _ = two_rules.score_prepared(&p2, &p1);
+    }
+
+    #[test]
+    fn cache_prepares_each_entity_once() {
+        let mut cache = MatcherCache::new(Arc::new(Matcher::paper_default()));
+        assert!(cache.is_empty());
+        let a = e(1, "abcdefghij");
+        let b = e(2, "abcdefghiX");
+        let first = cache.prepared(&a);
+        let again = cache.prepared(&a);
+        assert!(Arc::ptr_eq(&first, &again), "second lookup must hit");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.matches(&a, &b).is_some());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_matching() {
+        let matcher = Arc::new(Matcher::paper_default());
+        let mut cache = MatcherCache::new(Arc::clone(&matcher));
+        assert!(Arc::ptr_eq(cache.matcher(), &matcher));
+        for (ta, tb) in [
+            ("abcdefghij", "abcdefghiX"),
+            ("abcdefghij", "zzzzzzzzzz"),
+            ("", ""),
+            ("short", "short"),
+        ] {
+            let (a, b) = (e(10, ta), e(11, tb));
+            assert_eq!(cache.matches(&a, &b), matcher.matches(&a, &b));
+            cache.clear();
+        }
     }
 }

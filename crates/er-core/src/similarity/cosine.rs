@@ -2,38 +2,68 @@
 
 use std::collections::BTreeMap;
 
-use super::Similarity;
+use super::{fnv1a_bytes, Prepared, Similarity};
 
 /// Cosine of the angle between lower-cased token *count* vectors.
 /// Unlike Jaccard, repeated tokens carry weight, which suits titles
 /// with meaningful repetition ("2 x 4 x 2").
+///
+/// Prepared form: hash-sorted `(token hash, count)` pairs with the L2
+/// norm precomputed, so a pair comparison is one merge-walk dot
+/// product and a division.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CosineTokens;
 
-fn counts(s: &str) -> BTreeMap<String, f64> {
-    let mut out = BTreeMap::new();
+fn hashed_counts(s: &str) -> Vec<(u64, f64)> {
+    let mut counts: BTreeMap<u64, f64> = BTreeMap::new();
     for t in s.split_whitespace() {
-        *out.entry(t.to_lowercase()).or_insert(0.0) += 1.0;
+        *counts
+            .entry(fnv1a_bytes(t.to_lowercase().into_bytes()))
+            .or_insert(0.0) += 1.0;
     }
-    out
+    counts.into_iter().collect()
 }
 
 impl Similarity for CosineTokens {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let ca = counts(a);
-        let cb = counts(b);
+    fn prepare(&self, s: &str) -> Prepared {
+        let counts = hashed_counts(s);
+        let norm = counts.iter().map(|(_, x)| x * x).sum::<f64>().sqrt();
+        Prepared::HashedCounts { counts, norm }
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        let (
+            Prepared::HashedCounts {
+                counts: ca,
+                norm: na,
+            },
+            Prepared::HashedCounts {
+                counts: cb,
+                norm: nb,
+            },
+        ) = (a, b)
+        else {
+            panic!("expected Prepared::HashedCounts, got {a:?} / {b:?}");
+        };
         if ca.is_empty() && cb.is_empty() {
             return 1.0;
         }
         if ca.is_empty() || cb.is_empty() {
             return 0.0;
         }
-        let dot: f64 = ca
-            .iter()
-            .filter_map(|(t, &x)| cb.get(t).map(|&y| x * y))
-            .sum();
-        let na: f64 = ca.values().map(|x| x * x).sum::<f64>().sqrt();
-        let nb: f64 = cb.values().map(|x| x * x).sum::<f64>().sqrt();
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ca.len() && j < cb.len() {
+            match ca[i].0.cmp(&cb[j].0) {
+                std::cmp::Ordering::Equal => {
+                    dot += ca[i].1 * cb[j].1;
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
         (dot / (na * nb)).clamp(0.0, 1.0)
     }
 

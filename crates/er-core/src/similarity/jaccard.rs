@@ -1,32 +1,26 @@
 //! Jaccard similarity over whitespace tokens.
 
-use std::collections::BTreeSet;
-
-use super::Similarity;
+use super::{fnv1a_bytes, into_hash_set, jaccard_of_sorted_sets, Prepared, Similarity};
 
 /// Token-set Jaccard: `|A ∩ B| / |A ∪ B|` over lower-cased whitespace
 /// tokens. A natural fit for titles with reordered words.
+///
+/// Prepared form: the sorted set of 64-bit token hashes, so a pair
+/// comparison is a single allocation-free merge walk.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Jaccard;
 
-impl Jaccard {
-    fn tokens(s: &str) -> BTreeSet<String> {
-        s.split_whitespace()
-            .map(|t| t.to_lowercase())
-            .collect()
-    }
-}
-
 impl Similarity for Jaccard {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let ta = Self::tokens(a);
-        let tb = Self::tokens(b);
-        if ta.is_empty() && tb.is_empty() {
-            return 1.0;
-        }
-        let inter = ta.intersection(&tb).count();
-        let union = ta.union(&tb).count();
-        inter as f64 / union as f64
+    fn prepare(&self, s: &str) -> Prepared {
+        Prepared::HashedSet(into_hash_set(
+            s.split_whitespace()
+                .map(|t| fnv1a_bytes(t.to_lowercase().into_bytes()))
+                .collect(),
+        ))
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        jaccard_of_sorted_sets(a.hashed_set(), b.hashed_set())
     }
 
     fn name(&self) -> &'static str {
@@ -42,7 +36,10 @@ mod tests {
     fn word_overlap() {
         let j = Jaccard;
         assert!((j.sim("canon eos 5d", "canon eos 7d") - 0.5).abs() < 1e-12);
-        assert!((j.sim("a b", "b a") - 1.0).abs() < 1e-12, "order-insensitive");
+        assert!(
+            (j.sim("a b", "b a") - 1.0).abs() < 1e-12,
+            "order-insensitive"
+        );
         assert_eq!(j.sim("a b c", "x y z"), 0.0);
     }
 
@@ -55,7 +52,10 @@ mod tests {
     fn empty_inputs() {
         assert!((Jaccard.sim("", "") - 1.0).abs() < 1e-12);
         assert_eq!(Jaccard.sim("", "word"), 0.0);
-        assert!((Jaccard.sim("  ", " ") - 1.0).abs() < 1e-12, "whitespace only == no tokens");
+        assert!(
+            (Jaccard.sim("  ", " ") - 1.0).abs() < 1e-12,
+            "whitespace only == no tokens"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Jaro and Jaro-Winkler similarity — the classic record-linkage
 //! measure for short name-like strings.
 
-use super::Similarity;
+use super::{Prepared, Similarity};
 
 fn jaro(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
@@ -61,10 +61,13 @@ impl Default for JaroWinkler {
 }
 
 impl Similarity for JaroWinkler {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let ac: Vec<char> = a.chars().collect();
-        let bc: Vec<char> = b.chars().collect();
-        let j = jaro(&ac, &bc);
+    fn prepare(&self, s: &str) -> Prepared {
+        Prepared::Chars(s.chars().collect())
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        let (ac, bc) = (a.chars(), b.chars());
+        let j = jaro(ac, bc);
         let prefix = ac
             .iter()
             .zip(bc.iter())

@@ -3,18 +3,27 @@
 //! the edit distance of their title. Two entities with a minimal
 //! similarity of 0.8 were regarded as matches."
 
-use super::Similarity;
+use super::{Prepared, Similarity};
 
-/// Unrestricted Levenshtein distance over Unicode scalar values,
-/// two-row dynamic programming, `O(|a|·|b|)` time and `O(min)` space.
+/// Unrestricted Levenshtein distance over Unicode scalar values.
+///
+/// Convenience wrapper over [`levenshtein_distance_chars`] for one-off
+/// string pairs; hot loops should decode to chars once and call the
+/// slice form directly.
 pub fn levenshtein_distance(a: &str, b: &str) -> usize {
     let a_chars: Vec<char> = a.chars().collect();
     let b_chars: Vec<char> = b.chars().collect();
+    levenshtein_distance_chars(&a_chars, &b_chars)
+}
+
+/// Levenshtein distance over pre-decoded scalar values, two-row
+/// dynamic programming, `O(|a|·|b|)` time and `O(min)` space.
+pub fn levenshtein_distance_chars(a_chars: &[char], b_chars: &[char]) -> usize {
     // Keep the inner row the shorter one for cache friendliness.
     let (long, short) = if a_chars.len() >= b_chars.len() {
-        (&a_chars, &b_chars)
+        (a_chars, b_chars)
     } else {
-        (&b_chars, &a_chars)
+        (b_chars, a_chars)
     };
     if short.is_empty() {
         return long.len();
@@ -43,15 +52,26 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
 pub fn levenshtein_within(a: &str, b: &str, k: usize) -> bool {
     let a_chars: Vec<char> = a.chars().collect();
     let b_chars: Vec<char> = b.chars().collect();
+    levenshtein_bounded_chars(&a_chars, &b_chars, k).is_some()
+}
+
+/// Banded Levenshtein over pre-decoded scalars: `Some(d)` with the
+/// *exact* distance when `d <= k`, `None` when the distance exceeds
+/// `k` (detected early, without filling the full DP matrix).
+///
+/// The thresholded-matching kernel: [`crate::Matcher`] derives the
+/// largest admissible distance from its similarity threshold and calls
+/// this instead of the unrestricted `O(|a|·|b|)` DP.
+pub fn levenshtein_bounded_chars(a_chars: &[char], b_chars: &[char], k: usize) -> Option<usize> {
     let (n, m) = (a_chars.len(), b_chars.len());
     if n.abs_diff(m) > k {
-        return false;
+        return None;
     }
     if n == 0 {
-        return m <= k;
+        return (m <= k).then_some(m);
     }
     if m == 0 {
-        return n <= k;
+        return (n <= k).then_some(n);
     }
     const BIG: usize = usize::MAX / 2;
     // prev[j] = distance for prefix lengths (i, j); band-limited.
@@ -64,10 +84,9 @@ pub fn levenshtein_within(a: &str, b: &str, k: usize) -> bool {
         let lo = i.saturating_sub(k).max(1);
         let hi = (i + k).min(m);
         if lo > hi {
-            return false;
+            return None;
         }
-        cur[lo - 1] = BIG;
-        cur[lo.saturating_sub(1)] = if lo == 1 { i } else { BIG };
+        cur[lo - 1] = if lo == 1 { i } else { BIG };
         let mut row_min = cur[lo - 1];
         for j in lo..=hi {
             let sub = prev[j - 1] + usize::from(a_chars[i - 1] != b_chars[j - 1]);
@@ -80,11 +99,11 @@ pub fn levenshtein_within(a: &str, b: &str, k: usize) -> bool {
             cur[hi + 1] = BIG;
         }
         if row_min > k {
-            return false;
+            return None;
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[m] <= k
+    (prev[m] <= k).then_some(prev[m])
 }
 
 /// `1 − d(a,b) / max(|a|,|b|)`: the similarity the paper thresholds at
@@ -93,12 +112,48 @@ pub fn levenshtein_within(a: &str, b: &str, k: usize) -> bool {
 pub struct NormalizedLevenshtein;
 
 impl Similarity for NormalizedLevenshtein {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let max_len = a.chars().count().max(b.chars().count());
+    fn prepare(&self, s: &str) -> Prepared {
+        Prepared::Chars(s.chars().collect())
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        let (ac, bc) = (a.chars(), b.chars());
+        let max_len = ac.len().max(bc.len());
         if max_len == 0 {
             return 1.0;
         }
-        1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+        1.0 - levenshtein_distance_chars(ac, bc) as f64 / max_len as f64
+    }
+
+    /// Banded fast path: only distances `d` with
+    /// `1 − d/max_len >= floor` can match, so the DP evaluates a
+    /// diagonal band of width `2k+1` instead of the full matrix and
+    /// abandons the pair as soon as a row exceeds `k`. Bit-exact with
+    /// the unrestricted path: a returned distance inside the band *is*
+    /// the true distance, and the similarity is computed by the same
+    /// expression.
+    fn sim_prepared_at_least(&self, a: &Prepared, b: &Prepared, floor: f64) -> Option<f64> {
+        let (ac, bc) = (a.chars(), b.chars());
+        let max_len = ac.len().max(bc.len());
+        if max_len == 0 {
+            return (1.0 >= floor).then_some(1.0);
+        }
+        if 1.0 < floor || floor.is_nan() {
+            // Nothing reaches an unattainable (or NaN) floor; mirrors
+            // `sim >= floor` being false for every pair.
+            return None;
+        }
+        let sim_of = |d: usize| 1.0 - d as f64 / max_len as f64;
+        // Largest admissible distance under the *exact f64 predicate*
+        // the slow path applies — derived by nudging a float estimate
+        // down until the predicate holds, so threshold-boundary pairs
+        // (e.g. distance 2 at length 10 against floor 0.8) behave
+        // identically to `sim_prepared(..) >= floor`.
+        let mut k = (((1.0 - floor) * max_len as f64).ceil() as usize + 1).min(max_len);
+        while k > 0 && sim_of(k) < floor {
+            k -= 1;
+        }
+        levenshtein_bounded_chars(ac, bc, k).map(sim_of)
     }
 
     fn name(&self) -> &'static str {
@@ -145,12 +200,83 @@ mod tests {
         assert!(levenshtein_within("abc", "abc", 0));
     }
 
+    #[test]
+    fn bounded_returns_exact_distance_or_none() {
+        let c = |s: &str| s.chars().collect::<Vec<char>>();
+        assert_eq!(
+            levenshtein_bounded_chars(&c("kitten"), &c("sitting"), 3),
+            Some(3)
+        );
+        assert_eq!(
+            levenshtein_bounded_chars(&c("kitten"), &c("sitting"), 2),
+            None
+        );
+        assert_eq!(levenshtein_bounded_chars(&c(""), &c(""), 0), Some(0));
+        assert_eq!(levenshtein_bounded_chars(&c("abc"), &c("abc"), 0), Some(0));
+        assert_eq!(levenshtein_bounded_chars(&c("abcdef"), &c(""), 3), None);
+    }
+
+    #[test]
+    fn thresholded_kernel_handles_the_exact_boundary() {
+        // Distance 2 at length 10 is similarity 0.8 — must match a 0.8
+        // floor, exactly like the full-scoring path (the paper's `>=`).
+        let s = NormalizedLevenshtein;
+        let (pa, pb) = (s.prepare("abcdefghij"), s.prepare("abcdefghXY"));
+        let fast = s.sim_prepared_at_least(&pa, &pb, 0.8);
+        assert_eq!(fast, Some(s.sim_prepared(&pa, &pb)));
+        // One more edit falls below the floor.
+        let pc = s.prepare("abcdefgXYZ");
+        assert_eq!(s.sim_prepared_at_least(&pa, &pc, 0.8), None);
+        // Unattainable and NaN floors match nothing.
+        assert_eq!(s.sim_prepared_at_least(&pa, &pb, 1.5), None);
+        assert_eq!(s.sim_prepared_at_least(&pa, &pb, f64::NAN), None);
+        // Floor 0 accepts everything, still with the exact score.
+        assert_eq!(
+            s.sim_prepared_at_least(&pa, &pc, 0.0),
+            Some(s.sim_prepared(&pa, &pc))
+        );
+    }
+
     proptest! {
         #[test]
         fn banded_agrees_with_full_dp(a in "[a-d]{0,12}", b in "[a-d]{0,12}", k in 0usize..6) {
             let d = levenshtein_distance(&a, &b);
             prop_assert_eq!(levenshtein_within(&a, &b, k), d <= k,
                 "a={:?} b={:?} d={} k={}", a, b, d, k);
+        }
+
+        #[test]
+        fn bounded_distance_is_exact_within_band(
+            a in "[a-d]{0,12}",
+            b in "[a-d]{0,12}",
+            k in 0usize..8,
+        ) {
+            let d = levenshtein_distance(&a, &b);
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            prop_assert_eq!(
+                levenshtein_bounded_chars(&ac, &bc, k),
+                (d <= k).then_some(d),
+                "a={:?} b={:?} d={} k={}", a, b, d, k
+            );
+        }
+
+        #[test]
+        fn thresholded_kernel_is_bit_exact_with_slow_path(
+            a in "[a-c]{0,14}",
+            b in "[a-c]{0,14}",
+            floor_steps in 0u32..21,
+        ) {
+            // Sweep floors over [0, 1] incl. awkward fractions; the
+            // banded decision and score must equal the full path's.
+            let floor = floor_steps as f64 / 20.0;
+            let s = NormalizedLevenshtein;
+            let (pa, pb) = (s.prepare(&a), s.prepare(&b));
+            let slow = s.sim_prepared(&pa, &pb);
+            let expected = (slow >= floor).then(|| slow.to_bits());
+            let got = s.sim_prepared_at_least(&pa, &pb, floor).map(f64::to_bits);
+            prop_assert_eq!(got, expected,
+                "a={:?} b={:?} floor={}", a, b, floor);
         }
 
         #[test]

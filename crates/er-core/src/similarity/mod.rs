@@ -5,6 +5,45 @@
 //! tests. The paper's evaluation uses normalized edit distance with a
 //! minimum similarity of `0.8`; the other measures make the library
 //! usable beyond the reproduction.
+//!
+//! # The prepared-representation API
+//!
+//! Blocked entity resolution evaluates each entity against every other
+//! member of its block: an entity in a block of size *b* takes part in
+//! *b − 1* comparisons. The naive [`Similarity::sim`] entry point
+//! re-derives the measure's internal representation (lowercased char
+//! buffer, gram set, token vector …) from the raw string on **every
+//! call**, so that work is repeated *b − 1* times per entity — the
+//! dominant allocation cost of the match phase.
+//!
+//! [`Similarity::prepare`] factors that work out: it converts a string
+//! into the measure's cached [`Prepared`] form **once**, and
+//! [`Similarity::sim_prepared`] compares two prepared forms without
+//! touching the raw strings again. `sim` is a provided method defined
+//! as `sim_prepared(prepare(a), prepare(b))`, which makes the two
+//! paths bit-exact *by construction* — a property the test suite
+//! additionally asserts over a randomized corpus.
+//!
+//! Prepared forms per measure:
+//!
+//! | measure | [`Prepared`] variant | contents |
+//! |---|---|---|
+//! | [`NormalizedLevenshtein`] | `Chars` | Unicode scalar values |
+//! | [`JaroWinkler`] | `Chars` | Unicode scalar values |
+//! | [`Jaccard`] | `HashedSet` | sorted FNV-1a hashes of lowercased tokens |
+//! | [`NGram`] | `HashedSet` | sorted FNV-1a hashes of padded lowercased grams |
+//! | [`CosineTokens`] | `HashedCounts` | sorted (token hash, count) + L2 norm |
+//! | [`MongeElkan`] | `Tokens` | inner-prepared whitespace tokens |
+//!
+//! Set-based measures compare 64-bit hashes with a linear merge walk
+//! instead of allocating `BTreeSet<String>`s per pair; a collision
+//! between two *distinct* grams of the same corpus (probability
+//! ≈ 2⁻⁶⁴ per pair) is the only way the hashed result could diverge
+//! from exact string sets, and both `sim` and `sim_prepared` share it.
+//!
+//! Higher-level call sites cache prepared forms per entity — see
+//! [`crate::matcher::PreparedEntity`] and
+//! [`crate::matcher::MatcherCache`].
 
 mod cosine;
 mod jaccard;
@@ -16,14 +55,155 @@ mod ngram;
 pub use cosine::CosineTokens;
 pub use jaccard::Jaccard;
 pub use jaro::JaroWinkler;
-pub use levenshtein::{levenshtein_distance, levenshtein_within, NormalizedLevenshtein};
+pub use levenshtein::{
+    levenshtein_distance, levenshtein_distance_chars, levenshtein_within, NormalizedLevenshtein,
+};
 pub use monge_elkan::MongeElkan;
 pub use ngram::NGram;
 
+/// A measure-specific preprocessed representation of one string.
+///
+/// Produced by [`Similarity::prepare`]; only meaningful when handed
+/// back to the **same** measure's [`Similarity::sim_prepared`]
+/// (mismatched variants panic — a programming error, not data skew).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prepared {
+    /// Unicode scalar values of the string (edit-distance family).
+    Chars(Vec<char>),
+    /// Sorted, deduplicated 64-bit element hashes (set-overlap family).
+    HashedSet(Vec<u64>),
+    /// Sorted `(element hash, count)` pairs with the precomputed L2
+    /// norm of the count vector (cosine family).
+    HashedCounts {
+        /// Sorted by hash, one entry per distinct element.
+        counts: Vec<(u64, f64)>,
+        /// `sqrt(Σ count²)`, cached so pairs skip the reduction.
+        norm: f64,
+    },
+    /// Whitespace tokens, each prepared by an inner measure
+    /// (hybrid/alignment family).
+    Tokens(Vec<Prepared>),
+}
+
+impl Prepared {
+    /// The char buffer, panicking on a foreign variant.
+    pub(crate) fn chars(&self) -> &[char] {
+        match self {
+            Prepared::Chars(c) => c,
+            other => panic!("expected Prepared::Chars, got {other:?}"),
+        }
+    }
+
+    /// The hashed element set, panicking on a foreign variant.
+    pub(crate) fn hashed_set(&self) -> &[u64] {
+        match self {
+            Prepared::HashedSet(h) => h,
+            other => panic!("expected Prepared::HashedSet, got {other:?}"),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte stream: deterministic across runs and platforms
+/// (important: prepared forms must never make job output depend on
+/// hasher seeding).
+#[inline]
+pub(crate) fn fnv1a_bytes(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the UTF-8 encoding of a char slice, allocation-free.
+#[inline]
+pub(crate) fn fnv1a_chars(chars: &[char]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut buf = [0u8; 4];
+    for &c in chars {
+        for &b in c.encode_utf8(&mut buf).as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Sorts and deduplicates a hash multiset into set form.
+pub(crate) fn into_hash_set(mut hashes: Vec<u64>) -> Vec<u64> {
+    hashes.sort_unstable();
+    hashes.dedup();
+    hashes
+}
+
+/// `|A ∩ B| / |A ∪ B|` over two sorted deduplicated hash slices via a
+/// linear merge walk; the shared kernel of [`Jaccard`] and [`NGram`].
+/// Both sets empty compares as identical (`1.0`).
+pub(crate) fn jaccard_of_sorted_sets(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
 /// A symmetric string similarity in `[0, 1]`.
+///
+/// Implementors define [`prepare`](Similarity::prepare) and
+/// [`sim_prepared`](Similarity::sim_prepared); the string-level
+/// [`sim`](Similarity::sim) is derived, so both entry points always
+/// agree bit-exactly.
 pub trait Similarity: Send + Sync {
+    /// Preprocesses `s` into this measure's cached representation.
+    ///
+    /// Call once per string, then evaluate all its pairs through
+    /// [`sim_prepared`](Similarity::sim_prepared).
+    fn prepare(&self, s: &str) -> Prepared;
+
+    /// Similarity of two prepared strings; `1.0` means identical.
+    ///
+    /// # Panics
+    /// If either argument was prepared by a different measure family.
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64;
+
     /// Similarity of `a` and `b`; `1.0` means identical.
-    fn sim(&self, a: &str, b: &str) -> f64;
+    ///
+    /// Provided as `sim_prepared(prepare(a), prepare(b))` — override
+    /// only with an implementation that preserves that equality.
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        self.sim_prepared(&self.prepare(a), &self.prepare(b))
+    }
+
+    /// Threshold-aware comparison: `Some(sim)` iff `sim >= floor`,
+    /// where the returned value is **bit-identical** to
+    /// [`sim_prepared`](Similarity::sim_prepared).
+    ///
+    /// The default computes the full similarity and compares. Measures
+    /// with a cheaper bounded kernel override it to abandon hopeless
+    /// pairs early — [`NormalizedLevenshtein`] evaluates only a
+    /// diagonal DP band wide enough for distances that can still reach
+    /// `floor`, which is what makes thresholded matching at paper
+    /// scale affordable.
+    fn sim_prepared_at_least(&self, a: &Prepared, b: &Prepared, floor: f64) -> Option<f64> {
+        let s = self.sim_prepared(a, b);
+        (s >= floor).then_some(s)
+    }
 
     /// Short identifier for reports.
     fn name(&self) -> &'static str;
@@ -52,6 +232,33 @@ mod tests {
         assert_eq!(names.len(), 6);
     }
 
+    #[test]
+    fn fnv1a_is_stable() {
+        // Pinned values guard against accidental hasher changes, which
+        // would silently invalidate any persisted prepared forms.
+        assert_eq!(fnv1a_bytes(*b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_chars(&['a']), fnv1a_bytes(*b"a"));
+        assert_eq!(fnv1a_chars(&['é']), fnv1a_bytes("é".bytes()));
+    }
+
+    #[test]
+    fn jaccard_kernel_merge_walk() {
+        assert_eq!(jaccard_of_sorted_sets(&[], &[]), 1.0);
+        assert_eq!(jaccard_of_sorted_sets(&[1], &[]), 0.0);
+        assert_eq!(jaccard_of_sorted_sets(&[1, 2], &[1, 2]), 1.0);
+        assert!((jaccard_of_sorted_sets(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Prepared::Chars")]
+    fn mismatched_prepared_variant_panics() {
+        let lev = NormalizedLevenshtein;
+        let wrong = Jaccard.prepare("some tokens");
+        let ok = lev.prepare("abc");
+        let _ = lev.sim_prepared(&ok, &wrong);
+    }
+
     proptest! {
         #[test]
         fn identity_is_one(s in "\\PC{0,24}") {
@@ -77,6 +284,49 @@ mod tests {
                 let s = m.sim(&a, &b);
                 prop_assert!((0.0..=1.0).contains(&s),
                     "{} out of bounds on {a:?}/{b:?}: {s}", m.name());
+            }
+        }
+
+        #[test]
+        fn prepared_path_is_bit_exact(a in "\\PC{0,20}", b in "\\PC{0,20}") {
+            // The contract the load-balance reducers rely on: caching
+            // prepared entities must never change a match decision.
+            // Bit-exact equality, not epsilon closeness.
+            for m in all_measures() {
+                let (pa, pb) = (m.prepare(&a), m.prepare(&b));
+                let prepared = m.sim_prepared(&pa, &pb);
+                let direct = m.sim(&a, &b);
+                prop_assert!(
+                    prepared == direct && prepared.to_bits() == direct.to_bits(),
+                    "{} prepared path diverged on {a:?}/{b:?}: {prepared} vs {direct}",
+                    m.name()
+                );
+            }
+        }
+
+        #[test]
+        fn threshold_kernel_agrees_for_every_measure(
+            a in "\\PC{0,16}",
+            b in "\\PC{0,16}",
+            floor_steps in 0u32..11,
+        ) {
+            let floor = floor_steps as f64 / 10.0;
+            for m in all_measures() {
+                let (pa, pb) = (m.prepare(&a), m.prepare(&b));
+                let s = m.sim_prepared(&pa, &pb);
+                prop_assert_eq!(
+                    m.sim_prepared_at_least(&pa, &pb, floor).map(f64::to_bits),
+                    (s >= floor).then(|| s.to_bits()),
+                    "{} diverged on {:?}/{:?} at floor {}", m.name(), a, b, floor
+                );
+            }
+        }
+
+        #[test]
+        fn prepare_is_pure(s in "\\PC{0,20}") {
+            for m in all_measures() {
+                prop_assert_eq!(m.prepare(&s), m.prepare(&s),
+                    "{} prepare not deterministic", m.name());
             }
         }
     }

@@ -4,12 +4,16 @@
 
 use std::sync::Arc;
 
-use super::Similarity;
+use super::{Prepared, Similarity};
 
 /// Symmetrized Monge-Elkan: for each token of one string take the best
 /// inner-similarity against the other string's tokens, average, and
 /// take the mean of both directions (the raw Monge-Elkan score is
 /// asymmetric; symmetrizing keeps the crate-wide symmetry invariant).
+///
+/// Prepared form: the whitespace tokens, each prepared by the *inner*
+/// measure — so the quadratic token alignment runs entirely on inner
+/// prepared forms.
 #[derive(Clone)]
 pub struct MongeElkan {
     inner: Arc<dyn Similarity>,
@@ -21,7 +25,7 @@ impl MongeElkan {
         Self { inner }
     }
 
-    fn directed(&self, from: &[&str], to: &[&str]) -> f64 {
+    fn directed(&self, from: &[Prepared], to: &[Prepared]) -> f64 {
         if from.is_empty() {
             return if to.is_empty() { 1.0 } else { 0.0 };
         }
@@ -29,7 +33,7 @@ impl MongeElkan {
         for a in from {
             let mut best: f64 = 0.0;
             for b in to {
-                best = best.max(self.inner.sim(a, b));
+                best = best.max(self.inner.sim_prepared(a, b));
             }
             sum += best;
         }
@@ -44,14 +48,23 @@ impl Default for MongeElkan {
 }
 
 impl Similarity for MongeElkan {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let ta: Vec<&str> = a.split_whitespace().collect();
-        let tb: Vec<&str> = b.split_whitespace().collect();
+    fn prepare(&self, s: &str) -> Prepared {
+        Prepared::Tokens(
+            s.split_whitespace()
+                .map(|t| self.inner.prepare(t))
+                .collect(),
+        )
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        let (Prepared::Tokens(ta), Prepared::Tokens(tb)) = (a, b) else {
+            panic!("expected Prepared::Tokens, got {a:?} / {b:?}");
+        };
         if ta.is_empty() && tb.is_empty() {
             return 1.0;
         }
-        let ab = self.directed(&ta, &tb);
-        let ba = self.directed(&tb, &ta);
+        let ab = self.directed(ta, tb);
+        let ba = self.directed(tb, ta);
         ((ab + ba) / 2.0).clamp(0.0, 1.0)
     }
 

@@ -1,12 +1,13 @@
 //! Character n-gram similarity (Jaccard over padded n-grams).
 
-use std::collections::BTreeSet;
-
-use super::Similarity;
+use super::{fnv1a_chars, into_hash_set, jaccard_of_sorted_sets, Prepared, Similarity};
 
 /// Jaccard similarity over the sets of character `n`-grams, with the
 /// string padded by `n−1` sentinel characters on each side so that
 /// leading/trailing characters contribute as many grams as inner ones.
+///
+/// Prepared form: the sorted set of 64-bit gram hashes — one lowercase
+/// pass and one hash per gram at prepare time, a merge walk per pair.
 #[derive(Debug, Clone, Copy)]
 pub struct NGram {
     /// Gram width; must be at least 1.
@@ -19,7 +20,7 @@ impl NGram {
         NGram { n: 3 }
     }
 
-    fn grams(&self, s: &str) -> BTreeSet<Vec<char>> {
+    fn gram_hashes(&self, s: &str) -> Vec<u64> {
         let n = self.n.max(1);
         let pad = n - 1;
         let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * pad);
@@ -27,9 +28,9 @@ impl NGram {
         chars.extend(s.to_lowercase().chars());
         chars.extend(std::iter::repeat_n('\u{0}', pad));
         if chars.len() < n {
-            return BTreeSet::new();
+            return Vec::new();
         }
-        chars.windows(n).map(|w| w.to_vec()).collect()
+        chars.windows(n).map(fnv1a_chars).collect()
     }
 }
 
@@ -40,15 +41,12 @@ impl Default for NGram {
 }
 
 impl Similarity for NGram {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let ga = self.grams(a);
-        let gb = self.grams(b);
-        if ga.is_empty() && gb.is_empty() {
-            return 1.0;
-        }
-        let inter = ga.intersection(&gb).count();
-        let union = ga.union(&gb).count();
-        inter as f64 / union as f64
+    fn prepare(&self, s: &str) -> Prepared {
+        Prepared::HashedSet(into_hash_set(self.gram_hashes(s)))
+    }
+
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        jaccard_of_sorted_sets(a.hashed_set(), b.hashed_set())
     }
 
     fn name(&self) -> &'static str {

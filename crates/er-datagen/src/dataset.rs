@@ -42,7 +42,11 @@ impl Dataset {
     /// Figure 11 "sorted by title" adversarial input for BlockSplit.
     pub fn sorted_by_attribute(&self, attribute: &str) -> Dataset {
         let mut entities = self.entities.clone();
-        entities.sort_by(|a, b| a.get(attribute).unwrap_or("").cmp(b.get(attribute).unwrap_or("")));
+        entities.sort_by(|a, b| {
+            a.get(attribute)
+                .unwrap_or("")
+                .cmp(b.get(attribute).unwrap_or(""))
+        });
         Dataset {
             name: format!("{} [sorted by {attribute}]", self.name),
             entities,
@@ -110,8 +114,13 @@ pub(crate) fn build_skewed(spec: &DatasetSpec, name: &str, style: &dyn RecordSty
         for _ in 0..dups {
             let target = title_rng.gen_range(0..original_slots.len());
             let (orig_id, orig_title) = &original_slots[target];
-            let (dup_title, _) =
-                perturb_title(&mut title_rng, orig_title, DUP_MAX_EDITS, 3, EditOps::SubstituteOnly);
+            let (dup_title, _) = perturb_title(
+                &mut title_rng,
+                orig_title,
+                DUP_MAX_EDITS,
+                3,
+                EditOps::SubstituteOnly,
+            );
             let mut attrs = vec![("title".to_string(), dup_title)];
             attrs.extend(style.extra_attributes(&mut attr_rng));
             entities.push(Entity::new(
@@ -313,7 +322,11 @@ mod tests {
         let ds = build_skewed(&tiny_spec(), "tiny", &PlainStyle);
         let sorted = ds.sorted_by_attribute("title");
         assert_eq!(sorted.len(), ds.len());
-        let titles: Vec<&str> = sorted.entities.iter().map(|e| e.get("title").unwrap()).collect();
+        let titles: Vec<&str> = sorted
+            .entities
+            .iter()
+            .map(|e| e.get("title").unwrap())
+            .collect();
         let mut expected = titles.clone();
         expected.sort();
         assert_eq!(titles, expected);

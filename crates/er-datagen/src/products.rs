@@ -51,8 +51,14 @@ impl RecordStyle for ProductStyle {
 
     fn extra_attributes(&self, rng: &mut SmallRng) -> Vec<(String, String)> {
         vec![
-            ("price".to_string(), format!("{}.99", rng.gen_range(5..2000))),
-            ("sku".to_string(), format!("SKU-{:07}", rng.gen_range(0..10_000_000))),
+            (
+                "price".to_string(),
+                format!("{}.99", rng.gen_range(5..2000)),
+            ),
+            (
+                "sku".to_string(),
+                format!("SKU-{:07}", rng.gen_range(0..10_000_000)),
+            ),
         ]
     }
 }
@@ -102,11 +108,8 @@ mod tests {
         let blocking = PrefixBlocking::title3();
         let matcher = Matcher::paper_default();
         use er_core::blocking::BlockingFunction;
-        let by_ref: std::collections::BTreeMap<_, _> = ds
-            .entities
-            .iter()
-            .map(|e| (e.entity_ref(), e))
-            .collect();
+        let by_ref: std::collections::BTreeMap<_, _> =
+            ds.entities.iter().map(|e| (e.entity_ref(), e)).collect();
         for pair in ds.gold.iter() {
             let a = by_ref[&pair.lo()];
             let b = by_ref[&pair.hi()];

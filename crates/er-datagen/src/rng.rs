@@ -10,8 +10,7 @@ use rand::SeedableRng;
 /// Derives an independent stream seed from a base seed and a stream
 /// tag (splitmix64 finalizer — full-period, well mixed).
 pub fn derive(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -41,14 +40,18 @@ mod tests {
 
     #[test]
     fn rngs_reproduce_sequences() {
-        let a: Vec<u32> = (0..8).map({
-            let mut r = rng(99);
-            move |_| r.gen()
-        }).collect();
-        let b: Vec<u32> = (0..8).map({
-            let mut r = rng(99);
-            move |_| r.gen()
-        }).collect();
+        let a: Vec<u32> = (0..8)
+            .map({
+                let mut r = rng(99);
+                move |_| r.gen()
+            })
+            .collect();
+        let b: Vec<u32> = (0..8)
+            .map({
+                let mut r = rng(99);
+                move |_| r.gen()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -64,7 +64,10 @@ pub fn exponential_dataset(n_entities: usize, b: usize, s: f64, seed: u64) -> Da
     for (k, &size) in sizes.iter().enumerate() {
         let prefix = block_prefix(k);
         for j in 0..size {
-            let title = format!("{prefix} {}", rs_code(j % crate::duplicates::code_capacity()));
+            let title = format!(
+                "{prefix} {}",
+                rs_code(j % crate::duplicates::code_capacity())
+            );
             entities.push(Entity::new(id, [("title", title.as_str())]));
             id += 1;
         }

@@ -7,10 +7,38 @@
 
 /// Product category nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "camera", "lens", "printer", "laptop", "monitor", "keyboard", "router", "speaker",
-    "headphones", "tablet", "charger", "battery", "tripod", "flash", "projector", "scanner",
-    "microphone", "webcam", "dock", "adapter", "enclosure", "drive", "memory", "case",
-    "backpack", "mouse", "display", "receiver", "amplifier", "turntable", "console", "drone",
+    "camera",
+    "lens",
+    "printer",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "router",
+    "speaker",
+    "headphones",
+    "tablet",
+    "charger",
+    "battery",
+    "tripod",
+    "flash",
+    "projector",
+    "scanner",
+    "microphone",
+    "webcam",
+    "dock",
+    "adapter",
+    "enclosure",
+    "drive",
+    "memory",
+    "case",
+    "backpack",
+    "mouse",
+    "display",
+    "receiver",
+    "amplifier",
+    "turntable",
+    "console",
+    "drone",
 ];
 
 /// Product qualifier words.
@@ -22,13 +50,56 @@ pub const PRODUCT_QUALIFIERS: &[&str] = &[
 
 /// Academic title words for publication records.
 pub const ACADEMIC_WORDS: &[&str] = &[
-    "analysis", "approach", "algorithm", "adaptive", "framework", "distributed", "parallel",
-    "efficient", "scalable", "query", "processing", "optimization", "learning", "model",
-    "system", "network", "database", "index", "storage", "memory", "cache", "transaction",
-    "stream", "graph", "cluster", "partition", "schema", "integration", "resolution", "entity",
-    "matching", "similarity", "join", "aggregation", "sampling", "estimation", "evaluation",
-    "benchmark", "workload", "skew", "balancing", "mapreduce", "cloud", "replication",
-    "consistency", "recovery", "concurrency", "locking", "logging", "compression",
+    "analysis",
+    "approach",
+    "algorithm",
+    "adaptive",
+    "framework",
+    "distributed",
+    "parallel",
+    "efficient",
+    "scalable",
+    "query",
+    "processing",
+    "optimization",
+    "learning",
+    "model",
+    "system",
+    "network",
+    "database",
+    "index",
+    "storage",
+    "memory",
+    "cache",
+    "transaction",
+    "stream",
+    "graph",
+    "cluster",
+    "partition",
+    "schema",
+    "integration",
+    "resolution",
+    "entity",
+    "matching",
+    "similarity",
+    "join",
+    "aggregation",
+    "sampling",
+    "estimation",
+    "evaluation",
+    "benchmark",
+    "workload",
+    "skew",
+    "balancing",
+    "mapreduce",
+    "cloud",
+    "replication",
+    "consistency",
+    "recovery",
+    "concurrency",
+    "locking",
+    "logging",
+    "compression",
 ];
 
 /// Publication venue names.
@@ -45,8 +116,8 @@ pub const SURNAMES: &[&str] = &[
 ];
 
 const ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "q", "r", "s", "t", "v", "w",
-    "x", "z",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "q", "r", "s", "t", "v", "w", "x",
+    "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "y"];
 
@@ -99,6 +170,8 @@ mod tests {
     fn vocab_lists_are_nonempty_and_lowercase_where_expected() {
         assert!(PRODUCT_NOUNS.len() >= 30);
         assert!(ACADEMIC_WORDS.len() >= 40);
-        assert!(PRODUCT_NOUNS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+        assert!(PRODUCT_NOUNS
+            .iter()
+            .all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
     }
 }

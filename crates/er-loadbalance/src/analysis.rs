@@ -26,9 +26,9 @@ use mr_engine::partitioner::HashPartitioner;
 
 use crate::bdm::BlockDistributionMatrix;
 use crate::block_split::{create_match_tasks, TaskAssignment};
+use crate::pair_range::enumeration::pair_index;
 use crate::pair_range::mapper::relevant_ranges;
 use crate::pair_range::ranges::{RangeIndexer, RangePolicy};
-use crate::pair_range::enumeration::pair_index;
 use crate::StrategyKind;
 
 /// Exact per-task workloads of one strategy at `(m, r)` as induced by
@@ -143,8 +143,7 @@ fn analyze_block_split(bdm: &BlockDistributionMatrix, r: usize) -> StrategyWorkl
                 inputs[rt] += bdm.size(k);
             }
         } else {
-            let nonempty =
-                (0..m).filter(|&p| bdm.size_in(k, p) > 0).count() as u64;
+            let nonempty = (0..m).filter(|&p| bdm.size_in(k, p) > 0).count() as u64;
             map_output += bdm.size(k) * nonempty;
             for t in tasks.iter().filter(|t| t.block == k) {
                 let rt = assignment

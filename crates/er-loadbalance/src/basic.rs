@@ -9,7 +9,9 @@ use er_core::blocking::{BlockKey, BlockingFunction};
 use er_core::result::MatchPair;
 use mr_engine::prelude::*;
 
-use crate::compare::PairComparer;
+use er_core::MatcherCache;
+
+use crate::compare::{PairComparer, PreparedRef};
 use crate::{Ent, Keyed};
 
 /// Basic mapper: derive the blocking key(s), emit `(key, entity)`.
@@ -54,16 +56,20 @@ impl Mapper for BasicMapper {
 ///
 /// Every entity of the block must be buffered — the memory problem the
 /// paper points out ("a reduce task must therefore store all entities
-/// passed to a reduce call in main memory").
+/// passed to a reduce call in main memory"). Each entity is prepared
+/// once as it is buffered; the O(b²) pair loop runs entirely on cached
+/// prepared forms.
 #[derive(Clone)]
 pub struct BasicReducer {
     comparer: PairComparer,
+    cache: MatcherCache,
 }
 
 impl BasicReducer {
     /// Creates the reducer.
     pub fn new(comparer: PairComparer) -> Self {
-        Self { comparer }
+        let cache = comparer.new_cache();
+        Self { comparer, cache }
     }
 }
 
@@ -79,10 +85,11 @@ impl Reducer for BasicReducer {
         ctx: &mut ReduceContext<MatchPair, f64>,
     ) {
         let block = group.key().clone();
-        let mut buffer: Vec<&Keyed> = Vec::with_capacity(group.len());
+        let mut buffer: Vec<PreparedRef<'_>> = Vec::with_capacity(group.len());
         for e2 in group.values() {
+            let e2 = self.comparer.prepare_cached(&mut self.cache, e2);
             for e1 in &buffer {
-                self.comparer.compare(e1, e2, &block, ctx);
+                self.comparer.compare_prepared(e1, &e2, &block, ctx);
             }
             buffer.push(e2);
         }
@@ -97,25 +104,33 @@ pub fn basic_job(
     reduce_tasks: usize,
     parallelism: usize,
 ) -> Job<BasicMapper, BasicReducer> {
-    Job::builder("er-basic", BasicMapper::new(blocking), BasicReducer::new(comparer))
-        .reduce_tasks(reduce_tasks)
-        .parallelism(parallelism)
-        .partitioner(HashPartitioner)
-        .build()
+    Job::builder(
+        "er-basic",
+        BasicMapper::new(blocking),
+        BasicReducer::new(comparer),
+    )
+    .reduce_tasks(reduce_tasks)
+    .parallelism(parallelism)
+    .partitioner(HashPartitioner)
+    .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::COMPARISONS;
     use er_core::blocking::PrefixBlocking;
     use er_core::{Entity, Matcher};
-    use crate::COMPARISONS;
 
     fn input() -> Partitions<(), Ent> {
         let e = |id: u64, t: &str| ((), Arc::new(Entity::new(id, [("title", t)])));
         vec![
             vec![e(0, "aa same title x"), e(1, "bb other")],
-            vec![e(2, "aa same title y"), e(3, "aa unrelated zz"), e(4, "bb other")],
+            vec![
+                e(2, "aa same title y"),
+                e(3, "aa unrelated zz"),
+                e(4, "bb other"),
+            ],
         ]
     }
 
@@ -127,7 +142,8 @@ mod tests {
             1,
         );
         let out = job.run(input()).unwrap();
-        (out.records, out.metrics)
+        let metrics = out.metrics.clone();
+        (out.into_records(), metrics)
     }
 
     #[test]

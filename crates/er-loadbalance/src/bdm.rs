@@ -44,10 +44,7 @@ impl BlockDistributionMatrix {
     ///
     /// # Panics
     /// If a partition index is `>= m`.
-    pub fn from_counts(
-        m: usize,
-        counts: impl IntoIterator<Item = (BlockKey, usize, u64)>,
-    ) -> Self {
+    pub fn from_counts(m: usize, counts: impl IntoIterator<Item = (BlockKey, usize, u64)>) -> Self {
         let mut per_key: BTreeMap<BlockKey, Vec<u64>> = BTreeMap::new();
         for (key, partition, count) in counts {
             assert!(
@@ -303,8 +300,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_partition_index_panics() {
-        let _ =
-            BlockDistributionMatrix::from_counts(1, vec![(BlockKey::new("a"), 3, 1)]);
+        let _ = BlockDistributionMatrix::from_counts(1, vec![(BlockKey::new("a"), 3, 1)]);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use er_core::blocking::{BlockKey, BlockingFunction};
-use mr_engine::prelude::*;
 use mr_engine::combiner::sum_u64_combiner;
+use mr_engine::prelude::*;
 
 use crate::bdm::BlockDistributionMatrix;
 use crate::{Ent, Keyed};
@@ -131,8 +131,9 @@ pub fn compute_bdm(
     let out = job.run(input)?;
     let bdm = BlockDistributionMatrix::from_counts(
         m,
-        out.records
+        out.reduce_outputs
             .into_iter()
+            .flatten()
             .map(|((key, p), count)| (key, p as usize, count)),
     );
     Ok((bdm, out.side_outputs, out.metrics))
@@ -209,7 +210,7 @@ mod tests {
         let job = bdm_job(blocking(), 2, 1, false);
         let out = job.run(input).unwrap();
         assert_eq!(out.metrics.counters.get(NULL_KEY_ENTITIES), 1);
-        let total: u64 = out.records.iter().map(|(_, c)| c).sum();
+        let total: u64 = out.records().map(|(_, c)| c).sum();
         assert_eq!(total, 14, "the keyless entity is not counted");
     }
 
@@ -227,7 +228,7 @@ mod tests {
         let job = bdm_job(mp, 2, 1, false);
         let out = job.run(input).unwrap();
         // Two keys -> two count records and two side records.
-        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.num_records(), 2);
         assert_eq!(out.side_outputs[0].len(), 2);
         let keyed = &out.side_outputs[0][0].1;
         assert_eq!(keyed.all_keys.len(), 2);

@@ -40,7 +40,10 @@ impl TaskAssignment {
                 .map(|(idx, _)| idx)
                 .expect("r > 0");
             loads[reduce_task] += task.comparisons;
-            by_task.insert((task.block, task.i, task.j), (reduce_task, task.comparisons));
+            by_task.insert(
+                (task.block, task.i, task.j),
+                (reduce_task, task.comparisons),
+            );
         }
         Self { by_task, loads }
     }
@@ -63,9 +66,7 @@ impl TaskAssignment {
     }
 
     /// Iterates `((block, i, j), (reduce_task, comparisons))`.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&(usize, usize, usize), &(usize, u64))> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize, usize), &(usize, u64))> {
         self.by_task.iter()
     }
 

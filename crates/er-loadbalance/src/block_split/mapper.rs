@@ -54,8 +54,7 @@ impl Mapper for BlockSplitMapper {
     type Side = ();
 
     fn setup(&mut self, info: &MapTaskInfo) {
-        let tasks =
-            create_match_tasks_with_policy(&self.bdm, info.num_reduce_tasks, self.policy);
+        let tasks = create_match_tasks_with_policy(&self.bdm, info.num_reduce_tasks, self.policy);
         self.state = Some(TaskState {
             assignment: Arc::new(TaskAssignment::greedy(tasks, info.num_reduce_tasks)),
             partition: info.task_index,
@@ -77,9 +76,9 @@ impl Mapper for BlockSplitMapper {
             panic!("blocking key {key} not present in the BDM");
         };
         let comps = self.bdm.pairs_in_block(k);
-        let split = self
-            .policy
-            .should_split(self.bdm.size(k), comps, self.bdm.total_pairs(), state.r);
+        let split =
+            self.policy
+                .should_split(self.bdm.size(k), comps, self.bdm.total_pairs(), state.r);
         if !split {
             if comps > 0 {
                 let rt = state
@@ -186,7 +185,12 @@ mod tests {
             .collect();
         assert_eq!(a_keys.len(), 1);
         assert_eq!(
-            (a_keys[0].reduce_task, a_keys[0].block, a_keys[0].i, a_keys[0].j),
+            (
+                a_keys[0].reduce_task,
+                a_keys[0].block,
+                a_keys[0].i,
+                a_keys[0].j
+            ),
             (0, 0, 0, 0)
         );
     }

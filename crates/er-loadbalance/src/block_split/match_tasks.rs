@@ -206,10 +206,8 @@ mod tests {
         use er_core::blocking::BlockKey;
         // Block confined to partition 1 of 3: splitting yields exactly
         // one sub-block task.
-        let bdm = crate::bdm::BlockDistributionMatrix::from_counts(
-            3,
-            vec![(BlockKey::new("a"), 1, 5)],
-        );
+        let bdm =
+            crate::bdm::BlockDistributionMatrix::from_counts(3, vec![(BlockKey::new("a"), 1, 5)]);
         let tasks = create_match_tasks(&bdm, 10);
         assert_eq!(tasks.len(), 1);
         assert_eq!((tasks[0].i, tasks[0].j, tasks[0].comparisons), (1, 1, 10));
@@ -220,8 +218,7 @@ mod tests {
         // With r = 1 everything fits the average; a cap of 3 entities
         // still forces blocks w (4) and z (5) apart.
         let bdm = running_example_bdm();
-        let tasks =
-            create_match_tasks_with_policy(&bdm, 1, SplitPolicy::with_memory_cap(3));
+        let tasks = create_match_tasks_with_policy(&bdm, 1, SplitPolicy::with_memory_cap(3));
         let blocks_with_multiple: Vec<usize> = (0..4)
             .filter(|&k| tasks.iter().filter(|t| t.block == k).count() > 1)
             .collect();

@@ -10,8 +10,8 @@
 //! scheduling, which keeps the makespan within 4/3 of optimal.
 
 pub mod assign;
-pub mod match_tasks;
 pub mod mapper;
+pub mod match_tasks;
 pub mod reducer;
 
 use std::sync::Arc;
@@ -25,9 +25,7 @@ use crate::compare::PairComparer;
 use crate::keys::BlockSplitKey;
 
 pub use assign::TaskAssignment;
-pub use match_tasks::{
-    create_match_tasks, create_match_tasks_with_policy, MatchTask, SplitPolicy,
-};
+pub use match_tasks::{create_match_tasks, create_match_tasks_with_policy, MatchTask, SplitPolicy};
 
 /// Builds the BlockSplit matching job over the BDM job's annotated
 /// side output.
@@ -37,7 +35,13 @@ pub fn block_split_job(
     reduce_tasks: usize,
     parallelism: usize,
 ) -> Job<mapper::BlockSplitMapper, reducer::BlockSplitReducer> {
-    block_split_job_with_policy(bdm, comparer, SplitPolicy::paper(), reduce_tasks, parallelism)
+    block_split_job_with_policy(
+        bdm,
+        comparer,
+        SplitPolicy::paper(),
+        reduce_tasks,
+        parallelism,
+    )
 }
 
 /// [`block_split_job`] under an explicit [`SplitPolicy`] (e.g. a

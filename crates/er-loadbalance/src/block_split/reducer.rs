@@ -12,21 +12,24 @@
 //! interleaving.
 
 use er_core::result::MatchPair;
+use er_core::MatcherCache;
 use mr_engine::reducer::{Group, ReduceContext, Reducer};
 
-use crate::compare::PairComparer;
+use crate::compare::{PairComparer, PreparedRef};
 use crate::keys::{BlockSplitKey, BlockSplitValue};
 
 /// The BlockSplit reducer.
 #[derive(Clone)]
 pub struct BlockSplitReducer {
     comparer: PairComparer,
+    cache: MatcherCache,
 }
 
 impl BlockSplitReducer {
     /// Creates the reducer.
     pub fn new(comparer: PairComparer) -> Self {
-        Self { comparer }
+        let cache = comparer.new_cache();
+        Self { comparer, cache }
     }
 }
 
@@ -51,10 +54,11 @@ impl Reducer for BlockSplitReducer {
             .clone();
         if key.i == key.j {
             // Match task k.* or k.i: all pairs within the group.
-            let mut buffer: Vec<&BlockSplitValue> = Vec::with_capacity(group.len());
+            let mut buffer: Vec<PreparedRef<'_>> = Vec::with_capacity(group.len());
             for e2 in group.values() {
+                let e2 = self.comparer.prepare_cached(&mut self.cache, &e2.keyed);
                 for e1 in &buffer {
-                    self.comparer.compare(&e1.keyed, &e2.keyed, &block_key, ctx);
+                    self.comparer.compare_prepared(e1, &e2, &block_key, ctx);
                 }
                 buffer.push(e2);
             }
@@ -65,18 +69,20 @@ impl Reducer for BlockSplitReducer {
             let mut values = group.values();
             let first = values.next().expect("groups are non-empty");
             let first_partition = first.partition;
-            let mut bucket_a: Vec<&BlockSplitValue> = vec![first];
-            let mut bucket_b: Vec<&BlockSplitValue> = Vec::new();
+            let mut bucket_a: Vec<PreparedRef<'_>> =
+                vec![self.comparer.prepare_cached(&mut self.cache, &first.keyed)];
+            let mut bucket_b: Vec<PreparedRef<'_>> = Vec::new();
             for v in values {
+                let prepared = self.comparer.prepare_cached(&mut self.cache, &v.keyed);
                 if v.partition == first_partition {
-                    bucket_a.push(v);
+                    bucket_a.push(prepared);
                 } else {
-                    bucket_b.push(v);
+                    bucket_b.push(prepared);
                 }
             }
             for e1 in &bucket_a {
                 for e2 in &bucket_b {
-                    self.comparer.compare(&e1.keyed, &e2.keyed, &block_key, ctx);
+                    self.comparer.compare_prepared(e1, e2, &block_key, ctx);
                 }
             }
         }
@@ -129,9 +135,8 @@ mod tests {
                 (k, v)
             })
             .collect();
-        let mut reducer = BlockSplitReducer::new(PairComparer::count_only(Arc::new(
-            Matcher::paper_default(),
-        )));
+        let mut reducer =
+            BlockSplitReducer::new(PairComparer::count_only(Arc::new(Matcher::paper_default())));
         let mut c = ctx();
         reducer.reduce(Group::for_testing(&entries), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 6, "C(4,2) pairs");
@@ -154,9 +159,8 @@ mod tests {
             k.j = 0;
             entries.push((k, v));
         }
-        let mut reducer = BlockSplitReducer::new(PairComparer::count_only(Arc::new(
-            Matcher::paper_default(),
-        )));
+        let mut reducer =
+            BlockSplitReducer::new(PairComparer::count_only(Arc::new(Matcher::paper_default())));
         let mut c = ctx();
         reducer.reduce(Group::for_testing(&entries), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 6);
@@ -174,9 +178,8 @@ mod tests {
             k.j = 0;
             entries.push((k, v));
         }
-        let mut reducer = BlockSplitReducer::new(PairComparer::count_only(Arc::new(
-            Matcher::paper_default(),
-        )));
+        let mut reducer =
+            BlockSplitReducer::new(PairComparer::count_only(Arc::new(Matcher::paper_default())));
         let mut c = ctx();
         reducer.reduce(Group::for_testing(&entries), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 6, "2 x 3 cross pairs");

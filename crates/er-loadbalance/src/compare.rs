@@ -1,10 +1,20 @@
 //! Shared pair-comparison context used by every strategy's reducer.
+//!
+//! Reducers buffer a block's entities and evaluate all O(b²) pairs.
+//! The prepared path keeps that quadratic loop allocation-free: each
+//! entity is preprocessed **once** via [`PairComparer::prepare_cached`]
+//! (backed by a per-task [`MatcherCache`], so even entities revisited
+//! across groups — PairRange range replicas, multi-pass blocking — are
+//! prepared a single time), and pairs are scored through
+//! [`PairComparer::compare_prepared`] on the cached forms. In
+//! count-only mode preparation is skipped entirely; the similarity
+//! measure never runs.
 
 use std::sync::Arc;
 
 use er_core::blocking::BlockKey;
 use er_core::result::MatchPair;
-use er_core::Matcher;
+use er_core::{Matcher, MatcherCache, PreparedEntity};
 use mr_engine::reducer::ReduceContext;
 
 use crate::{Keyed, COMPARISONS};
@@ -48,6 +58,11 @@ impl PairComparer {
 
     /// Compares `a` and `b` within `current` block, emitting a match
     /// record if the pair reaches the matcher's threshold.
+    ///
+    /// One-shot entry point: both entities are preprocessed from
+    /// scratch. Reducers evaluating whole blocks should use
+    /// [`PairComparer::prepare_cached`] +
+    /// [`PairComparer::compare_prepared`] instead.
     pub fn compare(
         &self,
         a: &Keyed,
@@ -70,6 +85,67 @@ impl PairComparer {
             );
         }
     }
+
+    /// A fresh per-reduce-task cache for
+    /// [`PairComparer::prepare_cached`].
+    pub fn new_cache(&self) -> MatcherCache {
+        MatcherCache::new(Arc::clone(&self.matcher))
+    }
+
+    /// Wraps `keyed` with its cached prepared form, computing it on
+    /// first sight of the entity. Count-only comparers skip
+    /// preparation — the matcher never runs, so the work would be
+    /// wasted.
+    pub fn prepare_cached<'a>(
+        &self,
+        cache: &mut MatcherCache,
+        keyed: &'a Keyed,
+    ) -> PreparedRef<'a> {
+        PreparedRef {
+            keyed,
+            prepared: (!self.count_only).then(|| cache.prepared(&keyed.entity)),
+        }
+    }
+
+    /// [`PairComparer::compare`] over prepared handles: same gate,
+    /// same counters, same emissions — but similarity runs on the
+    /// cached representations, bit-exact with the string path.
+    pub fn compare_prepared(
+        &self,
+        a: &PreparedRef<'_>,
+        b: &PreparedRef<'_>,
+        current: &BlockKey,
+        ctx: &mut ReduceContext<MatchPair, f64>,
+    ) {
+        if !a.keyed.should_compare_in(b.keyed, current) {
+            ctx.add_counter(MULTIPASS_SKIPPED, 1);
+            return;
+        }
+        ctx.add_counter(COMPARISONS, 1);
+        if self.count_only {
+            return;
+        }
+        let (pa, pb) = (
+            a.prepared.as_ref().expect("prepared under !count_only"),
+            b.prepared.as_ref().expect("prepared under !count_only"),
+        );
+        if let Some(score) = self.matcher.matches_prepared(pa, pb) {
+            ctx.emit(
+                MatchPair::new(a.keyed.entity.entity_ref(), b.keyed.entity.entity_ref()),
+                score,
+            );
+        }
+    }
+}
+
+/// A block entity paired with its cached prepared form — what the
+/// strategy reducers buffer instead of bare [`Keyed`] references.
+/// `prepared` is `None` exactly when the comparer is count-only.
+#[derive(Debug, Clone)]
+pub struct PreparedRef<'a> {
+    /// The annotated entity.
+    pub keyed: &'a Keyed,
+    prepared: Option<Arc<PreparedEntity>>,
 }
 
 impl std::fmt::Debug for PairComparer {
@@ -147,11 +223,89 @@ mod tests {
     }
 
     #[test]
+    fn prepared_path_matches_unprepared_path() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut cache = comparer.new_cache();
+        let block = BlockKey::new("blk");
+        for (id, (ta, tb)) in [
+            ("abcdefghij", "abcdefghiX"), // match at 0.9
+            ("abcdefghij", "zzzzzzzzzz"), // counted, no match
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // Distinct ids per case: the cache memoizes by entity ref.
+            let (a, b) = (keyed(2 * id as u64, ta), keyed(2 * id as u64 + 1, tb));
+            let mut direct = ctx();
+            comparer.compare(&a, &b, &block, &mut direct);
+            let mut prepared = ctx();
+            let (pa, pb) = (
+                comparer.prepare_cached(&mut cache, &a),
+                comparer.prepare_cached(&mut cache, &b),
+            );
+            comparer.compare_prepared(&pa, &pb, &block, &mut prepared);
+            assert_eq!(direct.output(), prepared.output());
+            assert_eq!(
+                direct.counters().get(COMPARISONS),
+                prepared.counters().get(COMPARISONS)
+            );
+        }
+    }
+
+    #[test]
+    fn count_only_skips_preparation() {
+        let comparer = PairComparer::count_only(Arc::new(Matcher::paper_default()));
+        let mut cache = comparer.new_cache();
+        let a = keyed(1, "abcdefghij");
+        let pa = comparer.prepare_cached(&mut cache, &a);
+        assert!(cache.is_empty(), "count-only must not prepare entities");
+        let mut c = ctx();
+        comparer.compare_prepared(&pa, &pa.clone(), &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        assert!(c.output().is_empty());
+    }
+
+    #[test]
+    fn prepared_cache_hits_across_groups() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut cache = comparer.new_cache();
+        let a = keyed(1, "abcdefghij");
+        let _ = comparer.prepare_cached(&mut cache, &a);
+        let _ = comparer.prepare_cached(&mut cache, &a);
+        assert_eq!(cache.len(), 1, "same entity must be prepared once");
+    }
+
+    #[test]
+    fn prepared_multipass_gate_skips_non_smallest_common_block() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut cache = comparer.new_cache();
+        let all: Arc<[BlockKey]> =
+            Arc::from(vec![BlockKey::new("aaa"), BlockKey::new("zzz")].into_boxed_slice());
+        let a = Keyed::replica(
+            BlockKey::new("zzz"),
+            Arc::clone(&all),
+            Arc::new(Entity::new(1, [("title", "same title")])),
+        );
+        let b = Keyed::replica(
+            BlockKey::new("zzz"),
+            all,
+            Arc::new(Entity::new(2, [("title", "same title")])),
+        );
+        let (pa, pb) = (
+            comparer.prepare_cached(&mut cache, &a),
+            comparer.prepare_cached(&mut cache, &b),
+        );
+        let mut c = ctx();
+        comparer.compare_prepared(&pa, &pb, &BlockKey::new("zzz"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 0);
+        assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 1);
+    }
+
+    #[test]
     fn multipass_gate_skips_non_smallest_common_block() {
         let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
-        let all: Arc<[BlockKey]> = Arc::from(
-            vec![BlockKey::new("aaa"), BlockKey::new("zzz")].into_boxed_slice(),
-        );
+        let all: Arc<[BlockKey]> =
+            Arc::from(vec![BlockKey::new("aaa"), BlockKey::new("zzz")].into_boxed_slice());
         let a = Keyed::replica(
             BlockKey::new("zzz"),
             Arc::clone(&all),

@@ -168,7 +168,7 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
             );
             let out = job.run(input)?;
             let mut result = MatchResult::new();
-            for (pair, score) in out.records {
+            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
             }
             Ok(ErOutcome {
@@ -206,7 +206,7 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                 .run(annotated)?,
             };
             let mut result = MatchResult::new();
-            for (pair, score) in out.records {
+            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
             }
             Ok(ErOutcome {
@@ -236,10 +236,17 @@ pub fn naive_reference(entities: &[Ent], config: &ErConfig) -> MatchResult {
             blocks
                 .entry(key.clone())
                 .or_default()
-                .push(crate::Keyed::replica(key.clone(), Arc::clone(&all), Arc::clone(e)));
+                .push(crate::Keyed::replica(
+                    key.clone(),
+                    Arc::clone(&all),
+                    Arc::clone(e),
+                ));
         }
     }
     let mut result = MatchResult::new();
+    // Prepared once per entity across *all* of its blocks (multi-pass
+    // blocking replicates entities), via the memoizing cache.
+    let mut cache = er_core::MatcherCache::new(Arc::clone(&config.matcher));
     for (block_key, members) in &blocks {
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {
@@ -247,7 +254,7 @@ pub fn naive_reference(entities: &[Ent], config: &ErConfig) -> MatchResult {
                 if !a.should_compare_in(b, block_key) {
                     continue;
                 }
-                if let Some(score) = config.matcher.matches(&a.entity, &b.entity) {
+                if let Some(score) = cache.matches(&a.entity, &b.entity) {
                     result.insert(
                         er_core::result::MatchPair::new(
                             a.entity.entity_ref(),

@@ -125,7 +125,11 @@ impl PairRangeKey {
 
 impl std::fmt::Display for PairRangeKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}.{}.{}.{}", self.range, self.block, self.source, self.index)
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            self.range, self.block, self.source, self.index
+        )
     }
 }
 
@@ -208,10 +212,12 @@ mod tests {
             source,
             index,
         };
-        let mut keys = [mk(1, 3, SourceId::R, 2),
+        let mut keys = [
+            mk(1, 3, SourceId::R, 2),
             mk(0, 0, SourceId::R, 5),
             mk(1, 2, SourceId::S, 0),
-            mk(1, 2, SourceId::R, 9)];
+            mk(1, 2, SourceId::R, 9),
+        ];
         keys.sort();
         assert_eq!(keys[0].range, 0);
         assert_eq!((keys[1].block, keys[1].source), (2, SourceId::R));

@@ -81,10 +81,7 @@ mod tests {
             let cfg = multipass_config(strategy, passes())
                 .with_reduce_tasks(3)
                 .with_parallelism(1);
-            let input = partition_evenly(
-                entities().into_iter().map(|e| ((), e)).collect(),
-                2,
-            );
+            let input = partition_evenly(entities().into_iter().map(|e| ((), e)).collect(), 2);
             let outcome = run_er(input, &cfg).unwrap();
             // Entities 0,1,2 share both the "acm" title block and the
             // "acme" brand block: their 3 pairs must be skipped in one

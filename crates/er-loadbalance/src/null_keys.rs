@@ -46,10 +46,7 @@ impl NullKeySplit {
 }
 
 /// Splits partitions by whether the blocking function yields a key.
-pub fn split_by_key(
-    input: &Partitions<(), Ent>,
-    blocking: &dyn BlockingFunction,
-) -> NullKeySplit {
+pub fn split_by_key(input: &Partitions<(), Ent>, blocking: &dyn BlockingFunction) -> NullKeySplit {
     let mut keyed: Partitions<(), Ent> = Vec::with_capacity(input.len());
     let mut null: Partitions<(), Ent> = Vec::with_capacity(input.len());
     for partition in input {
@@ -281,7 +278,10 @@ mod tests {
     #[test]
     fn no_null_keys_degenerates_to_plain_matching() {
         let input = vec![
-            vec![ent(0, Some("aa same text here")), ent(1, Some("aa same text herX"))],
+            vec![
+                ent(0, Some("aa same text here")),
+                ent(1, Some("aa same text herX")),
+            ],
             vec![ent(2, Some("bb other"))],
         ];
         let cfg = config(StrategyKind::BlockSplit);

@@ -87,11 +87,7 @@ impl Mapper for PairRangeMapper {
     fn setup(&mut self, info: &MapTaskInfo) {
         self.state = Some(MapState {
             indexer: EntityIndexer::for_partition(&self.bdm, info.task_index),
-            ranges: RangeIndexer::new(
-                self.bdm.total_pairs(),
-                info.num_reduce_tasks,
-                self.policy,
-            ),
+            ranges: RangeIndexer::new(self.bdm.total_pairs(), info.num_reduce_tasks, self.policy),
         });
     }
 

@@ -20,12 +20,13 @@
 use std::sync::Arc;
 
 use er_core::result::MatchPair;
+use er_core::MatcherCache;
 use mr_engine::reducer::{Group, ReduceContext, Reducer};
 
 use super::enumeration::pair_index;
 use super::ranges::{RangeIndexer, RangePolicy};
 use crate::bdm::BlockDistributionMatrix;
-use crate::compare::PairComparer;
+use crate::compare::{PairComparer, PreparedRef};
 use crate::keys::{PairRangeKey, PairRangeValue};
 
 /// The PairRange reducer.
@@ -35,6 +36,7 @@ pub struct PairRangeReducer {
     comparer: PairComparer,
     policy: RangePolicy,
     ranges: Option<RangeIndexer>,
+    cache: MatcherCache,
 }
 
 impl PairRangeReducer {
@@ -44,11 +46,13 @@ impl PairRangeReducer {
         comparer: PairComparer,
         policy: RangePolicy,
     ) -> Self {
+        let cache = comparer.new_cache();
         Self {
             bdm,
             comparer,
             policy,
             ranges: None,
+            cache,
         }
     }
 }
@@ -83,21 +87,22 @@ impl Reducer for PairRangeReducer {
             .keyed
             .key
             .clone();
-        let mut buffer: Vec<&PairRangeValue> = Vec::with_capacity(group.len());
+        let mut buffer: Vec<(u64, PreparedRef<'_>)> = Vec::with_capacity(group.len());
         for e2 in group.values() {
-            for e1 in &buffer {
-                debug_assert!(e1.index < e2.index, "sorted by entity index");
-                let k = ranges.range_of(pair_index(&self.bdm, block, e1.index, e2.index));
+            let prepared2 = self.comparer.prepare_cached(&mut self.cache, &e2.keyed);
+            for (index1, e1) in &buffer {
+                debug_assert!(*index1 < e2.index, "sorted by entity index");
+                let k = ranges.range_of(pair_index(&self.bdm, block, *index1, e2.index));
                 if k == my_range {
                     self.comparer
-                        .compare(&e1.keyed, &e2.keyed, &block_key, ctx);
+                        .compare_prepared(e1, &prepared2, &block_key, ctx);
                 } else if k > my_range {
                     // Monotone in the buffer coordinate: nothing later
                     // in the buffer can still belong to this range.
                     break;
                 }
             }
-            buffer.push(e2);
+            buffer.push((e2.index, prepared2));
         }
     }
 }

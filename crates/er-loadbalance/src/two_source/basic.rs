@@ -7,10 +7,10 @@ use std::sync::Arc;
 
 use er_core::blocking::{BlockKey, BlockingFunction};
 use er_core::result::MatchPair;
-use er_core::SourceId;
+use er_core::{MatcherCache, SourceId};
 use mr_engine::prelude::*;
 
-use crate::compare::PairComparer;
+use crate::compare::{PairComparer, PreparedRef};
 use crate::keys::BlockSplitValue;
 use crate::{Ent, Keyed};
 
@@ -45,7 +45,12 @@ impl Mapper for TwoSourceBasicMapper {
         self.state = Some((info.task_index, self.sources[info.task_index]));
     }
 
-    fn map(&mut self, _key: &(), entity: &Ent, ctx: &mut MapContext<BlockKey, BlockSplitValue, ()>) {
+    fn map(
+        &mut self,
+        _key: &(),
+        entity: &Ent,
+        ctx: &mut MapContext<BlockKey, BlockSplitValue, ()>,
+    ) {
         let (partition, source) = self.state.expect("setup ran");
         let mut keys = self.blocking.keys(entity);
         keys.sort();
@@ -68,16 +73,19 @@ impl Mapper for TwoSourceBasicMapper {
     }
 }
 
-/// Two-source Basic reducer: cross-source pairs of one block.
+/// Two-source Basic reducer: cross-source pairs of one block, each
+/// side prepared once while bucketing.
 #[derive(Clone)]
 pub struct TwoSourceBasicReducer {
     comparer: PairComparer,
+    cache: MatcherCache,
 }
 
 impl TwoSourceBasicReducer {
     /// Creates the reducer.
     pub fn new(comparer: PairComparer) -> Self {
-        Self { comparer }
+        let cache = comparer.new_cache();
+        Self { comparer, cache }
     }
 }
 
@@ -93,18 +101,19 @@ impl Reducer for TwoSourceBasicReducer {
         ctx: &mut ReduceContext<MatchPair, f64>,
     ) {
         let block = group.key().clone();
-        let mut r_side: Vec<&BlockSplitValue> = Vec::new();
-        let mut s_side: Vec<&BlockSplitValue> = Vec::new();
+        let mut r_side: Vec<PreparedRef<'_>> = Vec::new();
+        let mut s_side: Vec<PreparedRef<'_>> = Vec::new();
         for v in group.values() {
+            let prepared = self.comparer.prepare_cached(&mut self.cache, &v.keyed);
             if v.source == SourceId::R {
-                r_side.push(v);
+                r_side.push(prepared);
             } else {
-                s_side.push(v);
+                s_side.push(prepared);
             }
         }
         for e1 in &r_side {
             for e2 in &s_side {
-                self.comparer.compare(&e1.keyed, &e2.keyed, &block, ctx);
+                self.comparer.compare_prepared(e1, e2, &block, ctx);
             }
         }
     }

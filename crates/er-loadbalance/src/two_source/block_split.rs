@@ -13,10 +13,12 @@ use mr_engine::engine::Job;
 use mr_engine::mapper::{MapContext, MapTaskInfo, Mapper};
 use mr_engine::reducer::{Group, ReduceContext, Reducer};
 
+use er_core::MatcherCache;
+
 use super::TwoSourceBdm;
 use crate::block_split::assign::TaskAssignment;
 use crate::block_split::match_tasks::{fits_average, MatchTask};
-use crate::compare::PairComparer;
+use crate::compare::{PairComparer, PreparedRef};
 use crate::keys::{BlockSplitKey, BlockSplitValue};
 use crate::Keyed;
 
@@ -160,12 +162,14 @@ impl Mapper for TwoSourceBlockSplitMapper {
 #[derive(Clone)]
 pub struct TwoSourceBlockSplitReducer {
     comparer: PairComparer,
+    cache: MatcherCache,
 }
 
 impl TwoSourceBlockSplitReducer {
     /// Creates the reducer.
     pub fn new(comparer: PairComparer) -> Self {
-        Self { comparer }
+        let cache = comparer.new_cache();
+        Self { comparer, cache }
     }
 }
 
@@ -187,18 +191,19 @@ impl Reducer for TwoSourceBlockSplitReducer {
             .keyed
             .key
             .clone();
-        let mut r_side: Vec<&BlockSplitValue> = Vec::new();
-        let mut s_side: Vec<&BlockSplitValue> = Vec::new();
+        let mut r_side: Vec<PreparedRef<'_>> = Vec::new();
+        let mut s_side: Vec<PreparedRef<'_>> = Vec::new();
         for v in group.values() {
+            let prepared = self.comparer.prepare_cached(&mut self.cache, &v.keyed);
             if v.source == SourceId::R {
-                r_side.push(v);
+                r_side.push(prepared);
             } else {
-                s_side.push(v);
+                s_side.push(prepared);
             }
         }
         for e1 in &r_side {
             for e2 in &s_side {
-                self.comparer.compare(&e1.keyed, &e2.keyed, &block_key, ctx);
+                self.comparer.compare_prepared(e1, e2, &block_key, ctx);
             }
         }
     }
@@ -281,7 +286,7 @@ mod tests {
             1,
         );
         let out = job.run(appendix_example::annotated_partitions()).unwrap();
-        for (pair, _) in &out.records {
+        for (pair, _) in out.records() {
             assert_ne!(
                 pair.lo().source,
                 pair.hi().source,

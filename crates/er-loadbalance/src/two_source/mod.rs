@@ -55,7 +55,9 @@ impl TwoSourceBdm {
             "one source tag per input partition"
         );
         assert!(
-            sources.iter().all(|&s| s == SourceId::R || s == SourceId::S),
+            sources
+                .iter()
+                .all(|&s| s == SourceId::R || s == SourceId::S),
             "two-source matching knows only R and S"
         );
         let mut size_r = Vec::with_capacity(bdm.num_blocks());
@@ -188,7 +190,7 @@ pub fn run_linkage(
         );
         let out = job.run(input)?;
         let mut result = MatchResult::new();
-        for (pair, score) in out.records {
+        for (pair, score) in out.reduce_outputs.into_iter().flatten() {
             result.insert(pair, score);
         }
         return Ok(ErOutcome {
@@ -226,7 +228,7 @@ pub fn run_linkage(
         StrategyKind::Basic => unreachable!("handled above"),
     };
     let mut result = MatchResult::new();
-    for (pair, score) in out.records {
+    for (pair, score) in out.reduce_outputs.into_iter().flatten() {
         result.insert(pair, score);
     }
     Ok(ErOutcome {

@@ -10,13 +10,13 @@ use std::sync::Arc;
 
 use er_core::blocking::BlockKey;
 use er_core::result::MatchPair;
-use er_core::SourceId;
+use er_core::{MatcherCache, SourceId};
 use mr_engine::engine::Job;
 use mr_engine::mapper::{MapContext, MapTaskInfo, Mapper};
 use mr_engine::reducer::{Group, ReduceContext, Reducer};
 
 use super::TwoSourceBdm;
-use crate::compare::PairComparer;
+use crate::compare::{PairComparer, PreparedRef};
 use crate::keys::{PairRangeKey, PairRangeValue};
 use crate::pair_range::ranges::{RangeIndexer, RangePolicy};
 use crate::Keyed;
@@ -87,11 +87,7 @@ impl Mapper for TwoSourcePairRangeMapper {
             .collect();
         self.state = Some(State {
             next_index,
-            ranges: RangeIndexer::new(
-                self.ts.total_pairs(),
-                info.num_reduce_tasks,
-                self.policy,
-            ),
+            ranges: RangeIndexer::new(self.ts.total_pairs(), info.num_reduce_tasks, self.policy),
             source: self.ts.source_of(info.task_index),
         });
     }
@@ -108,8 +104,7 @@ impl Mapper for TwoSourcePairRangeMapper {
         };
         let index = state.next_index[block];
         state.next_index[block] += 1;
-        for range in
-            relevant_ranges_two_source(&self.ts, &state.ranges, block, state.source, index)
+        for range in relevant_ranges_two_source(&self.ts, &state.ranges, block, state.source, index)
         {
             ctx.emit(
                 PairRangeKey {
@@ -136,16 +131,19 @@ pub struct TwoSourcePairRangeReducer {
     comparer: PairComparer,
     policy: RangePolicy,
     ranges: Option<RangeIndexer>,
+    cache: MatcherCache,
 }
 
 impl TwoSourcePairRangeReducer {
     /// Creates the reducer.
     pub fn new(ts: Arc<TwoSourceBdm>, comparer: PairComparer, policy: RangePolicy) -> Self {
+        let cache = comparer.new_cache();
         Self {
             ts,
             comparer,
             policy,
             ranges: None,
+            cache,
         }
     }
 }
@@ -180,17 +178,19 @@ impl Reducer for TwoSourcePairRangeReducer {
             .keyed
             .key
             .clone();
-        let mut r_buffer: Vec<&PairRangeValue> = Vec::new();
+        let mut r_buffer: Vec<(u64, PreparedRef<'_>)> = Vec::new();
         for (key, value) in group.iter() {
             if key.source == SourceId::R {
-                r_buffer.push(value);
+                let prepared = self.comparer.prepare_cached(&mut self.cache, &value.keyed);
+                r_buffer.push((value.index, prepared));
             } else {
-                for e1 in &r_buffer {
-                    let p = self.ts.pair_index(block, e1.index, value.index);
+                let prepared_s = self.comparer.prepare_cached(&mut self.cache, &value.keyed);
+                for (index1, e1) in &r_buffer {
+                    let p = self.ts.pair_index(block, *index1, value.index);
                     let k = ranges.range_of(p);
                     if k == my_range {
                         self.comparer
-                            .compare(&e1.keyed, &value.keyed, &block_key, ctx);
+                            .compare_prepared(e1, &prepared_s, &block_key, ctx);
                     } else if k > my_range {
                         // Pair index grows with the R index for a fixed
                         // S entity: nothing later in the buffer fits.
@@ -277,7 +277,7 @@ mod tests {
             1,
         );
         let out = job.run(appendix_example::annotated_partitions()).unwrap();
-        for (pair, _) in &out.records {
+        for (pair, _) in out.records() {
             assert_ne!(pair.lo().source, pair.hi().source);
         }
     }

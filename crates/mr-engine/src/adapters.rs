@@ -235,7 +235,7 @@ mod tests {
             .build()
             .run(input)
             .unwrap();
-        let mut got = out.records;
+        let mut got = out.into_records();
         got.sort();
         assert_eq!(got, vec![(10, 0), (20, 0), (30, 1), (40, 1)]);
     }
@@ -264,7 +264,7 @@ mod tests {
         // key must report the same task index.
         use std::collections::HashMap;
         let mut seen: HashMap<u32, usize> = HashMap::new();
-        for (task, v) in out.records {
+        for (task, v) in out.into_records() {
             let prev = seen.insert(v % 3, task);
             if let Some(p) = prev {
                 assert_eq!(p, task);

@@ -3,15 +3,39 @@
 //! Execution proceeds in two phases, exactly like Hadoop with a barrier
 //! between them: all map tasks run (on the worker pool), their output
 //! is partitioned into `r` buckets per task, then each reduce task
-//! merges its buckets **in map-task order**, stable-sorts by the sort
-//! comparator, forms groups under the grouping comparator, and invokes
-//! the reducer per group.
+//! merges its buckets **in map-task order**, forms groups under the
+//! grouping comparator, and invokes the reducer per group.
 //!
-//! Stability + fixed merge order make job output a pure function of
-//! (input, job definition) — independent of `parallelism`. The test
-//! suite asserts this determinism property.
+//! # Shuffle architecture: map-side sorted runs, reduce-side merge
+//!
+//! The shuffle sort runs entirely on the worker pool, mirroring
+//! Hadoop's spill-sort/merge split:
+//!
+//! 1. **Map side** — each map task stable-sorts every one of its `r`
+//!    output buckets by the sort comparator before returning (inside
+//!    the map task body, i.e. in parallel across map tasks).
+//! 2. **Coordinator** — only *transposes* the `m × r` bucket matrix so
+//!    each reduce task receives its `m` sorted runs: an `O(m·r)`
+//!    pointer move, no comparisons. The old single-threaded
+//!    `O(N log N)` sort barrier between the phases is gone;
+//!    [`JobMetrics::shuffle_wall`](crate::metrics::JobMetrics)
+//!    records the remaining coordinator cost.
+//! 3. **Reduce side** — each reduce task k-way-merges its runs with a
+//!    stable, left-biased binary merge tree (`O(N_j log m)`) *inside
+//!    the reduce task body*, again in parallel across reduce tasks.
+//!
+//! # Determinism guarantee
+//!
+//! Equal sort keys arrive in (map task index, emission order): within
+//! a run the map-side sort is stable, and the merge breaks ties toward
+//! the lower-indexed map task. This is byte-identical to the previous
+//! implementation (concatenate in map-task order, stable sort) and
+//! holds at any `parallelism`; `reduce_outputs` is a pure function of
+//! (input, job definition). The test suite asserts this property
+//! across parallelism levels.
 
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::combiner::{apply_combiner, Combiner};
@@ -28,8 +52,6 @@ use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
 /// Result of a completed job.
 #[derive(Debug)]
 pub struct JobOutput<KO, VO, S> {
-    /// Reduce outputs concatenated in reduce-task order.
-    pub records: Vec<(KO, VO)>,
     /// Reduce outputs per reduce task.
     pub reduce_outputs: Vec<Vec<(KO, VO)>>,
     /// Side-output records per map task ("additional output" files on
@@ -37,6 +59,29 @@ pub struct JobOutput<KO, VO, S> {
     pub side_outputs: Vec<Vec<S>>,
     /// Execution metrics.
     pub metrics: JobMetrics,
+}
+
+impl<KO, VO, S> JobOutput<KO, VO, S> {
+    /// All output records in reduce-task order, borrowed — no copy.
+    pub fn records(&self) -> impl Iterator<Item = &(KO, VO)> {
+        self.reduce_outputs.iter().flatten()
+    }
+
+    /// Consumes the output, *moving* the records out in reduce-task
+    /// order (metrics and side outputs are dropped; read them first).
+    pub fn into_records(self) -> Vec<(KO, VO)> {
+        let total = self.reduce_outputs.iter().map(Vec::len).sum();
+        let mut records = Vec::with_capacity(total);
+        for out in self.reduce_outputs {
+            records.extend(out);
+        }
+        records
+    }
+
+    /// Total number of output records.
+    pub fn num_records(&self) -> usize {
+        self.reduce_outputs.iter().map(Vec::len).sum()
+    }
 }
 
 /// A fully configured MapReduce job.
@@ -228,6 +273,12 @@ where
                     }
                     buckets[p].push((k, v));
                 }
+                // Map-side sort: emit sorted runs so the shuffle never
+                // sorts on the coordinator thread. Stable, so equal
+                // keys keep emission order within this task.
+                for bucket in &mut buckets {
+                    bucket.sort_by(|a, b| (self.sort_cmp)(&a.0, &b.0));
+                }
                 let metrics = TaskMetrics {
                     kind: TaskKind::Map,
                     index: i,
@@ -253,23 +304,29 @@ where
         }
 
         // ---- Shuffle ---------------------------------------------------
-        // Reduce task j receives the concatenation of bucket j of every
-        // map task, in map-task order, then a *stable* sort by the sort
-        // comparator. Values with equal sort keys therefore keep
-        // (map task, emission) order — the Hadoop-like guarantee that
-        // keeps sub-block entities of one input partition contiguous.
-        let mut reduce_inputs: Vec<Vec<(M::KOut, M::VOut)>> = (0..r).map(|_| Vec::new()).collect();
+        // Reduce task j receives bucket j of every map task as a
+        // pre-sorted run, in map-task order. The coordinator only
+        // transposes the m×r bucket matrix (pointer moves); the k-way
+        // merge happens inside each reduce task on the worker pool.
+        // Merge ties break toward the lower map task, so values with
+        // equal sort keys keep (map task, emission) order — the
+        // Hadoop-like guarantee that keeps sub-block entities of one
+        // input partition contiguous.
+        let shuffle_start = Instant::now();
+        let mut runs_per_reduce: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
+            (0..r).map(|_| Vec::with_capacity(m)).collect();
         for task_buckets in all_buckets {
             for (j, bucket) in task_buckets.into_iter().enumerate() {
-                reduce_inputs[j].extend(bucket);
+                runs_per_reduce[j].push(bucket);
             }
         }
-        let sort_cmp = &self.sort_cmp;
-        let mut sorted_inputs: Vec<Vec<(M::KOut, M::VOut)>> = Vec::with_capacity(r);
-        for mut run in reduce_inputs {
-            run.sort_by(|a, b| sort_cmp(&a.0, &b.0));
-            sorted_inputs.push(run);
-        }
+        // Slots let each reduce closure take ownership of its runs
+        // through the shared `Fn` the pool requires.
+        let run_slots: Vec<Mutex<Option<Vec<Vec<(M::KOut, M::VOut)>>>>> = runs_per_reduce
+            .into_iter()
+            .map(|runs| Mutex::new(Some(runs)))
+            .collect();
+        let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ----------------------------------------------
         let reduce_results: Vec<(Vec<(R::KOut, R::VOut)>, TaskMetrics)> =
@@ -283,7 +340,13 @@ where
                 let mut reducer = self.reducer.clone();
                 let mut ctx = ReduceContext::new(info);
                 reducer.setup(&info);
-                let run = &sorted_inputs[j];
+                let runs = run_slots[j]
+                    .lock()
+                    .expect("run slot lock is uncontended")
+                    .take()
+                    .expect("each reduce task consumes its runs exactly once");
+                let run = merge_sorted_runs(runs, &self.sort_cmp);
+                let run = &run;
                 let mut groups = 0u64;
                 let mut lo = 0usize;
                 while lo < run.len() {
@@ -316,9 +379,7 @@ where
 
         let mut reduce_outputs = Vec::with_capacity(r);
         let mut reduce_tasks_metrics = Vec::with_capacity(r);
-        let mut records = Vec::new();
         for (out, metrics) in reduce_results {
-            records.extend(out.iter().cloned());
             reduce_outputs.push(out);
             reduce_tasks_metrics.push(metrics);
         }
@@ -332,14 +393,68 @@ where
             map_tasks: map_tasks_metrics,
             reduce_tasks: reduce_tasks_metrics,
             counters: counters_total,
+            shuffle_wall,
             wall: job_start.elapsed(),
         };
         Ok(JobOutput {
-            records,
             reduce_outputs,
             side_outputs,
             metrics,
         })
+    }
+}
+
+/// Stable k-way merge of sorted runs: a left-biased binary merge tree,
+/// `O(N log k)` comparisons. Ties prefer the earlier run, and runs are
+/// merged in index order, so the result is byte-identical to
+/// concatenating the runs in order and stable-sorting — without ever
+/// re-examining already-sorted prefixes.
+fn merge_sorted_runs<K, V>(mut runs: Vec<Vec<(K, V)>>, cmp: &KeyCmp<K>) -> Vec<(K, V)> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => next.push(merge_two(left, right, cmp)),
+                None => next.push(left),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-way merge; ties take from `left` (the earlier map task).
+fn merge_two<K, V>(left: Vec<(K, V)>, right: Vec<(K, V)>, cmp: &KeyCmp<K>) -> Vec<(K, V)> {
+    if left.is_empty() {
+        return right;
+    }
+    if right.is_empty() {
+        return left;
+    }
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut li = left.into_iter().peekable();
+    let mut ri = right.into_iter().peekable();
+    loop {
+        match (li.peek(), ri.peek()) {
+            (Some(l), Some(r)) => {
+                // Strictly-less on the right is the only way right
+                // wins — equality stays left-biased for stability.
+                if cmp(&r.0, &l.0) == std::cmp::Ordering::Less {
+                    out.push(ri.next().expect("peeked"));
+                } else {
+                    out.push(li.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(li);
+                return out;
+            }
+            (None, _) => {
+                out.extend(ri);
+                return out;
+            }
+        }
     }
 }
 
@@ -356,11 +471,13 @@ mod tests {
     type WcReducer = ClosureReducer<String, u64, String, u64>;
 
     fn wordcount_job(r: usize, parallelism: usize) -> Job<WcMapper, WcReducer> {
-        let mapper = ClosureMapper::new(|_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
-            for w in line.split_whitespace() {
-                ctx.emit(w.to_string(), 1);
-            }
-        });
+        let mapper = ClosureMapper::new(
+            |_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+                for w in line.split_whitespace() {
+                    ctx.emit(w.to_string(), 1);
+                }
+            },
+        );
         let reducer = ClosureReducer::new(
             |group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
                 let sum: u64 = group.values().sum();
@@ -381,7 +498,7 @@ mod tests {
     fn wordcount_end_to_end() {
         let input = partition_evenly(lines(&["a b a", "c b", "a"]), 2);
         let out = wordcount_job(3, 2).run(input).unwrap();
-        let mut counts = out.records;
+        let mut counts: Vec<_> = out.records().cloned().collect();
         counts.sort();
         assert_eq!(
             counts,
@@ -418,11 +535,13 @@ mod tests {
         let input = partition_evenly(lines(&["a a a a", "a a a b"]), 2);
         let no_combine = wordcount_job(2, 1).run(input.clone()).unwrap();
 
-        let mapper = ClosureMapper::new(|_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
-            for w in line.split_whitespace() {
-                ctx.emit(w.to_string(), 1);
-            }
-        });
+        let mapper = ClosureMapper::new(
+            |_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+                for w in line.split_whitespace() {
+                    ctx.emit(w.to_string(), 1);
+                }
+            },
+        );
         let reducer = ClosureReducer::new(
             |group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
                 let sum: u64 = group.values().sum();
@@ -436,8 +555,8 @@ mod tests {
             .build();
         let combined = combined_job.run(input).unwrap();
 
-        let mut a = no_combine.records.clone();
-        let mut b = combined.records.clone();
+        let mut a: Vec<_> = no_combine.records().cloned().collect();
+        let mut b: Vec<_> = combined.records().cloned().collect();
         a.sort();
         b.sort();
         assert_eq!(a, b, "combiner must not change the job result");
@@ -486,7 +605,7 @@ mod tests {
             .build();
         let out = job.run(input).unwrap();
         assert_eq!(
-            out.records,
+            out.into_records(),
             vec![(1, vec![1, 2, 3]), (2, vec![4, 5])],
             "groups must be contiguous and sorted by the full key"
         );
@@ -516,7 +635,7 @@ mod tests {
             .build();
         let out = job.run(input).unwrap();
         assert_eq!(
-            out.records[0].1,
+            out.records().next().expect("one record").1,
             vec!["m0-a", "m0-b", "m1-a", "m2-a", "m2-b"]
         );
     }
@@ -578,11 +697,17 @@ mod tests {
     fn empty_input_partitions_still_run() {
         // m partitions where some are empty: valid (paper's BDM may
         // contain empty partitions for a block).
-        let input = vec![lines(&["a"]).remove(0)].into_iter().map(|kv| vec![kv]).collect::<Vec<_>>();
+        let input = vec![lines(&["a"]).remove(0)]
+            .into_iter()
+            .map(|kv| vec![kv])
+            .collect::<Vec<_>>();
         let mut input = input;
         input.push(vec![]); // empty partition
         let out = wordcount_job(2, 1).run(input).unwrap();
-        assert_eq!(out.records, vec![("a".to_string(), 1)]);
+        assert_eq!(
+            out.records().cloned().collect::<Vec<_>>(),
+            vec![("a".to_string(), 1)]
+        );
         assert_eq!(out.metrics.map_tasks.len(), 2);
     }
 
@@ -598,6 +723,60 @@ mod tests {
             .run(partition_evenly(lines(&["a"]), 1))
             .unwrap_err();
         assert_eq!(err, MrError::NoReduceTasks);
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_concat_then_stable_sort() {
+        // The shuffle's correctness contract, checked directly on the
+        // kernel: merging sorted runs must be byte-identical to the
+        // old concatenate + stable sort implementation. Values tag
+        // (run, position) so stability violations are visible.
+        let cmp = natural_order::<u32>();
+        let runs: Vec<Vec<(u32, (usize, usize))>> = vec![
+            vec![(1, (0, 0)), (3, (0, 1)), (3, (0, 2)), (9, (0, 3))],
+            vec![],
+            vec![(0, (2, 0)), (3, (2, 1)), (9, (2, 2))],
+            vec![(3, (3, 0)), (4, (3, 1))],
+            vec![(2, (4, 0))],
+        ];
+        let mut expected: Vec<(u32, (usize, usize))> = runs.concat();
+        expected.sort_by(|a, b| cmp(&a.0, &b.0));
+        assert_eq!(merge_sorted_runs(runs, &cmp), expected);
+    }
+
+    #[test]
+    fn merge_sorted_runs_degenerate_shapes() {
+        let cmp = natural_order::<u8>();
+        assert!(merge_sorted_runs::<u8, ()>(vec![], &cmp).is_empty());
+        assert!(merge_sorted_runs::<u8, ()>(vec![vec![], vec![]], &cmp).is_empty());
+        let single = vec![vec![(1u8, ()), (2, ())]];
+        assert_eq!(merge_sorted_runs(single, &cmp), vec![(1, ()), (2, ())]);
+    }
+
+    #[test]
+    fn shuffle_wall_excludes_the_sort() {
+        // A job big enough that sorting takes measurable time: the
+        // coordinator's shuffle share must stay a tiny fraction of the
+        // total wall because sorting/merging runs inside tasks.
+        let input = partition_evenly(
+            (0..20_000u32)
+                .map(|v| ((), format!("w{}", v % 997)))
+                .collect(),
+            8,
+        );
+        let out = wordcount_job(4, 2).run(input).unwrap();
+        assert!(
+            out.metrics.shuffle_wall <= out.metrics.wall,
+            "coordinator shuffle {:?} cannot exceed job wall {:?}",
+            out.metrics.shuffle_wall,
+            out.metrics.wall
+        );
+        let reduce_wall: std::time::Duration =
+            out.metrics.reduce_tasks.iter().map(|t| t.wall).sum();
+        assert!(
+            reduce_wall > std::time::Duration::ZERO,
+            "merge cost must be attributed to reduce tasks"
+        );
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! * named counters and per-task metrics (records, emitted pairs,
 //!   custom counters such as `comparisons`, wall time).
 //!
-//! The shuffle is **deterministic**: for each reduce task the buckets
-//! produced by map tasks are concatenated in map-task order and sorted
-//! with a *stable* sort. Therefore values with equal sort keys arrive
-//! in (map task index, emission order) — the property Hadoop exhibits
-//! in practice and that the BlockSplit reducer of the paper exploits.
-//! Determinism holds at any level of [`JobBuilder::parallelism`].
+//! The shuffle is **deterministic and fully parallel**: every map task
+//! stable-sorts its output buckets on the worker pool, the coordinator
+//! only transposes buckets to reduce tasks, and each reduce task
+//! performs a stable k-way merge of its runs in map-task order (ties
+//! break toward the lower map task). Values with equal sort keys
+//! therefore arrive in (map task index, emission order) — the property
+//! Hadoop exhibits in practice and that the BlockSplit reducer of the
+//! paper exploits. Determinism holds at any level of
+//! [`JobBuilder::parallelism`]; see [`engine`] for the full shuffle
+//! architecture.
 //!
 //! ```
 //! use mr_engine::prelude::*;
@@ -48,7 +52,7 @@
 //!     .build()
 //!     .run(input)
 //!     .unwrap();
-//! let mut counts = out.records;
+//! let mut counts = out.into_records();
 //! counts.sort();
 //! assert_eq!(counts, vec![("a".into(), 3), ("b".into(), 2)]);
 //! ```

@@ -167,10 +167,11 @@ mod tests {
 
     #[test]
     fn side_output_is_collected_and_counted() {
-        let mapper =
-            ClosureMapper::new(|_k: &u32, v: &u32, ctx: &mut MapContext<u32, u32, String>| {
+        let mapper = ClosureMapper::new(
+            |_k: &u32, v: &u32, ctx: &mut MapContext<u32, u32, String>| {
                 ctx.side_output(format!("saw {v}"));
-            });
+            },
+        );
         let info = MapTaskInfo {
             task_index: 3,
             num_map_tasks: 4,

@@ -65,6 +65,12 @@ pub struct JobMetrics {
     pub reduce_tasks: Vec<TaskMetrics>,
     /// Aggregated counters over all tasks.
     pub counters: CounterSet,
+    /// Coordinator-thread time spent in the shuffle between the map
+    /// and reduce phases. With map-side sorted runs and reduce-side
+    /// merging this is only the bucket transpose — sorting never runs
+    /// on the coordinator (the merge cost shows up in reduce-task
+    /// `wall` instead).
+    pub shuffle_wall: Duration,
     /// Wall-clock duration of the whole job on the local worker pool.
     pub wall: Duration,
 }
@@ -132,6 +138,7 @@ mod tests {
                 .map(|(i, &l)| task(TaskKind::Reduce, i, l))
                 .collect(),
             counters: CounterSet::new(),
+            shuffle_wall: Duration::ZERO,
             wall: Duration::ZERO,
         }
     }

@@ -66,10 +66,11 @@ mod tests {
         assert_eq!(shapes, shapes2, "partition shape must be preserved");
 
         // Job 2: sum values per parity from the annotated records.
-        let mapper2 =
-            ClosureMapper::new(|even: &bool, v: &u32, ctx: &mut MapContext<bool, u64, ()>| {
+        let mapper2 = ClosureMapper::new(
+            |even: &bool, v: &u32, ctx: &mut MapContext<bool, u64, ()>| {
                 ctx.emit(*even, u64::from(*v));
-            });
+            },
+        );
         let reducer2 = ClosureReducer::new(
             |group: Group<'_, bool, u64>, ctx: &mut ReduceContext<bool, u64>| {
                 ctx.emit(*group.key(), group.values().sum());
@@ -80,7 +81,7 @@ mod tests {
             .parallelism(1)
             .build();
         let out2 = job2.run(input2).unwrap();
-        let mut sums = out2.records;
+        let mut sums = out2.into_records();
         sums.sort();
         assert_eq!(sums, vec![(false, 25), (true, 20)]);
     }

@@ -6,8 +6,7 @@
 //! determinism guarantee.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `count` tasks produced by `f(task_index)` on up to
 /// `parallelism` worker threads and returns results in task order.
@@ -29,25 +28,31 @@ where
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let workers = parallelism.min(count);
-    crossbeam::thread::scope(|scope| {
+    // std scoped threads: a worker panic propagates out of the scope
+    // after all threads joined, so the slot-unwrap below only ever runs
+    // on a fully successful pool.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
                 }
                 let result = f(i);
-                let prev = slots[i].lock().replace(result);
+                let prev = slots[i]
+                    .lock()
+                    .expect("no other writer can have panicked while holding slot {i}")
+                    .replace(result);
                 assert!(prev.is_none(), "slot {i} written twice");
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
+                .expect("slot lock cannot be poisoned after a clean scope exit")
                 .unwrap_or_else(|| panic!("task {i} produced no result"))
         })
         .collect()

@@ -1,0 +1,308 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses: `Criterion` with `sample_size` / `measurement_time` /
+//! `warm_up_time`, benchmark groups, `Bencher::iter` /
+//! `Bencher::iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a warm-up phase, each benchmark collects
+//! `sample_size` samples; every sample times a fixed iteration batch
+//! sized so the whole run approximately fills `measurement_time`. The
+//! report prints min / median / mean / max per-iteration times. No
+//! HTML reports, no statistical regression analysis — numbers print to
+//! stdout, which is all the repo's bench harness needs offline.
+//! Passing `--test` (as `cargo test` does for bench targets) runs each
+//! benchmark exactly once for a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each batch
+/// individually regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; many routine calls per batch.
+    SmallInput,
+    /// Large setup output; one routine call per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called `iters` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / self.iters.max(1) as u32);
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / self.iters.max(1) as u32);
+    }
+}
+
+/// Benchmark configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target duration of the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies CLI flags (`--test` puts every bench in smoke mode).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_bench(self, None, &id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Criterion calls this at the end of `criterion_main!`; a no-op
+    /// here (results were already printed).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let group = self.name.clone();
+        run_bench(self.criterion, Some(&group), &id.to_string(), f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(config: &Criterion, group: Option<&str>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut samples: Vec<Duration> = Vec::new();
+
+    if config.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        println!("{label}: smoke-tested (1 iteration)");
+        return;
+    }
+
+    // Warm-up: keep running single iterations until the budget is
+    // spent; the last warm-up sample calibrates the batch size. Only
+    // one sample is retained per pass so fast routines don't
+    // accumulate millions of warm-up durations.
+    let warm_start = Instant::now();
+    let per_iter;
+    loop {
+        samples.clear();
+        let mut b = Bencher {
+            iters: 1,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= config.warm_up_time {
+            per_iter = *samples.last().expect("sample recorded");
+            break;
+        }
+    }
+    samples.clear();
+
+    let budget_per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters = (budget_per_sample / per_iter.as_secs_f64().max(1e-9)).clamp(1.0, 1e7) as u64;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            samples: &mut samples,
+        };
+        f(&mut b);
+    }
+
+    samples.sort_unstable();
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<44} time: [{} {} {}]  mean: {}  ({} samples x {} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        fmt_duration(mean),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            iters: 10,
+            samples: &mut samples,
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert_eq!(samples.len(), 1);
+
+        let mut b = Bencher {
+            iters: 4,
+            samples: &mut samples,
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn quick_bench_runs_end_to_end() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

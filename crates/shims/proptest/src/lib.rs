@@ -1,0 +1,333 @@
+//! Offline shim for the subset of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! range / regex-lite / [`Just`] / tuple / [`collection::vec`] /
+//! [`prop_oneof!`] strategies, `prop_map`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (every
+//!   generated argument is printed on failure) but is not minimized.
+//! * **Deterministic seeding.** Each test derives its seed from the
+//!   test function name, so failures reproduce exactly across runs;
+//!   set `PROPTEST_SEED` to explore a different stream.
+//! * **Regex-lite patterns.** String strategies support the pattern
+//!   subset used here: literals, `[a-z 0-9]` classes with ranges,
+//!   `\PC` (any printable char), and `{m,n}` / `{n}` repetition.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Per-test configuration accepted by
+    /// `#![proptest_config(ProptestConfig { .. })]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Error type a property body may `return Err(..)` with; the
+    /// `prop_assert*` macros construct it internally.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn new(seed: u64) -> Self {
+            let mut rng = TestRng { state: seed };
+            let scrambled = rng.next_u64();
+            TestRng { state: scrambled }
+        }
+
+        /// Seed derived from the test name plus `PROPTEST_SEED` (if
+        /// set), so each property gets an independent, reproducible
+        /// stream.
+        pub fn for_test(name: &str) -> Self {
+            let base: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5EED_CAFE);
+            let mut h = base;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            Self::new(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `vec(element, lo..hi)`: vectors of `lo..hi` elements.
+    pub fn vec<S: Strategy>(element: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(range.end > range.start, "collection::vec: empty range");
+        VecStrategy {
+            element,
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-lite string strategies.
+
+    use super::strategy::{RegexStrategy, Strategy};
+
+    /// Error for unsupported patterns.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// Strategy for strings matching `pattern` (see crate docs for the
+    /// supported subset).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        Ok(RegexStrategy::parse(pattern))
+    }
+
+    #[allow(unused_imports)]
+    use Strategy as _;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts `cond`, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts `left == right`, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between the listed strategies (all must share one
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $arg = $arg.clone();)+
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })()
+                };
+                if let Err(e) = result {
+                    panic!(
+                        "property {} failed at case {case}/{}:\n{}\ninputs:\n{}",
+                        stringify!($name),
+                        config.cases,
+                        e,
+                        [$(format!("  {} = {:?}", stringify!($arg), $arg)),+].join("\n"),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_lite_shapes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = "[a-c]{0,4}".generate(&mut rng);
+            assert!(s.len() <= 4 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = "ab".generate(&mut rng);
+            assert_eq!(t, "ab");
+            let p = "\\PC{1,3}".generate(&mut rng);
+            let n = p.chars().count();
+            assert!((1..=3).contains(&n), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec_and_map() {
+        let mut rng = TestRng::new(3);
+        let strat =
+            crate::collection::vec(prop_oneof![Just(1u8), Just(2)], 2..5).prop_map(|v| v.len());
+        for _ in 0..200 {
+            let n = strat.generate(&mut rng);
+            assert!((2..5).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, s in "[xy]{1,3}") {
+            prop_assert!(a < 100);
+            prop_assert_eq!(s.is_empty(), false);
+            if a > 1000 {
+                return Ok(()); // early exit is allowed
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe producing random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice over type-erased alternatives ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates the union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start.wrapping_add(off)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(hi >= lo, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo.wrapping_add(off)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.end > self.start, "strategy range is empty");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---- Regex-lite string strategies ---------------------------------------
+
+/// One generatable unit of a regex-lite pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A set of candidate characters (`[a-z 0-9]`, `\PC`).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy for strings matching a regex-lite pattern: literals,
+/// `[..]` classes with ranges, `\PC`, and `{m,n}` / `{n}` repetition.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Printable characters `\PC` draws from: the full ASCII printable
+/// range plus a sprinkle of multi-byte scalars so Unicode handling is
+/// exercised too.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend(['é', 'ß', 'λ', '日', '本', '€', 'Ω', 'ü', 'ñ', '中']);
+    pool
+}
+
+impl RegexStrategy {
+    /// Parses `pattern`, panicking on constructs outside the supported
+    /// subset (fail-fast beats silently wrong generation).
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    // Only `\PC` (printable char) is supported.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Atom::Class(printable_pool())
+                    } else {
+                        panic!("regex-lite: unsupported escape in {pattern:?}");
+                    }
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("regex-lite: unclosed class in {pattern:?}"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "regex-lite: bad range in {pattern:?}");
+                            set.extend(lo..=hi);
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "regex-lite: empty class in {pattern:?}");
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                c if c == '{' || c == '}' || c == '*' || c == '+' || c == '?' || c == '|' => {
+                    panic!("regex-lite: unsupported operator {c:?} in {pattern:?}")
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional {m,n} / {n} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("regex-lite: unclosed quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(max >= min, "regex-lite: inverted quantifier in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        Self { pieces }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// String literals are regex-lite patterns (mirrors real proptest,
+/// where `&str` is a regex strategy).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per call keeps the impl allocation-free at rest;
+        // test-time cost is irrelevant at these pattern sizes.
+        RegexStrategy::parse(self).generate(rng)
+    }
+}

@@ -16,23 +16,13 @@ fn main() {
     // records re-attributed (same titles, fresh venues/years), i.e. a
     // second catalog describing the same publications.
     let base = generate_publications(&ds2_spec(11).scaled(0.001));
-    let r_entities: Vec<Ent> = base
-        .entities
-        .iter()
-        .map(|e| Arc::new(e.clone()))
-        .collect();
+    let r_entities: Vec<Ent> = base.entities.iter().map(|e| Arc::new(e.clone())).collect();
     let s_entities: Vec<Ent> = base
         .entities
         .iter()
         .enumerate()
         .filter(|(i, _)| i % 2 == 0) // S covers half of R's publications
-        .map(|(_, e)| {
-            Arc::new(Entity::with_source(
-                SourceId::S,
-                e.id().0,
-                e.attributes(),
-            ))
-        })
+        .map(|(_, e)| Arc::new(Entity::with_source(SourceId::S, e.id().0, e.attributes())))
         .collect();
     println!(
         "source R: {} publications; source S: {} publications\n",
@@ -142,7 +132,10 @@ fn main() {
     // (0 + 1)/2 = 0.5 and carry the title-less record.
     let matcher = Arc::new(Matcher::new(
         vec![
-            MatchRule::new("title", Arc::new(er_core::similarity::NormalizedLevenshtein)),
+            MatchRule::new(
+                "title",
+                Arc::new(er_core::similarity::NormalizedLevenshtein),
+            ),
             MatchRule::new(
                 "authors",
                 Arc::new(er_core::similarity::NormalizedLevenshtein),

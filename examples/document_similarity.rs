@@ -45,8 +45,10 @@ fn synth_documents(n: usize, seed: u64) -> Vec<Ent> {
             // Sample a window plus noise words to vary similarity.
             let start = rng.gen_range(0..words.len() / 2);
             let len = rng.gen_range(5..=words.len() - start);
-            let mut text: Vec<String> =
-                words[start..start + len].iter().map(|w| w.to_string()).collect();
+            let mut text: Vec<String> = words[start..start + len]
+                .iter()
+                .map(|w| w.to_string())
+                .collect();
             if rng.gen_bool(0.5) {
                 text.push(format!("extra{}", rng.gen_range(0..50)));
             }
@@ -62,8 +64,7 @@ fn main() {
 
     // Blocking: first token of the text (a one-signature scheme).
     // Matching: token Jaccard >= 0.7.
-    let blocking: Arc<dyn BlockingFunction> =
-        Arc::new(AttributeBlockingFirstWord::new("text"));
+    let blocking: Arc<dyn BlockingFunction> = Arc::new(AttributeBlockingFirstWord::new("text"));
     let matcher = Arc::new(Matcher::new(
         vec![MatchRule::new("text", Arc::new(Jaccard))],
         0.7,

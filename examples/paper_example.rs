@@ -71,7 +71,10 @@ fn figure_5_block_split() {
             t.comparisons
         );
     }
-    println!("  reduce loads: {:?} (paper: between six and seven)\n", assignment.loads());
+    println!(
+        "  reduce loads: {:?} (paper: between six and seven)\n",
+        assignment.loads()
+    );
 
     let config = ErConfig::new(StrategyKind::BlockSplit)
         .with_blocking(running_example::blocking())
@@ -94,8 +97,16 @@ fn figures_6_and_7_pair_range() {
         3,
         dedupe_mr::prelude::RangePolicy::CeilDiv,
     );
-    println!("  pair index blocks: o = [0, 6, 7, 10], P = {}", bdm.total_pairs());
-    for (k, (lo, hi)) in [(0usize, (0u64, 5u64)), (1, (6, 6)), (2, (7, 9)), (3, (10, 19))] {
+    println!(
+        "  pair index blocks: o = [0, 6, 7, 10], P = {}",
+        bdm.total_pairs()
+    );
+    for (k, (lo, hi)) in [
+        (0usize, (0u64, 5u64)),
+        (1, (6, 6)),
+        (2, (7, 9)),
+        (3, (10, 19)),
+    ] {
         println!("    Φ{k} (key {}): pairs {lo}..={hi}", bdm.key(k));
     }
     println!(

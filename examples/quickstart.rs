@@ -40,7 +40,12 @@ fn main() {
     println!("matches found:");
     for (pair, score) in outcome.result.iter() {
         let title = |r: EntityRef| entities[r.id.0 as usize].get("title").unwrap().to_string();
-        println!("  {:.3}  {:?} == {:?}", score, title(pair.lo()), title(pair.hi()));
+        println!(
+            "  {:.3}  {:?} == {:?}",
+            score,
+            title(pair.lo()),
+            title(pair.hi())
+        );
     }
 
     let bdm = outcome.bdm.as_ref().expect("BlockSplit computes a BDM");

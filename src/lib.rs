@@ -52,8 +52,7 @@ pub mod prelude {
     pub use er_loadbalance::null_keys::{deduplicate_with_null_keys, link_with_null_keys};
     pub use er_loadbalance::two_source::run_linkage;
     pub use er_loadbalance::{
-        BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats,
-        COMPARISONS,
+        BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats, COMPARISONS,
     };
     pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
 }

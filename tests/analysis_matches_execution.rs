@@ -12,10 +12,7 @@ fn dataset_input(m: usize) -> (Partitions<(), Ent>, usize) {
     let n = ds.len();
     (
         partition_evenly(
-            ds.entities
-                .into_iter()
-                .map(|e| ((), Arc::new(e)))
-                .collect(),
+            ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
             m,
         ),
         n,

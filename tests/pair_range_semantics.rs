@@ -60,10 +60,7 @@ fn a_return_style_reducer_would_drop_pairs() {
     use er_loadbalance::pair_range::ranges::{RangeIndexer, RangePolicy};
 
     let n = 30u64;
-    let bdm = BlockDistributionMatrix::from_counts(
-        1,
-        vec![(BlockKey::new("zz"), 0usize, n)],
-    );
+    let bdm = BlockDistributionMatrix::from_counts(1, vec![(BlockKey::new("zz"), 0usize, n)]);
     let r = 60usize;
     let ranges = RangeIndexer::new(bdm.total_pairs(), r, RangePolicy::CeilDiv);
 

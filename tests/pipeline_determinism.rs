@@ -11,10 +11,7 @@ use er_datagen::{ds1_spec, generate_products};
 fn input(m: usize) -> Partitions<(), Ent> {
     let ds = generate_products(&ds1_spec(55).scaled(0.005));
     partition_evenly(
-        ds.entities
-            .into_iter()
-            .map(|e| ((), Arc::new(e)))
-            .collect(),
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
         m,
     )
 }
@@ -48,6 +45,44 @@ fn results_are_identical_across_parallelism_levels() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn sort_merge_shuffle_reproduces_byte_identical_reduce_outputs() {
+    // The shuffle rework (map-side sorted runs + in-reduce k-way
+    // merge) must keep the engine's strongest guarantee: the *exact*
+    // per-reduce-task output structure — scores compared by bit
+    // pattern, not epsilon — is independent of worker parallelism.
+    use er_core::Matcher;
+    use er_loadbalance::basic::basic_job;
+    use er_loadbalance::compare::PairComparer;
+
+    let mut reference: Option<Vec<Vec<(MatchPair, u64)>>> = None;
+    for parallelism in [1usize, 2, 4, 8] {
+        let job = basic_job(
+            Arc::new(PrefixBlocking::title3()),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            6,
+            parallelism,
+        );
+        let out = job.run(input(4)).unwrap();
+        let fingerprint: Vec<Vec<(MatchPair, u64)>> = out
+            .reduce_outputs
+            .into_iter()
+            .map(|task| {
+                task.into_iter()
+                    .map(|(pair, score)| (pair, score.to_bits()))
+                    .collect()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => assert_eq!(
+                r, &fingerprint,
+                "parallelism {parallelism} changed reduce_outputs"
+            ),
         }
     }
 }

@@ -46,12 +46,9 @@ fn simulate(
     );
     let cluster = cluster_sim::ClusterConfig::paper(nodes);
     match strategy {
-        StrategyKind::Basic => {
-            cluster_sim::simulate_jobs(&[matching], &cluster, cost).total_ms
-        }
+        StrategyKind::Basic => cluster_sim::simulate_jobs(&[matching], &cluster, cost).total_ms,
         _ => {
-            let bdm_job =
-                cluster_sim::SimJob::bdm(cost, bdm.num_partitions(), r, entities);
+            let bdm_job = cluster_sim::SimJob::bdm(cost, bdm.num_partitions(), r, entities);
             cluster_sim::simulate_jobs(&[bdm_job, matching], &cluster, cost).total_ms
         }
     }
@@ -127,9 +124,8 @@ fn map_output_shapes_match_figure_12() {
         bs_outputs.push(
             analyze(&b, StrategyKind::BlockSplit, r, RangePolicy::CeilDiv).map_output_records,
         );
-        pr_outputs.push(
-            analyze(&b, StrategyKind::PairRange, r, RangePolicy::CeilDiv).map_output_records,
-        );
+        pr_outputs
+            .push(analyze(&b, StrategyKind::PairRange, r, RangePolicy::CeilDiv).map_output_records);
     }
     assert!(
         pr_outputs.windows(2).all(|w| w[1] > w[0]),
