@@ -6,14 +6,77 @@
 //! BlockSplit and PairRange improve by ~6× at r = 160; PairRange edges
 //! ahead at large r (paper: 7 %).
 
+use std::sync::Arc;
+
 use er_bench::table::{fmt_ms, TextTable};
-use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_bench::{
+    bdm_from_keys, simulate_strategy, write_bench_json, ExperimentCost, Json, Series, PAPER_SEED,
+};
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds1_spec;
+use er_loadbalance::driver::{run_er, ErConfig};
 use er_loadbalance::StrategyKind;
 
 const NODES: usize = 10;
 const M: usize = 20;
+
+/// Laptop-scale engine sweep over `r`, reporting the streaming reduce
+/// path's memory gauges for the same figure axis — the simulator
+/// models time, these numbers show what the real engine buffers.
+/// Returns one JSON record per (strategy, r).
+fn engine_memory_sweep() -> Vec<Json> {
+    let ds = er_datagen::generate_products(&ds1_spec(PAPER_SEED).scaled(0.005));
+    let input: Vec<Vec<((), er_loadbalance::Ent)>> = mr_engine::input::partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        8,
+    );
+    let mut records = Vec::new();
+    let mut table = TextTable::new(&[
+        "strategy",
+        "r",
+        "input recs",
+        "peak group",
+        "peak resident",
+        "resident/input",
+    ]);
+    for strategy in [
+        StrategyKind::Basic,
+        StrategyKind::BlockSplit,
+        StrategyKind::PairRange,
+    ] {
+        for r in [8usize, 16, 32] {
+            let config = ErConfig::new(strategy)
+                .with_reduce_tasks(r)
+                .with_parallelism(4)
+                .with_count_only(true);
+            let outcome = run_er(input.clone(), &config).unwrap();
+            let m = &outcome.match_metrics;
+            let input_records: u64 = m.reduce_tasks.iter().map(|t| t.records_in).sum();
+            let fraction = m.peak_resident_fraction();
+            table.row(vec![
+                strategy.to_string(),
+                r.to_string(),
+                input_records.to_string(),
+                m.peak_group_len().to_string(),
+                m.peak_resident_records().to_string(),
+                format!("{fraction:.3}"),
+            ]);
+            records.push(Json::obj([
+                ("strategy", Json::str(strategy.to_string())),
+                ("reduce_tasks", Json::Num(r as f64)),
+                ("reduce_input_records", Json::Num(input_records as f64)),
+                ("peak_group_len", Json::Num(m.peak_group_len() as f64)),
+                (
+                    "peak_resident_records",
+                    Json::Num(m.peak_resident_records() as f64),
+                ),
+                ("peak_resident_fraction", Json::Num(fraction)),
+            ]));
+        }
+    }
+    table.print();
+    records
+}
 
 fn main() {
     println!("== Figure 10: execution times for DS1 vs number of reduce tasks ==");
@@ -87,4 +150,17 @@ fn main() {
         },
         pr.first_y() / pr.last_y()
     );
+
+    println!("\n-- engine check: streaming reduce memory vs r (DS1 0.5%, real run) --\n");
+    let engine_memory = engine_memory_sweep();
+
+    let sim_series: Vec<Json> = series.iter().map(|s| s.to_json("r", "total_ms")).collect();
+    let json = Json::obj([
+        ("bench", Json::str("fig10_reduce_tasks")),
+        ("nodes", Json::Num(NODES as f64)),
+        ("map_tasks", Json::Num(M as f64)),
+        ("simulated_ms", Json::Arr(sim_series)),
+        ("engine_memory", Json::Arr(engine_memory)),
+    ]);
+    write_bench_json("fig10_reduce_tasks", &json).expect("bench json export");
 }

@@ -7,13 +7,70 @@
 //! at n = 100 BlockSplit noses ahead of PairRange, whose extra map
 //! output stops paying off on the small dataset.
 
+use std::sync::Arc;
+
 use er_bench::table::{fmt_ms, TextTable};
-use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_bench::{
+    bdm_from_keys, simulate_strategy, write_bench_json, ExperimentCost, Json, Series, PAPER_SEED,
+};
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds1_spec;
+use er_loadbalance::driver::{run_er, ErConfig};
 use er_loadbalance::StrategyKind;
 
 const NODE_STEPS: [usize; 7] = [1, 2, 5, 10, 20, 40, 100];
+
+/// Laptop-scale engine sweep over worker parallelism (the local
+/// analogue of the figure's cluster-size axis): wall time must fall
+/// while the streaming reduce gauges — a function of (input, job),
+/// not of scheduling — stay *identical*, the memory-side determinism
+/// companion to the byte-identical `reduce_outputs` guarantee.
+/// Returns one JSON record per parallelism level.
+fn engine_parallelism_sweep() -> Vec<Json> {
+    let ds = er_datagen::generate_products(&ds1_spec(PAPER_SEED).scaled(0.01));
+    let input: Vec<Vec<((), er_loadbalance::Ent)>> = mr_engine::input::partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        8,
+    );
+    let mut records = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    let mut table = TextTable::new(&["parallelism", "wall", "peak group", "peak resident"]);
+    for parallelism in [1usize, 2, 4] {
+        let config = ErConfig::new(StrategyKind::BlockSplit)
+            .with_reduce_tasks(40)
+            .with_parallelism(parallelism)
+            .with_count_only(true);
+        let outcome = run_er(input.clone(), &config).unwrap();
+        let m = &outcome.match_metrics;
+        let gauges = (m.peak_group_len(), m.peak_resident_records());
+        match &reference {
+            None => reference = Some(gauges),
+            Some(r) => assert_eq!(
+                *r, gauges,
+                "streaming memory gauges must not depend on parallelism"
+            ),
+        }
+        let wall_ms = m.wall.as_secs_f64() * 1e3;
+        table.row(vec![
+            parallelism.to_string(),
+            fmt_ms(wall_ms),
+            gauges.0.to_string(),
+            gauges.1.to_string(),
+        ]);
+        records.push(Json::obj([
+            ("parallelism", Json::Num(parallelism as f64)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("peak_group_len", Json::Num(gauges.0 as f64)),
+            ("peak_resident_records", Json::Num(gauges.1 as f64)),
+            (
+                "peak_resident_fraction",
+                Json::Num(m.peak_resident_fraction()),
+            ),
+        ]));
+    }
+    table.print();
+    records
+}
 
 fn main() {
     println!("== Figure 13: execution times and speedup for DS1 (n = 1..100) ==");
@@ -87,4 +144,19 @@ fn main() {
         fmt_ms(bs_100),
         fmt_ms(pr_100)
     );
+
+    println!("\n-- engine check: wall vs parallelism, gauges invariant (DS1 1%, real run) --\n");
+    let engine_scaling = engine_parallelism_sweep();
+
+    let sim_series: Vec<Json> = series
+        .iter()
+        .map(|s| s.to_json("nodes", "total_ms"))
+        .collect();
+    let json = Json::obj([
+        ("bench", Json::str("fig13_scalability_ds1")),
+        ("max_nodes", Json::Num(*NODE_STEPS.last().unwrap() as f64)),
+        ("simulated_ms", Json::Arr(sim_series)),
+        ("engine_scaling", Json::Arr(engine_scaling)),
+    ]);
+    write_bench_json("fig13_scalability_ds1", &json).expect("bench json export");
 }

@@ -1,10 +1,17 @@
 //! Criterion micro-benchmarks for the MapReduce engine and the ER
-//! pipeline at laptop scale: BDM job, full BlockSplit/PairRange runs.
+//! pipeline at laptop scale: BDM job, full BlockSplit/PairRange runs,
+//! and the streaming-reduce memory report.
+//!
+//! Besides the stdout report, this target writes
+//! `BENCH_micro_engine.json` (median wall + the reduce-memory gauges)
+//! via [`er_bench::write_bench_json`] so cross-PR perf trajectories
+//! are machine-readable; CI smoke-runs the bench with `--test` and
+//! re-parses the export.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use er_bench::PAPER_SEED;
+use er_bench::{median_ms, write_bench_json, Json, PAPER_SEED};
 use er_core::blocking::PrefixBlocking;
 use er_loadbalance::driver::{run_er, ErConfig};
 use er_loadbalance::StrategyKind;
@@ -74,6 +81,80 @@ fn report_shuffle_location(_c: &mut Criterion) {
     );
 }
 
+/// Not a timing benchmark: measures the streaming reduce path's
+/// memory gauges on the DS1-scale engine micro-bench and exports them
+/// (plus a median wall) as `BENCH_micro_engine.json`.
+///
+/// The pre-streaming engine materialized each reduce task's merged
+/// run, pinning peak resident records at ≈1.0× task input; the
+/// streaming path buffers one group + `m` run heads, and this report
+/// *asserts* the job-level ratio stays below 0.6× — the tentpole's
+/// acceptance bound — instead of trusting the design.
+fn report_reduce_memory(c: &mut Criterion) {
+    use er_core::Matcher;
+    use er_loadbalance::basic::basic_job;
+    use er_loadbalance::compare::PairComparer;
+
+    let (scale, reps) = if c.is_test_mode() {
+        (0.005, 1)
+    } else {
+        (0.02, 5)
+    };
+    let input = pipeline_input(scale);
+    let job = basic_job(
+        Arc::new(PrefixBlocking::title3()),
+        PairComparer::new(Arc::new(Matcher::paper_default())),
+        16,
+        4,
+    );
+    let mut walls_ms = Vec::with_capacity(reps);
+    let mut shuffle_walls_ms = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let run = job.run(input.clone()).unwrap();
+        walls_ms.push(run.metrics.wall.as_secs_f64() * 1e3);
+        shuffle_walls_ms.push(run.metrics.shuffle_wall.as_secs_f64() * 1e3);
+        out = Some(run);
+    }
+    let out = out.expect("at least one rep");
+    // Record counts and peak gauges are deterministic (identical every
+    // rep — the test suite asserts this), so the last rep's metrics
+    // serve; wall times are noisy and exported as medians across reps.
+    let m = &out.metrics;
+    let reduce_input: u64 = m.reduce_tasks.iter().map(|t| t.records_in).sum();
+    let fraction = m.peak_resident_fraction();
+    println!(
+        "reduce memory (scale {scale}): {} input records over {} tasks; \
+         peak group {} records, peak resident {} records, \
+         resident/input = {fraction:.3} (materialized path: ~1.0)",
+        reduce_input,
+        m.reduce_tasks.len(),
+        m.peak_group_len(),
+        m.peak_resident_records(),
+    );
+    assert!(
+        fraction < 0.6,
+        "streaming reduce must stay below 0.6x of task input records, got {fraction:.3}"
+    );
+
+    let json = Json::obj([
+        ("bench", Json::str("micro_engine")),
+        ("job", Json::str("basic_ds1")),
+        ("scale", Json::Num(scale)),
+        ("samples", Json::Num(walls_ms.len() as f64)),
+        ("median_wall_ms", Json::Num(median_ms(&walls_ms))),
+        ("shuffle_wall_ms", Json::Num(median_ms(&shuffle_walls_ms))),
+        ("reduce_input_records", Json::Num(reduce_input as f64)),
+        ("peak_group_len", Json::Num(m.peak_group_len() as f64)),
+        (
+            "peak_resident_records",
+            Json::Num(m.peak_resident_records() as f64),
+        ),
+        ("peak_resident_fraction", Json::Num(fraction)),
+    ]);
+    write_bench_json("micro_engine", &json).expect("bench json export");
+}
+
 fn bench_bdm_job(c: &mut Criterion) {
     let input = pipeline_input(0.02);
     c.bench_function("bdm_job_ds1_2pct", |b| {
@@ -97,6 +178,6 @@ fn bench_bdm_job(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_bdm_job, report_shuffle_location
+    targets = bench_pipeline, bench_bdm_job, report_shuffle_location, report_reduce_memory
 }
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! CI guard for the bench JSON exports: re-parses every
+//! `BENCH_*.json` (paths given as arguments, or everything in
+//! [`er_bench::bench_json_dir`]) with the strict in-tree parser and
+//! checks the minimal schema every export shares — a top-level object
+//! with a `"bench"` string member and at least one numeric metric.
+//! Exits non-zero on the first violation, so a format regression fails
+//! the pipeline instead of rotting quietly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use er_bench::{bench_json_dir, Json};
+
+fn validate(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bench = value
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string member \"bench\"")?
+        .to_string();
+    let members = match &value {
+        Json::Obj(members) => members,
+        _ => return Err("top-level value must be an object".into()),
+    };
+    let metrics = members
+        .iter()
+        .filter(|(_, v)| matches!(v, Json::Num(n) if n.is_finite()))
+        .count();
+    if metrics == 0 {
+        return Err("no numeric metric members".into());
+    }
+    Ok(format!("{bench}: {metrics} numeric metrics"))
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if paths.is_empty() {
+        let dir = bench_json_dir();
+        match std::fs::read_dir(&dir) {
+            Ok(entries) => {
+                paths = entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    })
+                    .collect();
+                paths.sort();
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("no BENCH_*.json files to validate");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match validate(path) {
+            Ok(summary) => println!("OK   {} — {summary}", path.display()),
+            Err(err) => {
+                eprintln!("FAIL {} — {err}", path.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

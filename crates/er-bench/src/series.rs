@@ -1,5 +1,7 @@
 //! Named numeric series with shape checks used by the figure benches.
 
+use crate::json::Json;
+
 /// A labelled series of `(x, y)` points.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -57,6 +59,27 @@ impl Series {
         }
     }
 
+    /// Serializes the series for a `BENCH_<name>.json` export:
+    /// `{"strategy": <name>, "points": [{<axis_key>: x, <value_key>: y}, …]}`.
+    /// Shared by every figure bench so the export shape cannot drift
+    /// between targets.
+    pub fn to_json(&self, axis_key: &str, value_key: &str) -> Json {
+        Json::obj([
+            ("strategy", Json::str(self.name.clone())),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|&(x, y)| {
+                            Json::obj([(axis_key, Json::Num(x)), (value_key, Json::Num(y))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Is the series non-increasing within a tolerance factor?
     pub fn roughly_decreasing(&self, slack: f64) -> bool {
         self.points
@@ -92,6 +115,17 @@ mod tests {
         assert_eq!(s.min_y(), 2.0);
         assert_eq!(s.first_y(), 5.0);
         assert_eq!(s.last_y(), 2.0);
+    }
+
+    #[test]
+    fn to_json_names_axis_and_value_keys() {
+        let s = series(&[(20.0, 100.0), (40.0, 50.0)]);
+        let json = s.to_json("r", "total_ms");
+        assert_eq!(json.get("strategy").and_then(Json::as_str), Some("t"));
+        let points = json.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("r").and_then(Json::as_f64), Some(40.0));
+        assert_eq!(points[1].get("total_ms").and_then(Json::as_f64), Some(50.0));
     }
 
     #[test]

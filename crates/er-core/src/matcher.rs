@@ -8,7 +8,7 @@
 //! entities by [`EntityRef`] for reducers whose groups revisit the
 //! same entity (PairRange replicas, multi-pass blocking).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::entity::{Entity, EntityRef};
@@ -229,6 +229,15 @@ impl PreparedEntity {
     }
 }
 
+/// One resident cache entry: the prepared form plus the logical clock
+/// tick of its most recent use (recency bookkeeping is skipped
+/// entirely in unbounded mode, where `last_used` stays 0).
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    value: Arc<PreparedEntity>,
+    last_used: u64,
+}
+
 /// Memoizing cache of [`PreparedEntity`] values keyed by entity
 /// reference — one prepare per distinct entity per cache lifetime, no
 /// matter how many reduce groups (PairRange ranges, multi-pass
@@ -239,18 +248,57 @@ impl PreparedEntity {
 /// intended to live for one reduce task; clone-derived copies start
 /// empty state-wise only if cloned before first use, so reducers
 /// should create it in `setup` or hold it per instance.
+///
+/// # Bounded mode
+///
+/// [`MatcherCache::with_capacity`] caps the number of resident
+/// prepared entities with least-recently-used eviction (a recency
+/// index over a logical clock; `O(log n)` per touch). An evicted
+/// entity is simply re-prepared on its next sighting — preparation is
+/// deterministic, so eviction can never change match decisions, only
+/// trade memory for recompute. The default remains unbounded, which
+/// is right for the paper's batch reduce tasks (a task sees each
+/// entity a bounded number of times); bound the cache for
+/// long-running/streaming tasks whose key space grows without limit.
 #[derive(Debug, Clone)]
 pub struct MatcherCache {
     matcher: Arc<Matcher>,
-    prepared: HashMap<EntityRef, Arc<PreparedEntity>>,
+    prepared: HashMap<EntityRef, CacheSlot>,
+    /// Maximum resident entries; `None` = unbounded (no recency
+    /// bookkeeping at all).
+    capacity: Option<usize>,
+    /// Logical clock driving LRU order; monotonically increasing.
+    tick: u64,
+    /// Recency index: `last_used tick -> entity` (ticks are unique).
+    recency: BTreeMap<u64, EntityRef>,
+    evictions: u64,
 }
 
 impl MatcherCache {
-    /// An empty cache bound to `matcher`.
+    /// An empty, unbounded cache bound to `matcher`.
     pub fn new(matcher: Arc<Matcher>) -> Self {
         Self {
             matcher,
             prepared: HashMap::new(),
+            capacity: None,
+            tick: 0,
+            recency: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// An empty cache holding at most `capacity` prepared entities,
+    /// evicting the least recently used beyond that.
+    ///
+    /// # Panics
+    /// If `capacity < 2`: [`MatcherCache::matches`] prepares both
+    /// sides of a pair before scoring, so the cache must be able to
+    /// hold at least two entries.
+    pub fn with_capacity(matcher: Arc<Matcher>, capacity: usize) -> Self {
+        assert!(capacity >= 2, "a bounded cache needs room for a pair");
+        Self {
+            capacity: Some(capacity),
+            ..Self::new(matcher)
         }
     }
 
@@ -259,13 +307,60 @@ impl MatcherCache {
         &self.matcher
     }
 
-    /// The prepared form of `e`, computing it on first sight.
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted so far (always zero in unbounded mode).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The prepared form of `e`, computing it on first sight (or on
+    /// re-sighting after an eviction).
     pub fn prepared(&mut self, e: &Entity) -> Arc<PreparedEntity> {
-        Arc::clone(
-            self.prepared
-                .entry(e.entity_ref())
-                .or_insert_with(|| Arc::new(self.matcher.prepare(e))),
-        )
+        let Some(capacity) = self.capacity else {
+            // Unbounded fast path: plain memoization, no recency
+            // bookkeeping.
+            return Arc::clone(
+                &self
+                    .prepared
+                    .entry(e.entity_ref())
+                    .or_insert_with(|| CacheSlot {
+                        value: Arc::new(self.matcher.prepare(e)),
+                        last_used: 0,
+                    })
+                    .value,
+            );
+        };
+        let key = e.entity_ref();
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.prepared.get_mut(&key) {
+            self.recency.remove(&slot.last_used);
+            slot.last_used = tick;
+            self.recency.insert(tick, key);
+            return Arc::clone(&slot.value);
+        }
+        if self.prepared.len() >= capacity {
+            let (_, victim) = self
+                .recency
+                .pop_first()
+                .expect("a full bounded cache has recency entries");
+            self.prepared.remove(&victim);
+            self.evictions += 1;
+        }
+        let value = Arc::new(self.matcher.prepare(e));
+        self.prepared.insert(
+            key,
+            CacheSlot {
+                value: Arc::clone(&value),
+                last_used: tick,
+            },
+        );
+        self.recency.insert(tick, key);
+        value
     }
 
     /// Threshold decision using cached prepared forms for both sides.
@@ -275,7 +370,7 @@ impl MatcherCache {
         self.matcher.matches_prepared(&pa, &pb)
     }
 
-    /// Number of entities prepared so far.
+    /// Number of entities currently resident.
     pub fn len(&self) -> usize {
         self.prepared.len()
     }
@@ -286,9 +381,12 @@ impl MatcherCache {
     }
 
     /// Drops all cached entries (e.g. between unrelated inputs whose
-    /// entity ids overlap).
+    /// entity ids overlap). Keeps the capacity bound; resets the
+    /// eviction counter along with the entries.
     pub fn clear(&mut self) {
         self.prepared.clear();
+        self.recency.clear();
+        self.evictions = 0;
     }
 }
 
@@ -453,6 +551,76 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut cache = MatcherCache::with_capacity(Arc::new(Matcher::paper_default()), 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let (a, b, c) = (e(1, "aaaaaaaaaa"), e(2, "bbbbbbbbbb"), e(3, "cccccccccc"));
+        let pa = cache.prepared(&a);
+        let _ = cache.prepared(&b);
+        // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+        let pa_again = cache.prepared(&a);
+        assert!(Arc::ptr_eq(&pa, &pa_again), "touching must be a hit");
+        let _ = cache.prepared(&c);
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.evictions(), 1);
+        // `a` survived (recently used); preparing it again is a hit.
+        let pa_third = cache.prepared(&a);
+        assert!(Arc::ptr_eq(&pa, &pa_third), "recently used entry kept");
+        // `b` was evicted: re-preparation yields a fresh allocation...
+        let pb_new = cache.prepared(&b);
+        assert_eq!(cache.evictions(), 2, "re-admitting b evicted c");
+        // ...that scores bit-identically to an uncached preparation.
+        let direct = Matcher::paper_default().prepare(&b);
+        assert_eq!(
+            cache.matcher().score_prepared(&pb_new, &pb_new).to_bits(),
+            cache.matcher().score_prepared(&direct, &direct).to_bits()
+        );
+    }
+
+    #[test]
+    fn bounded_cache_decisions_match_unbounded() {
+        // Thrash a capacity-2 cache across overlapping pairs; every
+        // decision must equal the unbounded cache's, bit for bit —
+        // eviction may only cost recompute, never correctness.
+        let matcher = Arc::new(Matcher::paper_default());
+        let mut bounded = MatcherCache::with_capacity(Arc::clone(&matcher), 2);
+        let mut unbounded = MatcherCache::new(Arc::clone(&matcher));
+        let entities: Vec<Entity> = [
+            "abcdefghij",
+            "abcdefghiX",
+            "abcdefgXYZ",
+            "zzzzzzzzzz",
+            "abcdefghij",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| e(i as u64, t))
+        .collect();
+        for i in 0..entities.len() {
+            for j in (i + 1)..entities.len() {
+                let (a, b) = (&entities[i], &entities[j]);
+                assert_eq!(
+                    bounded.matches(a, b).map(f64::to_bits),
+                    unbounded.matches(a, b).map(f64::to_bits),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+        assert!(bounded.evictions() > 0, "the thrash must actually evict");
+        assert_eq!(unbounded.evictions(), 0);
+        assert!(bounded.len() <= 2);
+        bounded.clear();
+        assert_eq!(bounded.evictions(), 0, "clear resets the counter");
+        assert_eq!(bounded.capacity(), Some(2), "clear keeps the bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "room for a pair")]
+    fn bounded_cache_rejects_capacity_below_two() {
+        let _ = MatcherCache::with_capacity(Arc::new(Matcher::paper_default()), 1);
     }
 
     #[test]

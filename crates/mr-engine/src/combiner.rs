@@ -11,6 +11,13 @@
 //! map task (Hadoop may apply it zero or more times per spill — any
 //! number of applications must be legal; our tests assert idempotence
 //! of a second application for the shipped combiners).
+//!
+//! Like Hadoop's spill combiner, the engine combines *per partition
+//! bucket*: map output is partitioned first, each bucket is
+//! stable-sorted once, and [`combine_sorted_run`] then reduces
+//! adjacent equal-key groups in a single pass — the bucket sort the
+//! shuffle needs anyway doubles as the combiner's grouping sort, so
+//! each record is sorted exactly once.
 
 use std::sync::Arc;
 
@@ -34,19 +41,34 @@ pub fn first_value_combiner<K, V: Clone + Send + Sync + 'static>() -> Combiner<K
     })
 }
 
-/// Applies `combiner` to a map task's output, grouping equal keys under
-/// `sort_cmp`. Stable: group order follows first occurrence in sorted
-/// order; the function sorts a copy of the output.
-pub(crate) fn apply_combiner<K: Clone, V: Clone>(
+/// Applies `combiner` to *unsorted* map output: sorts a copy under
+/// `sort_cmp`, then combines adjacent equal-key groups. A convenience
+/// for testing combiners in isolation — the engine itself partitions
+/// first and calls [`combine_sorted_run`] on each already-sorted
+/// bucket, so map records are sorted exactly once.
+pub fn apply_combiner<K: Clone, V: Clone>(
     output: Vec<(K, V)>,
     sort_cmp: &crate::comparator::KeyCmp<K>,
     combiner: &Combiner<K, V>,
 ) -> Vec<(K, V)> {
-    if output.is_empty() {
-        return output;
-    }
     let mut sorted = output;
     sorted.sort_by(|a, b| sort_cmp(&a.0, &b.0));
+    combine_sorted_run(sorted, sort_cmp, combiner)
+}
+
+/// Reduces a run already sorted under `sort_cmp` in one pass: adjacent
+/// equal-key groups are replaced by the combiner's output, keyed by the
+/// group's first key. The result is still sorted under `sort_cmp`
+/// (group keys appear in the input's sorted order), so a combined
+/// bucket remains a valid shuffle run.
+pub(crate) fn combine_sorted_run<K: Clone, V>(
+    sorted: Vec<(K, V)>,
+    sort_cmp: &crate::comparator::KeyCmp<K>,
+    combiner: &Combiner<K, V>,
+) -> Vec<(K, V)> {
+    if sorted.is_empty() {
+        return sorted;
+    }
     let mut result: Vec<(K, V)> = Vec::with_capacity(sorted.len());
     let mut iter = sorted.into_iter();
     let (first_k, first_v) = iter.next().expect("non-empty");
@@ -92,6 +114,17 @@ mod tests {
         let out = vec![(1u32, "a"), (1, "b"), (2, "c")];
         let combined = apply_combiner(out, &natural_order(), &first_value_combiner());
         assert_eq!(combined, vec![(1, "a"), (2, "c")]);
+    }
+
+    #[test]
+    fn combine_sorted_run_is_single_pass_and_stays_sorted() {
+        let sorted = vec![("a", 2u64), ("a", 4), ("b", 1), ("b", 3), ("c", 5)];
+        let combined = combine_sorted_run(sorted, &natural_order(), &sum_u64_combiner());
+        assert_eq!(combined, vec![("a", 6), ("b", 4), ("c", 5)]);
+        assert!(
+            combined.windows(2).all(|w| w[0].0 <= w[1].0),
+            "combined bucket must remain a valid sorted run"
+        );
     }
 
     #[test]

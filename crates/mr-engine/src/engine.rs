@@ -6,44 +6,64 @@
 //! merges its buckets **in map-task order**, forms groups under the
 //! grouping comparator, and invokes the reducer per group.
 //!
-//! # Shuffle architecture: map-side sorted runs, reduce-side merge
+//! # Shuffle architecture: sorted runs in, streamed groups out
 //!
 //! The shuffle sort runs entirely on the worker pool, mirroring
-//! Hadoop's spill-sort/merge split:
+//! Hadoop's spill-sort/merge split, and the reduce side never
+//! materializes its merged input:
 //!
-//! 1. **Map side** — each map task stable-sorts every one of its `r`
-//!    output buckets by the sort comparator before returning (inside
-//!    the map task body, i.e. in parallel across map tasks).
+//! 1. **Map side** — each map task partitions its output into `r`
+//!    buckets, stable-sorts every bucket by the sort comparator, and
+//!    (when a combiner is installed) runs the combiner over each
+//!    already-sorted bucket in a single pass — the bucket sort the
+//!    shuffle needs anyway doubles as the combiner's grouping sort, so
+//!    each record is sorted exactly once. All of this happens inside
+//!    the map task body, in parallel across map tasks.
 //! 2. **Coordinator** — only *transposes* the `m × r` bucket matrix so
 //!    each reduce task receives its `m` sorted runs: an `O(m·r)`
-//!    pointer move, no comparisons. The old single-threaded
-//!    `O(N log N)` sort barrier between the phases is gone;
+//!    pointer move, no comparisons.
 //!    [`JobMetrics::shuffle_wall`](crate::metrics::JobMetrics)
-//!    records the remaining coordinator cost.
-//! 3. **Reduce side** — each reduce task k-way-merges its runs with a
-//!    stable, left-biased binary merge tree (`O(N_j log m)`) *inside
-//!    the reduce task body*, again in parallel across reduce tasks.
+//!    records this residual coordinator cost.
+//! 3. **Reduce side** — each reduce task drives a streaming heap merge
+//!    ([`GroupStream`](crate::merge::GroupStream), `O(N_j log m)`
+//!    comparisons) that yields reduce *groups* incrementally. Only the
+//!    current group — one maximal run of keys equal under the grouping
+//!    comparator — is buffered (in a reusable buffer), plus at most one
+//!    head record per unexhausted run. The fully merged run is never
+//!    allocated — the extra `O(task input)` copy the pre-streaming
+//!    path materialized is gone, and the merge/group machinery itself
+//!    buffers only `O(largest group + m)` records (input runs remain
+//!    owned by the stream's iterators, with heap payloads released
+//!    group by group as they are moved out);
+//!    [`TaskMetrics::peak_group_len`](crate::metrics::TaskMetrics) and
+//!    [`TaskMetrics::peak_resident_records`](crate::metrics::TaskMetrics)
+//!    record the observed machinery peaks per reduce task so the bound
+//!    is measured, not asserted.
 //!
 //! # Determinism guarantee
 //!
 //! Equal sort keys arrive in (map task index, emission order): within
-//! a run the map-side sort is stable, and the merge breaks ties toward
-//! the lower-indexed map task. This is byte-identical to the previous
-//! implementation (concatenate in map-task order, stable sort) and
-//! holds at any `parallelism`; `reduce_outputs` is a pure function of
-//! (input, job definition). The test suite asserts this property
-//! across parallelism levels.
+//! a run the map-side sort is stable, and the heap merge breaks ties
+//! toward the lower-indexed map task (and preserves within-run order
+//! by construction). This is byte-identical to concatenating the runs
+//! in map-task order and stable-sorting — the pre-streaming
+//! implementation, retained as
+//! [`merge_sorted_runs`](crate::merge::merge_sorted_runs) for
+//! equivalence tests — and holds at any `parallelism`;
+//! `reduce_outputs` is a pure function of (input, job definition). The
+//! test suite asserts this property across parallelism levels.
 
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::combiner::{apply_combiner, Combiner};
+use crate::combiner::{combine_sorted_run, Combiner};
 use crate::comparator::{natural_order, KeyCmp};
 use crate::counters::{self, CounterSet};
 use crate::error::MrError;
 use crate::input::Partitions;
 use crate::mapper::{run_map_task, MapTaskInfo, Mapper};
+use crate::merge::GroupStream;
 use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
 use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::pool::run_tasks;
@@ -255,15 +275,9 @@ where
                 let pre_combine = ctx.out.len() as u64;
                 ctx.counters
                     .add(counters::MAP_OUTPUT_RECORDS_PRECOMBINE, pre_combine);
-                let out = match &self.combiner {
-                    Some(c) => apply_combiner(std::mem::take(&mut ctx.out), &self.sort_cmp, c),
-                    None => std::mem::take(&mut ctx.out),
-                };
-                ctx.counters
-                    .add(counters::MAP_OUTPUT_RECORDS, out.len() as u64);
                 let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
                     (0..r).map(|_| Vec::new()).collect();
-                for (k, v) in out {
+                for (k, v) in std::mem::take(&mut ctx.out) {
                     let p = self.partitioner.partition(&k, r);
                     if p >= r {
                         return Err(MrError::PartitionOutOfRange {
@@ -275,17 +289,27 @@ where
                 }
                 // Map-side sort: emit sorted runs so the shuffle never
                 // sorts on the coordinator thread. Stable, so equal
-                // keys keep emission order within this task.
+                // keys keep emission order within this task. The
+                // combiner (if any) then reduces each already-sorted
+                // bucket in one pass — partitioning first means this
+                // single sort serves both the combiner and the shuffle.
                 for bucket in &mut buckets {
                     bucket.sort_by(|a, b| (self.sort_cmp)(&a.0, &b.0));
+                    if let Some(c) = &self.combiner {
+                        *bucket = combine_sorted_run(std::mem::take(bucket), &self.sort_cmp, c);
+                    }
                 }
+                let records_out: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+                ctx.counters.add(counters::MAP_OUTPUT_RECORDS, records_out);
                 let metrics = TaskMetrics {
                     kind: TaskKind::Map,
                     index: i,
                     records_in: input[i].len() as u64,
-                    records_out: buckets.iter().map(|b| b.len() as u64).sum(),
+                    records_out,
                     counters: ctx.counters,
                     wall: start.elapsed(),
+                    peak_group_len: 0,
+                    peak_resident_records: 0,
                 };
                 Ok(MapTaskResult {
                     buckets,
@@ -345,34 +369,37 @@ where
                     .expect("run slot lock is uncontended")
                     .take()
                     .expect("each reduce task consumes its runs exactly once");
-                let run = merge_sorted_runs(runs, &self.sort_cmp);
-                let run = &run;
+                let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
+                // Streaming reduce: groups come out of the heap merge
+                // one at a time into a reusable buffer — the merged
+                // run is never materialized. The stream tracks its own
+                // resident high-water mark (group buffer + buffered
+                // run heads, sampled per record so mid-group states
+                // count too).
+                let mut stream = GroupStream::new(runs, &self.sort_cmp);
+                let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
                 let mut groups = 0u64;
-                let mut lo = 0usize;
-                while lo < run.len() {
-                    let mut hi = lo + 1;
-                    while hi < run.len()
-                        && (self.group_cmp)(&run[hi].0, &run[lo].0) == std::cmp::Ordering::Equal
-                    {
-                        hi += 1;
-                    }
-                    reducer.reduce(Group::new(&run[lo..hi]), &mut ctx);
+                let mut peak_group_len = 0u64;
+                while stream.next_group(&self.group_cmp, &mut group_buf) {
                     groups += 1;
-                    lo = hi;
+                    peak_group_len = peak_group_len.max(group_buf.len() as u64);
+                    reducer.reduce(Group::new(&group_buf), &mut ctx);
                 }
+                let peak_resident_records = stream.peak_resident_records() as u64;
                 reducer.finish(&mut ctx);
-                ctx.counters
-                    .add(counters::REDUCE_INPUT_RECORDS, run.len() as u64);
+                ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
                 ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
                 ctx.counters
                     .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
                 let metrics = TaskMetrics {
                     kind: TaskKind::Reduce,
                     index: j,
-                    records_in: run.len() as u64,
+                    records_in,
                     records_out: ctx.out.len() as u64,
                     counters: ctx.counters,
                     wall: start.elapsed(),
+                    peak_group_len,
+                    peak_resident_records,
                 };
                 (ctx.out, metrics)
             });
@@ -401,60 +428,6 @@ where
             side_outputs,
             metrics,
         })
-    }
-}
-
-/// Stable k-way merge of sorted runs: a left-biased binary merge tree,
-/// `O(N log k)` comparisons. Ties prefer the earlier run, and runs are
-/// merged in index order, so the result is byte-identical to
-/// concatenating the runs in order and stable-sorting — without ever
-/// re-examining already-sorted prefixes.
-fn merge_sorted_runs<K, V>(mut runs: Vec<Vec<(K, V)>>, cmp: &KeyCmp<K>) -> Vec<(K, V)> {
-    while runs.len() > 1 {
-        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut it = runs.into_iter();
-        while let Some(left) = it.next() {
-            match it.next() {
-                Some(right) => next.push(merge_two(left, right, cmp)),
-                None => next.push(left),
-            }
-        }
-        runs = next;
-    }
-    runs.pop().unwrap_or_default()
-}
-
-/// Stable two-way merge; ties take from `left` (the earlier map task).
-fn merge_two<K, V>(left: Vec<(K, V)>, right: Vec<(K, V)>, cmp: &KeyCmp<K>) -> Vec<(K, V)> {
-    if left.is_empty() {
-        return right;
-    }
-    if right.is_empty() {
-        return left;
-    }
-    let mut out = Vec::with_capacity(left.len() + right.len());
-    let mut li = left.into_iter().peekable();
-    let mut ri = right.into_iter().peekable();
-    loop {
-        match (li.peek(), ri.peek()) {
-            (Some(l), Some(r)) => {
-                // Strictly-less on the right is the only way right
-                // wins — equality stays left-biased for stability.
-                if cmp(&r.0, &l.0) == std::cmp::Ordering::Less {
-                    out.push(ri.next().expect("peeked"));
-                } else {
-                    out.push(li.next().expect("peeked"));
-                }
-            }
-            (Some(_), None) => {
-                out.extend(li);
-                return out;
-            }
-            (None, _) => {
-                out.extend(ri);
-                return out;
-            }
-        }
     }
 }
 
@@ -605,10 +578,144 @@ mod tests {
             .build();
         let out = job.run(input).unwrap();
         assert_eq!(
+            out.metrics.peak_group_len(),
+            3,
+            "block 1 is the largest streamed group"
+        );
+        assert_eq!(
             out.into_records(),
             vec![(1, vec![1, 2, 3]), (2, vec![4, 5])],
             "groups must be contiguous and sorted by the full key"
         );
+    }
+
+    #[test]
+    fn streaming_reduce_matches_materialized_reference_across_parallelism() {
+        // Independent oracle for the tentpole: re-derive each reduce
+        // task's output with the pre-streaming pipeline (partition →
+        // stable sort → materialized merge via `merge_sorted_runs` →
+        // boundary scan) and demand byte-equality at every
+        // parallelism level. Values encode (map task, emission order)
+        // so any stability drift fails loudly.
+        use crate::merge::merge_sorted_runs;
+
+        let lines = [
+            "the quick brown fox the",
+            "lazy dog the fox",
+            "quick quick lazy",
+            "brown the dog",
+            "fox",
+        ];
+        let m = 3usize;
+        let r = 4usize;
+        let input: Partitions<(), String> =
+            partition_evenly(lines.iter().map(|l| ((), l.to_string())).collect(), m);
+
+        // Reference: simulate map + shuffle by hand.
+        let sort_cmp = natural_order::<String>();
+        let partitioner = HashPartitioner;
+        let mut runs_per_reduce: Vec<Vec<Vec<(String, String)>>> =
+            (0..r).map(|_| Vec::with_capacity(m)).collect();
+        for (i, part) in input.iter().enumerate() {
+            let mut buckets: Vec<Vec<(String, String)>> = (0..r).map(|_| Vec::new()).collect();
+            let mut emission = 0usize;
+            for (_, line) in part {
+                for w in line.split_whitespace() {
+                    let key = w.to_string();
+                    let p = Partitioner::partition(&partitioner, &key, r);
+                    buckets[p].push((key, format!("t{i}e{emission}")));
+                    emission += 1;
+                }
+            }
+            for bucket in &mut buckets {
+                bucket.sort_by(|a, b| sort_cmp(&a.0, &b.0));
+            }
+            for (j, bucket) in buckets.into_iter().enumerate() {
+                runs_per_reduce[j].push(bucket);
+            }
+        }
+        let expected: Vec<Vec<(String, Vec<String>)>> = runs_per_reduce
+            .into_iter()
+            .map(|runs| {
+                let run = merge_sorted_runs(runs, &sort_cmp);
+                let mut out = Vec::new();
+                let mut lo = 0usize;
+                while lo < run.len() {
+                    let mut hi = lo + 1;
+                    while hi < run.len() && run[hi].0 == run[lo].0 {
+                        hi += 1;
+                    }
+                    out.push((
+                        run[lo].0.clone(),
+                        run[lo..hi].iter().map(|(_, v)| v.clone()).collect(),
+                    ));
+                    lo = hi;
+                }
+                out
+            })
+            .collect();
+
+        // The real job, with a mapper emitting the same tags.
+        for parallelism in [1usize, 2, 4, 8] {
+            let mapper = ClosureMapper::new(
+                |_: &(), line: &String, ctx: &mut MapContext<String, String, ()>| {
+                    for w in line.split_whitespace() {
+                        let n = ctx.emitted();
+                        ctx.emit(w.to_string(), format!("t{}e{n}", ctx.info().task_index));
+                    }
+                },
+            );
+            let reducer = ClosureReducer::new(
+                |group: Group<'_, String, String>, ctx: &mut ReduceContext<String, Vec<String>>| {
+                    ctx.emit(group.key().clone(), group.values().cloned().collect());
+                },
+            );
+            let out = Job::builder("oracle", mapper, reducer)
+                .reduce_tasks(r)
+                .parallelism(parallelism)
+                .build()
+                .run(input.clone())
+                .unwrap();
+            assert_eq!(
+                out.reduce_outputs, expected,
+                "parallelism {parallelism} diverged from the materialized reference"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_gauges_measure_streaming_working_set() {
+        // "a" x5, "b" x3, "c" x1 over two map tasks, one reduce task:
+        // the largest group is 5, and the streaming path must never
+        // hold more than (largest group + m run heads) = 7 records —
+        // far below the 9-record task input a materialized merge
+        // would pin.
+        let input = partition_evenly(lines(&["a a a b b c", "a a b"]), 2);
+        let out = wordcount_job(1, 1).run(input).unwrap();
+        let task = &out.metrics.reduce_tasks[0];
+        assert_eq!(task.records_in, 9);
+        assert_eq!(task.peak_group_len, 5);
+        assert!(
+            task.peak_resident_records <= task.peak_group_len + 2,
+            "resident = group buffer + at most one head per run; got {}",
+            task.peak_resident_records
+        );
+        assert!(
+            task.peak_resident_records < task.records_in,
+            "streaming must stay below the materialized bound"
+        );
+        assert_eq!(out.metrics.peak_group_len(), 5);
+        assert_eq!(
+            out.metrics.peak_resident_records(),
+            task.peak_resident_records
+        );
+        assert!(out.metrics.peak_resident_fraction() < 1.0);
+        // Map tasks report no reduce-side peaks.
+        assert!(out
+            .metrics
+            .map_tasks
+            .iter()
+            .all(|t| t.peak_group_len == 0 && t.peak_resident_records == 0));
     }
 
     #[test]
@@ -723,34 +830,6 @@ mod tests {
             .run(partition_evenly(lines(&["a"]), 1))
             .unwrap_err();
         assert_eq!(err, MrError::NoReduceTasks);
-    }
-
-    #[test]
-    fn merge_sorted_runs_equals_concat_then_stable_sort() {
-        // The shuffle's correctness contract, checked directly on the
-        // kernel: merging sorted runs must be byte-identical to the
-        // old concatenate + stable sort implementation. Values tag
-        // (run, position) so stability violations are visible.
-        let cmp = natural_order::<u32>();
-        let runs: Vec<Vec<(u32, (usize, usize))>> = vec![
-            vec![(1, (0, 0)), (3, (0, 1)), (3, (0, 2)), (9, (0, 3))],
-            vec![],
-            vec![(0, (2, 0)), (3, (2, 1)), (9, (2, 2))],
-            vec![(3, (3, 0)), (4, (3, 1))],
-            vec![(2, (4, 0))],
-        ];
-        let mut expected: Vec<(u32, (usize, usize))> = runs.concat();
-        expected.sort_by(|a, b| cmp(&a.0, &b.0));
-        assert_eq!(merge_sorted_runs(runs, &cmp), expected);
-    }
-
-    #[test]
-    fn merge_sorted_runs_degenerate_shapes() {
-        let cmp = natural_order::<u8>();
-        assert!(merge_sorted_runs::<u8, ()>(vec![], &cmp).is_empty());
-        assert!(merge_sorted_runs::<u8, ()>(vec![vec![], vec![]], &cmp).is_empty());
-        let single = vec![vec![(1u8, ()), (2, ())]];
-        assert_eq!(merge_sorted_runs(single, &cmp), vec![(1, ()), (2, ())]);
     }
 
     #[test]

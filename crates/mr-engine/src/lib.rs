@@ -21,16 +21,22 @@
 //! * named counters and per-task metrics (records, emitted pairs,
 //!   custom counters such as `comparisons`, wall time).
 //!
-//! The shuffle is **deterministic and fully parallel**: every map task
-//! stable-sorts its output buckets on the worker pool, the coordinator
-//! only transposes buckets to reduce tasks, and each reduce task
-//! performs a stable k-way merge of its runs in map-task order (ties
-//! break toward the lower map task). Values with equal sort keys
-//! therefore arrive in (map task index, emission order) — the property
-//! Hadoop exhibits in practice and that the BlockSplit reducer of the
-//! paper exploits. Determinism holds at any level of
-//! [`JobBuilder::parallelism`]; see [`engine`] for the full shuffle
-//! architecture.
+//! The shuffle is **deterministic, fully parallel, and streaming**:
+//! every map task partitions, stable-sorts, and (optionally) combines
+//! its output buckets on the worker pool; the coordinator only
+//! transposes buckets to reduce tasks; and each reduce task streams
+//! reduce groups out of a stable k-way heap merge of its runs in
+//! map-task order (ties break toward the lower map task), buffering
+//! only the current group — never the merged run. Values with equal
+//! sort keys therefore arrive in (map task index, emission order) —
+//! the property Hadoop exhibits in practice and that the BlockSplit
+//! reducer of the paper exploits — while the reduce-side merge buffers
+//! only `O(largest group + m)` records beyond the input runs (no
+//! second merged-run copy), measured per task by
+//! [`TaskMetrics::peak_group_len`] and
+//! [`TaskMetrics::peak_resident_records`]. Determinism holds at any
+//! level of [`JobBuilder::parallelism`]; see [`engine`] for the full
+//! shuffle architecture and [`merge`] for the merge kernels.
 //!
 //! ```
 //! use mr_engine::prelude::*;
@@ -70,6 +76,7 @@ pub mod engine;
 pub mod error;
 pub mod input;
 pub mod mapper;
+pub mod merge;
 pub mod metrics;
 pub mod partitioner;
 pub mod pipeline;
@@ -84,6 +91,7 @@ pub use engine::{Job, JobBuilder, JobOutput};
 pub use error::MrError;
 pub use input::{partition_evenly, partition_round_robin, Partitions};
 pub use mapper::{MapContext, MapTaskInfo, Mapper};
+pub use merge::{merge_sorted_runs, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
 pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};

@@ -45,6 +45,17 @@ pub struct TaskMetrics {
     pub counters: CounterSet,
     /// Wall-clock time of the task body (excludes scheduling waits).
     pub wall: Duration,
+    /// Largest reduce group this task buffered (records). Reduce tasks
+    /// only; zero for map tasks.
+    pub peak_group_len: u64,
+    /// Peak records simultaneously resident in this task's streaming
+    /// merge machinery: the current group buffer plus one buffered
+    /// head per unexhausted run. This measures the *extra* buffering
+    /// beyond the input runs themselves (whose inline storage lives
+    /// until the task ends); the pre-streaming materialized merge
+    /// held a full second copy, sitting at `records_in` here. Reduce
+    /// tasks only; zero for map tasks.
+    pub peak_resident_records: u64,
 }
 
 impl TaskMetrics {
@@ -97,6 +108,50 @@ impl JobMetrics {
         self.reduce_tasks.iter().map(|t| t.counter(name)).collect()
     }
 
+    /// Largest reduce group any reduce task buffered, in records —
+    /// the dominant term of the streaming reduce path's working set.
+    pub fn peak_group_len(&self) -> u64 {
+        self.reduce_tasks
+            .iter()
+            .map(|t| t.peak_group_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Worst per-reduce-task peak of records resident in the merge +
+    /// group machinery (current group buffer + buffered run heads).
+    pub fn peak_resident_records(&self) -> u64 {
+        self.reduce_tasks
+            .iter()
+            .map(|t| t.peak_resident_records)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Job-level memory ratio of the reduce phase's merge buffering:
+    /// `Σ peak_resident_records / Σ records_in` over reduce tasks —
+    /// the size of the merge machinery's working set relative to the
+    /// second full copy the materialized design allocated.
+    ///
+    /// The materialized-merge design this engine replaced pins every
+    /// task at `peak ≈ records_in`, i.e. a ratio of ~1.0; the
+    /// streaming path buffers only the current group plus `m` run
+    /// heads, so the ratio tracks (largest group / task input) and
+    /// drops well below 1 on multi-group workloads. Returns 1.0 for
+    /// jobs with no reduce input (vacuously "at the bound").
+    pub fn peak_resident_fraction(&self) -> f64 {
+        let total_in: u64 = self.reduce_tasks.iter().map(|t| t.records_in).sum();
+        if total_in == 0 {
+            return 1.0;
+        }
+        let total_peak: u64 = self
+            .reduce_tasks
+            .iter()
+            .map(|t| t.peak_resident_records)
+            .sum();
+        total_peak as f64 / total_in as f64
+    }
+
     /// Max/mean ratio of a per-reduce-task counter: 1.0 is a perfect
     /// balance, large values indicate skew.
     pub fn reduce_imbalance(&self, name: &str) -> f64 {
@@ -125,6 +180,8 @@ mod tests {
             records_out: 1,
             counters,
             wall: Duration::from_millis(1),
+            peak_group_len: 0,
+            peak_resident_records: 0,
         }
     }
 
@@ -168,6 +225,32 @@ mod tests {
         assert_eq!(j.reduce_imbalance("comparisons"), 1.0);
         let j = job(&[]);
         assert_eq!(j.reduce_imbalance("comparisons"), 1.0);
+    }
+
+    #[test]
+    fn peak_gauges_aggregate_as_maxima_and_ratio() {
+        let mut j = job(&[0, 0, 0]);
+        for (t, (input, group, resident)) in
+            j.reduce_tasks
+                .iter_mut()
+                .zip([(100u64, 10u64, 14u64), (50, 40, 44), (50, 5, 9)])
+        {
+            t.records_in = input;
+            t.peak_group_len = group;
+            t.peak_resident_records = resident;
+        }
+        assert_eq!(j.peak_group_len(), 40);
+        assert_eq!(j.peak_resident_records(), 44);
+        // (14 + 44 + 9) / (100 + 50 + 50)
+        assert!((j.peak_resident_fraction() - 67.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_gauges_of_an_empty_job_are_neutral() {
+        let j = job(&[]);
+        assert_eq!(j.peak_group_len(), 0);
+        assert_eq!(j.peak_resident_records(), 0);
+        assert_eq!(j.peak_resident_fraction(), 1.0);
     }
 
     #[test]

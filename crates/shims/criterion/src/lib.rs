@@ -114,6 +114,13 @@ impl Criterion {
         self
     }
 
+    /// Whether this run is a `--test` smoke check (one iteration per
+    /// bench). Report-style targets read this to shrink their own
+    /// workloads instead of re-parsing the CLI.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
     where
