@@ -9,7 +9,9 @@
 //! at s = 0 Basic is fastest (no BDM job).
 
 use er_bench::table::TextTable;
-use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_bench::{
+    bdm_from_keys, simulate_strategy, write_bench_json, ExperimentCost, Json, Series, PAPER_SEED,
+};
 use er_core::blocking::BlockKey;
 use er_datagen::skew::exponential_block_sizes;
 use er_datagen::vocab::block_prefix;
@@ -130,4 +132,25 @@ fn main() {
         if s0_gap < 1.10 { "PASS" } else { "WARN" },
         s0_gap
     );
+
+    // Machine-readable twin of the table above, so the SN-vs-BlockSplit
+    // skew story (BENCH_fig_sn_window.json) can be compared against the
+    // blocking strategies' skew behaviour without scraping logs.
+    let json = Json::obj([
+        ("bench", Json::str("fig09_skew")),
+        ("entities", Json::Num(N_ENTITIES as f64)),
+        ("blocks", Json::Num(BLOCKS as f64)),
+        ("reduce_tasks", Json::Num(R as f64)),
+        ("basic_degradation_at_s1", Json::Num(degradation)),
+        (
+            "ms_per_1e4_pairs",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|s| s.to_json("skew", "ms_per_1e4"))
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_bench_json("fig09_skew", &json).expect("bench json export");
 }

@@ -280,16 +280,31 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is &str, so this is
-                // always on a char boundary).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+            Some(&lead) => {
+                // Consume one UTF-8 scalar. The input is &str, so
+                // *pos always sits on a char boundary; decode just
+                // this character's bytes (its length is encoded in
+                // the leading byte) instead of re-validating the
+                // whole remaining document per character.
+                let len = match lead {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                let c = std::str::from_utf8(chunk)
+                    .map_err(|e| e.to_string())?
+                    .chars()
+                    .next()
+                    .expect("non-empty");
                 if (c as u32) < 0x20 {
                     return Err(format!("raw control character at byte {pos}", pos = *pos));
                 }
                 out.push(c);
-                *pos += c.len_utf8();
+                *pos += len;
             }
         }
     }

@@ -14,7 +14,10 @@
 //! * a threshold [`matcher`] and a deduplicating [`result`] set with
 //!   quality metrics against a gold standard,
 //! * the [`pairs`] enumeration arithmetic shared by PairRange and the
-//!   analytic workload model.
+//!   analytic workload model,
+//! * [`sortkey`] primitives for Sorted Neighborhood blocking: sort-key
+//!   derivation and an order-preserving [`RangePartitioner`] built
+//!   from a sampled key distribution (consumed by the er-sn crate).
 
 pub mod blocking;
 pub mod entity;
@@ -23,6 +26,7 @@ pub mod matcher;
 pub mod pairs;
 pub mod result;
 pub mod similarity;
+pub mod sortkey;
 
 pub use blocking::{BlockKey, BlockingFunction, ConstantBlocking, PrefixBlocking};
 pub use entity::{Entity, EntityId, EntityRef, SourceId};
@@ -32,3 +36,4 @@ pub use similarity::{
     CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Prepared,
     Similarity,
 };
+pub use sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunction};

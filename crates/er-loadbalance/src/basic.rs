@@ -35,19 +35,13 @@ impl Mapper for BasicMapper {
     type Side = ();
 
     fn map(&mut self, _key: &(), entity: &Ent, ctx: &mut MapContext<BlockKey, Keyed, ()>) {
-        let mut keys = self.blocking.keys(entity);
-        keys.sort();
-        keys.dedup();
-        if keys.is_empty() {
+        let replicas = Keyed::derive_all(self.blocking.as_ref(), entity);
+        if replicas.is_empty() {
             ctx.add_counter(crate::bdm_job::NULL_KEY_ENTITIES, 1);
             return;
         }
-        let all: Arc<[BlockKey]> = Arc::from(keys.into_boxed_slice());
-        for key in all.iter() {
-            ctx.emit(
-                key.clone(),
-                Keyed::replica(key.clone(), Arc::clone(&all), Arc::clone(entity)),
-            );
+        for keyed in replicas {
+            ctx.emit(keyed.key.clone(), keyed);
         }
     }
 }

@@ -56,39 +56,22 @@ impl Mapper for BdmMapper {
 
     fn map(&mut self, _key: &(), entity: &Ent, ctx: &mut MapContext<BdmKey, u64, Self::Side>) {
         let partition = self.partition.expect("setup ran") as u32;
-        let mut keys = self.blocking.keys(entity);
-        keys.sort();
-        keys.dedup();
-        if keys.is_empty() {
+        let replicas = Keyed::derive_all(self.blocking.as_ref(), entity);
+        if replicas.is_empty() {
             ctx.add_counter(NULL_KEY_ENTITIES, 1);
             return;
         }
-        let all: Arc<[BlockKey]> = Arc::from(keys.into_boxed_slice());
-        for key in all.iter() {
-            ctx.emit((key.clone(), partition), 1);
-            ctx.side_output((
-                key.clone(),
-                Keyed::replica(key.clone(), Arc::clone(&all), Arc::clone(entity)),
-            ));
+        for keyed in replicas {
+            ctx.emit((keyed.key.clone(), partition), 1);
+            ctx.side_output((keyed.key.clone(), keyed));
         }
     }
 }
 
-/// Reducer of Algorithm 3: sums the 1s per `(blocking key, partition)`.
-#[derive(Clone, Default)]
-pub struct BdmReducer;
-
-impl Reducer for BdmReducer {
-    type KIn = BdmKey;
-    type VIn = u64;
-    type KOut = BdmKey;
-    type VOut = u64;
-
-    fn reduce(&mut self, group: Group<'_, BdmKey, u64>, ctx: &mut ReduceContext<BdmKey, u64>) {
-        let sum: u64 = group.values().sum();
-        ctx.emit(group.key().clone(), sum);
-    }
-}
+/// Reducer of Algorithm 3: sums the 1s per `(blocking key, partition)`
+/// — the generic count-sum reducer shared with er-sn's sort-key
+/// distribution job.
+pub type BdmReducer = mr_engine::reducer::SumReducer<BdmKey>;
 
 /// Builds the BDM job. Partitioning is on the blocking-key component;
 /// sorting and grouping use the entire `(key, partition)` pair.
@@ -98,7 +81,7 @@ pub fn bdm_job(
     parallelism: usize,
     use_combiner: bool,
 ) -> Job<BdmMapper, BdmReducer> {
-    let mut builder = Job::builder("bdm", BdmMapper::new(blocking), BdmReducer)
+    let mut builder = Job::builder("bdm", BdmMapper::new(blocking), BdmReducer::default())
         .reduce_tasks(reduce_tasks)
         .parallelism(parallelism)
         .partitioner(FnPartitioner::new(|key: &BdmKey, r: usize| {

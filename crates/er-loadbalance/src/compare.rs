@@ -30,6 +30,9 @@ pub const MULTIPASS_SKIPPED: &str = "er.multipass.skipped";
 pub struct PairComparer {
     matcher: Arc<Matcher>,
     count_only: bool,
+    /// Capacity bound for caches created by [`PairComparer::new_cache`]
+    /// (`None` = unbounded, the paper-scale batch default).
+    cache_capacity: Option<usize>,
 }
 
 impl PairComparer {
@@ -38,6 +41,7 @@ impl PairComparer {
         Self {
             matcher,
             count_only: false,
+            cache_capacity: None,
         }
     }
 
@@ -48,7 +52,30 @@ impl PairComparer {
         Self {
             matcher,
             count_only: true,
+            cache_capacity: None,
         }
+    }
+
+    /// Bounds every cache this comparer hands out (LRU eviction, see
+    /// [`MatcherCache::with_capacity`]); `None` restores the unbounded
+    /// default. Eviction only ever costs recompute, never correctness.
+    ///
+    /// # Panics
+    /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
+    /// needs both sides resident (checked here eagerly rather than
+    /// when a reduce task first builds its cache).
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        assert!(
+            capacity.is_none_or(|n| n >= 2),
+            "a bounded cache needs room for a pair"
+        );
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// The cache bound applied by [`PairComparer::new_cache`], if any.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
     }
 
     /// Whether this comparer skips similarity evaluation.
@@ -87,9 +114,13 @@ impl PairComparer {
     }
 
     /// A fresh per-reduce-task cache for
-    /// [`PairComparer::prepare_cached`].
+    /// [`PairComparer::prepare_cached`], honouring the configured
+    /// capacity bound.
     pub fn new_cache(&self) -> MatcherCache {
-        MatcherCache::new(Arc::clone(&self.matcher))
+        match self.cache_capacity {
+            Some(capacity) => MatcherCache::with_capacity(Arc::clone(&self.matcher), capacity),
+            None => MatcherCache::new(Arc::clone(&self.matcher)),
+        }
     }
 
     /// Wraps `keyed` with its cached prepared form, computing it on
@@ -103,8 +134,21 @@ impl PairComparer {
     ) -> PreparedRef<'a> {
         PreparedRef {
             keyed,
-            prepared: (!self.count_only).then(|| cache.prepared(&keyed.entity)),
+            prepared: self.prepare_owned(cache, keyed),
         }
+    }
+
+    /// The owned half of [`PairComparer::prepare_cached`]: just the
+    /// cached prepared form (`None` exactly when count-only), for
+    /// buffers that outlive a borrow scope — e.g. a sliding window
+    /// carried across reduce groups. Reassemble a comparison handle
+    /// with [`PreparedRef::from_parts`].
+    pub fn prepare_owned(
+        &self,
+        cache: &mut MatcherCache,
+        keyed: &Keyed,
+    ) -> Option<Arc<PreparedEntity>> {
+        (!self.count_only).then(|| cache.prepared(&keyed.entity))
     }
 
     /// [`PairComparer::compare`] over prepared handles: same gate,
@@ -116,6 +160,25 @@ impl PairComparer {
         b: &PreparedRef<'_>,
         current: &BlockKey,
         ctx: &mut ReduceContext<MatchPair, f64>,
+    ) {
+        self.compare_prepared_into(a, b, current, ctx, |ctx, pair, score| {
+            ctx.emit(pair, score);
+        });
+    }
+
+    /// [`PairComparer::compare_prepared`] generalized over the reduce
+    /// output shape: gate, counters and matching are identical, but a
+    /// found match is delivered to `sink` instead of being emitted
+    /// directly — for reducers whose output type is not
+    /// `(MatchPair, f64)` (er-sn's window reducer interleaves matches
+    /// with boundary records).
+    pub fn compare_prepared_into<KO, VO>(
+        &self,
+        a: &PreparedRef<'_>,
+        b: &PreparedRef<'_>,
+        current: &BlockKey,
+        ctx: &mut ReduceContext<KO, VO>,
+        mut sink: impl FnMut(&mut ReduceContext<KO, VO>, MatchPair, f64),
     ) {
         if !a.keyed.should_compare_in(b.keyed, current) {
             ctx.add_counter(MULTIPASS_SKIPPED, 1);
@@ -130,7 +193,8 @@ impl PairComparer {
             b.prepared.as_ref().expect("prepared under !count_only"),
         );
         if let Some(score) = self.matcher.matches_prepared(pa, pb) {
-            ctx.emit(
+            sink(
+                ctx,
                 MatchPair::new(a.keyed.entity.entity_ref(), b.keyed.entity.entity_ref()),
                 score,
             );
@@ -146,6 +210,17 @@ pub struct PreparedRef<'a> {
     /// The annotated entity.
     pub keyed: &'a Keyed,
     prepared: Option<Arc<PreparedEntity>>,
+}
+
+impl<'a> PreparedRef<'a> {
+    /// Reassembles a comparison handle from parts produced by
+    /// [`PairComparer::prepare_owned`]. `prepared` must be the form
+    /// that comparer returned for this entity (`None` exactly for
+    /// count-only comparers) — handing a non-count-only comparer a
+    /// `None` panics inside the compare call.
+    pub fn from_parts(keyed: &'a Keyed, prepared: Option<Arc<PreparedEntity>>) -> Self {
+        Self { keyed, prepared }
+    }
 }
 
 impl std::fmt::Debug for PairComparer {
@@ -250,6 +325,40 @@ mod tests {
                 prepared.counters().get(COMPARISONS)
             );
         }
+    }
+
+    #[test]
+    fn cache_capacity_threads_into_new_cache() {
+        let comparer =
+            PairComparer::new(Arc::new(Matcher::paper_default())).with_cache_capacity(Some(4));
+        assert_eq!(comparer.cache_capacity(), Some(4));
+        assert_eq!(comparer.new_cache().capacity(), Some(4));
+        let unbounded = comparer.with_cache_capacity(None);
+        assert_eq!(unbounded.cache_capacity(), None);
+        assert_eq!(unbounded.new_cache().capacity(), None);
+    }
+
+    #[test]
+    fn compare_prepared_into_delivers_matches_to_the_sink() {
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()));
+        let mut cache = comparer.new_cache();
+        let (a, b) = (keyed(1, "abcdefghij"), keyed(2, "abcdefghiX"));
+        let (pa, pb) = (
+            comparer.prepare_cached(&mut cache, &a),
+            comparer.prepare_cached(&mut cache, &b),
+        );
+        // A reduce context whose output shape is NOT (MatchPair, f64).
+        let mut ctx: ReduceContext<(), String> = ReduceContext::for_testing(ReduceTaskInfo {
+            task_index: 0,
+            num_reduce_tasks: 1,
+            num_map_tasks: 1,
+        });
+        comparer.compare_prepared_into(&pa, &pb, &BlockKey::new("blk"), &mut ctx, |c, pair, s| {
+            c.emit((), format!("{pair} @ {s:.1}"));
+        });
+        assert_eq!(ctx.counters().get(COMPARISONS), 1);
+        assert_eq!(ctx.output().len(), 1);
+        assert!(ctx.output()[0].1.contains("0.9"));
     }
 
     #[test]

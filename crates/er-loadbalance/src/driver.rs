@@ -39,6 +39,12 @@ pub struct ErConfig {
     pub split_policy: SplitPolicy,
     /// Count comparisons without evaluating similarity (timing runs).
     pub count_only: bool,
+    /// Capacity bound for the per-reduce-task prepared-entity caches
+    /// (`None` = unbounded, right for the paper's batch tasks; set a
+    /// bound for long-running/streaming ingest whose key space grows
+    /// without limit). Eviction costs recompute only — match output is
+    /// bit-identical either way.
+    pub matcher_cache_capacity: Option<usize>,
 }
 
 impl ErConfig {
@@ -54,6 +60,7 @@ impl ErConfig {
             use_combiner: true,
             split_policy: SplitPolicy::paper(),
             count_only: false,
+            matcher_cache_capacity: None,
         }
     }
 
@@ -101,12 +108,29 @@ impl ErConfig {
         self
     }
 
+    /// Bounds every strategy reducer's prepared-entity cache to at
+    /// most `capacity` resident entities (LRU eviction); `None`
+    /// restores the unbounded default.
+    ///
+    /// # Panics
+    /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
+    /// needs both sides resident.
+    pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        assert!(
+            capacity.is_none_or(|n| n >= 2),
+            "a bounded cache needs room for a pair"
+        );
+        self.matcher_cache_capacity = capacity;
+        self
+    }
+
     fn comparer(&self) -> PairComparer {
-        if self.count_only {
+        let comparer = if self.count_only {
             PairComparer::count_only(Arc::clone(&self.matcher))
         } else {
             PairComparer::new(Arc::clone(&self.matcher))
-        }
+        };
+        comparer.with_cache_capacity(self.matcher_cache_capacity)
     }
 }
 
@@ -120,6 +144,7 @@ impl std::fmt::Debug for ErConfig {
             .field("use_combiner", &self.use_combiner)
             .field("split_policy", &self.split_policy)
             .field("count_only", &self.count_only)
+            .field("matcher_cache_capacity", &self.matcher_cache_capacity)
             .finish()
     }
 }
@@ -225,22 +250,8 @@ pub fn naive_reference(entities: &[Ent], config: &ErConfig) -> MatchResult {
     use std::collections::BTreeMap;
     let mut blocks: BTreeMap<er_core::blocking::BlockKey, Vec<crate::Keyed>> = BTreeMap::new();
     for e in entities {
-        let mut keys = config.blocking.keys(e);
-        keys.sort();
-        keys.dedup();
-        if keys.is_empty() {
-            continue;
-        }
-        let all: Arc<[er_core::blocking::BlockKey]> = Arc::from(keys.into_boxed_slice());
-        for key in all.iter() {
-            blocks
-                .entry(key.clone())
-                .or_default()
-                .push(crate::Keyed::replica(
-                    key.clone(),
-                    Arc::clone(&all),
-                    Arc::clone(e),
-                ));
+        for keyed in crate::Keyed::derive_all(config.blocking.as_ref(), e) {
+            blocks.entry(keyed.key.clone()).or_default().push(keyed);
         }
     }
     let mut result = MatchResult::new();
@@ -322,6 +333,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outcome.reduce_loads(), vec![7, 7, 6]);
+    }
+
+    #[test]
+    fn bounded_matcher_cache_reproduces_unbounded_results() {
+        // Full matching (not count-only): a tiny capacity thrashes the
+        // per-task caches, which must cost recompute only.
+        for strategy in [
+            StrategyKind::Basic,
+            StrategyKind::BlockSplit,
+            StrategyKind::PairRange,
+        ] {
+            let base = ErConfig::new(strategy)
+                .with_blocking(running_example::blocking())
+                .with_reduce_tasks(3)
+                .with_parallelism(1);
+            let unbounded = run_er(running_example::entity_partitions(), &base).unwrap();
+            let bounded = run_er(
+                running_example::entity_partitions(),
+                &base.clone().with_matcher_cache_capacity(Some(2)),
+            )
+            .unwrap();
+            assert_eq!(
+                unbounded.result.pair_set(),
+                bounded.result.pair_set(),
+                "{strategy}: capacity bound changed the match output"
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod bdm;
 pub mod bdm_job;
 pub mod block_split;
 pub mod compare;
+pub mod distribution;
 pub mod driver;
 pub mod keys;
 pub mod multipass;
@@ -90,6 +91,27 @@ impl Keyed {
             key,
             entity,
         }
+    }
+
+    /// Derives every blocking key of `entity` (sorted, deduplicated)
+    /// and returns one annotated replica per key — the shared first
+    /// step of the Basic mapper, the BDM mapper and the naive
+    /// reference. Returns an empty vector for keyless entities, which
+    /// callers must count (never drop silently).
+    pub fn derive_all(
+        blocking: &dyn er_core::blocking::BlockingFunction,
+        entity: &Ent,
+    ) -> Vec<Keyed> {
+        let mut keys = blocking.keys(entity);
+        keys.sort();
+        keys.dedup();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let all: Arc<[BlockKey]> = Arc::from(keys.into_boxed_slice());
+        all.iter()
+            .map(|key| Keyed::replica(key.clone(), Arc::clone(&all), Arc::clone(entity)))
+            .collect()
     }
 
     /// Annotates one replica of a multi-pass-blocked entity.

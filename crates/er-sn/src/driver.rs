@@ -1,0 +1,633 @@
+//! The end-to-end Sorted Neighborhood workflow.
+//!
+//! Both strategies share the same two-phase shape as the
+//! load-balancing workflow: a preprocessing job measuring a key
+//! distribution ([`crate::sample`]) whose side output — sort-key
+//! annotated entities, identically partitioned — feeds the matching
+//! job ([`crate::jobsn`] or [`crate::repsn`]).
+//!
+//! # Determinism contract
+//!
+//! The match output is a pure function of `(input, SnConfig)`:
+//! byte-identical at every `parallelism`, identical as a pair set at
+//! every `partitions` count and across the two strategies, and equal
+//! to the single-machine sliding-window oracle [`sn_oracle`]. Ties
+//! between equal sort keys resolve by `(input partition, record
+//! order)` — the engine's stable shuffle order — which the oracle
+//! reproduces with a stable sort over the concatenated input.
+
+use std::sync::Arc;
+
+use er_core::sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunction};
+use er_core::{MatchResult, Matcher, MatcherCache};
+use er_loadbalance::compare::PairComparer;
+use er_loadbalance::Ent;
+use mr_engine::engine::default_parallelism;
+use mr_engine::error::MrError;
+use mr_engine::input::Partitions;
+use mr_engine::metrics::JobMetrics;
+
+use crate::jobsn::{assemble_boundary_input, split_window_output, stitch_job, window_job};
+use crate::repsn::repsn_job;
+use crate::sample::{resolve_sort_key, sample_distribution};
+use crate::{PARTITION_ENTITIES, REPLICAS};
+
+/// Which boundary-handling strategy runs the matching job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnStrategy {
+    /// Second MR job stitches boundary candidates (robust to thin and
+    /// empty ranges; costs an extra job).
+    JobSn,
+    /// In-map replication of per-range tails to the successor range
+    /// (single job; requires every *interior* range to hold at least
+    /// `w − 1` entities).
+    RepSn,
+}
+
+impl std::fmt::Display for SnStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnStrategy::JobSn => write!(f, "JobSN"),
+            SnStrategy::RepSn => write!(f, "RepSN"),
+        }
+    }
+}
+
+/// Routing policy for entities without a derivable sort key.
+///
+/// Either way the decision is deterministic and counted under
+/// [`crate::NULL_SORT_KEYS`]; keyless entities are never dropped
+/// silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NullKeyPolicy {
+    /// Route under [`SortKey::empty`]: keyless entities collate at the
+    /// very front of the global order, where the window compares them
+    /// against each other and the lowest-keyed entities (the default —
+    /// no entity is excluded from matching).
+    #[default]
+    SortFirst,
+    /// Exclude keyless entities from SN matching (counted; compose a
+    /// separate pass — e.g. the Cartesian decomposition of
+    /// `er_loadbalance::null_keys` — to cover them).
+    Skip,
+}
+
+/// Configuration of one Sorted Neighborhood run.
+#[derive(Clone)]
+pub struct SnConfig {
+    /// Sort-key derivation (default: full normalized `title`).
+    pub sort_key: Arc<dyn SortKeyFunction>,
+    /// Match rule (default: the paper's edit distance ≥ 0.8 on
+    /// `title`).
+    pub matcher: Arc<Matcher>,
+    /// Boundary-handling strategy.
+    pub strategy: SnStrategy,
+    /// Window size `w ≥ 2`: every pair within `w − 1` sort positions
+    /// is compared.
+    pub window: usize,
+    /// Number of key ranges == reduce tasks of the matching job.
+    pub partitions: usize,
+    /// Fraction of keyed entities sampled into the key histogram the
+    /// range boundaries are computed from, in `(0, 1]`.
+    pub sample_rate: f64,
+    /// Local worker threads.
+    pub parallelism: usize,
+    /// Pre-aggregate sampled key counts per map task.
+    pub use_combiner: bool,
+    /// Routing of entities without a sort key.
+    pub null_key_policy: NullKeyPolicy,
+    /// Capacity bound for the reducers' prepared-entity caches
+    /// (`None` = unbounded; mirrors
+    /// `er_loadbalance::ErConfig::matcher_cache_capacity`).
+    pub matcher_cache_capacity: Option<usize>,
+}
+
+impl SnConfig {
+    /// Defaults: window 4, 4 partitions, exact (rate-1.0) sampling.
+    pub fn new(strategy: SnStrategy) -> Self {
+        Self {
+            sort_key: Arc::new(AttributeSortKey::title()),
+            matcher: Arc::new(Matcher::paper_default()),
+            strategy,
+            window: 4,
+            partitions: 4,
+            sample_rate: 1.0,
+            parallelism: default_parallelism(),
+            use_combiner: true,
+            null_key_policy: NullKeyPolicy::default(),
+            matcher_cache_capacity: None,
+        }
+    }
+
+    /// Overrides the sort-key function.
+    pub fn with_sort_key(mut self, sort_key: Arc<dyn SortKeyFunction>) -> Self {
+        self.sort_key = sort_key;
+        self
+    }
+
+    /// Overrides the matcher.
+    pub fn with_matcher(mut self, matcher: Arc<Matcher>) -> Self {
+        self.matcher = matcher;
+        self
+    }
+
+    /// Overrides the window size.
+    ///
+    /// # Panics
+    /// If `window < 2` — a window of one compares nothing.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 2, "a sliding window must span at least 2 slots");
+        self.window = window;
+        self
+    }
+
+    /// Overrides the number of key ranges.
+    ///
+    /// # Panics
+    /// If `partitions` is zero.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        assert!(partitions > 0, "at least one partition is required");
+        self.partitions = partitions;
+        self
+    }
+
+    /// Overrides the sampling rate.
+    ///
+    /// # Panics
+    /// If `rate` is outside `(0, 1]`.
+    pub fn with_sample_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "sample rate must be in (0, 1], got {rate}"
+        );
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Overrides the null-sort-key policy.
+    pub fn with_null_key_policy(mut self, policy: NullKeyPolicy) -> Self {
+        self.null_key_policy = policy;
+        self
+    }
+
+    /// Bounds the reducers' prepared-entity caches (LRU eviction);
+    /// `None` restores the unbounded default.
+    ///
+    /// # Panics
+    /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
+    /// needs both sides resident.
+    pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        assert!(
+            capacity.is_none_or(|n| n >= 2),
+            "a bounded cache needs room for a pair"
+        );
+        self.matcher_cache_capacity = capacity;
+        self
+    }
+
+    fn comparer(&self) -> PairComparer {
+        PairComparer::new(Arc::clone(&self.matcher))
+            .with_cache_capacity(self.matcher_cache_capacity)
+    }
+}
+
+impl std::fmt::Debug for SnConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnConfig")
+            .field("strategy", &self.strategy)
+            .field("window", &self.window)
+            .field("partitions", &self.partitions)
+            .field("sample_rate", &self.sample_rate)
+            .field("parallelism", &self.parallelism)
+            .field("use_combiner", &self.use_combiner)
+            .field("null_key_policy", &self.null_key_policy)
+            .field("matcher_cache_capacity", &self.matcher_cache_capacity)
+            .finish()
+    }
+}
+
+/// Errors of an SN run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnError {
+    /// The MapReduce engine failed.
+    Mr(MrError),
+    /// RepSN precondition violated: an *interior* key range (strictly
+    /// between the first and last non-empty ranges) holds fewer than
+    /// `window − 1` entities, so window pairs between its neighbours
+    /// would span more than one boundary and replication cannot cover
+    /// them. Re-run with JobSN, a smaller window, or fewer
+    /// partitions.
+    ThinPartition {
+        /// The offending range.
+        partition: usize,
+        /// Entities it holds.
+        entities: u64,
+        /// The configured window.
+        window: usize,
+    },
+}
+
+impl std::fmt::Display for SnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnError::Mr(e) => write!(f, "MapReduce error: {e}"),
+            SnError::ThinPartition {
+                partition,
+                entities,
+                window,
+            } => write!(
+                f,
+                "RepSN requires every interior range to hold at least w-1 = {} entities, \
+                 but range {partition} holds {entities}; use JobSN for this workload",
+                window - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnError {}
+
+impl From<MrError> for SnError {
+    fn from(e: MrError) -> Self {
+        SnError::Mr(e)
+    }
+}
+
+/// Everything a completed SN run produces.
+#[derive(Debug)]
+pub struct SnOutcome {
+    /// The deduplicated match result.
+    pub result: MatchResult,
+    /// The sampled range partitioner the run routed by.
+    pub partitioner: RangePartitioner<SortKey>,
+    /// Metrics of the sort-key distribution job.
+    pub sample_metrics: JobMetrics,
+    /// Metrics of the window/matching job.
+    pub match_metrics: JobMetrics,
+    /// Metrics of JobSN's stitch job (absent for RepSN, and for JobSN
+    /// runs whose boundaries had no candidate pairs).
+    pub stitch_metrics: Option<JobMetrics>,
+}
+
+impl SnOutcome {
+    /// Comparison counts per reduce task of the matching job.
+    pub fn reduce_loads(&self) -> Vec<u64> {
+        self.match_metrics
+            .per_reduce_counter(er_loadbalance::COMPARISONS)
+    }
+
+    /// Total comparisons across the matching and stitch jobs.
+    pub fn total_comparisons(&self) -> u64 {
+        let stitch: u64 = self
+            .stitch_metrics
+            .as_ref()
+            .map(|m| m.counters.get(er_loadbalance::COMPARISONS))
+            .unwrap_or(0);
+        self.match_metrics.counters.get(er_loadbalance::COMPARISONS) + stitch
+    }
+
+    /// Entities per key range (originals only).
+    pub fn partition_sizes(&self) -> Vec<u64> {
+        self.match_metrics.per_reduce_counter(PARTITION_ENTITIES)
+    }
+
+    /// Boundary replicas RepSN shipped (zero for JobSN).
+    pub fn replicas(&self) -> u64 {
+        self.match_metrics.counters.get(REPLICAS)
+    }
+}
+
+/// Runs Sorted Neighborhood blocking over pre-partitioned input (each
+/// inner `Vec` is one input partition == one map task).
+pub fn run_sorted_neighborhood(
+    input: Partitions<(), Ent>,
+    config: &SnConfig,
+) -> Result<SnOutcome, SnError> {
+    assert!(
+        config.window >= 2,
+        "a sliding window must span at least 2 slots"
+    );
+    assert!(config.partitions > 0, "at least one partition is required");
+    let (partitioner, annotated, sample_metrics) = sample_distribution(
+        input,
+        Arc::clone(&config.sort_key),
+        config.null_key_policy,
+        config.sample_rate,
+        config.partitions,
+        config.parallelism,
+        config.use_combiner,
+    )?;
+    let partitioner_arc = Arc::new(partitioner.clone());
+    match config.strategy {
+        SnStrategy::JobSn => {
+            let job = window_job(
+                partitioner_arc,
+                config.comparer(),
+                config.window,
+                config.partitions,
+                config.parallelism,
+            );
+            let out = job.run(annotated)?;
+            let lens = out.metrics.per_reduce_counter(PARTITION_ENTITIES);
+            let match_metrics = out.metrics;
+            let (mut result, candidates) =
+                split_window_output(out.reduce_outputs, config.partitions, lens);
+            let boundary_input = assemble_boundary_input(&candidates, config.window);
+            let stitch_metrics = if boundary_input.is_empty() {
+                None
+            } else {
+                let boundaries = boundary_input.len();
+                let job = stitch_job(
+                    config.comparer(),
+                    config.window,
+                    boundaries,
+                    config.parallelism,
+                );
+                let out = job.run(boundary_input)?;
+                for (pair, score) in out.reduce_outputs.into_iter().flatten() {
+                    result.insert(pair, score);
+                }
+                Some(out.metrics)
+            };
+            Ok(SnOutcome {
+                result,
+                partitioner,
+                sample_metrics,
+                match_metrics,
+                stitch_metrics,
+            })
+        }
+        SnStrategy::RepSn => {
+            // Precondition, checked BEFORE spending the matching
+            // work: replication reaches one range ahead, so no window
+            // pair may span two boundaries. Only *interior* ranges —
+            // strictly between the first and last non-empty ones —
+            // can cause that: a thinner-than-`w − 1` (or empty)
+            // interior range lets its neighbours' entities sit within
+            // one window of each other. The first non-empty range is
+            // exempt (all pairs leaving it cross exactly its own
+            // boundary, and its tail replicates regardless of size),
+            // as is the last. Fill levels are a pure function of the
+            // annotated input and the (deterministic) partitioner, so
+            // this O(n) pass sees exactly what the reducers would
+            // count.
+            let mut lens = vec![0u64; config.partitions];
+            for (key, _) in annotated.iter().flatten() {
+                lens[partitioner.partition_of(key)] += 1;
+            }
+            let first_nonempty = lens.iter().position(|&n| n > 0);
+            let last_nonempty = lens.iter().rposition(|&n| n > 0);
+            if let (Some(first), Some(last)) = (first_nonempty, last_nonempty) {
+                for (partition, &entities) in lens.iter().enumerate().take(last).skip(first + 1) {
+                    if entities < (config.window - 1) as u64 {
+                        return Err(SnError::ThinPartition {
+                            partition,
+                            entities,
+                            window: config.window,
+                        });
+                    }
+                }
+            }
+            let job = repsn_job(
+                partitioner_arc,
+                config.comparer(),
+                config.window,
+                config.partitions,
+                config.parallelism,
+            );
+            let out = job.run(annotated)?;
+            let mut result = MatchResult::new();
+            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
+                result.insert(pair, score);
+            }
+            Ok(SnOutcome {
+                result,
+                partitioner,
+                sample_metrics,
+                match_metrics: out.metrics,
+                stitch_metrics: None,
+            })
+        }
+    }
+}
+
+/// Reference implementation: single-machine sliding window over the
+/// globally sorted input — the ground truth both strategies must
+/// reproduce exactly, at every partition count and parallelism.
+///
+/// Entities are enumerated in `(input partition, record order)` and
+/// stable-sorted by sort key, mirroring the engine's shuffle tie
+/// order; the null-key policy is applied through the same
+/// [`resolve_sort_key`] the mapper uses.
+pub fn sn_oracle(input: &Partitions<(), Ent>, config: &SnConfig) -> MatchResult {
+    let mut keyed: Vec<(SortKey, Ent)> = Vec::new();
+    for partition in input {
+        for ((), entity) in partition {
+            if let Some(key) =
+                resolve_sort_key(config.sort_key.as_ref(), config.null_key_policy, entity)
+                    .routing_key()
+            {
+                keyed.push((key, Arc::clone(entity)));
+            }
+        }
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0)); // stable: ties keep input order
+    let mut result = MatchResult::new();
+    let mut cache = MatcherCache::new(Arc::clone(&config.matcher));
+    for j in 0..keyed.len() {
+        for i in j.saturating_sub(config.window - 1)..j {
+            if let Some(score) = cache.matches(&keyed[i].1, &keyed[j].1) {
+                result.insert(
+                    er_core::result::MatchPair::new(
+                        keyed[i].1.entity_ref(),
+                        keyed[j].1.entity_ref(),
+                    ),
+                    score,
+                );
+            }
+        }
+    }
+    result
+}
+
+/// The number of window comparisons the oracle performs for `n` sorted
+/// entities under window `w` — the count both strategies must hit
+/// exactly (each pair compared once, no replica × replica extras).
+pub fn oracle_comparisons(n: usize, window: usize) -> u64 {
+    (0..n).map(|j| j.min(window - 1) as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::Entity;
+
+    fn ent(id: u64, title: &str) -> ((), Ent) {
+        ((), Arc::new(Entity::new(id, [("title", title)])))
+    }
+
+    fn input(titles: &[&str]) -> Partitions<(), Ent> {
+        vec![titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ent(i as u64, t))
+            .collect()]
+    }
+
+    fn config(strategy: SnStrategy) -> SnConfig {
+        SnConfig::new(strategy)
+            .with_window(3)
+            .with_partitions(2)
+            .with_parallelism(1)
+    }
+
+    #[test]
+    fn both_strategies_match_the_oracle_on_a_small_input() {
+        let titles = [
+            "canon eos 5d mark iii",
+            "canon eos 5d mark iri",
+            "canon eos 7d body",
+            "nikon d800 body only",
+            "nikon d800 body onlx",
+            "sony alpha a7 ii kit",
+        ];
+        for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+            let cfg = config(strategy);
+            let outcome = run_sorted_neighborhood(input(&titles), &cfg).unwrap();
+            let oracle = sn_oracle(&input(&titles), &cfg);
+            assert_eq!(
+                outcome.result.pair_set(),
+                oracle.pair_set(),
+                "{strategy} diverged from the oracle"
+            );
+            assert_eq!(
+                outcome.total_comparisons(),
+                oracle_comparisons(titles.len(), cfg.window),
+                "{strategy} must compare each window pair exactly once"
+            );
+            assert!(!outcome.result.is_empty(), "near-duplicates must match");
+        }
+    }
+
+    #[test]
+    fn repsn_reports_thin_interior_partitions_instead_of_missing_pairs() {
+        // Three 1-entity ranges with w = 4: the interior range holds
+        // fewer than w - 1 = 3 entities, so pairs between its
+        // neighbours would span two boundaries.
+        let cfg = SnConfig::new(SnStrategy::RepSn)
+            .with_window(4)
+            .with_partitions(3)
+            .with_parallelism(1);
+        let err = run_sorted_neighborhood(input(&["aa", "bb", "cc"]), &cfg).unwrap_err();
+        match err {
+            SnError::ThinPartition {
+                partition,
+                entities,
+                window,
+            } => {
+                assert_eq!(window, 4);
+                assert_eq!(partition, 1, "only the interior range is checked");
+                assert!(entities < 3);
+            }
+            other => panic!("expected ThinPartition, got {other:?}"),
+        }
+        // JobSN handles the identical configuration exactly.
+        let cfg = SnConfig {
+            strategy: SnStrategy::JobSn,
+            ..cfg
+        };
+        let outcome = run_sorted_neighborhood(input(&["aa", "bb", "cc"]), &cfg).unwrap();
+        let oracle = sn_oracle(&input(&["aa", "bb", "cc"]), &cfg);
+        assert_eq!(outcome.result.pair_set(), oracle.pair_set());
+        assert_eq!(outcome.total_comparisons(), oracle_comparisons(3, 4));
+    }
+
+    #[test]
+    fn repsn_accepts_thin_outer_ranges() {
+        // Thin FIRST and LAST ranges are safe: every pair leaving
+        // either crosses exactly one boundary, and the first range's
+        // whole content replicates forward regardless of its size.
+        let cfg = SnConfig::new(SnStrategy::RepSn)
+            .with_window(4)
+            .with_partitions(2)
+            .with_parallelism(1);
+        let titles = ["aa", "bb", "cc", "zz"];
+        let outcome = run_sorted_neighborhood(input(&titles), &cfg).unwrap();
+        let oracle = sn_oracle(&input(&titles), &cfg);
+        assert_eq!(outcome.result.pair_set(), oracle.pair_set());
+        assert_eq!(outcome.total_comparisons(), oracle_comparisons(4, 4));
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_a_plain_window() {
+        for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+            let cfg = SnConfig::new(strategy)
+                .with_window(3)
+                .with_partitions(1)
+                .with_parallelism(1);
+            let outcome = run_sorted_neighborhood(input(&["b", "a", "c"]), &cfg).unwrap();
+            assert_eq!(outcome.total_comparisons(), oracle_comparisons(3, 3));
+            assert!(outcome.stitch_metrics.is_none());
+            assert_eq!(outcome.replicas(), 0);
+        }
+    }
+
+    #[test]
+    fn outcome_exposes_loads_sizes_and_sampling() {
+        let cfg = config(SnStrategy::RepSn);
+        let outcome =
+            run_sorted_neighborhood(input(&["aa", "ab", "ac", "ba", "bb", "bc"]), &cfg).unwrap();
+        assert_eq!(outcome.partition_sizes().iter().sum::<u64>(), 6);
+        assert_eq!(outcome.reduce_loads().len(), 2);
+        assert_eq!(outcome.replicas(), 2, "w - 1 tails cross the boundary");
+        assert_eq!(outcome.partitioner.num_partitions(), 2);
+        assert_eq!(outcome.sample_metrics.map_input_records(), 6);
+    }
+
+    #[test]
+    fn oracle_comparisons_counts_the_triangle_head() {
+        assert_eq!(oracle_comparisons(0, 4), 0);
+        assert_eq!(oracle_comparisons(1, 4), 0);
+        assert_eq!(oracle_comparisons(5, 4), 1 + 2 + 3 + 3);
+        assert_eq!(oracle_comparisons(3, 2), 2);
+    }
+
+    #[test]
+    fn config_debug_and_display() {
+        let cfg = config(SnStrategy::JobSn);
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("window: 3"));
+        assert_eq!(SnStrategy::JobSn.to_string(), "JobSN");
+        assert_eq!(SnStrategy::RepSn.to_string(), "RepSN");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn window_below_two_rejected() {
+        let _ = SnConfig::new(SnStrategy::JobSn).with_window(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = SnConfig::new(SnStrategy::JobSn).with_partitions(0);
+    }
+
+    #[test]
+    fn error_display_names_the_remedy() {
+        let e = SnError::ThinPartition {
+            partition: 1,
+            entities: 0,
+            window: 4,
+        };
+        assert!(e.to_string().contains("JobSN"));
+        let wrapped: SnError = MrError::NoMapTasks.into();
+        assert!(wrapped.to_string().contains("MapReduce error"));
+    }
+}

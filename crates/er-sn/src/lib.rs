@@ -1,0 +1,67 @@
+//! # er-sn — Sorted Neighborhood blocking on MapReduce
+//!
+//! The second major ER workload class, alongside the disjoint-block
+//! strategies of er-loadbalance: *Sorted Neighborhood* (Hernández &
+//! Stolfo) derives a **sort key** per entity, totally orders the
+//! dataset by it, and compares every pair within a sliding window of
+//! size `w`. Mapped onto MapReduce following Kolb, Thor & Rahm's
+//! *Parallel Sorted Neighborhood Blocking with MapReduce*:
+//!
+//! 1. **Distribution job** ([`sample`]) — derives and side-writes each
+//!    entity's sort key (the annotated input of the matching job,
+//!    mirroring the BDM job's `Π'ᵢ` pattern) and emits a *sampled*
+//!    key histogram, from which the driver builds an order-preserving
+//!    [`er_core::sortkey::RangePartitioner`].
+//! 2. **Window job** — a composite-key mapper emits
+//!    `(partition, sort key)` so each reduce task owns one contiguous
+//!    key range, streamed by the engine's heap merge as one small
+//!    group per distinct sort key (grouping == sorting — the range is
+//!    never materialized); the reducer carries a `w`-sized ring
+//!    buffer ([`window::WindowBuffer`]) *across* groups, so only
+//!    `w − 1` entities plus the current key run are resident, scoring
+//!    pairs through the prepared-entity path
+//!    (`PairComparer` / `MatcherCache`).
+//! 3. **Boundary handling**, one of two strategies
+//!    ([`SnStrategy`]):
+//!    * [`jobsn`] — **JobSN**: the window job publishes each range's
+//!      first/last `w − 1` entities; a second, tiny MR job compares
+//!      the pairs straddling range boundaries. Exact even for thin and
+//!      empty ranges.
+//!    * [`repsn`] — **RepSN**: the mapper replicates per-range tails
+//!      to the successor range; the reducer primes its window with
+//!      them and never compares replica × replica, keeping the output
+//!      duplicate-free. One job, `(w − 1)·m` replicas per boundary,
+//!      and a fill-level precondition the driver enforces.
+//!
+//! The determinism contract matches the rest of the workspace: the
+//! match output is byte-identical at every parallelism and equal — as
+//! a pair set, with exactly one comparison per window pair — to the
+//! single-machine oracle [`driver::sn_oracle`], at every partition
+//! count and under both strategies.
+
+pub mod driver;
+pub mod jobsn;
+pub mod keys;
+pub mod repsn;
+pub mod sample;
+pub mod window;
+
+pub use driver::{
+    oracle_comparisons, run_sorted_neighborhood, sn_oracle, NullKeyPolicy, SnConfig, SnError,
+    SnOutcome, SnStrategy,
+};
+pub use keys::{BoundaryKey, BoundarySide, SnEntity, SnKey};
+pub use sample::{resolve_sort_key, ResolvedKey};
+pub use window::WindowBuffer;
+
+/// Counter: entities without a derivable sort key (routed by the
+/// [`NullKeyPolicy`], never dropped silently).
+pub const NULL_SORT_KEYS: &str = "er.sn.null_sort_keys";
+
+/// Counter: boundary replicas shipped by RepSN's map phase.
+pub const REPLICAS: &str = "er.sn.replicas";
+
+/// Counter: original (non-replica) entities per key range, recorded by
+/// the matching reducers — the fill levels RepSN's precondition and
+/// the balance stats read.
+pub const PARTITION_ENTITIES: &str = "er.sn.partition_entities";

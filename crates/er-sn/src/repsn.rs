@@ -1,0 +1,354 @@
+//! RepSN: boundary handling via in-map replication.
+//!
+//! Strategy 2 of *Parallel Sorted Neighborhood Blocking with
+//! MapReduce*: each map task — which knows the range partitioning —
+//! additionally sends its last `w − 1` entities *per key range* to the
+//! successor range, tagged as replicas. The reduce task of range `p`
+//! then sees (sorted strictly before its own entities) a superset of
+//! the global last `w − 1` entities of range `p − 1`; it primes the
+//! sliding window with the greatest `w − 1` replicas and slides into
+//! its own entities. Replica × replica pairs are never compared — they
+//! were already compared inside the predecessor range — so matches
+//! stay duplicate-free by construction. One job, no stitching; the
+//! cost is `(w − 1) · m` replicated entities per boundary.
+//!
+//! # Precondition
+//!
+//! Replication reaches exactly one range ahead, so no window pair may
+//! span two range boundaries: every *interior* range (strictly
+//! between the first and last non-empty ones) must hold at least
+//! `w − 1` entities — the outer ranges may be arbitrarily thin. The
+//! driver verifies this *before* launching the matching job — fill
+//! levels are a pure function of the annotated input and the
+//! deterministic partitioner — and reports
+//! [`crate::driver::SnError::ThinPartition`] instead of a silently
+//! incomplete result (use JobSN for workloads whose sampled ranges
+//! can run that thin — degenerate key distributions, tiny inputs).
+
+use std::sync::Arc;
+
+use er_core::result::MatchPair;
+use er_core::sortkey::{RangePartitioner, SortKey};
+use er_core::MatcherCache;
+use er_loadbalance::compare::PairComparer;
+use er_loadbalance::Ent;
+use mr_engine::prelude::*;
+
+use crate::keys::{SnEntity, SnKey};
+use crate::window::WindowBuffer;
+use crate::{PARTITION_ENTITIES, REPLICAS};
+
+/// Map phase: route each entity to its range and replicate per-range
+/// tails to the successor range.
+#[derive(Clone)]
+pub struct RepSnMapper {
+    partitioner: Arc<RangePartitioner<SortKey>>,
+    window: usize,
+    /// Per destination range: this task's last `w − 1` entities, kept
+    /// sorted ascending by `(key, arrival)` — the same tie order the
+    /// shuffle produces, so the replica stream is a faithful slice of
+    /// the global order.
+    tails: Vec<Vec<(SortKey, Ent)>>,
+}
+
+impl RepSnMapper {
+    /// Creates the mapper.
+    pub fn new(partitioner: Arc<RangePartitioner<SortKey>>, window: usize) -> Self {
+        Self {
+            partitioner,
+            window,
+            tails: Vec::new(),
+        }
+    }
+}
+
+impl Mapper for RepSnMapper {
+    type KIn = SortKey;
+    type VIn = Ent;
+    type KOut = SnKey;
+    type VOut = SnEntity;
+    type Side = ();
+
+    fn setup(&mut self, _info: &MapTaskInfo) {
+        self.tails = vec![Vec::new(); self.partitioner.num_partitions()];
+    }
+
+    fn map(&mut self, key: &SortKey, entity: &Ent, ctx: &mut MapContext<SnKey, SnEntity, ()>) {
+        let partition = self.partitioner.partition_of(key);
+        ctx.emit(
+            SnKey {
+                partition: partition as u32,
+                key: key.clone(),
+            },
+            SnEntity::original(Arc::clone(entity)),
+        );
+        if partition + 1 >= self.tails.len() {
+            return; // the last range has no successor
+        }
+        let tail = &mut self.tails[partition];
+        // Insert after the run of equal keys (stable by arrival), cap
+        // at the last w − 1.
+        let pos = tail.partition_point(|(k, _)| k <= key);
+        tail.insert(pos, (key.clone(), Arc::clone(entity)));
+        if tail.len() > self.window - 1 {
+            tail.remove(0);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut MapContext<SnKey, SnEntity, ()>) {
+        for (partition, tail) in self.tails.iter_mut().enumerate() {
+            for (key, entity) in tail.drain(..) {
+                ctx.add_counter(REPLICAS, 1);
+                ctx.emit(
+                    SnKey {
+                        partition: (partition + 1) as u32,
+                        key,
+                    },
+                    SnEntity::replica(entity),
+                );
+            }
+        }
+    }
+}
+
+/// Reduce phase. A reduce task owns one range, streamed as one small
+/// group per distinct sort key (grouping == sorting, so the range is
+/// never materialized): first the replica groups — their keys are
+/// strictly smaller than every original key of this range, so they
+/// arrive first — priming the window ([`WindowBuffer`] in reducer
+/// state; priming keeps only the last `w − 1`, which is exactly the
+/// predecessor range's global tail), then the originals sliding over
+/// it.
+#[derive(Clone)]
+pub struct RepSnReducer {
+    comparer: PairComparer,
+    cache: MatcherCache,
+    buffer: WindowBuffer,
+    /// Original entities streamed so far.
+    originals: u64,
+    /// Guards the replicas-before-originals ordering invariant.
+    saw_original: bool,
+}
+
+impl RepSnReducer {
+    /// Creates the reducer.
+    pub fn new(comparer: PairComparer, window: usize) -> Self {
+        let cache = comparer.new_cache();
+        let buffer = WindowBuffer::new(window);
+        Self {
+            comparer,
+            cache,
+            buffer,
+            originals: 0,
+            saw_original: false,
+        }
+    }
+}
+
+impl Reducer for RepSnReducer {
+    type KIn = SnKey;
+    type VIn = SnEntity;
+    type KOut = MatchPair;
+    type VOut = f64;
+
+    fn setup(&mut self, _info: &ReduceTaskInfo) {
+        self.buffer.clear();
+        self.originals = 0;
+        self.saw_original = false;
+    }
+
+    fn reduce(
+        &mut self,
+        group: Group<'_, SnKey, SnEntity>,
+        ctx: &mut ReduceContext<MatchPair, f64>,
+    ) {
+        for value in group.values() {
+            if value.replica {
+                debug_assert!(
+                    !self.saw_original,
+                    "replicas must sort strictly before originals"
+                );
+                self.buffer
+                    .prime(&self.comparer, &mut self.cache, &value.keyed);
+            } else {
+                self.saw_original = true;
+                self.originals += 1;
+                self.buffer.advance(
+                    &self.comparer,
+                    &mut self.cache,
+                    &value.keyed,
+                    ctx,
+                    |ctx, pair, score| {
+                        ctx.emit(pair, score);
+                    },
+                );
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut ReduceContext<MatchPair, f64>) {
+        ctx.add_counter(PARTITION_ENTITIES, self.originals);
+    }
+}
+
+/// Builds the RepSN job.
+pub fn repsn_job(
+    partitioner: Arc<RangePartitioner<SortKey>>,
+    comparer: PairComparer,
+    window: usize,
+    partitions: usize,
+    parallelism: usize,
+) -> Job<RepSnMapper, RepSnReducer> {
+    Job::builder(
+        "sn-repsn",
+        RepSnMapper::new(partitioner, window),
+        RepSnReducer::new(comparer, window),
+    )
+    .reduce_tasks(partitions)
+    .parallelism(parallelism)
+    .partitioner(SnKey::partitioner())
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Entity, Matcher};
+    use er_loadbalance::COMPARISONS;
+
+    fn annotated(titles: &[&str]) -> Partitions<SortKey, Ent> {
+        vec![titles
+            .iter()
+            .enumerate()
+            .map(|(i, title)| {
+                (
+                    SortKey::new(title),
+                    Arc::new(Entity::new(i as u64, [("title", *title)])),
+                )
+            })
+            .collect()]
+    }
+
+    fn two_range_partitioner() -> Arc<RangePartitioner<SortKey>> {
+        Arc::new(RangePartitioner::from_sample(
+            vec![
+                SortKey::new("a"),
+                SortKey::new("b"),
+                SortKey::new("c"),
+                SortKey::new("d"),
+            ],
+            2,
+        ))
+    }
+
+    #[test]
+    fn mapper_replicates_per_range_tails_to_the_successor() {
+        let job = repsn_job(
+            two_range_partitioner(),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            3,
+            2,
+            1,
+        );
+        let out = job.run(annotated(&["a", "b", "c", "d"])).unwrap();
+        // Ranges: {a, b} and {c, d}; w - 1 = 2 replicas cross.
+        assert_eq!(out.metrics.counters.get(REPLICAS), 2);
+        assert_eq!(out.metrics.map_output_records(), 6, "4 originals + 2");
+        let loads = out.metrics.per_reduce_counter(PARTITION_ENTITIES);
+        assert_eq!(loads, vec![2, 2], "originals per range");
+        // w = 3 over the global order a,b,c,d: pairs (a,b), (a,c),
+        // (b,c), (b,d), (c,d).
+        assert_eq!(out.metrics.counters.get(COMPARISONS), 5);
+    }
+
+    #[test]
+    fn replica_replica_pairs_are_never_compared() {
+        // One map task, w = 4 over 2 ranges: range 0's entities cross
+        // as replicas, but the total comparison count must equal the
+        // single-machine window count — no replica x replica extras,
+        // no misses.
+        let job = repsn_job(
+            two_range_partitioner(),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            4,
+            2,
+            1,
+        );
+        let out = job.run(annotated(&["a", "b", "c", "d", "e"])).unwrap();
+        // Global window pairs for n = 5, w = 4: 3 + 3 + 2 + 1 = 9.
+        assert_eq!(out.metrics.counters.get(COMPARISONS), 9);
+    }
+
+    #[test]
+    fn multi_task_replicas_reconstruct_the_global_tail() {
+        // Two map tasks interleave keys of range 0; the successor
+        // range must see the true global tail regardless.
+        let input: Partitions<SortKey, Ent> = vec![
+            vec![
+                (
+                    SortKey::new("a"),
+                    Arc::new(Entity::new(0, [("title", "a")])),
+                ),
+                (
+                    SortKey::new("c"),
+                    Arc::new(Entity::new(1, [("title", "c")])),
+                ),
+            ],
+            vec![
+                (
+                    SortKey::new("b"),
+                    Arc::new(Entity::new(2, [("title", "b")])),
+                ),
+                (
+                    SortKey::new("d"),
+                    Arc::new(Entity::new(3, [("title", "d")])),
+                ),
+                (
+                    SortKey::new("e"),
+                    Arc::new(Entity::new(4, [("title", "e")])),
+                ),
+            ],
+        ];
+        let job = repsn_job(
+            two_range_partitioner(),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            3,
+            2,
+            1,
+        );
+        let out = job.run(input).unwrap();
+        // Ranges: {a, b} | {c, d, e}. Global window pairs for w = 3:
+        // (a,b),(a,c),(b,c),(b,d),(c,d),(c,e),(d,e) = 7.
+        assert_eq!(out.metrics.counters.get(COMPARISONS), 7);
+        // Each task replicates its own per-range tail (task 0: a;
+        // task 1: b); the reducer primes the window with their union.
+        assert_eq!(out.metrics.counters.get(REPLICAS), 2);
+    }
+
+    #[test]
+    fn identical_output_across_parallelism() {
+        let mk_input = || annotated(&["ab", "aa", "ba", "bb", "ac", "bc"]);
+        let reference = repsn_job(
+            two_range_partitioner(),
+            PairComparer::new(Arc::new(Matcher::paper_default())),
+            3,
+            2,
+            1,
+        )
+        .run(mk_input())
+        .unwrap()
+        .reduce_outputs;
+        for parallelism in [2, 4, 8] {
+            let out = repsn_job(
+                two_range_partitioner(),
+                PairComparer::new(Arc::new(Matcher::paper_default())),
+                3,
+                2,
+                parallelism,
+            )
+            .run(mk_input())
+            .unwrap();
+            assert_eq!(out.reduce_outputs, reference);
+        }
+    }
+}

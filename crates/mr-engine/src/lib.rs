@@ -94,7 +94,7 @@ pub use mapper::{MapContext, MapTaskInfo, Mapper};
 pub use merge::{merge_sorted_runs, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
-pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
 
 /// Convenience glob-import for downstream crates and examples.
 pub mod prelude {
@@ -107,5 +107,5 @@ pub mod prelude {
     pub use crate::mapper::{MapContext, MapTaskInfo, Mapper};
     pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
     pub use crate::partitioner::{FnPartitioner, HashPartitioner, Partitioner};
-    pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+    pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
 }

@@ -36,6 +36,7 @@ pub use cluster_sim;
 pub use er_core;
 pub use er_datagen;
 pub use er_loadbalance;
+pub use er_sn;
 pub use mr_engine;
 
 /// The most common imports for building ER pipelines.
@@ -44,6 +45,7 @@ pub mod prelude {
         AttributeBlocking, BlockKey, BlockingFunction, ConstantBlocking, MultiPassBlocking,
         PrefixBlocking,
     };
+    pub use er_core::sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunction};
     pub use er_core::{
         Entity, EntityId, EntityRef, GoldStandard, MatchPair, MatchResult, MatchRule, Matcher,
         QualityReport, SourceId,
@@ -53,6 +55,9 @@ pub mod prelude {
     pub use er_loadbalance::two_source::run_linkage;
     pub use er_loadbalance::{
         BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats, COMPARISONS,
+    };
+    pub use er_sn::{
+        run_sorted_neighborhood, sn_oracle, NullKeyPolicy, SnConfig, SnError, SnOutcome, SnStrategy,
     };
     pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
 }

@@ -1,0 +1,352 @@
+//! The er-sn acceptance suite: JobSN and RepSN must produce pair sets
+//! exactly equal to the single-machine sliding-window oracle —
+//! including cross-boundary pairs, with no replica × replica
+//! duplicates — on er-datagen corpora, byte-identical across
+//! parallelism ∈ {1, 2, 4, 8}, identical across partition counts and
+//! across the two strategies.
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+use er_datagen::{ds1_spec, generate_products};
+use er_sn::{oracle_comparisons, NULL_SORT_KEYS};
+
+const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+/// A DS1-shaped product corpus at laptop scale, pre-partitioned into
+/// `m` map inputs.
+fn corpus(m: usize) -> Partitions<(), Ent> {
+    let ds = generate_products(&ds1_spec(2012).scaled(0.003));
+    partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        m,
+    )
+}
+
+fn base_config(strategy: SnStrategy) -> SnConfig {
+    SnConfig::new(strategy)
+        .with_window(5)
+        .with_partitions(4)
+        .with_parallelism(1)
+}
+
+fn corpus_entities(input: &Partitions<(), Ent>) -> usize {
+    input.iter().map(Vec::len).sum()
+}
+
+#[test]
+fn both_strategies_equal_the_oracle_on_a_product_corpus() {
+    let input = corpus(3);
+    let n = corpus_entities(&input);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = base_config(strategy);
+        let oracle = sn_oracle(&input, &config);
+        let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+        assert_eq!(
+            outcome.result.pair_set(),
+            oracle.pair_set(),
+            "{strategy} diverged from the sliding-window oracle"
+        );
+        assert!(
+            !outcome.result.is_empty(),
+            "the corpus contains injected near-duplicates"
+        );
+        // Exactly one comparison per window pair: cross-boundary pairs
+        // are covered and nothing (replica x replica, double stitch)
+        // is compared twice.
+        assert_eq!(
+            outcome.total_comparisons(),
+            oracle_comparisons(n, config.window),
+            "{strategy} comparison count"
+        );
+    }
+}
+
+#[test]
+fn output_is_byte_identical_across_parallelism() {
+    let input = corpus(4);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let mut reference: Option<Vec<(er_core::MatchPair, u64)>> = None;
+        for parallelism in PARALLELISM_LEVELS {
+            let config = base_config(strategy).with_parallelism(parallelism);
+            let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+            // Compare scores bit-for-bit, not approximately.
+            let bits: Vec<(er_core::MatchPair, u64)> = outcome
+                .result
+                .iter()
+                .map(|(pair, score)| (pair, score.to_bits()))
+                .collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r, &bits,
+                    "{strategy} changed its output at parallelism {parallelism}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn pair_set_is_invariant_under_the_partition_count() {
+    let input = corpus(3);
+    let n = corpus_entities(&input);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let oracle = sn_oracle(&input, &base_config(strategy));
+        for partitions in [1usize, 2, 4, 8] {
+            let config = base_config(strategy).with_partitions(partitions);
+            let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+            assert_eq!(
+                outcome.result.pair_set(),
+                oracle.pair_set(),
+                "{strategy} with {partitions} partitions"
+            );
+            assert_eq!(outcome.total_comparisons(), oracle_comparisons(n, 5));
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other_and_sampling_does_not_change_the_result() {
+    let input = corpus(2);
+    // A thinned sample moves the range boundaries; the pair set must
+    // not move with them.
+    for sample_rate in [1.0, 0.25] {
+        let jobsn = run_sorted_neighborhood(
+            input.clone(),
+            &base_config(SnStrategy::JobSn).with_sample_rate(sample_rate),
+        )
+        .unwrap();
+        let repsn = run_sorted_neighborhood(
+            input.clone(),
+            &base_config(SnStrategy::RepSn).with_sample_rate(sample_rate),
+        )
+        .unwrap();
+        assert_eq!(
+            jobsn.result.pair_set(),
+            repsn.result.pair_set(),
+            "strategies diverged at sample rate {sample_rate}"
+        );
+    }
+}
+
+#[test]
+fn cross_boundary_duplicates_are_found() {
+    // Two near-duplicate titles that straddle a range boundary by
+    // construction: keys "mmm a" and "mmm b" sort adjacently; with two
+    // ranges and a 50/50 sample split they land in different ranges.
+    let titles = [
+        "aaa product one",
+        "bbb product two",
+        "ccc product three",
+        "mmm same item x",
+        "mmm same item y", // the cross-boundary pair
+        "qqq product four",
+        "rrr product five",
+        "zzz product six",
+    ];
+    let input: Partitions<(), Ent> = vec![titles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ((), Arc::new(Entity::new(i as u64, [("title", *t)]))))
+        .collect()];
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = SnConfig::new(strategy)
+            .with_window(2)
+            .with_partitions(2)
+            .with_parallelism(1);
+        let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+        // The boundary falls between the two "mmm" entities (4 keys on
+        // each side), so this match only exists if boundary handling
+        // works.
+        let sizes = outcome.partition_sizes();
+        assert_eq!(sizes, vec![4, 4], "{strategy}: boundary placement");
+        let pair = er_core::MatchPair::new(
+            Entity::new(3, [("t", "")]).entity_ref(),
+            Entity::new(4, [("t", "")]).entity_ref(),
+        );
+        assert!(
+            outcome.result.contains(&pair),
+            "{strategy} missed the cross-boundary duplicate"
+        );
+        assert_eq!(
+            outcome.result.pair_set(),
+            sn_oracle(&input, &config).pair_set()
+        );
+    }
+}
+
+#[test]
+fn null_sort_keys_are_routed_not_dropped() {
+    // Entities 10 and 11 have no title: under SortFirst they collate
+    // at the front and match each other through the window.
+    let mut records: Vec<((), Ent)> = ["aab thing", "aac thing", "prq other"]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ((), Arc::new(Entity::new(i as u64, [("title", *t)])) as Ent))
+        .collect();
+    records.push(((), Arc::new(Entity::new(10, [("brand", "same brand")]))));
+    records.push(((), Arc::new(Entity::new(11, [("brand", "same brand")]))));
+    let input = vec![records];
+    // Match on brand too, so the keyless pair can actually score.
+    let matcher = Arc::new(Matcher::new(
+        vec![
+            MatchRule::new(
+                "title",
+                Arc::new(er_core::similarity::NormalizedLevenshtein),
+            ),
+            MatchRule::new(
+                "brand",
+                Arc::new(er_core::similarity::NormalizedLevenshtein),
+            ),
+        ],
+        0.45,
+    ));
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = SnConfig::new(strategy)
+            .with_window(2)
+            .with_partitions(2)
+            .with_parallelism(1)
+            .with_matcher(Arc::clone(&matcher));
+        let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+        assert_eq!(
+            outcome.sample_metrics.counters.get(NULL_SORT_KEYS),
+            2,
+            "{strategy}: keyless entities counted"
+        );
+        let keyless_pair = er_core::MatchPair::new(
+            Entity::new(10, [("t", "")]).entity_ref(),
+            Entity::new(11, [("t", "")]).entity_ref(),
+        );
+        assert!(
+            outcome.result.contains(&keyless_pair),
+            "{strategy}: SortFirst must let keyless duplicates meet in the window"
+        );
+        assert_eq!(
+            outcome.result.pair_set(),
+            sn_oracle(&input, &config).pair_set()
+        );
+
+        // Skip policy: keyless entities leave the flow (deterministic,
+        // counted) and the oracle agrees.
+        let skip = config.clone().with_null_key_policy(NullKeyPolicy::Skip);
+        let skipped = run_sorted_neighborhood(input.clone(), &skip).unwrap();
+        assert!(!skipped.result.contains(&keyless_pair));
+        assert_eq!(
+            skipped.result.pair_set(),
+            sn_oracle(&input, &skip).pair_set()
+        );
+    }
+}
+
+#[test]
+fn repsn_refuses_thin_ranges_and_jobsn_covers_them() {
+    // All-duplicate sort keys: every entity shares one key, so with 4
+    // requested ranges three are empty (trailing) — JobSN stays exact
+    // with no stitch work at all.
+    let input: Partitions<(), Ent> = vec![(0..6u64)
+        .map(|i| {
+            (
+                (),
+                Arc::new(Entity::new(i, [("title", "same title")])) as Ent,
+            )
+        })
+        .collect()];
+    let jobsn = SnConfig::new(SnStrategy::JobSn)
+        .with_window(3)
+        .with_partitions(4)
+        .with_parallelism(1);
+    let outcome = run_sorted_neighborhood(input.clone(), &jobsn).unwrap();
+    assert_eq!(
+        outcome.result.pair_set(),
+        sn_oracle(&input, &jobsn).pair_set()
+    );
+    assert_eq!(outcome.total_comparisons(), oracle_comparisons(6, 3));
+
+    // A thin interior range under RepSN errors instead of silently
+    // dropping cross-boundary pairs: 4 distinct keys over 4 ranges
+    // gives 1-entity ranges, below w - 1 = 2.
+    let spread: Partitions<(), Ent> = vec![["aa", "bb", "cc", "dd"]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ((), Arc::new(Entity::new(i as u64, [("title", *t)])) as Ent))
+        .collect()];
+    let repsn = SnConfig::new(SnStrategy::RepSn)
+        .with_window(3)
+        .with_partitions(4)
+        .with_parallelism(1);
+    match run_sorted_neighborhood(spread.clone(), &repsn) {
+        Err(SnError::ThinPartition { entities, .. }) => assert!(entities < 2),
+        other => panic!("expected ThinPartition, got {other:?}"),
+    }
+    // The same workload under JobSN matches the oracle.
+    let jobsn = SnConfig {
+        strategy: SnStrategy::JobSn,
+        ..repsn
+    };
+    let outcome = run_sorted_neighborhood(spread.clone(), &jobsn).unwrap();
+    assert_eq!(
+        outcome.result.pair_set(),
+        sn_oracle(&spread, &jobsn).pair_set()
+    );
+    assert_eq!(outcome.total_comparisons(), oracle_comparisons(4, 3));
+}
+
+#[test]
+fn bounded_matcher_cache_reproduces_unbounded_sn_results() {
+    let input = corpus(2);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let unbounded = run_sorted_neighborhood(input.clone(), &base_config(strategy)).unwrap();
+        let bounded = run_sorted_neighborhood(
+            input.clone(),
+            &base_config(strategy).with_matcher_cache_capacity(Some(2)),
+        )
+        .unwrap();
+        let a: Vec<(er_core::MatchPair, u64)> = unbounded
+            .result
+            .iter()
+            .map(|(p, s)| (p, s.to_bits()))
+            .collect();
+        let b: Vec<(er_core::MatchPair, u64)> = bounded
+            .result
+            .iter()
+            .map(|(p, s)| (p, s.to_bits()))
+            .collect();
+        assert_eq!(a, b, "{strategy}: capacity bound changed the output");
+    }
+}
+
+#[test]
+fn window_job_streams_ranges_instead_of_materializing_them() {
+    // Grouping == sorting for the window jobs: the reduce side
+    // buffers one key run + the w-1 ring, never the whole range. The
+    // engine's resident gauges must stay far below task input.
+    let input = corpus(4);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let outcome = run_sorted_neighborhood(input.clone(), &base_config(strategy)).unwrap();
+        let m = &outcome.match_metrics;
+        assert!(
+            m.peak_resident_fraction() < 0.5,
+            "{strategy}: resident/input = {:.3} — the range is being materialized",
+            m.peak_resident_fraction()
+        );
+    }
+}
+
+#[test]
+fn window_growth_only_adds_pairs() {
+    let input = corpus(2);
+    let mut previous: Option<std::collections::BTreeSet<er_core::MatchPair>> = None;
+    for window in [2usize, 4, 8] {
+        let config = base_config(SnStrategy::JobSn).with_window(window);
+        let outcome = run_sorted_neighborhood(input.clone(), &config).unwrap();
+        let pairs = outcome.result.pair_set();
+        if let Some(prev) = &previous {
+            assert!(
+                prev.is_subset(&pairs),
+                "window {window} lost pairs a smaller window found"
+            );
+        }
+        previous = Some(pairs);
+    }
+}
