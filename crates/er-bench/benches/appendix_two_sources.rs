@@ -1,23 +1,36 @@
-//! Appendix I — matching two sources (Figures 15–17) plus a scaled
-//! two-source linkage run.
+//! Appendix I — matching two sources (Figures 15–17) plus scaled
+//! two-source runs for both workload classes.
 //!
 //! Part 1 replays the appendix's worked example through the real
 //! engine and checks every concrete number. Part 2 links two
-//! generated product catalogs end-to-end with all three strategies
-//! and reports workload balance.
+//! generated product catalogs end-to-end with all three blocking
+//! strategies and reports workload balance. Part 3 runs the same
+//! catalogs through **two-source Sorted Neighborhood** (one
+//! interleaved sort order, cross-source window pairs only) with both
+//! boundary strategies, checked against the cross-source oracle —
+//! SN's candidate set is `O(n·w)` regardless of the blocking-key skew
+//! that drives the strategies of part 2.
+//!
+//! Exports `BENCH_appendix_two_sources.json` (validated in CI by
+//! `validate_bench_json`).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use er_bench::table::TextTable;
-use er_bench::PAPER_SEED;
+use er_bench::{write_bench_json, Json, PAPER_SEED};
 use er_core::SourceId;
 use er_loadbalance::driver::ErConfig;
 use er_loadbalance::two_source::{appendix_example, run_linkage};
 use er_loadbalance::{StrategyKind, COMPARISONS};
+use er_sn::{
+    run_two_source_sn, two_source_oracle_comparisons, two_source_sn_oracle, SnConfig, SnStrategy,
+};
 
-fn example_section() {
+fn example_section(records: &mut Vec<(String, Json)>) {
     println!("-- Figures 15-17: the worked example (12 cross-source pairs, r = 3) --\n");
     let mut table = TextTable::new(&["strategy", "comparisons", "reduce loads", "map KV pairs"]);
+    let mut rows = Vec::new();
     for strategy in [
         StrategyKind::Basic,
         StrategyKind::BlockSplit,
@@ -41,18 +54,28 @@ fn example_section() {
             format!("{loads:?}"),
             outcome.match_metrics.map_output_records().to_string(),
         ]);
+        rows.push(Json::obj([
+            ("strategy", Json::str(strategy.to_string())),
+            ("comparisons", Json::Num(outcome.total_comparisons() as f64)),
+            (
+                "reduce_loads",
+                Json::Arr(loads.iter().map(|&l| Json::Num(l as f64)).collect()),
+            ),
+            (
+                "map_output_records",
+                Json::Num(outcome.match_metrics.map_output_records() as f64),
+            ),
+        ]));
     }
     table.print();
     println!();
+    records.push(("example".into(), Json::Arr(rows)));
 }
 
-fn linkage_section() {
-    println!("-- scaled two-source linkage: two product catalogs, 2% DS1 each --\n");
-    // Two catalogs sharing the prefix space; catalog S gets a
-    // different seed so titles differ, but injected duplicates within
-    // each catalog do not cross sources — cross-source matches come
-    // from codeword collisions being impossible, so expect ~0 matches
-    // but a full workload (the interesting part is the balance).
+/// Two catalogs sharing the prefix space, one per source; catalog S
+/// gets a different seed so titles differ — the interesting part is
+/// the workload, not the (near-empty) cross match set.
+fn catalogs() -> (Vec<Vec<((), er_loadbalance::Ent)>>, Vec<SourceId>) {
     let r_ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED).scaled(0.02));
     let s_ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED + 1).scaled(0.02));
     let mut partitions: Vec<Vec<((), er_loadbalance::Ent)>> = Vec::new();
@@ -79,8 +102,17 @@ fn linkage_section() {
         );
         sources.push(SourceId::S);
     }
+    (partitions, sources)
+}
 
+fn linkage_section(
+    partitions: &[Vec<((), er_loadbalance::Ent)>],
+    sources: &[SourceId],
+    records: &mut Vec<(String, Json)>,
+) {
+    println!("-- scaled two-source linkage: two product catalogs, 2% DS1 each --\n");
     let mut table = TextTable::new(&["strategy", "comparisons", "max/mean load", "matches"]);
+    let mut rows = Vec::new();
     for strategy in [
         StrategyKind::Basic,
         StrategyKind::BlockSplit,
@@ -89,7 +121,9 @@ fn linkage_section() {
         let config = ErConfig::new(strategy)
             .with_reduce_tasks(16)
             .with_parallelism(4);
-        let outcome = run_linkage(partitions.clone(), sources.clone(), &config).unwrap();
+        let start = Instant::now();
+        let outcome = run_linkage(partitions.to_vec(), sources.to_vec(), &config).unwrap();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let imbalance = outcome.match_metrics.reduce_imbalance(COMPARISONS);
         table.row(vec![
             strategy.to_string(),
@@ -97,16 +131,103 @@ fn linkage_section() {
             format!("{imbalance:.2}"),
             outcome.result.len().to_string(),
         ]);
+        rows.push(Json::obj([
+            ("strategy", Json::str(strategy.to_string())),
+            ("comparisons", Json::Num(outcome.total_comparisons() as f64)),
+            ("load_imbalance", Json::Num(imbalance)),
+            ("matches", Json::Num(outcome.result.len() as f64)),
+            ("wall_ms", Json::Num(wall_ms)),
+        ]));
     }
     table.print();
+    records.push(("linkage".into(), Json::Arr(rows)));
+}
+
+fn sn_section(
+    partitions: &[Vec<((), er_loadbalance::Ent)>],
+    sources: &[SourceId],
+    records: &mut Vec<(String, Json)>,
+) {
+    const WINDOW: usize = 4;
+    const RANGES: usize = 8;
+    println!("\n-- two-source Sorted Neighborhood (w = {WINDOW}, {RANGES} ranges) --\n");
+    let mut table = TextTable::new(&[
+        "strategy",
+        "comparisons",
+        "same-src gated",
+        "matches",
+        "wall ms",
+    ]);
+    let mut rows = Vec::new();
+    // The oracle (and its comparison count) is strategy-independent:
+    // compute it once against a base config and check both strategies
+    // against the same set.
+    let input = partitions.to_vec();
+    let base_config = SnConfig::new(SnStrategy::JobSn)
+        .with_window(WINDOW)
+        .with_partitions(RANGES)
+        .with_sample_rate(0.1)
+        .with_parallelism(4);
+    let oracle_pairs = two_source_sn_oracle(&input, &base_config).pair_set();
+    let oracle_comparisons = two_source_oracle_comparisons(&input, &base_config);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = SnConfig {
+            strategy,
+            ..base_config.clone()
+        };
+        let start = Instant::now();
+        let outcome = run_two_source_sn(input.clone(), sources.to_vec(), &config).unwrap();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            outcome.result.pair_set(),
+            oracle_pairs,
+            "{strategy} diverged from the cross-source oracle"
+        );
+        assert_eq!(
+            outcome.total_comparisons(),
+            oracle_comparisons,
+            "{strategy}: each cross-source window pair exactly once"
+        );
+        let gated = outcome
+            .workflow
+            .counters
+            .get(er_loadbalance::compare::SAME_SOURCE_SKIPPED);
+        table.row(vec![
+            strategy.to_string(),
+            outcome.total_comparisons().to_string(),
+            gated.to_string(),
+            outcome.result.len().to_string(),
+            format!("{wall_ms:.0}ms"),
+        ]);
+        rows.push(Json::obj([
+            ("strategy", Json::str(strategy.to_string())),
+            ("comparisons", Json::Num(outcome.total_comparisons() as f64)),
+            ("same_source_gated", Json::Num(gated as f64)),
+            ("matches", Json::Num(outcome.result.len() as f64)),
+            ("wall_ms", Json::Num(wall_ms)),
+        ]));
+    }
+    table.print();
+    records.push(("sorted_neighborhood".into(), Json::Arr(rows)));
 }
 
 fn main() {
     println!("== Appendix I: matching two sources ==\n");
-    example_section();
-    linkage_section();
+    let mut records: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str("appendix_two_sources")),
+        ("cross_source_pairs_example".into(), Json::Num(12.0)),
+    ];
+    example_section(&mut records);
+    let (partitions, sources) = catalogs();
+    let entities: usize = partitions.iter().map(Vec::len).sum();
+    records.push(("entities".into(), Json::Num(entities as f64)));
+    linkage_section(&partitions, &sources, &mut records);
+    sn_section(&partitions, &sources, &mut records);
     println!("\n[NOTE] expected: all strategies agree on 12 comparisons in the example;");
     println!("       BlockSplit loads [4,4,4] (paper Figure 16), PairRange loads [4,4,4]");
     println!("       (Figure 17); in the scaled run the balanced strategies show");
-    println!("       max/mean close to 1.0 while Basic's reflects the dominant block.");
+    println!("       max/mean close to 1.0 while Basic's reflects the dominant block;");
+    println!("       two-source SN evaluates only cross-source window pairs, identical");
+    println!("       between JobSN and RepSN and equal to the interleaved-order oracle.");
+    write_bench_json("appendix_two_sources", &Json::Obj(records)).expect("bench json export");
 }

@@ -4,14 +4,18 @@
 //! ≈ 1.4 M publication records, blocking key = first 3 letters of the
 //! title; DS1's largest block contributes >70 % of all pairs (§VI-B);
 //! DS2's comparison volume is ~2 000× DS1's (§VI-C).
+//!
+//! Exports `BENCH_fig08_datasets.json` (validated in CI by
+//! `validate_bench_json`).
 
 use er_bench::table::{fmt_count, TextTable};
+use er_bench::{write_bench_json, Json};
 use er_core::blocking::PrefixBlocking;
 use er_core::pairs::triangle_pairs;
 use er_datagen::dataset::{block_sizes, BlockStats};
 use er_datagen::{ds1_spec, ds2_spec, generate_products, generate_publications, DatasetSpec};
 
-fn full_scale_row(name: &str, spec: &DatasetSpec) -> (u64, usize, u64, u64, Vec<String>) {
+fn full_scale_row(name: &str, spec: &DatasetSpec) -> (u64, usize, u64, u64, Vec<String>, Json) {
     let sizes = block_sizes(spec);
     let entities: u64 = sizes.iter().map(|&s| s as u64).sum();
     let blocks = sizes.iter().filter(|&&s| s > 0).count();
@@ -27,7 +31,18 @@ fn full_scale_row(name: &str, spec: &DatasetSpec) -> (u64, usize, u64, u64, Vec<
         fmt_count(pairs),
         format!("{:.1}%", 100.0 * largest_pairs as f64 / pairs as f64),
     ];
-    (entities, blocks, pairs, largest, row)
+    let json = Json::obj([
+        ("dataset", Json::str(name)),
+        ("entities", Json::Num(entities as f64)),
+        ("blocks", Json::Num(blocks as f64)),
+        ("largest_block", Json::Num(largest as f64)),
+        ("pairs", Json::Num(pairs as f64)),
+        (
+            "largest_block_pair_share",
+            Json::Num(largest_pairs as f64 / pairs as f64),
+        ),
+    ]);
+    (entities, blocks, pairs, largest, row, json)
 }
 
 fn main() {
@@ -41,9 +56,9 @@ fn main() {
         "pairs",
         "pair share",
     ]);
-    let (_, _, p1, _, row1) =
+    let (_, _, p1, _, row1, json1) =
         full_scale_row("DS1-like (products)", &ds1_spec(er_bench::PAPER_SEED));
-    let (_, _, p2, _, row2) =
+    let (_, _, p2, _, row2, json2) =
         full_scale_row("DS2-like (publications)", &ds2_spec(er_bench::PAPER_SEED));
     table.row(row1);
     table.row(row2);
@@ -58,6 +73,7 @@ fn main() {
     // the same shares with real entities and gold standards.
     println!("\n-- materialized at bench scale (real entities + gold standard) --\n");
     let mut table = TextTable::new(&["dataset", "entities", "blocks", "pair share", "gold pairs"]);
+    let mut materialized = Vec::new();
     for (name, ds) in [
         (
             "DS1-like @10%",
@@ -76,6 +92,16 @@ fn main() {
             format!("{:.1}%", 100.0 * stats.largest_pair_share()),
             fmt_count(ds.gold.len() as u64),
         ]);
+        materialized.push(Json::obj([
+            ("dataset", Json::str(name)),
+            ("entities", Json::Num(stats.n_entities as f64)),
+            ("blocks", Json::Num(stats.n_blocks as f64)),
+            (
+                "largest_block_pair_share",
+                Json::Num(stats.largest_pair_share()),
+            ),
+            ("gold_pairs", Json::Num(ds.gold.len() as f64)),
+        ]));
     }
     table.print();
 
@@ -99,4 +125,12 @@ fn main() {
         },
         ratio
     );
+
+    let json = Json::obj([
+        ("bench", Json::str("fig08_datasets")),
+        ("ds2_ds1_pair_ratio", Json::Num(ratio)),
+        ("full_scale", Json::Arr(vec![json1, json2])),
+        ("materialized", Json::Arr(materialized)),
+    ]);
+    write_bench_json("fig08_datasets", &json).expect("bench json export");
 }

@@ -5,9 +5,15 @@
 //! partition-based sub-splitting; the paper measures an ~80 %
 //! slowdown. PairRange's enumeration is independent of the input
 //! partitioning and stays put.
+//!
+//! Exports `BENCH_fig11_sorted_input.json` (validated in CI by
+//! `validate_bench_json`).
 
 use er_bench::table::{fmt_ms, TextTable};
-use er_bench::{bdm_from_keys, simulate_strategy, sorted_keys, ExperimentCost, PAPER_SEED};
+use er_bench::{
+    bdm_from_keys, simulate_strategy, sorted_keys, write_bench_json, ExperimentCost, Json,
+    PAPER_SEED,
+};
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds1_spec;
 use er_loadbalance::StrategyKind;
@@ -33,6 +39,7 @@ fn main() {
     ]);
     let mut ratio_bs: Vec<f64> = Vec::new();
     let mut ratio_pr: Vec<f64> = Vec::new();
+    let mut rows = Vec::new();
     for r in (20..=160).step_by(20) {
         let bs_u = simulate_strategy(&bdm_unsorted, StrategyKind::BlockSplit, NODES, r, &cost);
         let bs_s = simulate_strategy(&bdm_sorted, StrategyKind::BlockSplit, NODES, r, &cost);
@@ -47,6 +54,13 @@ fn main() {
             fmt_ms(pr_u.total_ms),
             fmt_ms(pr_s.total_ms),
         ]);
+        rows.push(Json::obj([
+            ("reduce_tasks", Json::Num(r as f64)),
+            ("blocksplit_ms", Json::Num(bs_u.total_ms)),
+            ("blocksplit_sorted_ms", Json::Num(bs_s.total_ms)),
+            ("pairrange_ms", Json::Num(pr_u.total_ms)),
+            ("pairrange_sorted_ms", Json::Num(pr_s.total_ms)),
+        ]));
     }
     table.print();
 
@@ -77,4 +91,16 @@ fn main() {
     println!(
         "    dominant block spans {span_u} partitions unsorted vs {span_s} sorted -> fewer sub-blocks to split into"
     );
+
+    let json = Json::obj([
+        ("bench", Json::str("fig11_sorted_input")),
+        ("nodes", Json::Num(NODES as f64)),
+        ("map_tasks", Json::Num(M as f64)),
+        ("blocksplit_sorted_slowdown_avg", Json::Num(bs_avg)),
+        ("pairrange_sorted_slowdown_avg", Json::Num(pr_avg)),
+        ("dominant_block_span_unsorted", Json::Num(span_u as f64)),
+        ("dominant_block_span_sorted", Json::Num(span_s as f64)),
+        ("series", Json::Arr(rows)),
+    ]);
+    write_bench_json("fig11_sorted_input", &json).expect("bench json export");
 }

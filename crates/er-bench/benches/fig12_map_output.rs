@@ -5,9 +5,12 @@
 //! (more blocks cross the `P/r` threshold and split, but each split
 //! block replicates a fixed m×); PairRange grows almost linearly with
 //! r and overtakes BlockSplit for large r.
+//!
+//! Exports `BENCH_fig12_map_output.json` (validated in CI by
+//! `validate_bench_json`).
 
 use er_bench::table::{fmt_count, TextTable};
-use er_bench::{bdm_from_keys, PAPER_SEED};
+use er_bench::{bdm_from_keys, write_bench_json, Json, PAPER_SEED};
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds1_spec;
 use er_loadbalance::analysis::analyze;
@@ -27,6 +30,7 @@ fn main() {
     let mut basic_all = Vec::new();
     let mut bs_all = Vec::new();
     let mut pr_all = Vec::new();
+    let mut rows = Vec::new();
     for r in (20..=160).step_by(20) {
         let basic = analyze(&bdm, StrategyKind::Basic, r, RangePolicy::CeilDiv);
         let bs = analyze(&bdm, StrategyKind::BlockSplit, r, RangePolicy::CeilDiv);
@@ -40,6 +44,12 @@ fn main() {
             fmt_count(bs.map_output_records),
             fmt_count(pr.map_output_records),
         ]);
+        rows.push(Json::obj([
+            ("reduce_tasks", Json::Num(r as f64)),
+            ("basic", Json::Num(basic.map_output_records as f64)),
+            ("blocksplit", Json::Num(bs.map_output_records as f64)),
+            ("pairrange", Json::Num(pr.map_output_records as f64)),
+        ]));
     }
     table.print();
 
@@ -83,4 +93,13 @@ fn main() {
         fmt_count(*pr_all.last().unwrap()),
         fmt_count(*bs_all.last().unwrap())
     );
+
+    let json = Json::obj([
+        ("bench", Json::str("fig12_map_output")),
+        ("map_tasks", Json::Num(M as f64)),
+        ("entities", Json::Num(entities as f64)),
+        ("pairrange_growth", Json::Num(growth as f64)),
+        ("series", Json::Arr(rows)),
+    ]);
+    write_bench_json("fig12_map_output", &json).expect("bench json export");
 }

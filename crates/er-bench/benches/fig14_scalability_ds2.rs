@@ -7,9 +7,14 @@
 //! its map-output overhead is amortized by the huge comparison volume
 //! ("the benefit of optimally balanced reduce tasks outweighs the
 //! additional overhead of handling more key-value pairs").
+//!
+//! Exports `BENCH_fig14_scalability_ds2.json` (validated in CI by
+//! `validate_bench_json`).
 
 use er_bench::table::{fmt_ms, TextTable};
-use er_bench::{bdm_from_keys, simulate_strategy, ExperimentCost, Series, PAPER_SEED};
+use er_bench::{
+    bdm_from_keys, simulate_strategy, write_bench_json, ExperimentCost, Json, Series, PAPER_SEED,
+};
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds2_spec;
 use er_loadbalance::StrategyKind;
@@ -75,4 +80,34 @@ fn main() {
         fmt_ms(pr_100),
         fmt_ms(bs_100)
     );
+
+    let rows: Vec<Json> = NODE_STEPS
+        .iter()
+        .enumerate()
+        .map(|(idx, &n)| {
+            Json::obj([
+                ("nodes", Json::Num(n as f64)),
+                ("map_tasks", Json::Num(2.0 * n as f64)),
+                ("reduce_tasks", Json::Num(10.0 * n as f64)),
+                ("blocksplit_ms", Json::Num(series[0].points[idx].1)),
+                ("pairrange_ms", Json::Num(series[1].points[idx].1)),
+                (
+                    "blocksplit_speedup",
+                    Json::Num(10.0 * series[0].speedup().points[idx].1),
+                ),
+                (
+                    "pairrange_speedup",
+                    Json::Num(10.0 * series[1].speedup().points[idx].1),
+                ),
+            ])
+        })
+        .collect();
+    let json = Json::obj([
+        ("bench", Json::str("fig14_scalability_ds2")),
+        ("entities", Json::Num(keys.len() as f64)),
+        ("blocksplit_speedup_n40", Json::Num(bs_40)),
+        ("pairrange_speedup_n40", Json::Num(pr_40)),
+        ("series", Json::Arr(rows)),
+    ]);
+    write_bench_json("fig14_scalability_ds2", &json).expect("bench json export");
 }

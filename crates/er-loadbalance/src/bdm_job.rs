@@ -93,25 +93,29 @@ pub fn bdm_job(
     builder.build()
 }
 
-/// Runs the BDM job and assembles its products: the matrix, the
-/// annotated input partitions `Π'_i` for Job 2, and the job metrics.
-pub fn compute_bdm(
+/// Products of a completed BDM job: the matrix, the annotated input
+/// partitions `Π'_i` for Job 2, and the job metrics.
+pub type BdmProducts = (
+    BlockDistributionMatrix,
+    Partitions<BlockKey, Keyed>,
+    JobMetrics,
+);
+
+/// Runs the BDM job as a stage of `workflow` and assembles its
+/// [`BdmProducts`]. The side outputs it returns are chained into the
+/// matching job by the workflow layer, which enforces the identical-
+/// partitioning invariant the BDM's partition indices rely on.
+pub fn compute_bdm_in(
+    workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     blocking: Arc<dyn BlockingFunction>,
     reduce_tasks: usize,
     parallelism: usize,
     use_combiner: bool,
-) -> Result<
-    (
-        BlockDistributionMatrix,
-        Partitions<BlockKey, Keyed>,
-        JobMetrics,
-    ),
-    MrError,
-> {
+) -> Result<BdmProducts, MrError> {
     let m = input.len();
     let job = bdm_job(blocking, reduce_tasks, parallelism, use_combiner);
-    let out = job.run(input)?;
+    let out = workflow.chained_stage(&job, input)?;
     let bdm = BlockDistributionMatrix::from_counts(
         m,
         out.reduce_outputs
@@ -120,6 +124,26 @@ pub fn compute_bdm(
             .map(|((key, p), count)| (key, p as usize, count)),
     );
     Ok((bdm, out.side_outputs, out.metrics))
+}
+
+/// Runs the BDM job standalone (outside a larger workflow) and
+/// assembles its [`BdmProducts`].
+pub fn compute_bdm(
+    input: Partitions<(), Ent>,
+    blocking: Arc<dyn BlockingFunction>,
+    reduce_tasks: usize,
+    parallelism: usize,
+    use_combiner: bool,
+) -> Result<BdmProducts, MrError> {
+    let mut workflow = Workflow::new("bdm");
+    compute_bdm_in(
+        &mut workflow,
+        input,
+        blocking,
+        reduce_tasks,
+        parallelism,
+        use_combiner,
+    )
 }
 
 #[cfg(test)]

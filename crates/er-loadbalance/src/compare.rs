@@ -10,6 +10,7 @@
 //! count-only mode preparation is skipped entirely; the similarity
 //! measure never runs.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use er_core::blocking::BlockKey;
@@ -19,9 +20,27 @@ use mr_engine::reducer::ReduceContext;
 
 use crate::{Keyed, COMPARISONS};
 
-/// Counter: pairs skipped by the multi-pass smallest-common-block rule
-/// (never incremented under single-pass blocking).
+/// Counter: pairs skipped by a multi-pass dedup gate — either the
+/// smallest-common-block rule of multi-pass *blocking*, or the
+/// already-compared-pair gate of multi-pass *Sorted Neighborhood*
+/// ([`PairComparer::with_skip_pairs`]). Never incremented under
+/// single-pass configurations.
 pub const MULTIPASS_SKIPPED: &str = "er.multipass.skipped";
+
+/// Counter: pairs skipped because both entities belong to the same
+/// source under a cross-source-only comparer
+/// ([`PairComparer::with_cross_source_only`]); two-source Sorted
+/// Neighborhood interleaves R and S in one total order and must only
+/// evaluate R × S window pairs.
+pub const SAME_SOURCE_SKIPPED: &str = "er.two_source.same_source_skipped";
+
+/// Whether a pair passes this comparer's gates or is skipped (and
+/// under which counter).
+enum Gate {
+    Evaluate,
+    SkipMultipass,
+    SkipSameSource,
+}
 
 /// Evaluates entity pairs inside reduce functions: applies the
 /// multi-pass dedup gate, counts comparisons, and (unless in
@@ -33,6 +52,13 @@ pub struct PairComparer {
     /// Capacity bound for caches created by [`PairComparer::new_cache`]
     /// (`None` = unbounded, the paper-scale batch default).
     cache_capacity: Option<usize>,
+    /// Pairs an earlier pass of a multi-pass workload already
+    /// evaluated; skipped here (first pass wins — the total-order
+    /// analogue of the smallest-common-block rule).
+    skip_pairs: Option<Arc<BTreeSet<MatchPair>>>,
+    /// Evaluate only pairs whose entities come from different sources
+    /// (two-source R × S workloads over one interleaved order).
+    cross_source_only: bool,
 }
 
 impl PairComparer {
@@ -42,6 +68,8 @@ impl PairComparer {
             matcher,
             count_only: false,
             cache_capacity: None,
+            skip_pairs: None,
+            cross_source_only: false,
         }
     }
 
@@ -53,7 +81,53 @@ impl PairComparer {
             matcher,
             count_only: true,
             cache_capacity: None,
+            skip_pairs: None,
+            cross_source_only: false,
         }
+    }
+
+    /// Skips (without counting as comparisons) every pair in `pairs` —
+    /// the pair-level dedup gate of multi-pass Sorted Neighborhood:
+    /// pairs an earlier pass already evaluated are counted under
+    /// [`MULTIPASS_SKIPPED`] instead of being compared again, so each
+    /// unioned window pair is evaluated exactly once globally.
+    pub fn with_skip_pairs(mut self, pairs: Option<Arc<BTreeSet<MatchPair>>>) -> Self {
+        self.skip_pairs = pairs;
+        self
+    }
+
+    /// Restricts evaluation to cross-source pairs: same-source pairs
+    /// are counted under [`SAME_SOURCE_SKIPPED`] and skipped. Used by
+    /// two-source Sorted Neighborhood, whose total order interleaves
+    /// both sources but whose output must contain only R × S pairs.
+    pub fn with_cross_source_only(mut self, cross_source_only: bool) -> Self {
+        self.cross_source_only = cross_source_only;
+        self
+    }
+
+    /// Whether this comparer evaluates only cross-source pairs.
+    pub fn is_cross_source_only(&self) -> bool {
+        self.cross_source_only
+    }
+
+    /// Applies every gate in order: smallest-common-block (multi-pass
+    /// blocking), cross-source-only, already-compared (multi-pass SN).
+    fn gate(&self, a: &Keyed, b: &Keyed, current: &BlockKey) -> Gate {
+        if !a.should_compare_in(b, current) {
+            return Gate::SkipMultipass;
+        }
+        if self.cross_source_only && a.entity.source() == b.entity.source() {
+            return Gate::SkipSameSource;
+        }
+        if let Some(skip) = &self.skip_pairs {
+            if skip.contains(&MatchPair::new(
+                a.entity.entity_ref(),
+                b.entity.entity_ref(),
+            )) {
+                return Gate::SkipMultipass;
+            }
+        }
+        Gate::Evaluate
     }
 
     /// Bounds every cache this comparer hands out (LRU eviction, see
@@ -97,9 +171,16 @@ impl PairComparer {
         current: &BlockKey,
         ctx: &mut ReduceContext<MatchPair, f64>,
     ) {
-        if !a.should_compare_in(b, current) {
-            ctx.add_counter(MULTIPASS_SKIPPED, 1);
-            return;
+        match self.gate(a, b, current) {
+            Gate::SkipMultipass => {
+                ctx.add_counter(MULTIPASS_SKIPPED, 1);
+                return;
+            }
+            Gate::SkipSameSource => {
+                ctx.add_counter(SAME_SOURCE_SKIPPED, 1);
+                return;
+            }
+            Gate::Evaluate => {}
         }
         ctx.add_counter(COMPARISONS, 1);
         if self.count_only {
@@ -180,9 +261,16 @@ impl PairComparer {
         ctx: &mut ReduceContext<KO, VO>,
         mut sink: impl FnMut(&mut ReduceContext<KO, VO>, MatchPair, f64),
     ) {
-        if !a.keyed.should_compare_in(b.keyed, current) {
-            ctx.add_counter(MULTIPASS_SKIPPED, 1);
-            return;
+        match self.gate(a.keyed, b.keyed, current) {
+            Gate::SkipMultipass => {
+                ctx.add_counter(MULTIPASS_SKIPPED, 1);
+                return;
+            }
+            Gate::SkipSameSource => {
+                ctx.add_counter(SAME_SOURCE_SKIPPED, 1);
+                return;
+            }
+            Gate::Evaluate => {}
         }
         ctx.add_counter(COMPARISONS, 1);
         if self.count_only {
@@ -227,6 +315,8 @@ impl std::fmt::Debug for PairComparer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PairComparer")
             .field("count_only", &self.count_only)
+            .field("cross_source_only", &self.cross_source_only)
+            .field("skip_pairs", &self.skip_pairs.as_ref().map(|s| s.len()))
             .finish()
     }
 }
@@ -408,6 +498,66 @@ mod tests {
         comparer.compare_prepared(&pa, &pb, &BlockKey::new("zzz"), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 0);
         assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 1);
+    }
+
+    #[test]
+    fn skip_pairs_gate_suppresses_already_compared_pairs() {
+        let (a, b) = (keyed(1, "abcdefghij"), keyed(2, "abcdefghij"));
+        let seen: BTreeSet<MatchPair> =
+            [MatchPair::new(a.entity.entity_ref(), b.entity.entity_ref())].into();
+        let comparer = PairComparer::new(Arc::new(Matcher::paper_default()))
+            .with_skip_pairs(Some(Arc::new(seen)));
+        let mut c = ctx();
+        comparer.compare(&a, &b, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 0);
+        assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 1);
+        assert!(c.output().is_empty(), "a gated pair is never re-emitted");
+        // A pair outside the set still compares — through both paths.
+        let fresh = keyed(3, "abcdefghij");
+        comparer.compare(&a, &fresh, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        let mut cache = comparer.new_cache();
+        let (pa, pb) = (
+            comparer.prepare_cached(&mut cache, &a),
+            comparer.prepare_cached(&mut cache, &b),
+        );
+        comparer.compare_prepared(&pa, &pb, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 2);
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+    }
+
+    #[test]
+    fn cross_source_gate_skips_same_source_pairs() {
+        use er_core::SourceId;
+        let comparer =
+            PairComparer::new(Arc::new(Matcher::paper_default())).with_cross_source_only(true);
+        assert!(comparer.is_cross_source_only());
+        let r1 = keyed(1, "abcdefghij");
+        let r2 = keyed(2, "abcdefghij");
+        let s1 = Keyed::single(
+            BlockKey::new("blk"),
+            Arc::new(Entity::with_source(
+                SourceId::S,
+                1,
+                [("title", "abcdefghij")],
+            )),
+        );
+        let mut c = ctx();
+        comparer.compare(&r1, &r2, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(SAME_SOURCE_SKIPPED), 1);
+        assert_eq!(c.counters().get(COMPARISONS), 0);
+        assert!(c.output().is_empty());
+        // Cross-source pairs pass both paths.
+        comparer.compare(&r1, &s1, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 1);
+        assert_eq!(c.output().len(), 1);
+        let mut cache = comparer.new_cache();
+        let (pr, ps) = (
+            comparer.prepare_cached(&mut cache, &r2),
+            comparer.prepare_cached(&mut cache, &s1),
+        );
+        comparer.compare_prepared(&pr, &ps, &BlockKey::new("blk"), &mut c);
+        assert_eq!(c.counters().get(COMPARISONS), 2);
     }
 
     #[test]

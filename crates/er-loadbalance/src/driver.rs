@@ -1,4 +1,13 @@
 //! The end-to-end ER workflow (paper Figure 2).
+//!
+//! Both the single-source [`run_er`] and the two-source
+//! [`crate::two_source::run_linkage`] execute through the shared
+//! [`mr_engine::workflow::Workflow`] layer: the BDM job's side outputs
+//! are chained into the matching job with the identical-partitioning
+//! invariant enforced by the layer (a violation is the typed
+//! [`MrError::StageShapeMismatch`], not a debug assertion), and each
+//! outcome carries the rolled-up [`WorkflowMetrics`] alongside the
+//! per-job metrics.
 
 use std::sync::Arc;
 
@@ -8,10 +17,11 @@ use mr_engine::engine::default_parallelism;
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
+use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use crate::basic::basic_job;
 use crate::bdm::BlockDistributionMatrix;
-use crate::bdm_job::compute_bdm;
+use crate::bdm_job::compute_bdm_in;
 use crate::block_split::{block_split_job_with_policy, SplitPolicy};
 use crate::compare::PairComparer;
 use crate::pair_range::{pair_range_job, RangePolicy};
@@ -160,6 +170,9 @@ pub struct ErOutcome {
     pub bdm_metrics: Option<JobMetrics>,
     /// Metrics of the matching job.
     pub match_metrics: JobMetrics,
+    /// Rolled-up metrics of the whole run: per-stage walls, end-to-end
+    /// wall, merged counters, peak-memory gauges.
+    pub workflow: WorkflowMetrics,
 }
 
 impl ErOutcome {
@@ -183,6 +196,7 @@ impl ErOutcome {
 /// [`crate::null_keys::deduplicate_with_null_keys`] to include them
 /// via the paper's Cartesian decomposition.
 pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome, MrError> {
+    let mut workflow = Workflow::new(format!("er-{}", config.strategy));
     match config.strategy {
         StrategyKind::Basic => {
             let job = basic_job(
@@ -191,7 +205,7 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                 config.reduce_tasks,
                 config.parallelism,
             );
-            let out = job.run(input)?;
+            let out = workflow.chained_stage(&job, input)?;
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
@@ -201,10 +215,12 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                 bdm: None,
                 bdm_metrics: None,
                 match_metrics: out.metrics,
+                workflow: workflow.finish(),
             })
         }
         StrategyKind::BlockSplit | StrategyKind::PairRange => {
-            let (bdm, annotated, bdm_metrics) = compute_bdm(
+            let (bdm, annotated, bdm_metrics) = compute_bdm_in(
+                &mut workflow,
                 input,
                 Arc::clone(&config.blocking),
                 config.reduce_tasks,
@@ -212,23 +228,30 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                 config.use_combiner,
             )?;
             let bdm = Arc::new(bdm);
+            // The BDM's side outputs are chained into the matching job
+            // by the workflow layer, which enforces the identical-
+            // partitioning invariant Algorithms 1–3 require.
             let out = match config.strategy {
-                StrategyKind::BlockSplit => block_split_job_with_policy(
-                    Arc::clone(&bdm),
-                    config.comparer(),
-                    config.split_policy,
-                    config.reduce_tasks,
-                    config.parallelism,
-                )
-                .run(annotated)?,
-                _ => pair_range_job(
-                    Arc::clone(&bdm),
-                    config.comparer(),
-                    config.range_policy,
-                    config.reduce_tasks,
-                    config.parallelism,
-                )
-                .run(annotated)?,
+                StrategyKind::BlockSplit => workflow.chained_stage(
+                    &block_split_job_with_policy(
+                        Arc::clone(&bdm),
+                        config.comparer(),
+                        config.split_policy,
+                        config.reduce_tasks,
+                        config.parallelism,
+                    ),
+                    annotated,
+                )?,
+                _ => workflow.chained_stage(
+                    &pair_range_job(
+                        Arc::clone(&bdm),
+                        config.comparer(),
+                        config.range_policy,
+                        config.reduce_tasks,
+                        config.parallelism,
+                    ),
+                    annotated,
+                )?,
             };
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
@@ -239,6 +262,7 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                 bdm: Some(bdm),
                 bdm_metrics: Some(bdm_metrics),
                 match_metrics: out.metrics,
+                workflow: workflow.finish(),
             })
         }
     }

@@ -26,8 +26,10 @@ use er_core::{MatchResult, SourceId};
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 
+use mr_engine::workflow::Workflow;
+
 use crate::bdm::BlockDistributionMatrix;
-use crate::bdm_job::compute_bdm;
+use crate::bdm_job::compute_bdm_in;
 use crate::driver::{ErConfig, ErOutcome};
 use crate::{Ent, StrategyKind};
 
@@ -180,6 +182,7 @@ pub fn run_linkage(
     } else {
         crate::compare::PairComparer::new(Arc::clone(&config.matcher))
     };
+    let mut workflow = Workflow::new(format!("linkage-{}", config.strategy));
     if config.strategy == StrategyKind::Basic {
         let job = basic::basic_two_source_job(
             Arc::clone(&config.blocking),
@@ -188,7 +191,7 @@ pub fn run_linkage(
             config.reduce_tasks,
             config.parallelism,
         );
-        let out = job.run(input)?;
+        let out = workflow.chained_stage(&job, input)?;
         let mut result = MatchResult::new();
         for (pair, score) in out.reduce_outputs.into_iter().flatten() {
             result.insert(pair, score);
@@ -198,9 +201,11 @@ pub fn run_linkage(
             bdm: None,
             bdm_metrics: None,
             match_metrics: out.metrics,
+            workflow: workflow.finish(),
         });
     }
-    let (bdm, annotated, bdm_metrics) = compute_bdm(
+    let (bdm, annotated, bdm_metrics) = compute_bdm_in(
+        &mut workflow,
         input,
         Arc::clone(&config.blocking),
         config.reduce_tasks,
@@ -210,21 +215,25 @@ pub fn run_linkage(
     let bdm = Arc::new(bdm);
     let ts = Arc::new(TwoSourceBdm::new(Arc::clone(&bdm), sources));
     let out = match config.strategy {
-        StrategyKind::BlockSplit => block_split::block_split_two_source_job(
-            ts,
-            comparer,
-            config.reduce_tasks,
-            config.parallelism,
-        )
-        .run(annotated)?,
-        StrategyKind::PairRange => pair_range::pair_range_two_source_job(
-            ts,
-            comparer,
-            config.range_policy,
-            config.reduce_tasks,
-            config.parallelism,
-        )
-        .run(annotated)?,
+        StrategyKind::BlockSplit => workflow.chained_stage(
+            &block_split::block_split_two_source_job(
+                ts,
+                comparer,
+                config.reduce_tasks,
+                config.parallelism,
+            ),
+            annotated,
+        )?,
+        StrategyKind::PairRange => workflow.chained_stage(
+            &pair_range::pair_range_two_source_job(
+                ts,
+                comparer,
+                config.range_policy,
+                config.reduce_tasks,
+                config.parallelism,
+            ),
+            annotated,
+        )?,
         StrategyKind::Basic => unreachable!("handled above"),
     };
     let mut result = MatchResult::new();
@@ -236,6 +245,7 @@ pub fn run_linkage(
         bdm: Some(bdm),
         bdm_metrics: Some(bdm_metrics),
         match_metrics: out.metrics,
+        workflow: workflow.finish(),
     })
 }
 

@@ -26,10 +26,11 @@ use mr_engine::engine::default_parallelism;
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
+use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use crate::jobsn::{assemble_boundary_input, split_window_output, stitch_job, window_job};
 use crate::repsn::repsn_job;
-use crate::sample::{resolve_sort_key, sample_distribution};
+use crate::sample::{resolve_sort_key, sample_distribution_in};
 use crate::{PARTITION_ENTITIES, REPLICAS};
 
 /// Which boundary-handling strategy runs the matching job.
@@ -191,7 +192,7 @@ impl SnConfig {
         self
     }
 
-    fn comparer(&self) -> PairComparer {
+    pub(crate) fn comparer(&self) -> PairComparer {
         PairComparer::new(Arc::clone(&self.matcher))
             .with_cache_capacity(self.matcher_cache_capacity)
     }
@@ -273,6 +274,9 @@ pub struct SnOutcome {
     /// Metrics of JobSN's stitch job (absent for RepSN, and for JobSN
     /// runs whose boundaries had no candidate pairs).
     pub stitch_metrics: Option<JobMetrics>,
+    /// Rolled-up metrics of the whole run: per-stage walls, end-to-end
+    /// wall, merged counters, peak-memory gauges.
+    pub workflow: WorkflowMetrics,
 }
 
 impl SnOutcome {
@@ -309,12 +313,46 @@ pub fn run_sorted_neighborhood(
     input: Partitions<(), Ent>,
     config: &SnConfig,
 ) -> Result<SnOutcome, SnError> {
+    let mut workflow = Workflow::new(format!("sn-{}", config.strategy));
+    let stages = run_sn_stages(&mut workflow, input, config, config.comparer())?;
+    Ok(SnOutcome {
+        result: stages.result,
+        partitioner: stages.partitioner,
+        sample_metrics: stages.sample_metrics,
+        match_metrics: stages.match_metrics,
+        stitch_metrics: stages.stitch_metrics,
+        workflow: workflow.finish(),
+    })
+}
+
+/// Products of one SN pass executed inside a larger workflow — what
+/// [`run_sn_stages`] returns to [`run_sorted_neighborhood`] and to the
+/// multi-pass / two-source drivers.
+pub(crate) struct SnStages {
+    pub result: MatchResult,
+    pub partitioner: RangePartitioner<SortKey>,
+    pub sample_metrics: JobMetrics,
+    pub match_metrics: JobMetrics,
+    pub stitch_metrics: Option<JobMetrics>,
+}
+
+/// Executes one full SN pass (distribution job → window job → optional
+/// stitch job) as stages of `workflow`, evaluating pairs through the
+/// given `comparer` — the hook by which multi-pass SN installs its
+/// pair-level dedup gate and two-source SN its cross-source-only gate.
+pub(crate) fn run_sn_stages(
+    workflow: &mut Workflow,
+    input: Partitions<(), Ent>,
+    config: &SnConfig,
+    comparer: PairComparer,
+) -> Result<SnStages, SnError> {
     assert!(
         config.window >= 2,
         "a sliding window must span at least 2 slots"
     );
     assert!(config.partitions > 0, "at least one partition is required");
-    let (partitioner, annotated, sample_metrics) = sample_distribution(
+    let (partitioner, annotated, sample_metrics) = sample_distribution_in(
+        workflow,
         input,
         Arc::clone(&config.sort_key),
         config.null_key_policy,
@@ -328,12 +366,12 @@ pub fn run_sorted_neighborhood(
         SnStrategy::JobSn => {
             let job = window_job(
                 partitioner_arc,
-                config.comparer(),
+                comparer.clone(),
                 config.window,
                 config.partitions,
                 config.parallelism,
             );
-            let out = job.run(annotated)?;
+            let out = workflow.chained_stage(&job, annotated)?;
             let lens = out.metrics.per_reduce_counter(PARTITION_ENTITIES);
             let match_metrics = out.metrics;
             let (mut result, candidates) =
@@ -342,20 +380,18 @@ pub fn run_sorted_neighborhood(
             let stitch_metrics = if boundary_input.is_empty() {
                 None
             } else {
+                // The stitch input is deliberately re-partitioned (one
+                // partition per boundary), so it runs outside the
+                // chained-shape invariant.
                 let boundaries = boundary_input.len();
-                let job = stitch_job(
-                    config.comparer(),
-                    config.window,
-                    boundaries,
-                    config.parallelism,
-                );
-                let out = job.run(boundary_input)?;
+                let job = stitch_job(comparer, config.window, boundaries, config.parallelism);
+                let out = workflow.repartitioned_stage(&job, boundary_input)?;
                 for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                     result.insert(pair, score);
                 }
                 Some(out.metrics)
             };
-            Ok(SnOutcome {
+            Ok(SnStages {
                 result,
                 partitioner,
                 sample_metrics,
@@ -396,17 +432,17 @@ pub fn run_sorted_neighborhood(
             }
             let job = repsn_job(
                 partitioner_arc,
-                config.comparer(),
+                comparer,
                 config.window,
                 config.partitions,
                 config.parallelism,
             );
-            let out = job.run(annotated)?;
+            let out = workflow.chained_stage(&job, annotated)?;
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
             }
-            Ok(SnOutcome {
+            Ok(SnStages {
                 result,
                 partitioner,
                 sample_metrics,

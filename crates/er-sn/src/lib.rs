@@ -33,6 +33,16 @@
 //!      duplicate-free. One job, `(w − 1)·m` replicas per boundary,
 //!      and a fill-level precondition the driver enforces.
 //!
+//! All drivers execute their stages through the shared
+//! [`mr_engine::workflow::Workflow`] layer (identical-partitioning
+//! invariant enforced, per-stage metrics rolled into a
+//! `WorkflowMetrics`), and two scenario variants compose the same
+//! stages: [`multipass`] — several sort keys (e.g. title and reversed
+//! title), union of window pair sets, each pair compared exactly once
+//! globally via a first-pass-wins dedup gate — and [`two_source`] —
+//! R × S linkage over one interleaved order, evaluating cross-source
+//! window pairs only.
+//!
 //! The determinism contract matches the rest of the workspace: the
 //! match output is byte-identical at every parallelism and equal — as
 //! a pair set, with exactly one comparison per window pair — to the
@@ -42,8 +52,10 @@
 pub mod driver;
 pub mod jobsn;
 pub mod keys;
+pub mod multipass;
 pub mod repsn;
 pub mod sample;
+pub mod two_source;
 pub mod window;
 
 pub use driver::{
@@ -51,7 +63,14 @@ pub use driver::{
     SnOutcome, SnStrategy,
 };
 pub use keys::{BoundaryKey, BoundarySide, SnEntity, SnKey};
+pub use multipass::{
+    multipass_oracle_comparisons, multipass_sn_oracle, run_multipass_sn, window_pair_set,
+    MultiPassSnOutcome, SnPassReport,
+};
 pub use sample::{resolve_sort_key, ResolvedKey};
+pub use two_source::{
+    run_two_source_sn, two_source_input, two_source_oracle_comparisons, two_source_sn_oracle,
+};
 pub use window::WindowBuffer;
 
 /// Counter: entities without a derivable sort key (routed by the

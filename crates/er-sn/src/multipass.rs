@@ -1,0 +1,334 @@
+//! Multi-pass Sorted Neighborhood: several sort keys, one union of
+//! window pair sets, each pair compared exactly once globally.
+//!
+//! A single sort key collates records by prefix: near-duplicates
+//! differing early in the key (first-word typo, reordered tokens)
+//! sort far apart and never meet in a window — the classic SN recall
+//! ceiling. The standard remedy (*Data Partitioning for Parallel
+//! Entity Matching*) is multi-pass SN: run the window workflow once
+//! per sort key (e.g. title and reversed title) and union the pair
+//! sets.
+//!
+//! The naive union would compare a pair once per pass whose windows
+//! contain it. Mirroring multi-pass *blocking*'s smallest-common-block
+//! rule ([`er_loadbalance::multipass`]), a pair is evaluated only in
+//! the **first** pass whose window covers it: before pass `i` runs,
+//! the driver derives the window pair sets of passes `0..i` from the
+//! annotated sort orders (a pure function of the input — the same
+//! enumeration [`crate::sn_oracle`] uses) and installs them as a
+//! pair-level dedup gate
+//! ([`er_loadbalance::compare::PairComparer::with_skip_pairs`]) on the
+//! pass's comparer; gated pairs are counted under
+//! [`er_loadbalance::compare::MULTIPASS_SKIPPED`], never re-scored.
+//! Every pass runs as chained stages of **one** [`Workflow`], so the
+//! whole multi-pass run reports a single rolled-up
+//! [`WorkflowMetrics`].
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use er_core::result::MatchPair;
+use er_core::sortkey::SortKeyFunction;
+use er_core::MatchResult;
+use er_loadbalance::compare::MULTIPASS_SKIPPED;
+use er_loadbalance::{Ent, COMPARISONS};
+use mr_engine::input::Partitions;
+use mr_engine::metrics::JobMetrics;
+use mr_engine::workflow::{Workflow, WorkflowMetrics};
+
+use crate::driver::{run_sn_stages, sn_oracle};
+use crate::sample::resolve_sort_key;
+use crate::{NullKeyPolicy, SnConfig, SnError};
+
+/// Everything a completed multi-pass SN run produces.
+#[derive(Debug)]
+pub struct MultiPassSnOutcome {
+    /// The union of all passes' match results (deduplicated).
+    pub result: MatchResult,
+    /// Per-pass reports, in pass order.
+    pub passes: Vec<SnPassReport>,
+    /// Rolled-up metrics of the whole run — every pass's stages under
+    /// one workflow.
+    pub workflow: WorkflowMetrics,
+}
+
+impl MultiPassSnOutcome {
+    /// Total pair evaluations across all passes — equals the size of
+    /// the union of per-pass window pair sets (each unioned pair is
+    /// compared exactly once globally).
+    pub fn total_comparisons(&self) -> u64 {
+        self.passes.iter().map(|p| p.comparisons).sum()
+    }
+
+    /// Total pairs the dedup gate suppressed (already compared by an
+    /// earlier pass).
+    pub fn total_skipped(&self) -> u64 {
+        self.passes.iter().map(|p| p.skipped).sum()
+    }
+}
+
+/// What one pass of a multi-pass run contributed.
+#[derive(Debug)]
+pub struct SnPassReport {
+    /// Pairs this pass evaluated (its window pairs minus those an
+    /// earlier pass already covered).
+    pub comparisons: u64,
+    /// Pairs the dedup gate suppressed in this pass.
+    pub skipped: u64,
+    /// Matches this pass added to the union.
+    pub new_matches: u64,
+    /// Metrics of the pass's distribution job.
+    pub sample_metrics: JobMetrics,
+    /// Metrics of the pass's window/matching job.
+    pub match_metrics: JobMetrics,
+    /// Metrics of the pass's stitch job (JobSN only, when boundaries
+    /// had candidates).
+    pub stitch_metrics: Option<JobMetrics>,
+}
+
+/// Runs multi-pass Sorted Neighborhood: one window workflow per sort
+/// key in `passes`, unioned with the first-pass-wins dedup gate.
+/// `config.sort_key` is ignored — each pass routes by its own key
+/// function; everything else (strategy, window, partitions, matcher,
+/// null-key policy) applies to every pass.
+///
+/// # Panics
+/// If `passes` is empty.
+pub fn run_multipass_sn(
+    input: Partitions<(), Ent>,
+    config: &SnConfig,
+    passes: &[Arc<dyn SortKeyFunction>],
+) -> Result<MultiPassSnOutcome, SnError> {
+    assert!(!passes.is_empty(), "multi-pass SN needs at least one pass");
+    let mut workflow = Workflow::new(format!("sn-multipass-{}", config.strategy));
+    let mut seen: BTreeSet<MatchPair> = BTreeSet::new();
+    let mut result = MatchResult::new();
+    let mut reports = Vec::with_capacity(passes.len());
+    for sort_key in passes {
+        let pass_config = config.clone().with_sort_key(Arc::clone(sort_key));
+        let comparer = pass_config
+            .comparer()
+            .with_skip_pairs((!seen.is_empty()).then(|| Arc::new(seen.clone())));
+        let stages = run_sn_stages(&mut workflow, input.clone(), &pass_config, comparer)?;
+        let stitch_counter = |name: &str| {
+            stages
+                .stitch_metrics
+                .as_ref()
+                .map(|m| m.counters.get(name))
+                .unwrap_or(0)
+        };
+        let comparisons =
+            stages.match_metrics.counters.get(COMPARISONS) + stitch_counter(COMPARISONS);
+        let skipped = stages.match_metrics.counters.get(MULTIPASS_SKIPPED)
+            + stitch_counter(MULTIPASS_SKIPPED);
+        let before = result.len();
+        result.union(&stages.result);
+        reports.push(SnPassReport {
+            comparisons,
+            skipped,
+            new_matches: (result.len() - before) as u64,
+            sample_metrics: stages.sample_metrics,
+            match_metrics: stages.match_metrics,
+            stitch_metrics: stages.stitch_metrics,
+        });
+        seen.extend(window_pair_set(
+            &input,
+            sort_key.as_ref(),
+            config.null_key_policy,
+            config.window,
+        ));
+    }
+    Ok(MultiPassSnOutcome {
+        result,
+        passes: reports,
+        workflow: workflow.finish(),
+    })
+}
+
+/// The window pair set of one pass: every unordered pair within
+/// `window − 1` positions of the pass's global sort order (stable
+/// ties in `(input partition, record order)` — the same enumeration
+/// the MR jobs and [`sn_oracle`] realize). This is what the dedup
+/// gate of later passes is built from; it involves no similarity
+/// evaluation.
+pub fn window_pair_set(
+    input: &Partitions<(), Ent>,
+    sort_key: &dyn SortKeyFunction,
+    policy: NullKeyPolicy,
+    window: usize,
+) -> BTreeSet<MatchPair> {
+    let mut keyed: Vec<(er_core::sortkey::SortKey, &Ent)> = Vec::new();
+    for partition in input {
+        for ((), entity) in partition {
+            if let Some(key) = resolve_sort_key(sort_key, policy, entity).routing_key() {
+                keyed.push((key, entity));
+            }
+        }
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0)); // stable: ties keep input order
+    let mut pairs = BTreeSet::new();
+    for j in 0..keyed.len() {
+        for i in j.saturating_sub(window - 1)..j {
+            pairs.insert(MatchPair::new(
+                keyed[i].1.entity_ref(),
+                keyed[j].1.entity_ref(),
+            ));
+        }
+    }
+    pairs
+}
+
+/// Reference implementation: the union of the single-machine sliding
+/// window oracle over every pass — the ground truth
+/// [`run_multipass_sn`] must reproduce exactly.
+pub fn multipass_sn_oracle(
+    input: &Partitions<(), Ent>,
+    config: &SnConfig,
+    passes: &[Arc<dyn SortKeyFunction>],
+) -> MatchResult {
+    let mut result = MatchResult::new();
+    for sort_key in passes {
+        result.union(&sn_oracle(
+            input,
+            &config.clone().with_sort_key(Arc::clone(sort_key)),
+        ));
+    }
+    result
+}
+
+/// The number of comparisons a multi-pass run must perform: the size
+/// of the union of the per-pass window pair sets.
+pub fn multipass_oracle_comparisons(
+    input: &Partitions<(), Ent>,
+    config: &SnConfig,
+    passes: &[Arc<dyn SortKeyFunction>],
+) -> u64 {
+    let mut union = BTreeSet::new();
+    for sort_key in passes {
+        union.extend(window_pair_set(
+            input,
+            sort_key.as_ref(),
+            config.null_key_policy,
+            config.window,
+        ));
+    }
+    union.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnStrategy;
+    use er_core::sortkey::{AttributeSortKey, ReversedSortKey};
+    use er_core::Entity;
+
+    fn ent(id: u64, title: &str) -> ((), Ent) {
+        ((), Arc::new(Entity::new(id, [("title", title)])))
+    }
+
+    fn passes() -> Vec<Arc<dyn SortKeyFunction>> {
+        vec![
+            Arc::new(AttributeSortKey::title()),
+            Arc::new(ReversedSortKey::title()),
+        ]
+    }
+
+    #[test]
+    fn second_pass_recovers_a_prefix_divergent_duplicate() {
+        // "xq..." and "zp..." share a long suffix: adjacent under the
+        // reversed key, far apart under the forward key (w = 2 and the
+        // interleaving non-duplicates keep them out of one window).
+        let input = vec![vec![
+            ent(0, "xq rocket skates xl"),
+            ent(1, "zp rocket skates xl"),
+            ent(2, "yy unrelated item aa"),
+            ent(3, "ya other product bb"),
+        ]];
+        let config = SnConfig::new(SnStrategy::JobSn)
+            .with_window(2)
+            .with_partitions(2)
+            .with_parallelism(1);
+        let single = crate::run_sorted_neighborhood(
+            input.clone(),
+            &config
+                .clone()
+                .with_sort_key(Arc::new(AttributeSortKey::title())),
+        )
+        .unwrap();
+        let pair = MatchPair::new(
+            Entity::new(0, [("t", "")]).entity_ref(),
+            Entity::new(1, [("t", "")]).entity_ref(),
+        );
+        assert!(
+            !single.result.contains(&pair),
+            "the forward pass alone must miss the suffix duplicate"
+        );
+        let multi = run_multipass_sn(input.clone(), &config, &passes()).unwrap();
+        assert!(
+            multi.result.contains(&pair),
+            "the reversed pass must recover it"
+        );
+        assert_eq!(
+            multi.result.pair_set(),
+            multipass_sn_oracle(&input, &config, &passes()).pair_set()
+        );
+    }
+
+    #[test]
+    fn every_unioned_window_pair_is_compared_exactly_once() {
+        let input = vec![vec![
+            ent(0, "aa same thing"),
+            ent(1, "ab same thing"),
+            ent(2, "ba other thing"),
+            ent(3, "bb other thing"),
+            ent(4, "ca third thing"),
+        ]];
+        for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+            let config = SnConfig::new(strategy)
+                .with_window(3)
+                .with_partitions(2)
+                .with_parallelism(1);
+            let outcome = run_multipass_sn(input.clone(), &config, &passes()).unwrap();
+            assert_eq!(
+                outcome.total_comparisons(),
+                multipass_oracle_comparisons(&input, &config, &passes()),
+                "{strategy}: union size"
+            );
+            // Overlapping window pairs exist (both passes cover the
+            // adjacent same-suffix runs) and must be gated, not
+            // re-evaluated.
+            assert!(outcome.total_skipped() > 0, "{strategy}: gate engaged");
+            assert_eq!(outcome.passes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn one_pass_degenerates_to_plain_sorted_neighborhood() {
+        let input = vec![vec![
+            ent(0, "canon eos 5d mark iii"),
+            ent(1, "canon eos 5d mark iri"),
+            ent(2, "nikon d800 body only"),
+        ]];
+        let config = SnConfig::new(SnStrategy::RepSn)
+            .with_window(2)
+            .with_partitions(1)
+            .with_parallelism(1);
+        let single_key: Vec<Arc<dyn SortKeyFunction>> = vec![Arc::new(AttributeSortKey::title())];
+        let multi = run_multipass_sn(input.clone(), &config, &single_key).unwrap();
+        let plain = crate::run_sorted_neighborhood(input, &config).unwrap();
+        assert_eq!(multi.result.pair_set(), plain.result.pair_set());
+        assert_eq!(multi.total_comparisons(), plain.total_comparisons());
+        assert_eq!(multi.total_skipped(), 0, "nothing to gate in one pass");
+        assert_eq!(multi.passes[0].new_matches, multi.result.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = run_multipass_sn(
+            vec![vec![ent(0, "x")]],
+            &SnConfig::new(SnStrategy::JobSn),
+            &[],
+        );
+    }
+}

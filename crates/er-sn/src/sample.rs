@@ -157,8 +157,13 @@ pub type SampleProducts = (
     JobMetrics,
 );
 
-/// Runs the distribution job and assembles its [`SampleProducts`].
-pub fn sample_distribution(
+/// Runs the distribution job as a stage of `workflow` and assembles
+/// its [`SampleProducts`]. The annotated side outputs it returns are
+/// chained into the window job by the workflow layer, which enforces
+/// the identical-partitioning invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_distribution_in(
+    workflow: &mut mr_engine::workflow::Workflow,
     input: Partitions<(), Ent>,
     sort_key: Arc<dyn SortKeyFunction>,
     policy: NullKeyPolicy,
@@ -175,10 +180,35 @@ pub fn sample_distribution(
         parallelism,
         use_combiner,
     );
-    let out = job.run(input)?;
+    let out = workflow.chained_stage(&job, input)?;
     let histogram = key_histogram(out.reduce_outputs.into_iter().flatten());
     let partitioner = RangePartitioner::from_counts(histogram, partitions);
     Ok((partitioner, out.side_outputs, out.metrics))
+}
+
+/// Runs the distribution job standalone (outside a larger workflow)
+/// and assembles its [`SampleProducts`].
+#[allow(clippy::too_many_arguments)]
+pub fn sample_distribution(
+    input: Partitions<(), Ent>,
+    sort_key: Arc<dyn SortKeyFunction>,
+    policy: NullKeyPolicy,
+    sample_rate: f64,
+    partitions: usize,
+    parallelism: usize,
+    use_combiner: bool,
+) -> Result<SampleProducts, MrError> {
+    let mut workflow = mr_engine::workflow::Workflow::new("sn-sample");
+    sample_distribution_in(
+        &mut workflow,
+        input,
+        sort_key,
+        policy,
+        sample_rate,
+        partitions,
+        parallelism,
+        use_combiner,
+    )
 }
 
 #[cfg(test)]

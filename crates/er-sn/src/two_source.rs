@@ -1,0 +1,260 @@
+//! Two-source (R × S) Sorted Neighborhood: one interleaved sort
+//! order, cross-source window pairs only.
+//!
+//! The SN paper's record-linkage variant, mirroring
+//! [`er_loadbalance::two_source`]: both sources are annotated with the
+//! *same* sort-key function and interleaved into one total order by
+//! the regular distribution + window workflow — nothing about routing
+//! or boundary handling changes, because window membership is purely
+//! positional. The only difference is the comparison gate: entities of
+//! the same source occupy window slots (they separate genuine R × S
+//! neighbours exactly as in the sequential algorithm) but their pairs
+//! are never evaluated
+//! ([`er_loadbalance::compare::PairComparer::with_cross_source_only`],
+//! counted under
+//! [`er_loadbalance::compare::SAME_SOURCE_SKIPPED`]), so the output —
+//! and the `er.comparisons` workload the strategies balance — contains
+//! cross-source pairs only.
+//!
+//! Both boundary strategies work unchanged: JobSN's stitch job and
+//! RepSN's replication operate on positions, and the driver threads
+//! the gated comparer through every stage of the shared workflow.
+
+use std::sync::Arc;
+
+use er_core::{MatchResult, MatcherCache, SourceId};
+use er_loadbalance::Ent;
+use mr_engine::input::Partitions;
+use mr_engine::workflow::Workflow;
+
+use crate::driver::run_sn_stages;
+use crate::sample::resolve_sort_key;
+use crate::{SnConfig, SnError, SnOutcome};
+
+/// Runs two-source Sorted Neighborhood linkage: `sources[p]` tags
+/// input partition `p` as belonging to `R` or `S` (every entity in
+/// the partition must carry that source); only cross-source pairs
+/// within the window over the interleaved order are compared.
+///
+/// # Panics
+/// If `sources` and `input` lengths differ, a tag other than `R`/`S`
+/// appears, or an entity's own source disagrees with its partition's
+/// tag.
+pub fn run_two_source_sn(
+    input: Partitions<(), Ent>,
+    sources: Vec<SourceId>,
+    config: &SnConfig,
+) -> Result<SnOutcome, SnError> {
+    assert_eq!(
+        sources.len(),
+        input.len(),
+        "one source tag per input partition"
+    );
+    assert!(
+        sources
+            .iter()
+            .all(|&s| s == SourceId::R || s == SourceId::S),
+        "two-source matching knows only R and S"
+    );
+    for (partition, records) in input.iter().enumerate() {
+        assert!(
+            records
+                .iter()
+                .all(|((), e)| e.source() == sources[partition]),
+            "partition {partition} holds entities of a different source than its tag"
+        );
+    }
+    let mut workflow = Workflow::new(format!("sn-two-source-{}", config.strategy));
+    let comparer = config.comparer().with_cross_source_only(true);
+    let stages = run_sn_stages(&mut workflow, input, config, comparer)?;
+    Ok(SnOutcome {
+        result: stages.result,
+        partitioner: stages.partitioner,
+        sample_metrics: stages.sample_metrics,
+        match_metrics: stages.match_metrics,
+        stitch_metrics: stages.stitch_metrics,
+        workflow: workflow.finish(),
+    })
+}
+
+/// Convenience: packages two already-tagged entity sets into input
+/// partitions plus the matching source-tag vector (each source split
+/// over `partitions_per_source` map tasks — the `MultipleInputs`
+/// layout where every input partition holds one source).
+///
+/// # Panics
+/// If `partitions_per_source` is zero or an entity's source disagrees
+/// with the set it was passed in.
+pub fn two_source_input(
+    r: Vec<Ent>,
+    s: Vec<Ent>,
+    partitions_per_source: usize,
+) -> (Partitions<(), Ent>, Vec<SourceId>) {
+    assert!(
+        partitions_per_source > 0,
+        "at least one partition per source"
+    );
+    let mut partitions: Partitions<(), Ent> = Vec::new();
+    let mut sources = Vec::new();
+    for (entities, source) in [(r, SourceId::R), (s, SourceId::S)] {
+        assert!(
+            entities.iter().all(|e| e.source() == source),
+            "every entity must carry the source of its set"
+        );
+        let chunk = entities.len().div_ceil(partitions_per_source).max(1);
+        let mut iter = entities.into_iter().peekable();
+        for _ in 0..partitions_per_source {
+            let part: Vec<((), Ent)> = iter.by_ref().take(chunk).map(|e| ((), e)).collect();
+            partitions.push(part);
+            sources.push(source);
+        }
+    }
+    (partitions, sources)
+}
+
+/// Reference implementation: the single-machine sliding window over
+/// the interleaved order, evaluating cross-source pairs only — the
+/// ground truth [`run_two_source_sn`] must reproduce exactly at every
+/// partition count and parallelism.
+pub fn two_source_sn_oracle(input: &Partitions<(), Ent>, config: &SnConfig) -> MatchResult {
+    let mut result = MatchResult::new();
+    let mut cache = MatcherCache::new(Arc::clone(&config.matcher));
+    for (a, b) in cross_source_window_pairs(input, config) {
+        if let Some(score) = cache.matches(&a, &b) {
+            result.insert(
+                er_core::result::MatchPair::new(a.entity_ref(), b.entity_ref()),
+                score,
+            );
+        }
+    }
+    result
+}
+
+/// The number of cross-source window pairs — the exact comparison
+/// count [`run_two_source_sn`] must report (same-source window slots
+/// are skipped, not evaluated).
+pub fn two_source_oracle_comparisons(input: &Partitions<(), Ent>, config: &SnConfig) -> u64 {
+    cross_source_window_pairs(input, config).len() as u64
+}
+
+/// Enumerates the cross-source pairs within the window over the
+/// interleaved global order (stable ties in input order, mirroring
+/// the engine's shuffle).
+fn cross_source_window_pairs(input: &Partitions<(), Ent>, config: &SnConfig) -> Vec<(Ent, Ent)> {
+    let mut keyed: Vec<(er_core::sortkey::SortKey, Ent)> = Vec::new();
+    for partition in input {
+        for ((), entity) in partition {
+            if let Some(key) =
+                resolve_sort_key(config.sort_key.as_ref(), config.null_key_policy, entity)
+                    .routing_key()
+            {
+                keyed.push((key, Arc::clone(entity)));
+            }
+        }
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut pairs = Vec::new();
+    for j in 0..keyed.len() {
+        for i in j.saturating_sub(config.window - 1)..j {
+            if keyed[i].1.source() != keyed[j].1.source() {
+                pairs.push((Arc::clone(&keyed[i].1), Arc::clone(&keyed[j].1)));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnStrategy;
+    use er_core::Entity;
+    use er_loadbalance::compare::SAME_SOURCE_SKIPPED;
+
+    fn src_ent(source: SourceId, id: u64, title: &str) -> Ent {
+        Arc::new(Entity::with_source(source, id, [("title", title)]))
+    }
+
+    fn catalogs() -> (Vec<Ent>, Vec<Ent>) {
+        let r = vec![
+            src_ent(SourceId::R, 0, "canon eos 5d mark iii"),
+            src_ent(SourceId::R, 1, "nikon d800 body only"),
+            src_ent(SourceId::R, 2, "sony alpha a7 ii kit"),
+        ];
+        let s = vec![
+            src_ent(SourceId::S, 0, "canon eos 5d mark iri"),
+            src_ent(SourceId::S, 1, "nikon d800 body onlx"),
+            src_ent(SourceId::S, 2, "pentax k-1 mark ii"),
+        ];
+        (r, s)
+    }
+
+    #[test]
+    fn emits_only_cross_source_pairs_and_matches_the_oracle() {
+        let (r, s) = catalogs();
+        let (input, sources) = two_source_input(r, s, 1);
+        for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+            let config = SnConfig::new(strategy)
+                .with_window(3)
+                .with_partitions(2)
+                .with_parallelism(1);
+            let outcome = run_two_source_sn(input.clone(), sources.clone(), &config).unwrap();
+            assert!(
+                outcome
+                    .result
+                    .iter()
+                    .all(|(pair, _)| pair.lo().source != pair.hi().source),
+                "{strategy}: a same-source pair leaked into the linkage output"
+            );
+            assert_eq!(
+                outcome.result.pair_set(),
+                two_source_sn_oracle(&input, &config).pair_set(),
+                "{strategy} diverged from the cross-source oracle"
+            );
+            assert_eq!(
+                outcome.total_comparisons(),
+                two_source_oracle_comparisons(&input, &config),
+                "{strategy}: cross-source pairs must be evaluated exactly once"
+            );
+            assert!(
+                outcome.match_metrics.counters.get(SAME_SOURCE_SKIPPED) > 0,
+                "{strategy}: interleaved same-source neighbours must be gated"
+            );
+            assert!(!outcome.result.is_empty(), "near-duplicates must link");
+        }
+    }
+
+    #[test]
+    fn two_source_input_shapes_partitions_per_source() {
+        let (r, s) = catalogs();
+        let (input, sources) = two_source_input(r, s, 2);
+        assert_eq!(input.len(), 4);
+        assert_eq!(
+            sources,
+            vec![SourceId::R, SourceId::R, SourceId::S, SourceId::S]
+        );
+        assert_eq!(input.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different source than its tag")]
+    fn mistagged_partition_rejected() {
+        let (r, _) = catalogs();
+        let input = vec![r.into_iter().map(|e| ((), e)).collect()];
+        let _ = run_two_source_sn(
+            input,
+            vec![SourceId::S],
+            &SnConfig::new(SnStrategy::JobSn).with_parallelism(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one source tag per input partition")]
+    fn source_count_must_match_partitions() {
+        let _ = run_two_source_sn(
+            vec![vec![]],
+            vec![SourceId::R, SourceId::S],
+            &SnConfig::new(SnStrategy::JobSn),
+        );
+    }
+}

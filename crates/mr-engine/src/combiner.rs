@@ -61,7 +61,7 @@ pub fn apply_combiner<K: Clone, V: Clone>(
 /// group's first key. The result is still sorted under `sort_cmp`
 /// (group keys appear in the input's sorted order), so a combined
 /// bucket remains a valid shuffle run.
-pub(crate) fn combine_sorted_run<K: Clone, V>(
+pub fn combine_sorted_run<K: Clone, V>(
     sorted: Vec<(K, V)>,
     sort_cmp: &crate::comparator::KeyCmp<K>,
     combiner: &Combiner<K, V>,

@@ -25,7 +25,7 @@
 //!    [`JobMetrics::shuffle_wall`](crate::metrics::JobMetrics)
 //!    records this residual coordinator cost.
 //! 3. **Reduce side** — each reduce task drives a streaming heap merge
-//!    ([`GroupStream`](crate::merge::GroupStream), `O(N_j log m)`
+//!    ([`crate::merge::GroupStream`], `O(N_j log m)`
 //!    comparisons) that yields reduce *groups* incrementally. Only the
 //!    current group — one maximal run of keys equal under the grouping
 //!    comparator — is buffered (in a reusable buffer), plus at most one
@@ -119,6 +119,20 @@ where
     combiner: Option<Combiner<M::KOut, M::VOut>>,
     reduce_tasks: usize,
     parallelism: usize,
+}
+
+// Deliberately free of key bounds (unlike the `builder` impl's
+// `M::KOut: Ord` and the `run` impl's `Sync` bounds): the workflow
+// layer must be able to name a stage under its own minimal bounds.
+impl<M, R> Job<M, R>
+where
+    M: Mapper,
+    R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+{
+    /// The job name (used in metrics and workflow stage reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
 }
 
 impl<M, R> Job<M, R>

@@ -22,6 +22,29 @@ pub enum MrError {
     },
     /// `parallelism` was zero.
     ZeroParallelism,
+    /// A workflow stage received input whose partitioning diverges
+    /// from the partitioning established earlier in the workflow.
+    ///
+    /// The paper's multi-job pattern (Figure 2) requires every chained
+    /// job to see the *same* partitioning of the data as its
+    /// predecessor ("by prohibiting the splitting of input files, it
+    /// is ensured that the second MR job receives the same partitioning
+    /// of the input data as the first job"); the
+    /// [`crate::workflow::Workflow`] layer enforces that invariant and
+    /// reports violations through this variant instead of scattered
+    /// debug assertions.
+    StageShapeMismatch {
+        /// `workflow/stage` path of the offending stage.
+        stage: String,
+        /// Index of the first diverging partition; `None` when the
+        /// partition *counts* themselves differ.
+        partition: Option<usize>,
+        /// Expected partitions (`partition == None`) or records in
+        /// the diverging partition.
+        expected: usize,
+        /// Observed value.
+        got: usize,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -37,6 +60,23 @@ impl fmt::Display for MrError {
                 "partitioner returned reduce task {got} but only {num_reduce_tasks} exist"
             ),
             MrError::ZeroParallelism => write!(f, "parallelism must be at least 1"),
+            MrError::StageShapeMismatch {
+                stage,
+                partition,
+                expected,
+                got,
+            } => match partition {
+                None => write!(
+                    f,
+                    "stage `{stage}` received {got} input partitions but the workflow \
+                     established {expected} — chained jobs must see the same partitioning"
+                ),
+                Some(p) => write!(
+                    f,
+                    "stage `{stage}` partition {p} holds {got} records where {expected} \
+                     were expected — the partitioning drifted between stages"
+                ),
+            },
         }
     }
 }
@@ -58,6 +98,21 @@ mod tests {
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
         assert!(MrError::ZeroParallelism.to_string().contains("at least 1"));
+        let e = MrError::StageShapeMismatch {
+            stage: "er/match".into(),
+            partition: None,
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("er/match"));
+        assert!(e.to_string().contains("same partitioning"));
+        let e = MrError::StageShapeMismatch {
+            stage: "er/match".into(),
+            partition: Some(1),
+            expected: 5,
+            got: 4,
+        };
+        assert!(e.to_string().contains("partition 1"));
     }
 
     #[test]

@@ -79,9 +79,9 @@ pub mod mapper;
 pub mod merge;
 pub mod metrics;
 pub mod partitioner;
-pub mod pipeline;
 pub mod pool;
 pub mod reducer;
+pub mod workflow;
 
 pub use adapters::{ClosureMapper, ClosureReducer};
 pub use combiner::Combiner;
@@ -95,6 +95,7 @@ pub use merge::{merge_sorted_runs, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
 pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
+pub use workflow::{ensure_same_shape, Workflow, WorkflowMetrics};
 
 /// Convenience glob-import for downstream crates and examples.
 pub mod prelude {
@@ -108,4 +109,5 @@ pub mod prelude {
     pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
     pub use crate::partitioner::{FnPartitioner, HashPartitioner, Partitioner};
     pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
+    pub use crate::workflow::{Workflow, WorkflowMetrics};
 }

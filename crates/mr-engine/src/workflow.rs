@@ -1,0 +1,444 @@
+//! Multi-stage dataflows: the workflow layer.
+//!
+//! Every major scenario of this reproduction follows the same shape
+//! (the paper's Figure 2): a preprocessing MR job whose *side output*
+//! (annotated entities, written per map task) becomes the —
+//! identically partitioned — input of one or more follow-up jobs. The
+//! ER driver (BDM job → matching job), the Sorted Neighborhood driver
+//! (distribution job → window job → optional stitch job), and every
+//! future multi-job scenario compose [`Workflow`] stages instead of
+//! hand-rolling the glue:
+//!
+//! * **Chaining** — [`Workflow::chained_stage`] runs a job whose input
+//!   must share the partitioning the workflow established with its
+//!   first stage. Side outputs are collected per map task, so feeding
+//!   them to the next chained stage guarantees the follow-up job sees
+//!   the *same* partitioning of the data ("by prohibiting the
+//!   splitting of input files, it is ensured that the second MR job
+//!   receives the same partitioning of the input data as the first
+//!   job"). The invariant is enforced by the layer — a violation is
+//!   the typed [`MrError::StageShapeMismatch`], not a debug assertion.
+//! * **Repartitioning** — some stages legitimately re-shape the data
+//!   (JobSN's stitch job runs over one partition per range boundary);
+//!   [`Workflow::repartitioned_stage`] runs them without touching the
+//!   established shape.
+//! * **Metrics roll-up** — each stage's [`JobMetrics`] is recorded in
+//!   execution order; [`Workflow::finish`] rolls them into a
+//!   [`WorkflowMetrics`]: per-stage walls, the end-to-end wall
+//!   (including driver glue between stages), merged counters, and the
+//!   peak-memory gauges of the streaming reduce path.
+
+use std::time::{Duration, Instant};
+
+use crate::counters::CounterSet;
+use crate::engine::{Job, JobOutput};
+use crate::error::MrError;
+use crate::input::Partitions;
+use crate::mapper::Mapper;
+use crate::metrics::JobMetrics;
+use crate::reducer::Reducer;
+
+/// Checks that two partitionings have identical shape (same number of
+/// partitions, same number of records per partition); a mismatch is
+/// reported as the typed [`MrError::StageShapeMismatch`] naming
+/// `context` and the first divergence.
+///
+/// The workflow layer itself enforces only partition-*count* equality
+/// when chaining (annotation stages may drop keyless entities or
+/// replicate multi-pass entities, so per-partition record counts are
+/// not invariant in general); this full check is for callers whose
+/// stages are record-preserving.
+pub fn ensure_same_shape<K1, V1, K2, V2>(
+    context: &str,
+    expected: &Partitions<K1, V1>,
+    got: &Partitions<K2, V2>,
+) -> Result<(), MrError> {
+    if expected.len() != got.len() {
+        return Err(MrError::StageShapeMismatch {
+            stage: context.to_string(),
+            partition: None,
+            expected: expected.len(),
+            got: got.len(),
+        });
+    }
+    for (i, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+        if e.len() != g.len() {
+            return Err(MrError::StageShapeMismatch {
+                stage: context.to_string(),
+                partition: Some(i),
+                expected: e.len(),
+                got: g.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A running multi-stage dataflow: executes jobs as stages, enforces
+/// the same-partitioning invariant between chained stages, and
+/// collects per-stage metrics. Call [`Workflow::finish`] when the last
+/// stage completed to obtain the rolled-up [`WorkflowMetrics`].
+#[derive(Debug)]
+pub struct Workflow {
+    name: String,
+    started: Instant,
+    /// Partition count established by the first chained stage.
+    partitions: Option<usize>,
+    stages: Vec<JobMetrics>,
+}
+
+impl Workflow {
+    /// Starts a workflow; the end-to-end wall clock starts here.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            started: Instant::now(),
+            partitions: None,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stages executed so far.
+    pub fn stages_run(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs `job` as the next stage over input that must share the
+    /// workflow's partitioning: the first chained stage establishes
+    /// the partition count, every later one (typically fed from a
+    /// predecessor's side outputs) is checked against it —
+    /// [`MrError::StageShapeMismatch`] on violation.
+    pub fn chained_stage<M, R>(
+        &mut self,
+        job: &Job<M, R>,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError>
+    where
+        M: Mapper,
+        M::KOut: Sync,
+        M::VOut: Sync,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        match self.partitions {
+            None => self.partitions = Some(input.len()),
+            Some(expected) if expected != input.len() => {
+                return Err(MrError::StageShapeMismatch {
+                    stage: format!("{}/{}", self.name, job.name()),
+                    partition: None,
+                    expected,
+                    got: input.len(),
+                });
+            }
+            Some(_) => {}
+        }
+        self.execute(job, input)
+    }
+
+    /// Runs `job` as the next stage over deliberately re-partitioned
+    /// input (e.g. one partition per range boundary in JobSN's stitch
+    /// job); the workflow's established shape is neither checked nor
+    /// changed.
+    pub fn repartitioned_stage<M, R>(
+        &mut self,
+        job: &Job<M, R>,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError>
+    where
+        M: Mapper,
+        M::KOut: Sync,
+        M::VOut: Sync,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        self.execute(job, input)
+    }
+
+    fn execute<M, R>(
+        &mut self,
+        job: &Job<M, R>,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError>
+    where
+        M: Mapper,
+        M::KOut: Sync,
+        M::VOut: Sync,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+    {
+        let out = job.run(input)?;
+        self.stages.push(out.metrics.clone());
+        Ok(out)
+    }
+
+    /// Completes the workflow, rolling every stage's metrics into a
+    /// [`WorkflowMetrics`].
+    pub fn finish(self) -> WorkflowMetrics {
+        let mut counters = CounterSet::new();
+        for stage in &self.stages {
+            counters.merge(&stage.counters);
+        }
+        WorkflowMetrics {
+            workflow_name: self.name,
+            stages: self.stages,
+            wall: self.started.elapsed(),
+            counters,
+        }
+    }
+}
+
+/// Rolled-up metrics of a completed [`Workflow`].
+#[derive(Debug, Clone)]
+pub struct WorkflowMetrics {
+    /// The workflow name.
+    pub workflow_name: String,
+    /// Per-stage job metrics, in execution order.
+    pub stages: Vec<JobMetrics>,
+    /// End-to-end wall clock from [`Workflow::new`] to
+    /// [`Workflow::finish`] — stage walls *plus* the driver glue
+    /// between stages (side-output routing, candidate assembly), so
+    /// it is always at least [`WorkflowMetrics::stages_wall`].
+    pub wall: Duration,
+    /// Counters merged across every stage: for each counter name, the
+    /// sum of the per-job totals.
+    pub counters: CounterSet,
+}
+
+impl WorkflowMetrics {
+    /// Number of stages the workflow executed.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The first stage with the given job name, if any ran.
+    pub fn stage(&self, job_name: &str) -> Option<&JobMetrics> {
+        self.stages.iter().find(|s| s.job_name == job_name)
+    }
+
+    /// `(job name, wall)` per stage, in execution order.
+    pub fn stage_walls(&self) -> Vec<(&str, Duration)> {
+        self.stages
+            .iter()
+            .map(|s| (s.job_name.as_str(), s.wall))
+            .collect()
+    }
+
+    /// Sum of the per-stage walls — the time spent inside MR jobs,
+    /// excluding driver glue; never exceeds [`WorkflowMetrics::wall`].
+    pub fn stages_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Largest reduce group any stage buffered (peak-memory gauge of
+    /// the streaming reduce path, maximized across stages).
+    pub fn peak_group_len(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(JobMetrics::peak_group_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Worst per-reduce-task resident peak of the merge machinery
+    /// across all stages.
+    pub fn peak_resident_records(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(JobMetrics::peak_resident_records)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{ClosureMapper, ClosureReducer};
+    use crate::engine::Job;
+    use crate::input::partition_evenly;
+    use crate::mapper::MapContext;
+    use crate::reducer::{Group, ReduceContext};
+
+    type AnnotateMapper = ClosureMapper<(), u32, bool, u64, (bool, u32)>;
+    type CountReducer = ClosureReducer<bool, u64, bool, u64>;
+
+    /// Job 1: annotate each number with its parity, side-output the
+    /// annotated records, reduce-output parity counts.
+    fn annotate_job(parallelism: usize) -> Job<AnnotateMapper, CountReducer> {
+        let mapper = ClosureMapper::new(
+            |_: &(), v: &u32, ctx: &mut MapContext<bool, u64, (bool, u32)>| {
+                let even = v.is_multiple_of(2);
+                ctx.side_output((even, *v));
+                ctx.emit(even, 1);
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, bool, u64>, ctx: &mut ReduceContext<bool, u64>| {
+                ctx.emit(*group.key(), group.values().sum());
+            },
+        );
+        Job::builder("annotate", mapper, reducer)
+            .reduce_tasks(2)
+            .parallelism(parallelism)
+            .build()
+    }
+
+    type SumMapper = ClosureMapper<bool, u32, bool, u64, ()>;
+
+    /// Job 2: sum values per parity from the annotated records.
+    fn sum_job(parallelism: usize) -> Job<SumMapper, CountReducer> {
+        let mapper = ClosureMapper::new(
+            |even: &bool, v: &u32, ctx: &mut MapContext<bool, u64, ()>| {
+                ctx.emit(*even, u64::from(*v));
+            },
+        );
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, bool, u64>, ctx: &mut ReduceContext<bool, u64>| {
+                ctx.emit(*group.key(), group.values().sum());
+            },
+        );
+        Job::builder("sum", mapper, reducer)
+            .reduce_tasks(2)
+            .parallelism(parallelism)
+            .build()
+    }
+
+    #[test]
+    fn side_outputs_feed_a_chained_stage_with_identical_partitioning() {
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let shapes: Vec<usize> = input.iter().map(Vec::len).collect();
+
+        let mut wf = Workflow::new("parity");
+        let out1 = wf.chained_stage(&annotate_job(1), input).unwrap();
+        let shapes2: Vec<usize> = out1.side_outputs.iter().map(Vec::len).collect();
+        assert_eq!(shapes, shapes2, "partition shape must be preserved");
+
+        let out2 = wf.chained_stage(&sum_job(1), out1.side_outputs).unwrap();
+        let mut sums = out2.into_records();
+        sums.sort();
+        assert_eq!(sums, vec![(false, 25), (true, 20)]);
+
+        let metrics = wf.finish();
+        assert_eq!(metrics.num_stages(), 2);
+        assert_eq!(metrics.workflow_name, "parity");
+        assert_eq!(
+            metrics
+                .stage_walls()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>(),
+            vec!["annotate", "sum"]
+        );
+        assert!(metrics.stage("annotate").is_some());
+        assert!(metrics.stage("missing").is_none());
+        assert!(metrics.stages_wall() <= metrics.wall);
+    }
+
+    #[test]
+    fn chained_stage_rejects_a_drifted_partition_count() {
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let mut wf = Workflow::new("parity");
+        let out1 = wf.chained_stage(&annotate_job(1), input).unwrap();
+        // Drop a partition before chaining — the exact drift the layer
+        // must catch.
+        let mut truncated = out1.side_outputs;
+        truncated.pop();
+        let err = wf.chained_stage(&sum_job(1), truncated).unwrap_err();
+        assert_eq!(
+            err,
+            MrError::StageShapeMismatch {
+                stage: "parity/sum".into(),
+                partition: None,
+                expected: 3,
+                got: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn repartitioned_stage_neither_checks_nor_resets_the_shape() {
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let mut wf = Workflow::new("parity");
+        let out1 = wf.chained_stage(&annotate_job(1), input.clone()).unwrap();
+        // A deliberately re-shaped intermediate stage (1 partition)...
+        let flat: Partitions<bool, u32> = vec![out1.side_outputs.into_iter().flatten().collect()];
+        wf.repartitioned_stage(&sum_job(1), flat).unwrap();
+        // ...does not change what "chained" means afterwards.
+        let err = wf
+            .chained_stage(&annotate_job(1), partition_evenly(vec![((), 1u32)], 1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::StageShapeMismatch {
+                partition: None,
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
+        assert_eq!(wf.stages_run(), 2);
+    }
+
+    #[test]
+    fn workflow_metrics_merge_counters_and_gauges_across_stages() {
+        let input = partition_evenly((0..10u32).map(|v| ((), v)).collect(), 3);
+        let mut wf = Workflow::new("parity");
+        let out1 = wf.chained_stage(&annotate_job(1), input).unwrap();
+        let stage1 = out1.metrics.clone();
+        let out2 = wf.chained_stage(&sum_job(1), out1.side_outputs).unwrap();
+        let stage2 = out2.metrics.clone();
+        let metrics = wf.finish();
+        // Merged counters == sum of the per-job counters.
+        for name in [
+            crate::counters::MAP_INPUT_RECORDS,
+            crate::counters::MAP_OUTPUT_RECORDS,
+            crate::counters::REDUCE_INPUT_RECORDS,
+            crate::counters::REDUCE_OUTPUT_RECORDS,
+        ] {
+            assert_eq!(
+                metrics.counters.get(name),
+                stage1.counters.get(name) + stage2.counters.get(name),
+                "counter {name} must merge across stages"
+            );
+        }
+        assert_eq!(
+            metrics.peak_group_len(),
+            stage1.peak_group_len().max(stage2.peak_group_len())
+        );
+        assert_eq!(
+            metrics.peak_resident_records(),
+            stage1
+                .peak_resident_records()
+                .max(stage2.peak_resident_records())
+        );
+    }
+
+    #[test]
+    fn ensure_same_shape_reports_the_first_divergence() {
+        let a: Partitions<(), u8> = vec![vec![((), 1)], vec![]];
+        let b: Partitions<(), u8> = vec![vec![((), 2)], vec![]];
+        assert!(ensure_same_shape("t", &a, &b).is_ok());
+        let c: Partitions<(), u8> = vec![vec![], vec![((), 2)]];
+        assert_eq!(
+            ensure_same_shape("t", &a, &c).unwrap_err(),
+            MrError::StageShapeMismatch {
+                stage: "t".into(),
+                partition: Some(0),
+                expected: 1,
+                got: 0,
+            }
+        );
+        let d: Partitions<(), u8> = vec![vec![((), 1)]];
+        assert_eq!(
+            ensure_same_shape("t", &a, &d).unwrap_err(),
+            MrError::StageShapeMismatch {
+                stage: "t".into(),
+                partition: None,
+                expected: 2,
+                got: 1,
+            }
+        );
+    }
+}

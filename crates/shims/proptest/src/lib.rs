@@ -1,6 +1,6 @@
 //! Offline shim for the subset of the `proptest` API this workspace
 //! uses: the [`proptest!`] macro (with `#![proptest_config(..)]`),
-//! range / regex-lite / [`Just`] / tuple / [`collection::vec`] /
+//! range / regex-lite / [`strategy::Just`] / tuple / [`collection::vec`] /
 //! [`prop_oneof!`] strategies, `prop_map`, and the `prop_assert*`
 //! macros.
 //!

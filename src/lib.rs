@@ -45,7 +45,9 @@ pub mod prelude {
         AttributeBlocking, BlockKey, BlockingFunction, ConstantBlocking, MultiPassBlocking,
         PrefixBlocking,
     };
-    pub use er_core::sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunction};
+    pub use er_core::sortkey::{
+        AttributeSortKey, RangePartitioner, ReversedSortKey, SortKey, SortKeyFunction,
+    };
     pub use er_core::{
         Entity, EntityId, EntityRef, GoldStandard, MatchPair, MatchResult, MatchRule, Matcher,
         QualityReport, SourceId,
@@ -57,7 +59,11 @@ pub mod prelude {
         BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats, COMPARISONS,
     };
     pub use er_sn::{
-        run_sorted_neighborhood, sn_oracle, NullKeyPolicy, SnConfig, SnError, SnOutcome, SnStrategy,
+        multipass_oracle_comparisons, multipass_sn_oracle, run_multipass_sn,
+        run_sorted_neighborhood, run_two_source_sn, sn_oracle, two_source_input,
+        two_source_oracle_comparisons, two_source_sn_oracle, MultiPassSnOutcome, NullKeyPolicy,
+        SnConfig, SnError, SnOutcome, SnStrategy,
     };
     pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
+    pub use mr_engine::workflow::{Workflow, WorkflowMetrics};
 }

@@ -1,0 +1,274 @@
+//! Acceptance suite for the two workflow-composed SN scenarios:
+//!
+//! * **multi-pass SN** — union of window pair sets over several sort
+//!   keys, each unioned pair compared exactly once globally (the
+//!   first-pass-wins dedup gate), equal to the union-of-oracles ground
+//!   truth, byte-identical across parallelism and invariant across
+//!   partition counts;
+//! * **two-source SN** — R and S interleaved in one sorted order,
+//!   cross-source window pairs only, equal to the cross-source oracle
+//!   with the same invariances.
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+use er_datagen::{ds1_spec, generate_products};
+
+const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+fn corpus(m: usize) -> Partitions<(), Ent> {
+    let ds = generate_products(&ds1_spec(2012).scaled(0.003));
+    partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        m,
+    )
+}
+
+fn passes() -> Vec<Arc<dyn SortKeyFunction>> {
+    vec![
+        Arc::new(AttributeSortKey::title()),
+        Arc::new(ReversedSortKey::title()),
+    ]
+}
+
+fn result_bits(result: &MatchResult) -> Vec<(MatchPair, u64)> {
+    result.iter().map(|(p, s)| (p, s.to_bits())).collect()
+}
+
+// ---- multi-pass SN -----------------------------------------------------
+
+#[test]
+fn multipass_equals_the_union_of_oracles_and_compares_each_pair_once() {
+    let input = corpus(3);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = SnConfig::new(strategy)
+            .with_window(5)
+            .with_partitions(4)
+            .with_parallelism(1);
+        let outcome = run_multipass_sn(input.clone(), &config, &passes()).unwrap();
+        let oracle = multipass_sn_oracle(&input, &config, &passes());
+        assert_eq!(
+            outcome.result.pair_set(),
+            oracle.pair_set(),
+            "{strategy} diverged from the union of per-pass oracles"
+        );
+        assert_eq!(
+            outcome.total_comparisons(),
+            multipass_oracle_comparisons(&input, &config, &passes()),
+            "{strategy}: every unioned window pair exactly once"
+        );
+        assert!(
+            outcome.total_skipped() > 0,
+            "{strategy}: overlapping passes must engage the dedup gate"
+        );
+        // The reversed pass must contribute matches the forward pass
+        // misses (the whole point of multi-pass SN).
+        let forward = run_sorted_neighborhood(input.clone(), &config).unwrap();
+        assert!(
+            outcome.result.len() > forward.result.len(),
+            "{strategy}: the reversed-title pass must add recall \
+             (multi {} vs single {})",
+            outcome.result.len(),
+            forward.result.len()
+        );
+        // Both passes' stages ran under one workflow.
+        assert_eq!(
+            outcome.workflow.num_stages(),
+            outcome
+                .passes
+                .iter()
+                .map(|p| 2 + usize::from(p.stitch_metrics.is_some()))
+                .sum::<usize>()
+        );
+    }
+}
+
+#[test]
+fn multipass_output_is_byte_identical_across_parallelism() {
+    let input = corpus(4);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let mut reference: Option<Vec<(MatchPair, u64)>> = None;
+        for parallelism in PARALLELISM_LEVELS {
+            let config = SnConfig::new(strategy)
+                .with_window(4)
+                .with_partitions(4)
+                .with_parallelism(parallelism);
+            let outcome = run_multipass_sn(input.clone(), &config, &passes()).unwrap();
+            let bits = result_bits(&outcome.result);
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r, &bits,
+                    "{strategy} multi-pass output changed at parallelism {parallelism}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn multipass_pair_set_is_invariant_under_the_partition_count() {
+    let input = corpus(3);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let base = SnConfig::new(strategy).with_window(4).with_parallelism(1);
+        let oracle = multipass_sn_oracle(&input, &base.clone().with_partitions(1), &passes());
+        for partitions in [1usize, 2, 4, 8] {
+            let config = base.clone().with_partitions(partitions);
+            let outcome = run_multipass_sn(input.clone(), &config, &passes()).unwrap();
+            assert_eq!(
+                outcome.result.pair_set(),
+                oracle.pair_set(),
+                "{strategy} with {partitions} partitions"
+            );
+            assert_eq!(
+                outcome.total_comparisons(),
+                multipass_oracle_comparisons(&input, &config, &passes()),
+                "{strategy}: comparison count must not depend on partitioning"
+            );
+        }
+    }
+}
+
+// ---- two-source SN -----------------------------------------------------
+
+/// Two catalogs over one title space: near-duplicates cross sources,
+/// plus same-source near-duplicates that MUST NOT appear in linkage
+/// output (they sit adjacently in the interleaved order, so they probe
+/// the cross-source gate, not just the window).
+fn two_source_corpus(partitions_per_source: usize) -> (Partitions<(), Ent>, Vec<SourceId>) {
+    let ds = generate_products(&ds1_spec(7).scaled(0.002));
+    let n = ds.entities.len();
+    let mut r: Vec<Ent> = Vec::new();
+    let mut s: Vec<Ent> = Vec::new();
+    for (i, e) in ds.entities.into_iter().enumerate() {
+        if i % 2 == 0 {
+            r.push(Arc::new(e));
+        } else {
+            s.push(Arc::new(Entity::with_source(
+                SourceId::S,
+                e.id().0,
+                e.attributes(),
+            )));
+        }
+    }
+    assert!(r.len() + s.len() == n);
+    two_source_input(r, s, partitions_per_source)
+}
+
+#[test]
+fn two_source_sn_equals_the_cross_source_oracle() {
+    let (input, sources) = two_source_corpus(2);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let config = SnConfig::new(strategy)
+            .with_window(5)
+            .with_partitions(4)
+            .with_parallelism(1);
+        let outcome = run_two_source_sn(input.clone(), sources.clone(), &config).unwrap();
+        let oracle = two_source_sn_oracle(&input, &config);
+        assert_eq!(
+            outcome.result.pair_set(),
+            oracle.pair_set(),
+            "{strategy} diverged from the cross-source oracle"
+        );
+        assert_eq!(
+            outcome.total_comparisons(),
+            two_source_oracle_comparisons(&input, &config),
+            "{strategy}: each cross-source window pair exactly once"
+        );
+        assert!(
+            outcome
+                .result
+                .iter()
+                .all(|(pair, _)| pair.lo().source == SourceId::R
+                    && pair.hi().source == SourceId::S),
+            "{strategy}: linkage output must contain only R × S pairs"
+        );
+        assert!(
+            !outcome.result.is_empty(),
+            "{strategy}: split duplicates must link across sources"
+        );
+        // Same-source neighbours exist in the interleaved order and
+        // must be skipped (counted), never evaluated.
+        assert!(
+            outcome
+                .workflow
+                .counters
+                .get(er_loadbalance::compare::SAME_SOURCE_SKIPPED)
+                > 0,
+            "{strategy}: the cross-source gate must have engaged"
+        );
+    }
+}
+
+#[test]
+fn two_source_output_is_byte_identical_across_parallelism() {
+    let (input, sources) = two_source_corpus(2);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let mut reference: Option<Vec<(MatchPair, u64)>> = None;
+        for parallelism in PARALLELISM_LEVELS {
+            let config = SnConfig::new(strategy)
+                .with_window(4)
+                .with_partitions(4)
+                .with_parallelism(parallelism);
+            let outcome = run_two_source_sn(input.clone(), sources.clone(), &config).unwrap();
+            let bits = result_bits(&outcome.result);
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r, &bits,
+                    "{strategy} two-source output changed at parallelism {parallelism}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn two_source_pair_set_is_invariant_under_the_partition_count() {
+    let (input, sources) = two_source_corpus(1);
+    for strategy in [SnStrategy::JobSn, SnStrategy::RepSn] {
+        let base = SnConfig::new(strategy).with_window(4).with_parallelism(1);
+        let oracle = two_source_sn_oracle(&input, &base.clone().with_partitions(1));
+        for partitions in [1usize, 2, 4, 8] {
+            let config = base.clone().with_partitions(partitions);
+            let outcome = run_two_source_sn(input.clone(), sources.clone(), &config).unwrap();
+            assert_eq!(
+                outcome.result.pair_set(),
+                oracle.pair_set(),
+                "{strategy} with {partitions} partitions"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_source_strategies_agree_under_thinned_sampling() {
+    let (input, sources) = two_source_corpus(2);
+    for sample_rate in [1.0, 0.25] {
+        let jobsn = run_two_source_sn(
+            input.clone(),
+            sources.clone(),
+            &SnConfig::new(SnStrategy::JobSn)
+                .with_window(4)
+                .with_partitions(4)
+                .with_parallelism(1)
+                .with_sample_rate(sample_rate),
+        )
+        .unwrap();
+        let repsn = run_two_source_sn(
+            input.clone(),
+            sources.clone(),
+            &SnConfig::new(SnStrategy::RepSn)
+                .with_window(4)
+                .with_partitions(4)
+                .with_parallelism(1)
+                .with_sample_rate(sample_rate),
+        )
+        .unwrap();
+        assert_eq!(
+            jobsn.result.pair_set(),
+            repsn.result.pair_set(),
+            "strategies diverged at sample rate {sample_rate}"
+        );
+    }
+}
