@@ -13,10 +13,10 @@ use std::sync::Arc;
 
 use er_core::blocking::{BlockingFunction, PrefixBlocking};
 use er_core::{MatchResult, Matcher};
-use mr_engine::engine::default_parallelism;
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
+use mr_engine::runtime::RuntimeConfig;
 use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use crate::basic::basic_job;
@@ -28,6 +28,11 @@ use crate::pair_range::{pair_range_job, RangePolicy};
 use crate::{Ent, StrategyKind};
 
 /// Configuration of one ER run.
+///
+/// The execution knobs every scenario shares (`reduce_tasks`,
+/// `parallelism`, `count_only`, `matcher_cache_capacity`) live in the
+/// embedded [`RuntimeConfig`]; the `with_*` builders forward to it, so
+/// call sites predating the extraction compile unchanged.
 #[derive(Clone)]
 pub struct ErConfig {
     /// Blocking function (paper default: first 3 letters of `title`).
@@ -36,10 +41,6 @@ pub struct ErConfig {
     pub matcher: Arc<Matcher>,
     /// Which strategy runs the matching job.
     pub strategy: StrategyKind,
-    /// Number of reduce tasks `r` (both jobs).
-    pub reduce_tasks: usize,
-    /// Local worker threads.
-    pub parallelism: usize,
     /// Range formula for PairRange.
     pub range_policy: RangePolicy,
     /// Pre-aggregate BDM counts per map task (paper footnote 2).
@@ -47,14 +48,9 @@ pub struct ErConfig {
     /// BlockSplit splitting policy (workload criterion + optional
     /// memory cap).
     pub split_policy: SplitPolicy,
-    /// Count comparisons without evaluating similarity (timing runs).
-    pub count_only: bool,
-    /// Capacity bound for the per-reduce-task prepared-entity caches
-    /// (`None` = unbounded, right for the paper's batch tasks; set a
-    /// bound for long-running/streaming ingest whose key space grows
-    /// without limit). Eviction costs recompute only — match output is
-    /// bit-identical either way.
-    pub matcher_cache_capacity: Option<usize>,
+    /// Shared execution knobs: reduce tasks `r` (both jobs), worker
+    /// threads, count-only mode, prepared-entity cache bound.
+    pub runtime: RuntimeConfig,
 }
 
 impl ErConfig {
@@ -64,13 +60,10 @@ impl ErConfig {
             blocking: Arc::new(PrefixBlocking::title3()),
             matcher: Arc::new(Matcher::paper_default()),
             strategy,
-            reduce_tasks: 4,
-            parallelism: default_parallelism(),
             range_policy: RangePolicy::CeilDiv,
             use_combiner: true,
             split_policy: SplitPolicy::paper(),
-            count_only: false,
-            matcher_cache_capacity: None,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -86,15 +79,31 @@ impl ErConfig {
         self
     }
 
-    /// Overrides the number of reduce tasks.
-    pub fn with_reduce_tasks(mut self, r: usize) -> Self {
-        self.reduce_tasks = r;
+    /// Overrides the strategy (the `Resolver` compiles one scenario
+    /// template into each requested strategy through this).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 
-    /// Overrides the worker-thread count.
+    /// Replaces the whole shared-knob block (e.g. with a `Runtime`'s
+    /// configuration).
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the number of reduce tasks (forwards to
+    /// [`RuntimeConfig::reduce_tasks`]).
+    pub fn with_reduce_tasks(mut self, r: usize) -> Self {
+        self.runtime.reduce_tasks = r;
+        self
+    }
+
+    /// Overrides the worker-thread count (forwards to
+    /// [`RuntimeConfig::parallelism`]).
     pub fn with_parallelism(mut self, p: usize) -> Self {
-        self.parallelism = p;
+        self.runtime.parallelism = p;
         self
     }
 
@@ -104,9 +113,10 @@ impl ErConfig {
         self
     }
 
-    /// Switches comparison counting only (no similarity evaluation).
+    /// Switches comparison counting only (forwards to
+    /// [`RuntimeConfig::count_only`]).
     pub fn with_count_only(mut self, count_only: bool) -> Self {
-        self.count_only = count_only;
+        self.runtime.count_only = count_only;
         self
     }
 
@@ -118,29 +128,46 @@ impl ErConfig {
         self
     }
 
-    /// Bounds every strategy reducer's prepared-entity cache to at
-    /// most `capacity` resident entities (LRU eviction); `None`
-    /// restores the unbounded default.
+    /// Bounds every strategy reducer's prepared-entity cache (forwards
+    /// to [`RuntimeConfig::matcher_cache_capacity`]); `None` restores
+    /// the unbounded default.
     ///
     /// # Panics
     /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
     /// needs both sides resident.
     pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
-        assert!(
-            capacity.is_none_or(|n| n >= 2),
-            "a bounded cache needs room for a pair"
-        );
-        self.matcher_cache_capacity = capacity;
+        self.runtime = self.runtime.with_matcher_cache_capacity(capacity);
         self
     }
 
-    fn comparer(&self) -> PairComparer {
-        let comparer = if self.count_only {
+    /// Number of reduce tasks `r` (both jobs).
+    pub fn reduce_tasks(&self) -> usize {
+        self.runtime.reduce_tasks
+    }
+
+    /// Local worker threads.
+    pub fn parallelism(&self) -> usize {
+        self.runtime.parallelism
+    }
+
+    /// Whether similarity evaluation is skipped (comparisons are only
+    /// counted).
+    pub fn count_only(&self) -> bool {
+        self.runtime.count_only
+    }
+
+    /// The prepared-entity cache bound (`None` = unbounded).
+    pub fn matcher_cache_capacity(&self) -> Option<usize> {
+        self.runtime.matcher_cache_capacity
+    }
+
+    pub(crate) fn comparer(&self) -> PairComparer {
+        let comparer = if self.count_only() {
             PairComparer::count_only(Arc::clone(&self.matcher))
         } else {
             PairComparer::new(Arc::clone(&self.matcher))
         };
-        comparer.with_cache_capacity(self.matcher_cache_capacity)
+        comparer.with_cache_capacity(self.matcher_cache_capacity())
     }
 }
 
@@ -148,13 +175,10 @@ impl std::fmt::Debug for ErConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ErConfig")
             .field("strategy", &self.strategy)
-            .field("reduce_tasks", &self.reduce_tasks)
-            .field("parallelism", &self.parallelism)
             .field("range_policy", &self.range_policy)
             .field("use_combiner", &self.use_combiner)
             .field("split_policy", &self.split_policy)
-            .field("count_only", &self.count_only)
-            .field("matcher_cache_capacity", &self.matcher_cache_capacity)
+            .field("runtime", &self.runtime)
             .finish()
     }
 }
@@ -188,43 +212,59 @@ impl ErOutcome {
     }
 }
 
-/// Runs entity resolution over pre-partitioned input (each inner `Vec`
-/// is one input partition == one map task).
-///
-/// Entities without a valid blocking key are *skipped* (counted under
-/// [`crate::bdm_job::NULL_KEY_ENTITIES`]); use
-/// [`crate::null_keys::deduplicate_with_null_keys`] to include them
-/// via the paper's Cartesian decomposition.
-pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome, MrError> {
-    let mut workflow = Workflow::new(format!("er-{}", config.strategy));
+/// Products of the ER stages executed inside a caller-owned
+/// [`Workflow`] — what [`run_er_in`] produces and [`run_er`] (plus the
+/// unified `Resolver` front end of the facade crate) wraps into an
+/// outcome.
+#[derive(Debug)]
+pub struct ErStages {
+    /// The deduplicated match result.
+    pub result: MatchResult,
+    /// The BDM (absent for Basic, which runs without preprocessing).
+    pub bdm: Option<Arc<BlockDistributionMatrix>>,
+    /// Metrics of the BDM job (absent for Basic).
+    pub bdm_metrics: Option<JobMetrics>,
+    /// Metrics of the matching job.
+    pub match_metrics: JobMetrics,
+}
+
+/// Executes the ER scenario (paper Figure 2) as stages of `workflow` —
+/// the scenario compiler both [`run_er`] and the facade crate's
+/// `Resolver` drive. The workflow decides *where* stages run (its own
+/// transient threads, or a shared persistent pool); the stages are the
+/// same either way, so outputs are byte-identical.
+pub fn run_er_in(
+    workflow: &mut Workflow,
+    input: Partitions<(), Ent>,
+    config: &ErConfig,
+) -> Result<ErStages, MrError> {
     match config.strategy {
         StrategyKind::Basic => {
             let job = basic_job(
                 Arc::clone(&config.blocking),
                 config.comparer(),
-                config.reduce_tasks,
-                config.parallelism,
+                config.reduce_tasks(),
+                config.parallelism(),
             );
             let out = workflow.chained_stage(&job, input)?;
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
             }
-            Ok(ErOutcome {
+            Ok(ErStages {
                 result,
                 bdm: None,
                 bdm_metrics: None,
                 match_metrics: out.metrics,
-                workflow: workflow.finish(),
             })
         }
         StrategyKind::BlockSplit | StrategyKind::PairRange => {
             let (bdm, annotated, bdm_metrics) = compute_bdm_in(
-                &mut workflow,
+                workflow,
                 input,
                 Arc::clone(&config.blocking),
-                config.reduce_tasks,
-                config.parallelism,
+                config.reduce_tasks(),
+                config.parallelism(),
                 config.use_combiner,
             )?;
             let bdm = Arc::new(bdm);
@@ -237,8 +277,8 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                         Arc::clone(&bdm),
                         config.comparer(),
                         config.split_policy,
-                        config.reduce_tasks,
-                        config.parallelism,
+                        config.reduce_tasks(),
+                        config.parallelism(),
                     ),
                     annotated,
                 )?,
@@ -247,8 +287,8 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
                         Arc::clone(&bdm),
                         config.comparer(),
                         config.range_policy,
-                        config.reduce_tasks,
-                        config.parallelism,
+                        config.reduce_tasks(),
+                        config.parallelism(),
                     ),
                     annotated,
                 )?,
@@ -257,15 +297,41 @@ pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                 result.insert(pair, score);
             }
-            Ok(ErOutcome {
+            Ok(ErStages {
                 result,
                 bdm: Some(bdm),
                 bdm_metrics: Some(bdm_metrics),
                 match_metrics: out.metrics,
-                workflow: workflow.finish(),
             })
         }
     }
+}
+
+/// Runs entity resolution over pre-partitioned input (each inner `Vec`
+/// is one input partition == one map task).
+///
+/// Entities without a valid blocking key are *skipped* (counted under
+/// [`crate::bdm_job::NULL_KEY_ENTITIES`]); use
+/// [`crate::null_keys::deduplicate_with_null_keys`] to include them
+/// via the paper's Cartesian decomposition.
+///
+/// # Deprecation path
+///
+/// This is now a thin wrapper over [`run_er_in`] on a transient
+/// per-run [`Workflow`], kept for compatibility. New code should go
+/// through the facade crate's unified front door — `Runtime` +
+/// `Resolver` with `Scenario::Dedup` — which runs the identical stages
+/// on a persistent worker pool shared across runs.
+pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome, MrError> {
+    let mut workflow = Workflow::new(format!("er-{}", config.strategy));
+    let stages = run_er_in(&mut workflow, input, config)?;
+    Ok(ErOutcome {
+        result: stages.result,
+        bdm: stages.bdm,
+        bdm_metrics: stages.bdm_metrics,
+        match_metrics: stages.match_metrics,
+        workflow: workflow.finish(),
+    })
 }
 
 /// Reference implementation: per-block all-pairs matching with no

@@ -164,52 +164,51 @@ impl TwoSourceBdm {
     }
 }
 
-/// Runs two-source entity resolution (record linkage): `sources[p]`
-/// tags input partition `p` as belonging to `R` or `S`; only
-/// cross-source pairs within shared blocks are compared.
-pub fn run_linkage(
+/// Executes the two-source linkage scenario (paper Appendix I) as
+/// stages of `workflow` — the scenario compiler both [`run_linkage`]
+/// and the facade crate's `Resolver` (via `Scenario::Linkage`) drive.
+///
+/// `sources[p]` tags input partition `p` as belonging to `R` or `S`;
+/// only cross-source pairs within shared blocks are compared.
+pub fn run_linkage_in(
+    workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     sources: Vec<SourceId>,
     config: &ErConfig,
-) -> Result<ErOutcome, MrError> {
+) -> Result<crate::driver::ErStages, MrError> {
+    use crate::driver::ErStages;
     assert_eq!(
         sources.len(),
         input.len(),
         "one source tag per input partition"
     );
-    let comparer = if config.count_only {
-        crate::compare::PairComparer::count_only(Arc::clone(&config.matcher))
-    } else {
-        crate::compare::PairComparer::new(Arc::clone(&config.matcher))
-    };
-    let mut workflow = Workflow::new(format!("linkage-{}", config.strategy));
+    let comparer = config.comparer();
     if config.strategy == StrategyKind::Basic {
         let job = basic::basic_two_source_job(
             Arc::clone(&config.blocking),
             Arc::new(sources),
             comparer,
-            config.reduce_tasks,
-            config.parallelism,
+            config.reduce_tasks(),
+            config.parallelism(),
         );
         let out = workflow.chained_stage(&job, input)?;
         let mut result = MatchResult::new();
         for (pair, score) in out.reduce_outputs.into_iter().flatten() {
             result.insert(pair, score);
         }
-        return Ok(ErOutcome {
+        return Ok(ErStages {
             result,
             bdm: None,
             bdm_metrics: None,
             match_metrics: out.metrics,
-            workflow: workflow.finish(),
         });
     }
     let (bdm, annotated, bdm_metrics) = compute_bdm_in(
-        &mut workflow,
+        workflow,
         input,
         Arc::clone(&config.blocking),
-        config.reduce_tasks,
-        config.parallelism,
+        config.reduce_tasks(),
+        config.parallelism(),
         config.use_combiner,
     )?;
     let bdm = Arc::new(bdm);
@@ -219,8 +218,8 @@ pub fn run_linkage(
             &block_split::block_split_two_source_job(
                 ts,
                 comparer,
-                config.reduce_tasks,
-                config.parallelism,
+                config.reduce_tasks(),
+                config.parallelism(),
             ),
             annotated,
         )?,
@@ -229,8 +228,8 @@ pub fn run_linkage(
                 ts,
                 comparer,
                 config.range_policy,
-                config.reduce_tasks,
-                config.parallelism,
+                config.reduce_tasks(),
+                config.parallelism(),
             ),
             annotated,
         )?,
@@ -240,11 +239,36 @@ pub fn run_linkage(
     for (pair, score) in out.reduce_outputs.into_iter().flatten() {
         result.insert(pair, score);
     }
-    Ok(ErOutcome {
+    Ok(crate::driver::ErStages {
         result,
         bdm: Some(bdm),
         bdm_metrics: Some(bdm_metrics),
         match_metrics: out.metrics,
+    })
+}
+
+/// Runs two-source entity resolution (record linkage): `sources[p]`
+/// tags input partition `p` as belonging to `R` or `S`; only
+/// cross-source pairs within shared blocks are compared.
+///
+/// # Deprecation path
+///
+/// A thin wrapper over [`run_linkage_in`] on a transient per-run
+/// [`Workflow`], kept for compatibility; new code should use the
+/// facade crate's `Runtime` + `Resolver` with `Scenario::Linkage`,
+/// which runs the identical stages on a persistent worker pool.
+pub fn run_linkage(
+    input: Partitions<(), Ent>,
+    sources: Vec<SourceId>,
+    config: &ErConfig,
+) -> Result<ErOutcome, MrError> {
+    let mut workflow = Workflow::new(format!("linkage-{}", config.strategy));
+    let stages = run_linkage_in(&mut workflow, input, sources, config)?;
+    Ok(ErOutcome {
+        result: stages.result,
+        bdm: stages.bdm,
+        bdm_metrics: stages.bdm_metrics,
+        match_metrics: stages.match_metrics,
         workflow: workflow.finish(),
     })
 }

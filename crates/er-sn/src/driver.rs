@@ -22,10 +22,10 @@ use er_core::sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunct
 use er_core::{MatchResult, Matcher, MatcherCache};
 use er_loadbalance::compare::PairComparer;
 use er_loadbalance::Ent;
-use mr_engine::engine::default_parallelism;
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
+use mr_engine::runtime::RuntimeConfig;
 use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use crate::jobsn::{assemble_boundary_input, split_window_output, stitch_job, window_job};
@@ -74,6 +74,13 @@ pub enum NullKeyPolicy {
 }
 
 /// Configuration of one Sorted Neighborhood run.
+///
+/// The execution knobs every scenario shares live in the embedded
+/// [`RuntimeConfig`]: `parallelism`, `matcher_cache_capacity`,
+/// `count_only`, and — because SN's key ranges *are* the reduce tasks
+/// of its matching job — the partition count, stored as
+/// [`RuntimeConfig::reduce_tasks`]. The `with_*` builders forward to
+/// it, so call sites predating the extraction compile unchanged.
 #[derive(Clone)]
 pub struct SnConfig {
     /// Sort-key derivation (default: full normalized `title`).
@@ -86,21 +93,16 @@ pub struct SnConfig {
     /// Window size `w ≥ 2`: every pair within `w − 1` sort positions
     /// is compared.
     pub window: usize,
-    /// Number of key ranges == reduce tasks of the matching job.
-    pub partitions: usize,
     /// Fraction of keyed entities sampled into the key histogram the
     /// range boundaries are computed from, in `(0, 1]`.
     pub sample_rate: f64,
-    /// Local worker threads.
-    pub parallelism: usize,
     /// Pre-aggregate sampled key counts per map task.
     pub use_combiner: bool,
     /// Routing of entities without a sort key.
     pub null_key_policy: NullKeyPolicy,
-    /// Capacity bound for the reducers' prepared-entity caches
-    /// (`None` = unbounded; mirrors
-    /// `er_loadbalance::ErConfig::matcher_cache_capacity`).
-    pub matcher_cache_capacity: Option<usize>,
+    /// Shared execution knobs; `runtime.reduce_tasks` is the number of
+    /// key ranges (== reduce tasks of the matching job).
+    pub runtime: RuntimeConfig,
 }
 
 impl SnConfig {
@@ -111,12 +113,10 @@ impl SnConfig {
             matcher: Arc::new(Matcher::paper_default()),
             strategy,
             window: 4,
-            partitions: 4,
             sample_rate: 1.0,
-            parallelism: default_parallelism(),
             use_combiner: true,
             null_key_policy: NullKeyPolicy::default(),
-            matcher_cache_capacity: None,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -132,6 +132,20 @@ impl SnConfig {
         self
     }
 
+    /// Overrides the boundary strategy (the `Resolver` compiles one
+    /// scenario template into each requested strategy through this).
+    pub fn with_strategy(mut self, strategy: SnStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the whole shared-knob block (e.g. with a `Runtime`'s
+    /// configuration).
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     /// Overrides the window size.
     ///
     /// # Panics
@@ -142,13 +156,15 @@ impl SnConfig {
         self
     }
 
-    /// Overrides the number of key ranges.
+    /// Overrides the number of key ranges (forwards to
+    /// [`RuntimeConfig::reduce_tasks`] — the ranges are the reduce
+    /// tasks of the matching job).
     ///
     /// # Panics
     /// If `partitions` is zero.
     pub fn with_partitions(mut self, partitions: usize) -> Self {
         assert!(partitions > 0, "at least one partition is required");
-        self.partitions = partitions;
+        self.runtime.reduce_tasks = partitions;
         self
     }
 
@@ -165,9 +181,10 @@ impl SnConfig {
         self
     }
 
-    /// Overrides the worker-thread count.
+    /// Overrides the worker-thread count (forwards to
+    /// [`RuntimeConfig::parallelism`]).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
-        self.parallelism = parallelism;
+        self.runtime.parallelism = parallelism;
         self
     }
 
@@ -177,24 +194,55 @@ impl SnConfig {
         self
     }
 
-    /// Bounds the reducers' prepared-entity caches (LRU eviction);
-    /// `None` restores the unbounded default.
+    /// Switches comparison counting only (forwards to
+    /// [`RuntimeConfig::count_only`]): window pairs are counted but
+    /// never scored, and the match result stays empty — the timing-run
+    /// mode `ErConfig` always had, now available to SN workloads.
+    pub fn with_count_only(mut self, count_only: bool) -> Self {
+        self.runtime.count_only = count_only;
+        self
+    }
+
+    /// Bounds the reducers' prepared-entity caches (forwards to
+    /// [`RuntimeConfig::matcher_cache_capacity`]); `None` restores the
+    /// unbounded default.
     ///
     /// # Panics
     /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
     /// needs both sides resident.
     pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
-        assert!(
-            capacity.is_none_or(|n| n >= 2),
-            "a bounded cache needs room for a pair"
-        );
-        self.matcher_cache_capacity = capacity;
+        self.runtime = self.runtime.with_matcher_cache_capacity(capacity);
         self
     }
 
+    /// Number of key ranges == reduce tasks of the matching job.
+    pub fn partitions(&self) -> usize {
+        self.runtime.reduce_tasks
+    }
+
+    /// Local worker threads.
+    pub fn parallelism(&self) -> usize {
+        self.runtime.parallelism
+    }
+
+    /// Whether similarity evaluation is skipped (comparisons are only
+    /// counted).
+    pub fn count_only(&self) -> bool {
+        self.runtime.count_only
+    }
+
+    /// The prepared-entity cache bound (`None` = unbounded).
+    pub fn matcher_cache_capacity(&self) -> Option<usize> {
+        self.runtime.matcher_cache_capacity
+    }
+
     pub(crate) fn comparer(&self) -> PairComparer {
-        PairComparer::new(Arc::clone(&self.matcher))
-            .with_cache_capacity(self.matcher_cache_capacity)
+        let comparer = if self.count_only() {
+            PairComparer::count_only(Arc::clone(&self.matcher))
+        } else {
+            PairComparer::new(Arc::clone(&self.matcher))
+        };
+        comparer.with_cache_capacity(self.matcher_cache_capacity())
     }
 }
 
@@ -203,12 +251,11 @@ impl std::fmt::Debug for SnConfig {
         f.debug_struct("SnConfig")
             .field("strategy", &self.strategy)
             .field("window", &self.window)
-            .field("partitions", &self.partitions)
+            .field("partitions", &self.partitions())
             .field("sample_rate", &self.sample_rate)
-            .field("parallelism", &self.parallelism)
             .field("use_combiner", &self.use_combiner)
             .field("null_key_policy", &self.null_key_policy)
-            .field("matcher_cache_capacity", &self.matcher_cache_capacity)
+            .field("runtime", &self.runtime)
             .finish()
     }
 }
@@ -309,12 +356,20 @@ impl SnOutcome {
 
 /// Runs Sorted Neighborhood blocking over pre-partitioned input (each
 /// inner `Vec` is one input partition == one map task).
+///
+/// # Deprecation path
+///
+/// A thin wrapper over [`run_sn_stages`] on a transient per-run
+/// [`Workflow`], kept for compatibility; new code should use the
+/// facade crate's `Runtime` + `Resolver` with
+/// `Scenario::SortedNeighborhood`, which runs the identical stages on
+/// a persistent worker pool.
 pub fn run_sorted_neighborhood(
     input: Partitions<(), Ent>,
     config: &SnConfig,
 ) -> Result<SnOutcome, SnError> {
     let mut workflow = Workflow::new(format!("sn-{}", config.strategy));
-    let stages = run_sn_stages(&mut workflow, input, config, config.comparer())?;
+    let stages = run_sorted_neighborhood_in(&mut workflow, input, config)?;
     Ok(SnOutcome {
         result: stages.result,
         partitioner: stages.partitioner,
@@ -325,22 +380,42 @@ pub fn run_sorted_neighborhood(
     })
 }
 
-/// Products of one SN pass executed inside a larger workflow — what
-/// [`run_sn_stages`] returns to [`run_sorted_neighborhood`] and to the
-/// multi-pass / two-source drivers.
-pub(crate) struct SnStages {
+/// Products of one SN pass executed inside a caller-owned workflow —
+/// what [`run_sn_stages`] returns to [`run_sorted_neighborhood`], to
+/// the multi-pass / two-source drivers, and to the facade crate's
+/// `Resolver`.
+#[derive(Debug)]
+pub struct SnStages {
+    /// The deduplicated match result of this pass.
     pub result: MatchResult,
+    /// The sampled range partitioner the pass routed by.
     pub partitioner: RangePartitioner<SortKey>,
+    /// Metrics of the sort-key distribution job.
     pub sample_metrics: JobMetrics,
+    /// Metrics of the window/matching job.
     pub match_metrics: JobMetrics,
+    /// Metrics of JobSN's stitch job (absent for RepSN and for
+    /// boundary-free JobSN runs).
     pub stitch_metrics: Option<JobMetrics>,
+}
+
+/// Executes one plain (single-source, single-pass) SN pass as stages
+/// of `workflow` with the config's own comparer — the scenario
+/// compiler both [`run_sorted_neighborhood`] and the facade crate's
+/// `Resolver` (via single-key `Scenario::SortedNeighborhood`) drive.
+pub fn run_sorted_neighborhood_in(
+    workflow: &mut Workflow,
+    input: Partitions<(), Ent>,
+    config: &SnConfig,
+) -> Result<SnStages, SnError> {
+    run_sn_stages(workflow, input, config, config.comparer())
 }
 
 /// Executes one full SN pass (distribution job → window job → optional
 /// stitch job) as stages of `workflow`, evaluating pairs through the
 /// given `comparer` — the hook by which multi-pass SN installs its
 /// pair-level dedup gate and two-source SN its cross-source-only gate.
-pub(crate) fn run_sn_stages(
+pub fn run_sn_stages(
     workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     config: &SnConfig,
@@ -350,15 +425,18 @@ pub(crate) fn run_sn_stages(
         config.window >= 2,
         "a sliding window must span at least 2 slots"
     );
-    assert!(config.partitions > 0, "at least one partition is required");
+    assert!(
+        config.partitions() > 0,
+        "at least one partition is required"
+    );
     let (partitioner, annotated, sample_metrics) = sample_distribution_in(
         workflow,
         input,
         Arc::clone(&config.sort_key),
         config.null_key_policy,
         config.sample_rate,
-        config.partitions,
-        config.parallelism,
+        config.partitions(),
+        config.parallelism(),
         config.use_combiner,
     )?;
     let partitioner_arc = Arc::new(partitioner.clone());
@@ -368,14 +446,14 @@ pub(crate) fn run_sn_stages(
                 partitioner_arc,
                 comparer.clone(),
                 config.window,
-                config.partitions,
-                config.parallelism,
+                config.partitions(),
+                config.parallelism(),
             );
             let out = workflow.chained_stage(&job, annotated)?;
             let lens = out.metrics.per_reduce_counter(PARTITION_ENTITIES);
             let match_metrics = out.metrics;
             let (mut result, candidates) =
-                split_window_output(out.reduce_outputs, config.partitions, lens);
+                split_window_output(out.reduce_outputs, config.partitions(), lens);
             let boundary_input = assemble_boundary_input(&candidates, config.window);
             let stitch_metrics = if boundary_input.is_empty() {
                 None
@@ -384,7 +462,7 @@ pub(crate) fn run_sn_stages(
                 // partition per boundary), so it runs outside the
                 // chained-shape invariant.
                 let boundaries = boundary_input.len();
-                let job = stitch_job(comparer, config.window, boundaries, config.parallelism);
+                let job = stitch_job(comparer, config.window, boundaries, config.parallelism());
                 let out = workflow.repartitioned_stage(&job, boundary_input)?;
                 for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                     result.insert(pair, score);
@@ -413,7 +491,7 @@ pub(crate) fn run_sn_stages(
             // annotated input and the (deterministic) partitioner, so
             // this O(n) pass sees exactly what the reducers would
             // count.
-            let mut lens = vec![0u64; config.partitions];
+            let mut lens = vec![0u64; config.partitions()];
             for (key, _) in annotated.iter().flatten() {
                 lens[partitioner.partition_of(key)] += 1;
             }
@@ -434,8 +512,8 @@ pub(crate) fn run_sn_stages(
                 partitioner_arc,
                 comparer,
                 config.window,
-                config.partitions,
-                config.parallelism,
+                config.partitions(),
+                config.parallelism(),
             );
             let out = workflow.chained_stage(&job, annotated)?;
             let mut result = MatchResult::new();

@@ -86,21 +86,34 @@ pub struct SnPassReport {
     pub stitch_metrics: Option<JobMetrics>,
 }
 
-/// Runs multi-pass Sorted Neighborhood: one window workflow per sort
-/// key in `passes`, unioned with the first-pass-wins dedup gate.
-/// `config.sort_key` is ignored — each pass routes by its own key
-/// function; everything else (strategy, window, partitions, matcher,
-/// null-key policy) applies to every pass.
+/// Products of the multi-pass stages executed inside a caller-owned
+/// workflow — what [`run_multipass_sn_in`] produces and
+/// [`run_multipass_sn`] (plus the facade crate's `Resolver`) wraps
+/// into an outcome.
+#[derive(Debug)]
+pub struct MultiPassSnStages {
+    /// The union of all passes' match results (deduplicated).
+    pub result: MatchResult,
+    /// Per-pass reports, in pass order.
+    pub passes: Vec<SnPassReport>,
+}
+
+/// Executes multi-pass Sorted Neighborhood as stages of `workflow`:
+/// one window workflow per sort key in `passes`, unioned with the
+/// first-pass-wins dedup gate. `config.sort_key` is ignored — each
+/// pass routes by its own key function; everything else (strategy,
+/// window, partitions, matcher, null-key policy) applies to every
+/// pass.
 ///
 /// # Panics
 /// If `passes` is empty.
-pub fn run_multipass_sn(
+pub fn run_multipass_sn_in(
+    workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     config: &SnConfig,
     passes: &[Arc<dyn SortKeyFunction>],
-) -> Result<MultiPassSnOutcome, SnError> {
+) -> Result<MultiPassSnStages, SnError> {
     assert!(!passes.is_empty(), "multi-pass SN needs at least one pass");
-    let mut workflow = Workflow::new(format!("sn-multipass-{}", config.strategy));
     let mut seen: BTreeSet<MatchPair> = BTreeSet::new();
     let mut result = MatchResult::new();
     let mut reports = Vec::with_capacity(passes.len());
@@ -109,7 +122,7 @@ pub fn run_multipass_sn(
         let comparer = pass_config
             .comparer()
             .with_skip_pairs((!seen.is_empty()).then(|| Arc::new(seen.clone())));
-        let stages = run_sn_stages(&mut workflow, input.clone(), &pass_config, comparer)?;
+        let stages = run_sn_stages(workflow, input.clone(), &pass_config, comparer)?;
         let stitch_counter = |name: &str| {
             stages
                 .stitch_metrics
@@ -138,9 +151,35 @@ pub fn run_multipass_sn(
             config.window,
         ));
     }
-    Ok(MultiPassSnOutcome {
+    Ok(MultiPassSnStages {
         result,
         passes: reports,
+    })
+}
+
+/// Runs multi-pass Sorted Neighborhood: one window workflow per sort
+/// key in `passes`, unioned with the first-pass-wins dedup gate.
+///
+/// # Deprecation path
+///
+/// A thin wrapper over [`run_multipass_sn_in`] on a transient per-run
+/// [`Workflow`], kept for compatibility; new code should use the
+/// facade crate's `Runtime` + `Resolver` with
+/// `Scenario::SortedNeighborhood { passes, .. }`, which runs the
+/// identical stages on a persistent worker pool.
+///
+/// # Panics
+/// If `passes` is empty.
+pub fn run_multipass_sn(
+    input: Partitions<(), Ent>,
+    config: &SnConfig,
+    passes: &[Arc<dyn SortKeyFunction>],
+) -> Result<MultiPassSnOutcome, SnError> {
+    let mut workflow = Workflow::new(format!("sn-multipass-{}", config.strategy));
+    let stages = run_multipass_sn_in(&mut workflow, input, config, passes)?;
+    Ok(MultiPassSnOutcome {
+        result: stages.result,
+        passes: stages.passes,
         workflow: workflow.finish(),
     })
 }

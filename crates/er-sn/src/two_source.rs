@@ -27,24 +27,29 @@ use er_loadbalance::Ent;
 use mr_engine::input::Partitions;
 use mr_engine::workflow::Workflow;
 
-use crate::driver::run_sn_stages;
+use crate::driver::{run_sn_stages, SnStages};
 use crate::sample::resolve_sort_key;
 use crate::{SnConfig, SnError, SnOutcome};
 
-/// Runs two-source Sorted Neighborhood linkage: `sources[p]` tags
-/// input partition `p` as belonging to `R` or `S` (every entity in
-/// the partition must carry that source); only cross-source pairs
-/// within the window over the interleaved order are compared.
+/// Executes two-source Sorted Neighborhood linkage as stages of
+/// `workflow` — the scenario compiler both [`run_two_source_sn`] and
+/// the facade crate's `Resolver` (via `Scenario::TwoSourceSn`) drive.
+///
+/// `sources[p]` tags input partition `p` as belonging to `R` or `S`
+/// (every entity in the partition must carry that source); only
+/// cross-source pairs within the window over the interleaved order are
+/// compared.
 ///
 /// # Panics
 /// If `sources` and `input` lengths differ, a tag other than `R`/`S`
 /// appears, or an entity's own source disagrees with its partition's
 /// tag.
-pub fn run_two_source_sn(
+pub fn run_two_source_sn_in(
+    workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     sources: Vec<SourceId>,
     config: &SnConfig,
-) -> Result<SnOutcome, SnError> {
+) -> Result<SnStages, SnError> {
     assert_eq!(
         sources.len(),
         input.len(),
@@ -64,9 +69,33 @@ pub fn run_two_source_sn(
             "partition {partition} holds entities of a different source than its tag"
         );
     }
-    let mut workflow = Workflow::new(format!("sn-two-source-{}", config.strategy));
     let comparer = config.comparer().with_cross_source_only(true);
-    let stages = run_sn_stages(&mut workflow, input, config, comparer)?;
+    run_sn_stages(workflow, input, config, comparer)
+}
+
+/// Runs two-source Sorted Neighborhood linkage: `sources[p]` tags
+/// input partition `p` as belonging to `R` or `S` (every entity in
+/// the partition must carry that source); only cross-source pairs
+/// within the window over the interleaved order are compared.
+///
+/// # Deprecation path
+///
+/// A thin wrapper over [`run_two_source_sn_in`] on a transient per-run
+/// [`Workflow`], kept for compatibility; new code should use the
+/// facade crate's `Runtime` + `Resolver` with `Scenario::TwoSourceSn`,
+/// which runs the identical stages on a persistent worker pool.
+///
+/// # Panics
+/// If `sources` and `input` lengths differ, a tag other than `R`/`S`
+/// appears, or an entity's own source disagrees with its partition's
+/// tag.
+pub fn run_two_source_sn(
+    input: Partitions<(), Ent>,
+    sources: Vec<SourceId>,
+    config: &SnConfig,
+) -> Result<SnOutcome, SnError> {
+    let mut workflow = Workflow::new(format!("sn-two-source-{}", config.strategy));
+    let stages = run_two_source_sn_in(&mut workflow, input, sources, config)?;
     Ok(SnOutcome {
         result: stages.result,
         partitioner: stages.partitioner,

@@ -66,8 +66,37 @@ use crate::mapper::{run_map_task, MapTaskInfo, Mapper};
 use crate::merge::GroupStream;
 use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
 use crate::partitioner::{HashPartitioner, Partitioner};
-use crate::pool::run_tasks;
+use crate::pool::{run_tasks, WorkerPool};
 use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+
+/// How a job's map/reduce tasks are executed: a transient scoped pool
+/// spawned for this run, or a caller-owned persistent [`WorkerPool`].
+/// Both produce byte-identical output (index-addressed slots either
+/// way); the choice is purely operational.
+enum Exec<'p> {
+    Transient { parallelism: usize },
+    Pooled(&'p WorkerPool),
+}
+
+impl Exec<'_> {
+    fn parallelism(&self) -> usize {
+        match self {
+            Exec::Transient { parallelism } => *parallelism,
+            Exec::Pooled(pool) => pool.threads(),
+        }
+    }
+
+    fn run<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self {
+            Exec::Transient { parallelism } => run_tasks(count, *parallelism, f),
+            Exec::Pooled(pool) => pool.run_tasks(count, f),
+        }
+    }
+}
 
 /// Result of a completed job.
 #[derive(Debug)]
@@ -258,9 +287,40 @@ where
 {
     /// Executes the job over the given input partitions.
     ///
-    /// The number of map tasks `m` equals `input.len()`.
+    /// The number of map tasks `m` equals `input.len()`. Tasks run on
+    /// a transient pool of [`JobBuilder::parallelism`] scoped threads
+    /// spawned for this run; see [`Job::run_on`] to reuse a persistent
+    /// [`WorkerPool`] across jobs instead.
     pub fn run(
         &self,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        self.run_with(
+            Exec::Transient {
+                parallelism: self.parallelism,
+            },
+            input,
+        )
+    }
+
+    /// Executes the job on a caller-owned persistent [`WorkerPool`]
+    /// (no thread spawn in this call; the pool's thread count takes
+    /// the place of [`JobBuilder::parallelism`]).
+    ///
+    /// Output is byte-identical to [`Job::run`] at any parallelism:
+    /// the engine's determinism contract makes the result a pure
+    /// function of `(input, job definition)`.
+    pub fn run_on(
+        &self,
+        pool: &WorkerPool,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        self.run_with(Exec::Pooled(pool), input)
+    }
+
+    fn run_with(
+        &self,
+        exec: Exec<'_>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
         let job_start = Instant::now();
@@ -272,13 +332,13 @@ where
         if r == 0 {
             return Err(MrError::NoReduceTasks);
         }
-        if self.parallelism == 0 {
+        if exec.parallelism() == 0 {
             return Err(MrError::ZeroParallelism);
         }
 
         // ---- Map phase -------------------------------------------------
         let map_results: Vec<Result<MapTaskResult<M::KOut, M::VOut, M::Side>, MrError>> =
-            run_tasks(m, self.parallelism, |i| {
+            exec.run(m, |i| {
                 let start = Instant::now();
                 let info = MapTaskInfo {
                     task_index: i,
@@ -367,56 +427,55 @@ where
         let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ----------------------------------------------
-        let reduce_results: Vec<(Vec<(R::KOut, R::VOut)>, TaskMetrics)> =
-            run_tasks(r, self.parallelism, |j| {
-                let start = Instant::now();
-                let info = ReduceTaskInfo {
-                    task_index: j,
-                    num_reduce_tasks: r,
-                    num_map_tasks: m,
-                };
-                let mut reducer = self.reducer.clone();
-                let mut ctx = ReduceContext::new(info);
-                reducer.setup(&info);
-                let runs = run_slots[j]
-                    .lock()
-                    .expect("run slot lock is uncontended")
-                    .take()
-                    .expect("each reduce task consumes its runs exactly once");
-                let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
-                // Streaming reduce: groups come out of the heap merge
-                // one at a time into a reusable buffer — the merged
-                // run is never materialized. The stream tracks its own
-                // resident high-water mark (group buffer + buffered
-                // run heads, sampled per record so mid-group states
-                // count too).
-                let mut stream = GroupStream::new(runs, &self.sort_cmp);
-                let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
-                let mut groups = 0u64;
-                let mut peak_group_len = 0u64;
-                while stream.next_group(&self.group_cmp, &mut group_buf) {
-                    groups += 1;
-                    peak_group_len = peak_group_len.max(group_buf.len() as u64);
-                    reducer.reduce(Group::new(&group_buf), &mut ctx);
-                }
-                let peak_resident_records = stream.peak_resident_records() as u64;
-                reducer.finish(&mut ctx);
-                ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
-                ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
-                ctx.counters
-                    .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
-                let metrics = TaskMetrics {
-                    kind: TaskKind::Reduce,
-                    index: j,
-                    records_in,
-                    records_out: ctx.out.len() as u64,
-                    counters: ctx.counters,
-                    wall: start.elapsed(),
-                    peak_group_len,
-                    peak_resident_records,
-                };
-                (ctx.out, metrics)
-            });
+        let reduce_results: Vec<(Vec<(R::KOut, R::VOut)>, TaskMetrics)> = exec.run(r, |j| {
+            let start = Instant::now();
+            let info = ReduceTaskInfo {
+                task_index: j,
+                num_reduce_tasks: r,
+                num_map_tasks: m,
+            };
+            let mut reducer = self.reducer.clone();
+            let mut ctx = ReduceContext::new(info);
+            reducer.setup(&info);
+            let runs = run_slots[j]
+                .lock()
+                .expect("run slot lock is uncontended")
+                .take()
+                .expect("each reduce task consumes its runs exactly once");
+            let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
+            // Streaming reduce: groups come out of the heap merge
+            // one at a time into a reusable buffer — the merged
+            // run is never materialized. The stream tracks its own
+            // resident high-water mark (group buffer + buffered
+            // run heads, sampled per record so mid-group states
+            // count too).
+            let mut stream = GroupStream::new(runs, &self.sort_cmp);
+            let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
+            let mut groups = 0u64;
+            let mut peak_group_len = 0u64;
+            while stream.next_group(&self.group_cmp, &mut group_buf) {
+                groups += 1;
+                peak_group_len = peak_group_len.max(group_buf.len() as u64);
+                reducer.reduce(Group::new(&group_buf), &mut ctx);
+            }
+            let peak_resident_records = stream.peak_resident_records() as u64;
+            reducer.finish(&mut ctx);
+            ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
+            ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
+            ctx.counters
+                .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
+            let metrics = TaskMetrics {
+                kind: TaskKind::Reduce,
+                index: j,
+                records_in,
+                records_out: ctx.out.len() as u64,
+                counters: ctx.counters,
+                wall: start.elapsed(),
+                peak_group_len,
+                peak_resident_records,
+            };
+            (ctx.out, metrics)
+        });
 
         let mut reduce_outputs = Vec::with_capacity(r);
         let mut reduce_tasks_metrics = Vec::with_capacity(r);
@@ -870,6 +929,26 @@ mod tests {
             reduce_wall > std::time::Duration::ZERO,
             "merge cost must be attributed to reduce tasks"
         );
+    }
+
+    #[test]
+    fn run_on_pool_is_byte_identical_to_transient_run() {
+        let input = partition_evenly(lines(&["x y z", "y z", "z z y x", "w", "x w y"]), 3);
+        let reference = wordcount_job(4, 1).run(input.clone()).unwrap();
+        let pool = WorkerPool::new(4);
+        for round in 0..3 {
+            let pooled = wordcount_job(4, 2).run_on(&pool, input.clone()).unwrap();
+            assert_eq!(
+                pooled.reduce_outputs, reference.reduce_outputs,
+                "round {round} diverged on the pool"
+            );
+        }
+        assert_eq!(
+            pool.threads_spawned(),
+            4,
+            "three jobs must share the four construction-time threads"
+        );
+        assert!(pool.tasks_executed() > 0);
     }
 
     #[test]

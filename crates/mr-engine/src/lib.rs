@@ -81,6 +81,7 @@ pub mod metrics;
 pub mod partitioner;
 pub mod pool;
 pub mod reducer;
+pub mod runtime;
 pub mod workflow;
 
 pub use adapters::{ClosureMapper, ClosureReducer};
@@ -94,7 +95,9 @@ pub use mapper::{MapContext, MapTaskInfo, Mapper};
 pub use merge::{merge_sorted_runs, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
+pub use pool::WorkerPool;
 pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
+pub use runtime::{Runtime, RuntimeConfig};
 pub use workflow::{ensure_same_shape, Workflow, WorkflowMetrics};
 
 /// Convenience glob-import for downstream crates and examples.
@@ -108,6 +111,8 @@ pub mod prelude {
     pub use crate::mapper::{MapContext, MapTaskInfo, Mapper};
     pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
     pub use crate::partitioner::{FnPartitioner, HashPartitioner, Partitioner};
+    pub use crate::pool::WorkerPool;
     pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
+    pub use crate::runtime::{Runtime, RuntimeConfig};
     pub use crate::workflow::{Workflow, WorkflowMetrics};
 }

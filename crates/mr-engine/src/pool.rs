@@ -1,12 +1,30 @@
-//! A minimal deterministic work pool for running homogeneous tasks.
+//! Deterministic work pools for running homogeneous tasks.
 //!
 //! Workers pull task indices from an atomic cursor; results land in
 //! index-addressed slots, so the result vector is always in task order
 //! regardless of completion order — the keystone of the engine's
 //! determinism guarantee.
+//!
+//! Two execution modes share that algorithm:
+//!
+//! * [`run_tasks`] — a *transient* pool: std scoped threads spawned
+//!   for one call and joined before it returns (the historical
+//!   per-job path, still used by [`crate::engine::Job::run`]);
+//! * [`WorkerPool`] — a *persistent* pool: threads spawned once at
+//!   construction and reused by every [`WorkerPool::run_tasks`] call
+//!   until drop ([`crate::engine::Job::run_on`] and every workflow
+//!   bound to a [`crate::runtime::Runtime`]). Back-to-back jobs pay
+//!   zero thread-spawn cost.
+//!
+//! Both modes produce byte-identical results for the same `(count,
+//! f)`: outputs are index-addressed and the task function observes
+//! nothing about which worker ran it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Runs `count` tasks produced by `f(task_index)` on up to
 /// `parallelism` worker threads and returns results in task order.
@@ -58,10 +76,256 @@ where
         .collect()
 }
 
+/// A lifetime-erased unit of work queued on a [`WorkerPool`].
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a [`WorkerPool`] handle and its workers.
+struct PoolShared {
+    queue: Mutex<TaskQueue>,
+    /// Signalled when tasks are queued or shutdown is requested.
+    work_ready: Condvar,
+    /// Erased tasks executed by workers over the pool's lifetime — a
+    /// cheap witness that consecutive runs reuse the same pool.
+    tasks_executed: AtomicU64,
+}
+
+struct TaskQueue {
+    tasks: VecDeque<PoolTask>,
+    shutdown: bool,
+}
+
+/// Per-dispatch synchronization: [`WorkerPool::run_tasks`] must not
+/// return before every task it queued has finished, because the queued
+/// closures borrow its stack frame.
+struct DispatchSync {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// A persistent worker pool: `parallelism` threads spawned **once** at
+/// construction and reused by every [`WorkerPool::run_tasks`] call.
+///
+/// Semantics are identical to the transient [`run_tasks`] — same
+/// cursor/slot algorithm, same inline fast path for
+/// `parallelism == 1` or a single task, same panic propagation — so a
+/// job produces byte-identical output whichever mode executes it. The
+/// difference is purely operational: a long-lived
+/// [`crate::runtime::Runtime`] runs many workflows back to back
+/// without paying a thread spawn/join per job phase.
+///
+/// Do not call [`WorkerPool::run_tasks`] from inside one of the pool's
+/// own tasks: the outer call holds workers that the inner call would
+/// need, and the pool does not grow.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("threads_spawned", &self.handles.len())
+            .field("tasks_executed", &self.tasks_executed())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `parallelism` task slots.
+    ///
+    /// With `parallelism == 1` no OS thread is spawned at all: every
+    /// dispatch runs inline on the caller, exactly like the transient
+    /// path (fast unit tests, clean stack traces).
+    ///
+    /// # Panics
+    /// If `parallelism` is zero.
+    pub fn new(parallelism: usize) -> Self {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(TaskQueue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            tasks_executed: AtomicU64::new(0),
+        });
+        let handles = if parallelism == 1 {
+            Vec::new()
+        } else {
+            (0..parallelism)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_main(&shared))
+                })
+                .collect()
+        };
+        Self {
+            shared,
+            threads: parallelism,
+            handles,
+        }
+    }
+
+    /// The configured parallelism (task slots).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// OS threads this pool spawned over its lifetime. Constant after
+    /// construction (`parallelism`, or 0 for the inline single-slot
+    /// pool) — the reuse guarantee tests pin.
+    pub fn threads_spawned(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Erased tasks the pool's workers have executed so far. Grows
+    /// with every pooled dispatch; stays 0 for inline execution.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Runs `count` tasks produced by `f(task_index)` on the pool's
+    /// workers and returns results in task order — the persistent-pool
+    /// twin of the module-level [`run_tasks`].
+    ///
+    /// Blocks until every task completed; a panicking task is
+    /// propagated to the caller after the remaining tasks finished
+    /// (workers themselves survive).
+    pub fn run_tasks<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        if self.handles.is_empty() || count == 1 {
+            return (0..count).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.handles.len().min(count);
+        let sync = DispatchSync {
+            pending: Mutex::new(workers),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for _ in 0..workers {
+                // One cursor-draining loop per worker slot, same as the
+                // transient pool's per-thread body.
+                let body = || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let result = f(i);
+                        let prev = slots[i]
+                            .lock()
+                            .expect("no other writer can have panicked while holding the slot")
+                            .replace(result);
+                        assert!(prev.is_none(), "slot {i} written twice");
+                    }));
+                    if let Err(payload) = outcome {
+                        // First panic wins; store BEFORE the decrement
+                        // so the dispatcher observes it once pending
+                        // reaches zero.
+                        let mut slot = sync.panic.lock().expect("panic slot poisoned");
+                        slot.get_or_insert(payload);
+                    }
+                    let mut pending = sync.pending.lock().expect("pending count poisoned");
+                    *pending -= 1;
+                    if *pending == 0 {
+                        sync.done.notify_all();
+                    }
+                };
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(body);
+                // SAFETY: the task borrows `slots`, `cursor`, `sync`
+                // and `f` from this stack frame. The erased 'static
+                // lifetime never outlives them because this function
+                // blocks on `sync.pending == 0` below — i.e. on every
+                // queued task having fully returned (panic paths
+                // included, via catch_unwind) — before the frame is
+                // torn down. Layout-wise this is a fat-pointer cast
+                // that only forgets a lifetime.
+                let task: PoolTask =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, PoolTask>(task) };
+                queue.tasks.push_back(task);
+            }
+            self.shared.work_ready.notify_all();
+        }
+        // The borrow fence: wait for all dispatched tasks.
+        let mut pending = sync.pending.lock().expect("pending count poisoned");
+        while *pending > 0 {
+            pending = sync.done.wait(pending).expect("pending count poisoned");
+        }
+        drop(pending);
+        if let Some(payload) = sync.panic.lock().expect("panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("slot lock cannot be poisoned after a clean dispatch")
+                    .unwrap_or_else(|| panic!("task {i} produced no result"))
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker panic would already have been propagated to the
+            // dispatcher; a join error here means a task panicked in a
+            // way catch_unwind cannot contain (abort), so unwrapping
+            // is unreachable in practice.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        // Count BEFORE running: the task body performs the dispatch's
+        // pending-decrement handshake, so incrementing afterwards
+        // would let `run_tasks` return while the counter still misses
+        // the tasks it just ran.
+        shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        // Dispatched tasks contain their own catch_unwind; this outer
+        // guard only keeps the worker alive if that bookkeeping itself
+        // ever panicked.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn results_are_in_task_order() {
@@ -101,5 +365,81 @@ mod tests {
     #[should_panic(expected = "parallelism")]
     fn zero_parallelism_panics() {
         let _ = run_tasks(1, 0, |i| i);
+    }
+
+    #[test]
+    fn worker_pool_matches_transient_results() {
+        let pool = WorkerPool::new(4);
+        for count in [0usize, 1, 2, 7, 100] {
+            let pooled = pool.run_tasks(count, |i| i * 3 + 1);
+            let transient = run_tasks(count, 4, |i| i * 3 + 1);
+            assert_eq!(pooled, transient, "count {count}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_reuses_threads_across_dispatches() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.threads_spawned(), 3);
+        let before = pool.tasks_executed();
+        for round in 0..5 {
+            let out = pool.run_tasks(10, |i| i + round);
+            assert_eq!(out.len(), 10);
+            assert_eq!(
+                pool.threads_spawned(),
+                3,
+                "no new threads may appear per dispatch"
+            );
+        }
+        assert!(
+            pool.tasks_executed() > before,
+            "pooled dispatches must run on the persistent workers"
+        );
+    }
+
+    #[test]
+    fn single_slot_pool_runs_inline_without_threads() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads_spawned(), 0);
+        let caller = std::thread::current().id();
+        let ids = pool.run_tasks(4, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+        assert_eq!(pool.tasks_executed(), 0, "inline path bypasses the queue");
+    }
+
+    #[test]
+    fn worker_pool_tasks_can_borrow_the_caller_stack() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..50).collect();
+        let doubled = pool.run_tasks(data.len(), |i| data[i] * 2);
+        assert_eq!(doubled[49], 98);
+    }
+
+    #[test]
+    fn worker_pool_propagates_task_panics_and_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(8, |i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the dispatcher");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("exploded"), "got {msg:?}");
+        // The pool stays usable after a panicking dispatch.
+        assert_eq!(pool.run_tasks(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_slot_pool_panics() {
+        let _ = WorkerPool::new(0);
     }
 }

@@ -1,0 +1,222 @@
+//! A reusable execution runtime: one persistent worker pool plus the
+//! shared configuration knobs every scenario duplicates otherwise.
+//!
+//! Historically each driver call (`run_er`, `run_sorted_neighborhood`,
+//! …) spawned its own scoped worker threads per job phase and carried
+//! its own copy of `reduce_tasks` / `parallelism` / `count_only` /
+//! `matcher_cache_capacity`. A [`Runtime`] inverts that: it is created
+//! **once**, owns a [`WorkerPool`] whose threads live as long as the
+//! runtime, and hands out pool-bound [`Workflow`]s — so back-to-back
+//! workflow executions share the same threads with zero per-run spawn
+//! cost, and the shared knobs live in one [`RuntimeConfig`] that the
+//! scenario configs embed instead of copying.
+//!
+//! The engine itself interprets `parallelism` and the `reduce_tasks`
+//! default; `count_only` and `matcher_cache_capacity` are part of the
+//! shared execution profile carried for the entity-resolution layers
+//! (which alone interpret them) so that every scenario config draws
+//! them from the same place.
+
+use std::sync::Arc;
+
+use crate::engine::default_parallelism;
+use crate::pool::WorkerPool;
+use crate::workflow::Workflow;
+
+/// The execution knobs shared by every scenario in the workspace —
+/// extracted from the previously duplicated `ErConfig` / `SnConfig`
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Local worker threads (task slots). A [`Runtime`] spawns its
+    /// pool with exactly this many slots.
+    pub parallelism: usize,
+    /// Default number of reduce tasks `r` for the jobs of a scenario.
+    /// Blocking-based ER runs both its jobs with `r` reduce tasks;
+    /// Sorted Neighborhood uses it as the number of contiguous key
+    /// ranges (== reduce tasks of its matching job).
+    pub reduce_tasks: usize,
+    /// Capacity bound for the per-reduce-task prepared-entity caches
+    /// (`None` = unbounded, right for paper-scale batch tasks; set a
+    /// bound for long-running ingest whose key space grows without
+    /// limit). Eviction costs recompute only — match output is
+    /// bit-identical either way.
+    pub matcher_cache_capacity: Option<usize>,
+    /// Count comparisons without evaluating similarity (timing runs).
+    pub count_only: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: default_parallelism(),
+            reduce_tasks: 4,
+            matcher_cache_capacity: None,
+            count_only: false,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The defaults: all available cores, 4 reduce tasks, unbounded
+    /// caches, full matching.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Overrides the default reduce-task count.
+    pub fn with_reduce_tasks(mut self, reduce_tasks: usize) -> Self {
+        self.reduce_tasks = reduce_tasks;
+        self
+    }
+
+    /// Bounds the prepared-entity caches to at most `capacity`
+    /// resident entities (LRU eviction); `None` restores the unbounded
+    /// default.
+    ///
+    /// # Panics
+    /// If `capacity` is `Some(n)` with `n < 2` — comparing a pair
+    /// needs both sides resident.
+    pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        assert!(
+            capacity.is_none_or(|n| n >= 2),
+            "a bounded cache needs room for a pair"
+        );
+        self.matcher_cache_capacity = capacity;
+        self
+    }
+
+    /// Switches comparison counting only (no similarity evaluation).
+    pub fn with_count_only(mut self, count_only: bool) -> Self {
+        self.count_only = count_only;
+        self
+    }
+}
+
+/// An owned, reusable engine handle: a persistent [`WorkerPool`] plus
+/// the [`RuntimeConfig`] defaults, created once and shared across
+/// back-to-back workflow executions.
+///
+/// ```
+/// use mr_engine::runtime::{Runtime, RuntimeConfig};
+///
+/// let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(2));
+/// // Every workflow handed out here executes on the same two threads:
+/// let wf = runtime.workflow("first-run");
+/// assert!(wf.pool().is_some());
+/// assert_eq!(runtime.pool().threads(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    pool: Arc<WorkerPool>,
+}
+
+impl Runtime {
+    /// Creates the runtime, spawning its worker pool — the only place
+    /// threads are created; every workflow run on this runtime reuses
+    /// them.
+    ///
+    /// # Panics
+    /// If `config.parallelism` is zero.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.parallelism));
+        Self { config, pool }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The persistent worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Starts a [`Workflow`] bound to this runtime's pool: its stages
+    /// run on the runtime's threads, never spawning their own.
+    pub fn workflow(&self, name: impl Into<String>) -> Workflow {
+        Workflow::on_pool(name, Arc::clone(&self.pool))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{ClosureMapper, ClosureReducer};
+    use crate::engine::Job;
+    use crate::input::partition_evenly;
+    use crate::mapper::MapContext;
+    use crate::reducer::{Group, ReduceContext};
+
+    fn count_job(
+        r: usize,
+    ) -> Job<ClosureMapper<(), u32, u32, u64, ()>, ClosureReducer<u32, u64, u32, u64>> {
+        let mapper = ClosureMapper::new(|_: &(), v: &u32, ctx: &mut MapContext<u32, u64, ()>| {
+            ctx.emit(v % 5, 1);
+        });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, u32, u64>, ctx: &mut ReduceContext<u32, u64>| {
+                ctx.emit(*group.key(), group.values().sum());
+            },
+        );
+        Job::builder("count", mapper, reducer)
+            .reduce_tasks(r)
+            .parallelism(1)
+            .build()
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let config = RuntimeConfig::new()
+            .with_parallelism(3)
+            .with_reduce_tasks(7)
+            .with_matcher_cache_capacity(Some(16))
+            .with_count_only(true);
+        assert_eq!(config.parallelism, 3);
+        assert_eq!(config.reduce_tasks, 7);
+        assert_eq!(config.matcher_cache_capacity, Some(16));
+        assert!(config.count_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for a pair")]
+    fn tiny_cache_capacity_rejected() {
+        let _ = RuntimeConfig::new().with_matcher_cache_capacity(Some(1));
+    }
+
+    #[test]
+    fn consecutive_workflows_share_one_pool() {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(2));
+        let input = partition_evenly((0..40u32).map(|v| ((), v)).collect(), 4);
+        let mut reference: Option<Vec<Vec<(u32, u64)>>> = None;
+        for round in 0..3 {
+            let mut wf = runtime.workflow(format!("round-{round}"));
+            let out = wf.chained_stage(&count_job(3), input.clone()).unwrap();
+            match &reference {
+                None => reference = Some(out.reduce_outputs),
+                Some(r) => assert_eq!(r, &out.reduce_outputs, "round {round} drifted"),
+            }
+            assert_eq!(wf.finish().num_stages(), 1);
+            assert_eq!(
+                runtime.pool().threads_spawned(),
+                2,
+                "round {round} must not spawn threads"
+            );
+        }
+        assert!(runtime.pool().tasks_executed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_runtime_rejected() {
+        let _ = Runtime::new(RuntimeConfig::new().with_parallelism(0));
+    }
+}

@@ -28,6 +28,7 @@
 //!   (including driver glue between stages), merged counters, and the
 //!   peak-memory gauges of the streaming reduce path.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::counters::CounterSet;
@@ -36,6 +37,7 @@ use crate::error::MrError;
 use crate::input::Partitions;
 use crate::mapper::Mapper;
 use crate::metrics::JobMetrics;
+use crate::pool::WorkerPool;
 use crate::reducer::Reducer;
 
 /// Checks that two partitionings have identical shape (same number of
@@ -85,22 +87,46 @@ pub struct Workflow {
     /// Partition count established by the first chained stage.
     partitions: Option<usize>,
     stages: Vec<JobMetrics>,
+    /// Persistent worker pool the stages execute on; `None` runs each
+    /// stage on its own transient scoped pool (the historical path).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Workflow {
-    /// Starts a workflow; the end-to-end wall clock starts here.
+    /// Starts a workflow; the end-to-end wall clock starts here. Each
+    /// stage spawns its own transient worker threads — see
+    /// [`Workflow::on_pool`] (or [`crate::runtime::Runtime::workflow`])
+    /// to share one persistent pool across stages and workflows.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             started: Instant::now(),
             partitions: None,
             stages: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Starts a workflow whose stages all execute on `pool` — no
+    /// thread is spawned per stage, and consecutive workflows given
+    /// the same pool share its threads (the
+    /// [`crate::runtime::Runtime`] execution mode). Output is
+    /// byte-identical to the transient path.
+    pub fn on_pool(name: impl Into<String>, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            pool: Some(pool),
+            ..Self::new(name)
         }
     }
 
     /// The workflow name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The persistent pool this workflow is bound to, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Number of stages executed so far.
@@ -168,7 +194,10 @@ impl Workflow {
         M::VOut: Sync,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
-        let out = job.run(input)?;
+        let out = match &self.pool {
+            Some(pool) => job.run_on(pool, input)?,
+            None => job.run(input)?,
+        };
         self.stages.push(out.metrics.clone());
         Ok(out)
     }

@@ -43,16 +43,30 @@ fn main() {
         sources.push(SourceId::S);
     }
 
+    // One linkage session over the shared runtime; each strategy is a
+    // `Scenario::Linkage` resolved on the same worker pool.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(12),
+    );
+    let resolver = Resolver::new(&runtime);
     for strategy in [
         StrategyKind::Basic,
         StrategyKind::BlockSplit,
         StrategyKind::PairRange,
     ] {
-        let config = ErConfig::new(strategy)
-            .with_reduce_tasks(12)
-            .with_parallelism(4);
-        let outcome = run_linkage(input.clone(), sources.clone(), &config).unwrap();
-        let stats = WorkloadStats::from_metrics(strategy, &outcome.match_metrics);
+        let outcome = resolver
+            .resolve(
+                &Scenario::Linkage {
+                    strategy,
+                    sources: sources.clone(),
+                },
+                input.clone(),
+            )
+            .unwrap();
+        let match_metrics = outcome.details.match_metrics().expect("one matching job");
+        let stats = WorkloadStats::from_metrics(strategy, match_metrics);
         println!(
             "{:<11} comparisons={:<8} matches={:<6} imbalance={:.2}",
             strategy.to_string(),
@@ -66,10 +80,15 @@ fn main() {
     // so the expected match count is |S| (plus matches against R's
     // intra-source duplicates of those titles).
     let expected_min = s_entities.len();
-    let config = ErConfig::new(StrategyKind::PairRange)
-        .with_reduce_tasks(12)
-        .with_parallelism(4);
-    let outcome = run_linkage(input.clone(), sources.clone(), &config).unwrap();
+    let outcome = resolver
+        .resolve(
+            &Scenario::Linkage {
+                strategy: StrategyKind::PairRange,
+                sources: sources.clone(),
+            },
+            input.clone(),
+        )
+        .unwrap();
     println!(
         "\nPairRange found {} cross-source matches for {} S-records (>= {} expected)",
         outcome.result.len(),
@@ -143,7 +162,12 @@ fn main() {
         ],
         0.5,
     ));
-    let config = config.with_matcher(matcher);
+    // The null-key composition helper still takes an `ErConfig`; the
+    // resolver hands out exactly the config it would compile itself.
+    let config = resolver
+        .clone()
+        .with_matcher(matcher)
+        .er_config(StrategyKind::PairRange);
     let (result, report) = link_with_null_keys(&mini_input, &mini_sources, &config).unwrap();
     println!(
         "matches={} (blocked={} + cartesian={}); the title-less S#11 was linked via match⊥",

@@ -70,6 +70,17 @@ fn main() {
         0.7,
     ));
 
+    // One session carries the domain configuration (signature
+    // blocking + Jaccard matcher); each strategy is just a scenario.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(16),
+    );
+    let resolver = Resolver::new(&runtime)
+        .with_blocking(Arc::clone(&blocking))
+        .with_matcher(Arc::clone(&matcher));
+
     println!(
         "{:<11} {:>12} {:>10} {:>10}",
         "strategy", "comparisons", "pairs>=0.7", "imbalance"
@@ -79,13 +90,11 @@ fn main() {
         StrategyKind::BlockSplit,
         StrategyKind::PairRange,
     ] {
-        let config = ErConfig::new(strategy)
-            .with_blocking(Arc::clone(&blocking))
-            .with_matcher(Arc::clone(&matcher))
-            .with_reduce_tasks(16)
-            .with_parallelism(4);
-        let outcome = run_er(input.clone(), &config).unwrap();
-        let stats = WorkloadStats::from_metrics(strategy, &outcome.match_metrics);
+        let outcome = resolver
+            .resolve(&Scenario::Dedup { strategy }, input.clone())
+            .unwrap();
+        let match_metrics = outcome.details.match_metrics().expect("one matching job");
+        let stats = WorkloadStats::from_metrics(strategy, match_metrics);
         println!(
             "{:<11} {:>12} {:>10} {:>10.2}",
             strategy.to_string(),

@@ -48,7 +48,7 @@ fn figure_3_and_4() {
     );
 }
 
-fn figure_5_block_split() {
+fn figure_5_block_split(resolver: &Resolver<'_>) {
     println!("== Figure 5: BlockSplit match tasks and assignment (r = 3) ==\n");
     let bdm = running_example_bdm();
     let tasks = create_match_tasks(&bdm, 3);
@@ -76,20 +76,26 @@ fn figure_5_block_split() {
         assignment.loads()
     );
 
-    let config = ErConfig::new(StrategyKind::BlockSplit)
-        .with_blocking(running_example::blocking())
-        .with_reduce_tasks(3)
-        .with_parallelism(1)
-        .with_count_only(true);
-    let outcome = run_er(running_example::entity_partitions(), &config).unwrap();
+    let outcome = resolver
+        .resolve(
+            &Scenario::Dedup {
+                strategy: StrategyKind::BlockSplit,
+            },
+            running_example::entity_partitions(),
+        )
+        .unwrap();
     println!(
         "  executed: map emitted {} KV pairs (paper: 19), loads {:?}\n",
-        outcome.match_metrics.map_output_records(),
-        outcome.reduce_loads()
+        outcome
+            .details
+            .match_metrics()
+            .expect("one matching job")
+            .map_output_records(),
+        outcome.reduce_loads().expect("one matching job")
     );
 }
 
-fn figures_6_and_7_pair_range() {
+fn figures_6_and_7_pair_range(resolver: &Resolver<'_>) {
     println!("== Figures 6 & 7: PairRange enumeration and dataflow (r = 3) ==\n");
     let bdm = running_example_bdm();
     let ranges = RangeIndexer::new(
@@ -124,20 +130,26 @@ fn figures_6_and_7_pair_range() {
         m_pairs.iter().map(|&p| ranges.range_of(p)).collect::<std::collections::BTreeSet<_>>()
     );
 
-    let config = ErConfig::new(StrategyKind::PairRange)
-        .with_blocking(running_example::blocking())
-        .with_reduce_tasks(3)
-        .with_parallelism(1)
-        .with_count_only(true);
-    let outcome = run_er(running_example::entity_partitions(), &config).unwrap();
+    let outcome = resolver
+        .resolve(
+            &Scenario::Dedup {
+                strategy: StrategyKind::PairRange,
+            },
+            running_example::entity_partitions(),
+        )
+        .unwrap();
     println!(
         "  executed: map emitted {} KV pairs, loads {:?} (paper: 7/7/6)\n",
-        outcome.match_metrics.map_output_records(),
-        outcome.reduce_loads()
+        outcome
+            .details
+            .match_metrics()
+            .expect("one matching job")
+            .map_output_records(),
+        outcome.reduce_loads().expect("one matching job")
     );
 }
 
-fn appendix_two_sources() {
+fn appendix_two_sources(resolver: &Resolver<'_>) {
     println!("== Appendix I (Figures 15-17): matching two sources ==\n");
     let ts = appendix_example::bdm();
     println!("  blocks (R-count x S-count -> pairs):");
@@ -152,28 +164,35 @@ fn appendix_two_sources() {
     }
     println!("  total: {} pairs (paper: 12)\n", ts.total_pairs());
     for strategy in [StrategyKind::BlockSplit, StrategyKind::PairRange] {
-        let config = ErConfig::new(strategy)
-            .with_blocking(running_example::blocking())
-            .with_reduce_tasks(3)
-            .with_parallelism(1)
-            .with_count_only(true);
-        let outcome = run_linkage(
-            appendix_example::entity_partitions(),
-            appendix_example::partition_sources(),
-            &config,
-        )
-        .unwrap();
+        let outcome = resolver
+            .resolve(
+                &Scenario::Linkage {
+                    strategy,
+                    sources: appendix_example::partition_sources(),
+                },
+                appendix_example::entity_partitions(),
+            )
+            .unwrap();
         println!(
             "  {strategy}: {} comparisons, loads {:?} (paper: three tasks of 4)",
             outcome.total_comparisons(),
-            outcome.reduce_loads()
+            outcome.reduce_loads().expect("one matching job")
         );
     }
 }
 
 fn main() {
+    // One count-only session reproduces every executed figure: the
+    // paper's blocking, r = 3, sequential execution for readability.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(1)
+            .with_reduce_tasks(3)
+            .with_count_only(true),
+    );
+    let resolver = Resolver::new(&runtime).with_blocking(running_example::blocking());
     figure_3_and_4();
-    figure_5_block_split();
-    figures_6_and_7_pair_range();
-    appendix_two_sources();
+    figure_5_block_split(&resolver);
+    figures_6_and_7_pair_range(&resolver);
+    appendix_two_sources(&resolver);
 }

@@ -1,7 +1,7 @@
 //! Product deduplication at realistic scale: a DS1-like catalog with
-//! injected duplicates, deduplicated by all three strategies, with
-//! match quality evaluated against the gold standard and workload
-//! balance compared.
+//! injected duplicates, deduplicated by all three strategies through
+//! one `Resolver` session, with match quality evaluated against the
+//! gold standard and workload balance compared.
 //!
 //! ```sh
 //! cargo run --release --example product_dedup
@@ -31,6 +31,15 @@ fn main() {
         8,
     );
 
+    // One runtime for the whole comparison: the three strategy runs
+    // share its worker pool instead of spawning threads per run.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(16),
+    );
+    let resolver = Resolver::new(&runtime);
+
     println!(
         "{:<11} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10} {:>9}",
         "strategy", "matches", "compars", "precis", "recall", "f1", "imbalance", "wall"
@@ -40,14 +49,14 @@ fn main() {
         StrategyKind::BlockSplit,
         StrategyKind::PairRange,
     ] {
-        let config = ErConfig::new(strategy)
-            .with_reduce_tasks(16)
-            .with_parallelism(4);
         let start = Instant::now();
-        let outcome = run_er(input.clone(), &config).expect("pipeline runs");
+        let outcome = resolver
+            .resolve(&Scenario::Dedup { strategy }, input.clone())
+            .expect("pipeline runs");
         let wall = start.elapsed();
         let quality = QualityReport::evaluate(&outcome.result, &dataset.gold);
-        let stats = WorkloadStats::from_metrics(strategy, &outcome.match_metrics);
+        let match_metrics = outcome.details.match_metrics().expect("one matching job");
+        let stats = WorkloadStats::from_metrics(strategy, match_metrics);
         println!(
             "{:<11} {:>9} {:>9} {:>8.3} {:>8.3} {:>9.3} {:>10.2} {:>8.0}ms",
             strategy.to_string(),

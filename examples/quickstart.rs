@@ -1,4 +1,6 @@
-//! Quickstart: deduplicate a small product catalog with BlockSplit.
+//! Quickstart: one `Runtime`, one `Resolver`, two scenarios — dedupe
+//! a small product catalog with BlockSplit, then re-check it with
+//! Sorted Neighborhood on the same worker pool.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -32,10 +34,23 @@ fn main() {
     // input file on a distributed file system.
     let input = partition_evenly(entities.iter().map(|e| ((), Arc::clone(e))).collect(), 2);
 
-    let config = ErConfig::new(StrategyKind::BlockSplit)
-        .with_reduce_tasks(4)
-        .with_parallelism(2);
-    let outcome = run_er(input, &config).expect("pipeline runs");
+    // The runtime is created once: its worker pool serves every run.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(2)
+            .with_reduce_tasks(4),
+    );
+    let resolver = Resolver::new(&runtime);
+
+    // Scenario 1: blocking-based dedup with skew-resistant balancing.
+    let outcome = resolver
+        .resolve(
+            &Scenario::Dedup {
+                strategy: StrategyKind::BlockSplit,
+            },
+            input.clone(),
+        )
+        .expect("pipeline runs");
 
     println!("matches found:");
     for (pair, score) in outcome.result.iter() {
@@ -48,7 +63,7 @@ fn main() {
         );
     }
 
-    let bdm = outcome.bdm.as_ref().expect("BlockSplit computes a BDM");
+    let bdm = outcome.details.bdm().expect("BlockSplit computes a BDM");
     println!("\nblock distribution matrix ({} blocks):", bdm.num_blocks());
     for k in 0..bdm.num_blocks() {
         println!(
@@ -61,7 +76,24 @@ fn main() {
     }
     println!(
         "\nreduce-task comparison loads: {:?} (total {})",
-        outcome.reduce_loads(),
+        outcome.reduce_loads().expect("one matching job"),
         outcome.total_comparisons()
+    );
+
+    // Scenario 2: Sorted Neighborhood over the same input — same
+    // resolver, same pool, no new threads.
+    let sn = resolver
+        .resolve(&Scenario::sorted_neighborhood(SnStrategy::JobSn), input)
+        .expect("pipeline runs");
+    println!(
+        "\nsorted-neighborhood (window 4) agrees: {} matches, {} window comparisons",
+        sn.result.len(),
+        sn.total_comparisons()
+    );
+    assert_eq!(sn.result.pair_set(), outcome.result.pair_set());
+    println!(
+        "worker pool: {} threads spawned once, {} pooled tasks executed across both runs",
+        runtime.pool().threads_spawned(),
+        runtime.pool().tasks_executed()
     );
 }

@@ -22,6 +22,15 @@ fn main() {
         "{:>4} {:>10}  {:<28} {:<28} {:<28}",
         "s", "pairs", "Basic (imbal, max)", "BlockSplit (imbal, max)", "PairRange (imbal, max)"
     );
+    // One count-only session serves the whole sweep: 18 scenario runs
+    // (6 skews × 3 strategies) on one worker pool.
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(R)
+            .with_count_only(true),
+    );
+    let resolver = Resolver::new(&runtime);
     for step in 0..=5 {
         let s = step as f64 * 0.4;
         let dataset = exponential_dataset(N, BLOCKS, s, 99);
@@ -40,12 +49,11 @@ fn main() {
             StrategyKind::BlockSplit,
             StrategyKind::PairRange,
         ] {
-            let config = ErConfig::new(strategy)
-                .with_reduce_tasks(R)
-                .with_parallelism(4)
-                .with_count_only(true);
-            let outcome = run_er(input.clone(), &config).unwrap();
-            let stats = WorkloadStats::from_metrics(strategy, &outcome.match_metrics);
+            let outcome = resolver
+                .resolve(&Scenario::Dedup { strategy }, input.clone())
+                .unwrap();
+            let match_metrics = outcome.details.match_metrics().expect("one matching job");
+            let stats = WorkloadStats::from_metrics(strategy, match_metrics);
             if !pairs_printed {
                 row.push_str(&format!(" {:>10}", stats.total_comparisons()));
                 pairs_printed = true;

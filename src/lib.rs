@@ -8,10 +8,17 @@
 //! matching, null-key handling and multi-pass blocking — together with
 //! every substrate the paper depends on: an in-process MapReduce
 //! runtime, an entity-resolution core (blocking, similarity,
-//! matching), synthetic workload generators, and a virtual Hadoop
-//! cluster for paper-scale timing studies.
+//! matching), the companion paper's Sorted Neighborhood subsystem,
+//! synthetic workload generators, and a virtual Hadoop cluster for
+//! paper-scale timing studies.
 //!
-//! ## Quick start
+//! ## One front door: `Runtime` + `Resolver`
+//!
+//! Every workload runs through one unified session API: a [`Runtime`]
+//! owns a persistent worker pool (threads spawned **once**, shared by
+//! every subsequent run) and the execution knobs; a [`Resolver`]
+//! holds the workload configuration and compiles declarative
+//! [`Scenario`] values into multi-stage MapReduce workflows.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -25,12 +32,35 @@
 //! ];
 //! let input = partition_evenly(entities.into_iter().map(|e| ((), e)).collect(), 2);
 //!
-//! let config = ErConfig::new(StrategyKind::BlockSplit)
-//!     .with_reduce_tasks(4)
-//!     .with_parallelism(2);
-//! let outcome = run_er(input, &config).unwrap();
+//! // Created once; back-to-back runs share its worker pool.
+//! let runtime = Runtime::new(
+//!     RuntimeConfig::new().with_parallelism(2).with_reduce_tasks(4),
+//! );
+//! let resolver = Resolver::new(&runtime);
+//!
+//! // Blocking-based dedup with skew-resistant load balancing...
+//! let outcome = resolver
+//!     .resolve(
+//!         &Scenario::Dedup { strategy: StrategyKind::BlockSplit },
+//!         input.clone(),
+//!     )
+//!     .unwrap();
 //! assert_eq!(outcome.result.len(), 1); // the canon pair
+//!
+//! // ...and Sorted Neighborhood, on the same pool, same session:
+//! let sn = resolver
+//!     .resolve(&Scenario::sorted_neighborhood(SnStrategy::JobSn), input)
+//!     .unwrap();
+//! assert_eq!(sn.result.pair_set(), outcome.result.pair_set());
 //! ```
+//!
+//! The five legacy entry points (`run_er`, `run_linkage`,
+//! `run_sorted_neighborhood`, `run_multipass_sn`, `run_two_source_sn`)
+//! remain as thin wrappers over the same scenario compilers — each
+//! proven byte-identical to its [`Scenario`] in
+//! `tests/resolver_api.rs` — but new code should prefer the resolver:
+//! one configuration surface, one error type ([`ResolveError`]), one
+//! outcome shape ([`Outcome`]), and no per-run thread spawning.
 
 pub use cluster_sim;
 pub use er_core;
@@ -39,8 +69,22 @@ pub use er_loadbalance;
 pub use er_sn;
 pub use mr_engine;
 
+pub mod resolver;
+
+/// The shared execution runtime: [`runtime::Runtime`] (persistent
+/// worker pool + engine handle) and [`runtime::RuntimeConfig`] (the
+/// knobs every scenario shares). Re-exported from
+/// [`mr_engine::runtime`], where the pool lives.
+pub mod runtime {
+    pub use mr_engine::runtime::{Runtime, RuntimeConfig};
+}
+
+pub use resolver::{Outcome, ResolveError, Resolver, Scenario, ScenarioDetails};
+pub use runtime::{Runtime, RuntimeConfig};
+
 /// The most common imports for building ER pipelines.
 pub mod prelude {
+    pub use crate::resolver::{Outcome, ResolveError, Resolver, Scenario, ScenarioDetails};
     pub use er_core::blocking::{
         AttributeBlocking, BlockKey, BlockingFunction, ConstantBlocking, MultiPassBlocking,
         PrefixBlocking,
@@ -52,7 +96,7 @@ pub mod prelude {
         Entity, EntityId, EntityRef, GoldStandard, MatchPair, MatchResult, MatchRule, Matcher,
         QualityReport, SourceId,
     };
-    pub use er_loadbalance::driver::{naive_reference, run_er, ErConfig, ErOutcome};
+    pub use er_loadbalance::driver::{naive_reference, run_er, ErConfig, ErOutcome, ErStages};
     pub use er_loadbalance::null_keys::{deduplicate_with_null_keys, link_with_null_keys};
     pub use er_loadbalance::two_source::run_linkage;
     pub use er_loadbalance::{
@@ -65,5 +109,7 @@ pub mod prelude {
         SnConfig, SnError, SnOutcome, SnStrategy,
     };
     pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
+    pub use mr_engine::pool::WorkerPool;
+    pub use mr_engine::runtime::{Runtime, RuntimeConfig};
     pub use mr_engine::workflow::{Workflow, WorkflowMetrics};
 }
