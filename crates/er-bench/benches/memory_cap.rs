@@ -1,0 +1,151 @@
+//! Out-of-core memory-cap study: proves the map-side spill threshold
+//! bounds peak resident records on a corpus several times larger than
+//! the threshold, with byte-identical match output — then exports the
+//! gauges as `BENCH_memory_cap.json` so the bound is tracked across
+//! PRs, not just asserted once.
+//!
+//! Two runs of the same BlockSplit pipeline: spill-free (the legacy
+//! layout, peak map residency == task output) and spilling every
+//! `threshold` records (peak map residency == O(threshold)). The
+//! report asserts the acceptance bound — whole-run resident records
+//! (worst map task + worst reduce merge window) stay below half the
+//! input — and that spilling is invisible in the output.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::{median_ms, write_bench_json, Json, PAPER_SEED};
+use er_core::blocking::PrefixBlocking;
+use er_loadbalance::driver::{run_er, ErConfig, ErOutcome};
+use er_loadbalance::StrategyKind;
+use mr_engine::input::partition_evenly;
+
+const MAP_TASKS: usize = 8;
+
+fn pipeline_input(scale: f64) -> (Vec<Vec<((), er_loadbalance::Ent)>>, u64) {
+    let ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED).scaled(scale));
+    let n = ds.entities.len() as u64;
+    let input = partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        MAP_TASKS,
+    );
+    (input, n)
+}
+
+fn result_bits(outcome: &ErOutcome) -> Vec<u64> {
+    outcome.result.iter().map(|(_, s)| s.to_bits()).collect()
+}
+
+fn workflow_reduce_peak(outcome: &ErOutcome) -> u64 {
+    outcome
+        .workflow
+        .stages
+        .iter()
+        .map(mr_engine::metrics::JobMetrics::peak_resident_records)
+        .max()
+        .unwrap_or(0)
+}
+
+fn report_memory_cap(c: &mut Criterion) {
+    let (scale, reps) = if c.is_test_mode() {
+        (0.005, 1)
+    } else {
+        (0.02, 5)
+    };
+    let (input, n) = pipeline_input(scale);
+    // Each map task holds ~n/MAP_TASKS records; spill at a quarter of
+    // that so the corpus is >= 4x the threshold per task.
+    let threshold = (n as usize / MAP_TASKS / 4).max(1);
+    let config = ErConfig::new(StrategyKind::BlockSplit)
+        .with_blocking(Arc::new(PrefixBlocking::title3()))
+        .with_reduce_tasks(16)
+        .with_parallelism(4);
+    let spilling = config.clone().with_spill_threshold(Some(threshold));
+
+    let mut plain_walls_ms = Vec::with_capacity(reps);
+    let mut spill_walls_ms = Vec::with_capacity(reps);
+    let mut plain_out = None;
+    let mut spill_out = None;
+    for _ in 0..reps {
+        let plain = run_er(input.clone(), &config).unwrap();
+        plain_walls_ms.push(plain.workflow.wall.as_secs_f64() * 1e3);
+        plain_out = Some(plain);
+        let spilled = run_er(input.clone(), &spilling).unwrap();
+        spill_walls_ms.push(spilled.workflow.wall.as_secs_f64() * 1e3);
+        spill_out = Some(spilled);
+    }
+    let plain = plain_out.expect("at least one rep");
+    let spilled = spill_out.expect("at least one rep");
+
+    // Spilling must be pure mechanism: same pairs, same score bits.
+    assert_eq!(
+        plain.result.pair_set(),
+        spilled.result.pair_set(),
+        "spilling changed the matched pairs"
+    );
+    assert_eq!(
+        result_bits(&plain),
+        result_bits(&spilled),
+        "spilling changed the score bits"
+    );
+
+    let plain_map_peak = plain.workflow.map_peak_resident_records();
+    let spill_map_peak = spilled.workflow.map_peak_resident_records();
+    let spill_reduce_peak = workflow_reduce_peak(&spilled);
+    let resident = spill_map_peak + spill_reduce_peak;
+    let resident_fraction = resident as f64 / n as f64;
+    println!(
+        "memory cap (scale {scale}, {n} records, threshold {threshold}): \
+         map peak {plain_map_peak} -> {spill_map_peak} records \
+         ({} sealed runs), reduce merge peak {spill_reduce_peak}; \
+         whole-run resident {resident} = {resident_fraction:.3}x input",
+        spilled.workflow.spilled_runs(),
+    );
+    assert!(
+        spilled.workflow.spilled_runs() > 0,
+        "a 4x-threshold corpus must spill"
+    );
+    // Multi-key blocking may hold the final record's few replicas on
+    // top of the sealed threshold.
+    assert!(
+        spill_map_peak <= threshold as u64 + 4,
+        "map peak {spill_map_peak} must be bounded by the threshold {threshold}"
+    );
+    assert!(
+        resident < n / 2,
+        "whole-run resident set {resident} must stay below half the {n}-record input"
+    );
+
+    let json = Json::obj([
+        ("bench", Json::str("memory_cap")),
+        ("job", Json::str("block_split_ds1")),
+        ("scale", Json::Num(scale)),
+        ("samples", Json::Num(reps as f64)),
+        ("input_records", Json::Num(n as f64)),
+        ("spill_threshold", Json::Num(threshold as f64)),
+        (
+            "spilled_runs",
+            Json::Num(spilled.workflow.spilled_runs() as f64),
+        ),
+        ("map_peak_plain", Json::Num(plain_map_peak as f64)),
+        ("map_peak_spilling", Json::Num(spill_map_peak as f64)),
+        ("reduce_merge_peak", Json::Num(spill_reduce_peak as f64)),
+        ("resident_fraction", Json::Num(resident_fraction)),
+        (
+            "median_wall_ms_plain",
+            Json::Num(median_ms(&plain_walls_ms)),
+        ),
+        (
+            "median_wall_ms_spilling",
+            Json::Num(median_ms(&spill_walls_ms)),
+        ),
+    ]);
+    write_bench_json("memory_cap", &json).expect("bench json export");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = report_memory_cap
+}
+criterion_main!(benches);

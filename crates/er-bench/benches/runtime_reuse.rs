@@ -92,6 +92,7 @@ fn main() {
     println!("{verdict}");
 
     let json = Json::obj([
+        ("bench", Json::str("runtime_reuse")),
         ("runs", Json::Num(RUNS as f64)),
         ("parallelism", Json::Num(PARALLELISM as f64)),
         (

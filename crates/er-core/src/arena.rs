@@ -1,0 +1,318 @@
+//! Arena-backed storage for prepared entities — the allocation-free
+//! compare loop's backing store.
+//!
+//! [`crate::matcher::Matcher::prepare`] produces a heap
+//! [`crate::matcher::PreparedEntity`]: one boxed [`Prepared`] per match
+//! rule, each owning its own `Vec` (char buffer, hash set, token
+//! list). That is fine for a handful of entities, but a reduce task
+//! preparing a whole block allocates O(entities × rules) separate heap
+//! objects, and the O(b²) pair loop then chases them through pointer
+//! indirections.
+//!
+//! A [`PreparedArena`] instead packs every prepared value of one reduce
+//! task into a few contiguous, type-segregated slabs:
+//!
+//! | slab | element | feeds |
+//! |---|---|---|
+//! | `chars` | `char` | edit-distance family (`Chars`) |
+//! | `hashes` | `u64` | set-overlap family (`HashedSet`) |
+//! | `counts` | `(u64, f64)` | cosine family (`HashedCounts`) |
+//! | `nodes` | [`ArenaValue`] | token lists (`Tokens`), recursively |
+//! | `slots` | `Option<ArenaValue>` | one per match rule per entity |
+//!
+//! [`PreparedArena::intern`] copies a temporarily heap-prepared entity
+//! into the slabs once and returns a [`PreparedId`] — a [`Span`] into
+//! `slots` plus the entity's reference. After interning, scoring a pair
+//! reads slices straight out of the slabs through
+//! [`crate::similarity::PreparedView`] borrows: **zero allocations per
+//! comparison**, all warm-up cost confined to the first sighting of
+//! each entity. The slabs only ever grow (amortized `Vec` doubling), so
+//! a `PreparedId` stays valid until [`PreparedArena::clear`].
+//!
+//! Offsets are `u32` [`Span`]s rather than references: half the size of
+//! a fat pointer, trivially `Copy`, and immune to the self-referential
+//! borrow problems an owning-arena-with-references design would hit.
+
+use crate::entity::EntityRef;
+use crate::similarity::{Prepared, PreparedView, TokenListView};
+
+/// A contiguous `u32` range into one arena slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: u32,
+    len: u32,
+}
+
+impl Span {
+    fn new(start: usize, len: usize) -> Self {
+        let (Ok(start), Ok(len)) = (u32::try_from(start), u32::try_from(len)) else {
+            panic!("arena slab exceeds the u32 address space");
+        };
+        Self { start, len }
+    }
+
+    pub(crate) fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+
+    pub(crate) fn len(self) -> usize {
+        self.len as usize
+    }
+}
+
+/// One prepared value stored in arena form: the same four families as
+/// [`Prepared`], but holding slab [`Span`]s instead of owned `Vec`s.
+#[derive(Debug, Clone, Copy)]
+pub enum ArenaValue {
+    /// Span into the `chars` slab.
+    Chars(Span),
+    /// Span into the `hashes` slab (sorted, deduplicated).
+    HashedSet(Span),
+    /// Span into the `counts` slab plus the precomputed L2 norm.
+    HashedCounts {
+        /// Sorted `(hash, count)` pairs.
+        counts: Span,
+        /// `sqrt(Σ count²)`.
+        norm: f64,
+    },
+    /// Span into the `nodes` slab — one [`ArenaValue`] per token.
+    Tokens(Span),
+}
+
+/// Handle to one interned entity: a span over the rule slots plus the
+/// `(source, id)` it was prepared from. `Copy`, valid until the owning
+/// arena is cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedId {
+    entity_ref: EntityRef,
+    slots: Span,
+}
+
+impl PreparedId {
+    /// The `(source, id)` of the entity this was interned from.
+    pub fn entity_ref(self) -> EntityRef {
+        self.entity_ref
+    }
+}
+
+/// The bump-allocated slab store. One per reduce task (reducers clone
+/// their prototype, and each clone owns its own arena); not shared
+/// across threads.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedArena {
+    chars: Vec<char>,
+    hashes: Vec<u64>,
+    counts: Vec<(u64, f64)>,
+    nodes: Vec<ArenaValue>,
+    slots: Vec<Option<ArenaValue>>,
+    interned: usize,
+}
+
+impl PreparedArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies one prepared entity (one `Option<Prepared>` per match
+    /// rule) into the slabs, returning its handle. The temporary heap
+    /// form can be dropped afterwards — the arena owns a full copy.
+    pub fn intern(&mut self, entity_ref: EntityRef, values: &[Option<Prepared>]) -> PreparedId {
+        let interned: Vec<Option<ArenaValue>> = values
+            .iter()
+            .map(|v| v.as_ref().map(|p| self.intern_value(p)))
+            .collect();
+        let start = self.slots.len();
+        self.slots.extend(interned);
+        self.interned += 1;
+        PreparedId {
+            entity_ref,
+            slots: Span::new(start, values.len()),
+        }
+    }
+
+    fn intern_value(&mut self, p: &Prepared) -> ArenaValue {
+        match p {
+            Prepared::Chars(c) => {
+                let start = self.chars.len();
+                self.chars.extend_from_slice(c);
+                ArenaValue::Chars(Span::new(start, c.len()))
+            }
+            Prepared::HashedSet(h) => {
+                let start = self.hashes.len();
+                self.hashes.extend_from_slice(h);
+                ArenaValue::HashedSet(Span::new(start, h.len()))
+            }
+            Prepared::HashedCounts { counts, norm } => {
+                let start = self.counts.len();
+                self.counts.extend_from_slice(counts);
+                ArenaValue::HashedCounts {
+                    counts: Span::new(start, counts.len()),
+                    norm: *norm,
+                }
+            }
+            Prepared::Tokens(tokens) => {
+                // Children intern their leaf data first; the parent's
+                // node span is contiguous because the child values are
+                // buffered before being appended.
+                let children: Vec<ArenaValue> =
+                    tokens.iter().map(|t| self.intern_value(t)).collect();
+                let start = self.nodes.len();
+                self.nodes.extend(children);
+                ArenaValue::Tokens(Span::new(start, tokens.len()))
+            }
+        }
+    }
+
+    /// The number of rule slots `id` was interned with — must equal the
+    /// scoring matcher's rule count.
+    pub fn rule_slots(&self, id: PreparedId) -> usize {
+        id.slots.len()
+    }
+
+    /// A borrow of rule `rule`'s prepared value for `id`, or `None`
+    /// when the entity lacked that rule's attribute.
+    ///
+    /// # Panics
+    /// If `id` came from a different (or since-cleared) arena, or
+    /// `rule` is out of range.
+    pub fn value(&self, id: PreparedId, rule: usize) -> Option<PreparedView<'_>> {
+        self.slots[id.slots.range()][rule].map(|v| self.view(v))
+    }
+
+    pub(crate) fn view(&self, value: ArenaValue) -> PreparedView<'_> {
+        match value {
+            ArenaValue::Chars(s) => PreparedView::Chars(&self.chars[s.range()]),
+            ArenaValue::HashedSet(s) => PreparedView::HashedSet(&self.hashes[s.range()]),
+            ArenaValue::HashedCounts { counts, norm } => PreparedView::HashedCounts {
+                counts: &self.counts[counts.range()],
+                norm,
+            },
+            ArenaValue::Tokens(s) => PreparedView::Tokens(TokenListView::Arena {
+                arena: self,
+                nodes: s,
+            }),
+        }
+    }
+
+    pub(crate) fn token_view(&self, nodes: Span, index: usize) -> PreparedView<'_> {
+        self.view(self.nodes[nodes.range()][index])
+    }
+
+    /// Entities interned so far.
+    pub fn len(&self) -> usize {
+        self.interned
+    }
+
+    /// True before anything was interned.
+    pub fn is_empty(&self) -> bool {
+        self.interned == 0
+    }
+
+    /// Total slab elements resident (chars + hashes + counts + nodes +
+    /// slots) — a cheap proxy for the arena's memory footprint.
+    pub fn slab_len(&self) -> usize {
+        self.chars.len()
+            + self.hashes.len()
+            + self.counts.len()
+            + self.nodes.len()
+            + self.slots.len()
+    }
+
+    /// Drops every interned entity. **Invalidates all outstanding
+    /// [`PreparedId`]s** — using one afterwards panics (span out of
+    /// range) or reads another entity's data; callers must drop their
+    /// handles along with the clear. Slab capacity is retained, so an
+    /// arena reused across inputs stays allocation-free.
+    pub fn clear(&mut self) {
+        self.chars.clear();
+        self.hashes.clear();
+        self.counts.clear();
+        self.nodes.clear();
+        self.slots.clear();
+        self.interned = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{CosineTokens, Jaccard, MongeElkan, NormalizedLevenshtein, Similarity};
+    use crate::Entity;
+
+    fn intern_one(arena: &mut PreparedArena, m: &dyn Similarity, s: &str) -> PreparedId {
+        let e = Entity::new(7, [("t", s)]);
+        let prepared = vec![Some(m.prepare(s))];
+        arena.intern(e.entity_ref(), &prepared)
+    }
+
+    #[test]
+    fn interned_views_score_bit_exact_with_heap_forms() {
+        let measures: Vec<Box<dyn Similarity>> = vec![
+            Box::new(NormalizedLevenshtein),
+            Box::new(Jaccard),
+            Box::new(CosineTokens),
+            Box::new(MongeElkan::default()),
+        ];
+        for m in &measures {
+            let mut arena = PreparedArena::new();
+            let (a, b) = ("canon eos 5d kit", "canon eos 7d kit");
+            let (ia, ib) = (
+                intern_one(&mut arena, m.as_ref(), a),
+                intern_one(&mut arena, m.as_ref(), b),
+            );
+            let (va, vb) = (
+                arena.value(ia, 0).expect("attribute present"),
+                arena.value(ib, 0).expect("attribute present"),
+            );
+            let via_arena = m.sim_view(&va, &vb);
+            let via_heap = m.sim_prepared(&m.prepare(a), &m.prepare(b));
+            assert_eq!(
+                via_arena.to_bits(),
+                via_heap.to_bits(),
+                "{} diverged between arena and heap",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_rule_values_stay_missing() {
+        let mut arena = PreparedArena::new();
+        let e = Entity::new(1, [("brand", "canon")]);
+        let id = arena.intern(e.entity_ref(), &[None, Some(Prepared::Chars(vec!['x']))]);
+        assert_eq!(arena.rule_slots(id), 2);
+        assert!(arena.value(id, 0).is_none());
+        assert!(arena.value(id, 1).is_some());
+        assert_eq!(id.entity_ref(), e.entity_ref());
+    }
+
+    #[test]
+    fn nested_token_lists_intern_recursively() {
+        // MongeElkan over MongeElkan: tokens of tokens.
+        let outer = MongeElkan::new(std::sync::Arc::new(MongeElkan::default()));
+        let mut arena = PreparedArena::new();
+        let (a, b) = ("alpha beta", "alpha gamma");
+        let (ia, ib) = (
+            intern_one(&mut arena, &outer, a),
+            intern_one(&mut arena, &outer, b),
+        );
+        let (va, vb) = (arena.value(ia, 0).unwrap(), arena.value(ib, 0).unwrap());
+        assert_eq!(
+            outer.sim_view(&va, &vb).to_bits(),
+            outer.sim(a, b).to_bits()
+        );
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut arena = PreparedArena::new();
+        let _ = intern_one(&mut arena, &NormalizedLevenshtein, "abcdef");
+        assert_eq!(arena.len(), 1);
+        assert!(!arena.is_empty());
+        assert!(arena.slab_len() > 0);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.slab_len(), 0);
+    }
+}

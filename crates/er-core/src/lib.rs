@@ -13,12 +13,15 @@
 //!   the library),
 //! * a threshold [`matcher`] and a deduplicating [`result`] set with
 //!   quality metrics against a gold standard,
+//! * an [`arena`] of contiguous slabs for prepared entities, backing
+//!   the allocation-free O(b²) compare loop,
 //! * the [`pairs`] enumeration arithmetic shared by PairRange and the
 //!   analytic workload model,
 //! * [`sortkey`] primitives for Sorted Neighborhood blocking: sort-key
 //!   derivation and an order-preserving [`RangePartitioner`] built
 //!   from a sampled key distribution (consumed by the er-sn crate).
 
+pub mod arena;
 pub mod blocking;
 pub mod entity;
 pub mod io;
@@ -28,12 +31,13 @@ pub mod result;
 pub mod similarity;
 pub mod sortkey;
 
+pub use arena::{PreparedArena, PreparedId};
 pub use blocking::{BlockKey, BlockingFunction, ConstantBlocking, PrefixBlocking};
 pub use entity::{Entity, EntityId, EntityRef, SourceId};
-pub use matcher::{MatchRule, Matcher, MatcherCache, PreparedEntity};
+pub use matcher::{MatchRule, Matcher, MatcherCache, PreparedEntity, PreparedHandle};
 pub use result::{GoldStandard, MatchPair, MatchResult, QualityReport};
 pub use similarity::{
     CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Prepared,
-    Similarity,
+    PreparedView, Similarity, TokenListView,
 };
 pub use sortkey::{AttributeSortKey, RangePartitioner, SortKey, SortKeyFunction};

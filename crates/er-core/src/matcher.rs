@@ -4,15 +4,20 @@
 //! O(b²) pairs of a block. [`Matcher::prepare`] converts an entity
 //! into a [`PreparedEntity`] (one [`Prepared`] form per rule) exactly
 //! once; [`Matcher::matches_prepared`] then scores pairs without
-//! re-tokenizing or re-allocating. [`MatcherCache`] memoizes prepared
-//! entities by [`EntityRef`] for reducers whose groups revisit the
-//! same entity (PairRange replicas, multi-pass blocking).
+//! re-tokenizing. [`MatcherCache`] memoizes prepared entities by
+//! [`EntityRef`] for reducers whose groups revisit the same entity
+//! (PairRange replicas, multi-pass blocking). In its default arena
+//! mode the cache interns every prepared form into a
+//! [`PreparedArena`], so the pair loop over [`PreparedHandle`]s
+//! performs no heap allocation at all once each entity has been seen
+//! once.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use crate::arena::{PreparedArena, PreparedId};
 use crate::entity::{Entity, EntityRef};
-use crate::similarity::{NormalizedLevenshtein, Prepared, Similarity};
+use crate::similarity::{NormalizedLevenshtein, Prepared, PreparedView, Similarity};
 
 /// One attribute-level comparison: similarity measure over one
 /// attribute, with an optional weight for aggregation.
@@ -146,30 +151,7 @@ impl Matcher {
     /// If either argument was prepared by a matcher with a different
     /// rule list.
     pub fn score_prepared(&self, a: &PreparedEntity, b: &PreparedEntity) -> f64 {
-        assert_eq!(
-            self.rules.len(),
-            a.values.len(),
-            "prepared entity {} does not match this matcher's rules",
-            a.entity_ref
-        );
-        assert_eq!(
-            self.rules.len(),
-            b.values.len(),
-            "prepared entity {} does not match this matcher's rules",
-            b.entity_ref
-        );
-        let weighted: f64 = self
-            .rules
-            .iter()
-            .zip(a.values.iter().zip(b.values.iter()))
-            .map(|(rule, (va, vb))| match (va, vb) {
-                (Some(pa), Some(pb)) => rule.weight * rule.similarity.sim_prepared(pa, pb),
-                // A missing attribute contributes zero evidence, same
-                // as the string path.
-                _ => 0.0,
-            })
-            .sum();
-        weighted / self.total_weight
+        self.score_values(ValuesRef::Heap(a), ValuesRef::Heap(b))
     }
 
     /// Threshold decision over prepared entities; `Some(score)` iff
@@ -178,29 +160,84 @@ impl Matcher {
     /// For the common single-rule, unit-weight configuration (the
     /// paper's default) the score equals the rule similarity
     /// bit-exactly, so the decision is delegated to the measure's
-    /// threshold-aware kernel
-    /// ([`Similarity::sim_prepared_at_least`]), which may abandon
-    /// hopeless pairs early (banded edit distance). Decisions and
-    /// scores are identical to the exact path in all cases.
+    /// threshold-aware kernel ([`Similarity::sim_view_at_least`]),
+    /// which may abandon hopeless pairs early (banded edit distance).
+    /// Decisions and scores are identical to the exact path in all
+    /// cases.
     pub fn matches_prepared(&self, a: &PreparedEntity, b: &PreparedEntity) -> Option<f64> {
+        self.matches_values(ValuesRef::Heap(a), ValuesRef::Heap(b))
+    }
+
+    /// [`Matcher::score_prepared`] over arena-interned entities —
+    /// reads the slabs directly, allocating nothing.
+    ///
+    /// # Panics
+    /// If either id came from a different arena or a matcher with a
+    /// different rule list.
+    pub fn score_arena(&self, arena: &PreparedArena, a: PreparedId, b: PreparedId) -> f64 {
+        self.score_values(ValuesRef::Arena(arena, a), ValuesRef::Arena(arena, b))
+    }
+
+    /// [`Matcher::matches_prepared`] over arena-interned entities —
+    /// the allocation-free form of the O(b²) inner loop.
+    ///
+    /// # Panics
+    /// If either id came from a different arena or a matcher with a
+    /// different rule list.
+    pub fn matches_arena(
+        &self,
+        arena: &PreparedArena,
+        a: PreparedId,
+        b: PreparedId,
+    ) -> Option<f64> {
+        self.matches_values(ValuesRef::Arena(arena, a), ValuesRef::Arena(arena, b))
+    }
+
+    fn score_values(&self, a: ValuesRef<'_>, b: ValuesRef<'_>) -> f64 {
+        assert_eq!(
+            self.rules.len(),
+            a.len(),
+            "prepared entity {} does not match this matcher's rules",
+            a.entity_ref()
+        );
+        assert_eq!(
+            self.rules.len(),
+            b.len(),
+            "prepared entity {} does not match this matcher's rules",
+            b.entity_ref()
+        );
+        let weighted: f64 = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| match (a.value(i), b.value(i)) {
+                (Some(pa), Some(pb)) => rule.weight * rule.similarity.sim_view(&pa, &pb),
+                // A missing attribute contributes zero evidence, same
+                // as the string path.
+                _ => 0.0,
+            })
+            .sum();
+        weighted / self.total_weight
+    }
+
+    fn matches_values(&self, a: ValuesRef<'_>, b: ValuesRef<'_>) -> Option<f64> {
         if let [rule] = self.rules.as_slice() {
             if rule.weight == 1.0 {
                 assert_eq!(
-                    a.values.len(),
+                    a.len(),
                     1,
                     "prepared entity {} does not match this matcher's rules",
-                    a.entity_ref
+                    a.entity_ref()
                 );
                 assert_eq!(
-                    b.values.len(),
+                    b.len(),
                     1,
                     "prepared entity {} does not match this matcher's rules",
-                    b.entity_ref
+                    b.entity_ref()
                 );
-                return match (&a.values[0], &b.values[0]) {
+                return match (a.value(0), b.value(0)) {
                     (Some(pa), Some(pb)) => {
-                        rule.similarity
-                            .sim_prepared_at_least(pa, pb, self.threshold)
+                        rule.similarity.sim_view_at_least(&pa, &pb, self.threshold)
                     }
                     // Missing attribute scores zero, exactly like the
                     // weighted path.
@@ -208,8 +245,40 @@ impl Matcher {
                 };
             }
         }
-        let s = self.score_prepared(a, b);
+        let s = self.score_values(a, b);
         (s >= self.threshold).then_some(s)
+    }
+}
+
+/// The two storage forms a prepared entity can be scored from: a heap
+/// [`PreparedEntity`] or an arena-interned [`PreparedId`]. Scoring is
+/// defined once over this view and bit-identical across both.
+#[derive(Clone, Copy)]
+enum ValuesRef<'a> {
+    Heap(&'a PreparedEntity),
+    Arena(&'a PreparedArena, PreparedId),
+}
+
+impl<'a> ValuesRef<'a> {
+    fn len(self) -> usize {
+        match self {
+            ValuesRef::Heap(p) => p.values.len(),
+            ValuesRef::Arena(arena, id) => arena.rule_slots(id),
+        }
+    }
+
+    fn value(self, rule: usize) -> Option<PreparedView<'a>> {
+        match self {
+            ValuesRef::Heap(p) => p.values[rule].as_ref().map(Prepared::view),
+            ValuesRef::Arena(arena, id) => arena.value(id, rule),
+        }
+    }
+
+    fn entity_ref(self) -> EntityRef {
+        match self {
+            ValuesRef::Heap(p) => p.entity_ref,
+            ValuesRef::Arena(_, id) => id.entity_ref(),
+        }
     }
 }
 
@@ -238,57 +307,92 @@ struct CacheSlot {
     last_used: u64,
 }
 
-/// Memoizing cache of [`PreparedEntity`] values keyed by entity
-/// reference — one prepare per distinct entity per cache lifetime, no
-/// matter how many reduce groups (PairRange ranges, multi-pass
-/// replicas) revisit it.
+/// A cheap, clonable handle to one cached prepared entity, as handed
+/// out by [`MatcherCache::handle`] and consumed by
+/// [`MatcherCache::matches_handles`].
 ///
-/// Entries are `Arc`-shared so holding a prepared handle in a pair
-/// buffer never copies the underlying representation. The cache is
-/// intended to live for one reduce task; clone-derived copies start
-/// empty state-wise only if cloned before first use, so reducers
-/// should create it in `setup` or hold it per instance.
+/// Arena-mode caches hand out `Copy`-sized [`PreparedId`]s (valid
+/// until the cache is cleared); bounded LRU caches hand out
+/// `Arc`-shared heap entities that stay alive even after eviction.
+#[derive(Debug, Clone)]
+pub enum PreparedHandle {
+    /// Interned in the cache's [`PreparedArena`].
+    Arena(PreparedId),
+    /// Heap-prepared, shared via `Arc` (bounded LRU mode).
+    Heap(Arc<PreparedEntity>),
+}
+
+/// Memoizing cache of prepared entities keyed by entity reference —
+/// one prepare per distinct entity per cache lifetime, no matter how
+/// many reduce groups (PairRange ranges, multi-pass replicas) revisit
+/// it.
 ///
-/// # Bounded mode
+/// The cache is intended to live for one reduce task; clone-derived
+/// copies start empty state-wise only if cloned before first use, so
+/// reducers should create it in `setup` or hold it per instance.
 ///
-/// [`MatcherCache::with_capacity`] caps the number of resident
+/// # Arena mode (default)
+///
+/// [`MatcherCache::new`] backs the cache with a [`PreparedArena`]:
+/// every first sighting of an entity is heap-prepared once, interned
+/// into contiguous slabs, and the temporary dropped. Pair scoring via
+/// [`MatcherCache::matches_handles`] then reads slab slices directly —
+/// **zero allocations per comparison** once every entity of a block
+/// has been seen, which is what keeps the O(b²) inner loop
+/// allocation-free.
+///
+/// # Bounded LRU mode
+///
+/// [`MatcherCache::with_capacity`] instead caps the number of resident
 /// prepared entities with least-recently-used eviction (a recency
 /// index over a logical clock; `O(log n)` per touch). An evicted
 /// entity is simply re-prepared on its next sighting — preparation is
 /// deterministic, so eviction can never change match decisions, only
-/// trade memory for recompute. The default remains unbounded, which
-/// is right for the paper's batch reduce tasks (a task sees each
-/// entity a bounded number of times); bound the cache for
-/// long-running/streaming tasks whose key space grows without limit.
+/// trade memory for recompute. Bound the cache for
+/// long-running/streaming tasks whose key space grows without limit;
+/// arena mode is right for the paper's batch reduce tasks (a task sees
+/// each entity a bounded number of times).
 #[derive(Debug, Clone)]
 pub struct MatcherCache {
     matcher: Arc<Matcher>,
-    prepared: HashMap<EntityRef, CacheSlot>,
-    /// Maximum resident entries; `None` = unbounded (no recency
-    /// bookkeeping at all).
-    capacity: Option<usize>,
-    /// Logical clock driving LRU order; monotonically increasing.
-    tick: u64,
-    /// Recency index: `last_used tick -> entity` (ticks are unique).
-    recency: BTreeMap<u64, EntityRef>,
-    evictions: u64,
+    store: Store,
+}
+
+/// The two backing stores of a [`MatcherCache`].
+#[derive(Debug, Clone)]
+enum Store {
+    /// Unbounded arena interning (default).
+    Arena {
+        ids: HashMap<EntityRef, PreparedId>,
+        arena: PreparedArena,
+    },
+    /// Bounded heap entries with LRU eviction.
+    Lru {
+        prepared: HashMap<EntityRef, CacheSlot>,
+        capacity: usize,
+        /// Logical clock driving LRU order; monotonically increasing.
+        tick: u64,
+        /// Recency index: `last_used tick -> entity` (ticks are
+        /// unique).
+        recency: BTreeMap<u64, EntityRef>,
+        evictions: u64,
+    },
 }
 
 impl MatcherCache {
-    /// An empty, unbounded cache bound to `matcher`.
+    /// An empty, unbounded arena-mode cache bound to `matcher`.
     pub fn new(matcher: Arc<Matcher>) -> Self {
         Self {
             matcher,
-            prepared: HashMap::new(),
-            capacity: None,
-            tick: 0,
-            recency: BTreeMap::new(),
-            evictions: 0,
+            store: Store::Arena {
+                ids: HashMap::new(),
+                arena: PreparedArena::new(),
+            },
         }
     }
 
-    /// An empty cache holding at most `capacity` prepared entities,
-    /// evicting the least recently used beyond that.
+    /// An empty LRU cache holding at most `capacity` prepared
+    /// entities, evicting the least recently used beyond that.
     ///
     /// # Panics
     /// If `capacity < 2`: [`MatcherCache::matches`] prepares both
@@ -297,8 +401,14 @@ impl MatcherCache {
     pub fn with_capacity(matcher: Arc<Matcher>, capacity: usize) -> Self {
         assert!(capacity >= 2, "a bounded cache needs room for a pair");
         Self {
-            capacity: Some(capacity),
-            ..Self::new(matcher)
+            matcher,
+            store: Store::Lru {
+                prepared: HashMap::new(),
+                capacity,
+                tick: 0,
+                recency: BTreeMap::new(),
+                evictions: 0,
+            },
         }
     }
 
@@ -307,86 +417,153 @@ impl MatcherCache {
         &self.matcher
     }
 
-    /// The capacity bound, if any.
+    /// The capacity bound, if any (`None` in arena mode).
     pub fn capacity(&self) -> Option<usize> {
-        self.capacity
+        match &self.store {
+            Store::Arena { .. } => None,
+            Store::Lru { capacity, .. } => Some(*capacity),
+        }
     }
 
-    /// Entries evicted so far (always zero in unbounded mode).
+    /// Entries evicted so far (always zero in arena mode).
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        match &self.store {
+            Store::Arena { .. } => 0,
+            Store::Lru { evictions, .. } => *evictions,
+        }
     }
 
-    /// The prepared form of `e`, computing it on first sight (or on
-    /// re-sighting after an eviction).
-    pub fn prepared(&mut self, e: &Entity) -> Arc<PreparedEntity> {
-        let Some(capacity) = self.capacity else {
-            // Unbounded fast path: plain memoization, no recency
-            // bookkeeping.
-            return Arc::clone(
-                &self
-                    .prepared
-                    .entry(e.entity_ref())
-                    .or_insert_with(|| CacheSlot {
-                        value: Arc::new(self.matcher.prepare(e)),
-                        last_used: 0,
-                    })
-                    .value,
-            );
-        };
+    /// The backing arena, if this cache runs in arena mode.
+    pub fn arena(&self) -> Option<&PreparedArena> {
+        match &self.store {
+            Store::Arena { arena, .. } => Some(arena),
+            Store::Lru { .. } => None,
+        }
+    }
+
+    /// A handle to the prepared form of `e`, computing it on first
+    /// sight (or on re-sighting after an eviction).
+    pub fn handle(&mut self, e: &Entity) -> PreparedHandle {
         let key = e.entity_ref();
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(slot) = self.prepared.get_mut(&key) {
-            self.recency.remove(&slot.last_used);
-            slot.last_used = tick;
-            self.recency.insert(tick, key);
-            return Arc::clone(&slot.value);
+        match &mut self.store {
+            Store::Arena { ids, arena } => {
+                if let Some(&id) = ids.get(&key) {
+                    return PreparedHandle::Arena(id);
+                }
+                // The heap form is a warm-up temporary: interning
+                // copies it into the slabs, then it is dropped.
+                let prepared = self.matcher.prepare(e);
+                let id = arena.intern(key, &prepared.values);
+                ids.insert(key, id);
+                PreparedHandle::Arena(id)
+            }
+            Store::Lru {
+                prepared,
+                capacity,
+                tick,
+                recency,
+                evictions,
+            } => {
+                *tick += 1;
+                let tick = *tick;
+                if let Some(slot) = prepared.get_mut(&key) {
+                    recency.remove(&slot.last_used);
+                    slot.last_used = tick;
+                    recency.insert(tick, key);
+                    return PreparedHandle::Heap(Arc::clone(&slot.value));
+                }
+                if prepared.len() >= *capacity {
+                    let (_, victim) = recency
+                        .pop_first()
+                        .expect("a full bounded cache has recency entries");
+                    prepared.remove(&victim);
+                    *evictions += 1;
+                }
+                let value = Arc::new(self.matcher.prepare(e));
+                prepared.insert(
+                    key,
+                    CacheSlot {
+                        value: Arc::clone(&value),
+                        last_used: tick,
+                    },
+                );
+                recency.insert(tick, key);
+                PreparedHandle::Heap(value)
+            }
         }
-        if self.prepared.len() >= capacity {
-            let (_, victim) = self
-                .recency
-                .pop_first()
-                .expect("a full bounded cache has recency entries");
-            self.prepared.remove(&victim);
-            self.evictions += 1;
+    }
+
+    /// Threshold decision over two handles previously issued by this
+    /// cache. Takes `&self` — the hot pair loop holds handles and
+    /// never mutates the cache, so this call allocates nothing in
+    /// arena mode.
+    ///
+    /// # Panics
+    /// If an [`PreparedHandle::Arena`] handle is passed to a bounded
+    /// LRU cache (LRU caches never issue arena handles), or a handle
+    /// outlived [`MatcherCache::clear`].
+    pub fn matches_handles(&self, a: &PreparedHandle, b: &PreparedHandle) -> Option<f64> {
+        let arena = self.arena();
+        let va = Self::values_ref(arena, a);
+        let vb = Self::values_ref(arena, b);
+        self.matcher.matches_values(va, vb)
+    }
+
+    fn values_ref<'a>(
+        arena: Option<&'a PreparedArena>,
+        handle: &'a PreparedHandle,
+    ) -> ValuesRef<'a> {
+        match handle {
+            PreparedHandle::Heap(p) => ValuesRef::Heap(p),
+            PreparedHandle::Arena(id) => ValuesRef::Arena(
+                arena.expect("arena handle requires an arena-mode cache"),
+                *id,
+            ),
         }
-        let value = Arc::new(self.matcher.prepare(e));
-        self.prepared.insert(
-            key,
-            CacheSlot {
-                value: Arc::clone(&value),
-                last_used: tick,
-            },
-        );
-        self.recency.insert(tick, key);
-        value
     }
 
     /// Threshold decision using cached prepared forms for both sides.
     pub fn matches(&mut self, a: &Entity, b: &Entity) -> Option<f64> {
-        let pa = self.prepared(a);
-        let pb = self.prepared(b);
-        self.matcher.matches_prepared(&pa, &pb)
+        let pa = self.handle(a);
+        let pb = self.handle(b);
+        self.matches_handles(&pa, &pb)
     }
 
     /// Number of entities currently resident.
     pub fn len(&self) -> usize {
-        self.prepared.len()
+        match &self.store {
+            Store::Arena { ids, .. } => ids.len(),
+            Store::Lru { prepared, .. } => prepared.len(),
+        }
     }
 
     /// True when nothing has been prepared yet.
     pub fn is_empty(&self) -> bool {
-        self.prepared.is_empty()
+        self.len() == 0
     }
 
     /// Drops all cached entries (e.g. between unrelated inputs whose
-    /// entity ids overlap). Keeps the capacity bound; resets the
-    /// eviction counter along with the entries.
+    /// entity ids overlap). Keeps the mode and capacity bound; resets
+    /// the eviction counter along with the entries. **Invalidates all
+    /// outstanding [`PreparedHandle::Arena`] handles** — drop them
+    /// along with the clear; `Heap` handles stay usable.
     pub fn clear(&mut self) {
-        self.prepared.clear();
-        self.recency.clear();
-        self.evictions = 0;
+        match &mut self.store {
+            Store::Arena { ids, arena } => {
+                ids.clear();
+                arena.clear();
+            }
+            Store::Lru {
+                prepared,
+                recency,
+                evictions,
+                ..
+            } => {
+                prepared.clear();
+                recency.clear();
+                *evictions = 0;
+            }
+        }
     }
 }
 
@@ -537,40 +714,95 @@ mod tests {
         let _ = two_rules.score_prepared(&p2, &p1);
     }
 
+    /// Unwraps the `Heap` form an LRU cache must hand out.
+    fn heap(h: PreparedHandle) -> Arc<PreparedEntity> {
+        match h {
+            PreparedHandle::Heap(p) => p,
+            PreparedHandle::Arena(_) => panic!("expected a heap handle"),
+        }
+    }
+
+    /// Unwraps the `Arena` form an arena-mode cache must hand out.
+    fn interned(h: PreparedHandle) -> PreparedId {
+        match h {
+            PreparedHandle::Arena(id) => id,
+            PreparedHandle::Heap(_) => panic!("expected an arena handle"),
+        }
+    }
+
     #[test]
     fn cache_prepares_each_entity_once() {
         let mut cache = MatcherCache::new(Arc::new(Matcher::paper_default()));
         assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), None, "arena mode is unbounded");
         let a = e(1, "abcdefghij");
         let b = e(2, "abcdefghiX");
-        let first = cache.prepared(&a);
-        let again = cache.prepared(&a);
-        assert!(Arc::ptr_eq(&first, &again), "second lookup must hit");
+        let first = interned(cache.handle(&a));
+        let again = interned(cache.handle(&a));
+        assert_eq!(first, again, "second lookup must hit");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.arena().expect("arena mode").len(), 1);
         assert!(cache.matches(&a, &b).is_some());
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+        assert!(cache.arena().expect("arena mode").is_empty());
+    }
+
+    #[test]
+    fn arena_cache_decisions_match_direct_prepared_path() {
+        let matcher = Arc::new(Matcher::paper_default());
+        let mut cache = MatcherCache::new(Arc::clone(&matcher));
+        for (ta, tb) in [
+            ("abcdefghij", "abcdefghiX"),
+            ("abcdefghij", "abcdefghXY"), // exactly at 0.8
+            ("abcdefghij", "zzzzzzzzzz"),
+            ("", ""),
+        ] {
+            let (a, b) = (e(20, ta), e(21, tb));
+            let (ha, hb) = (cache.handle(&a), cache.handle(&b));
+            let via_handles = cache.matches_handles(&ha, &hb);
+            let direct = matcher.matches_prepared(&matcher.prepare(&a), &matcher.prepare(&b));
+            assert_eq!(
+                via_handles.map(f64::to_bits),
+                direct.map(f64::to_bits),
+                "{ta:?} vs {tb:?}"
+            );
+            cache.clear();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arena handle requires an arena-mode cache")]
+    fn arena_handle_rejected_by_lru_cache() {
+        let matcher = Arc::new(Matcher::paper_default());
+        let mut arena_cache = MatcherCache::new(Arc::clone(&matcher));
+        let mut lru = MatcherCache::with_capacity(matcher, 2);
+        let a = e(1, "aaaaaaaaaa");
+        let ha = arena_cache.handle(&a);
+        let hb = lru.handle(&a);
+        let _ = lru.matches_handles(&ha, &hb);
     }
 
     #[test]
     fn bounded_cache_evicts_least_recently_used() {
         let mut cache = MatcherCache::with_capacity(Arc::new(Matcher::paper_default()), 2);
         assert_eq!(cache.capacity(), Some(2));
+        assert!(cache.arena().is_none(), "LRU mode has no arena");
         let (a, b, c) = (e(1, "aaaaaaaaaa"), e(2, "bbbbbbbbbb"), e(3, "cccccccccc"));
-        let pa = cache.prepared(&a);
-        let _ = cache.prepared(&b);
+        let pa = heap(cache.handle(&a));
+        let _ = cache.handle(&b);
         // Touch `a` so `b` becomes the LRU victim when `c` arrives.
-        let pa_again = cache.prepared(&a);
+        let pa_again = heap(cache.handle(&a));
         assert!(Arc::ptr_eq(&pa, &pa_again), "touching must be a hit");
-        let _ = cache.prepared(&c);
+        let _ = cache.handle(&c);
         assert_eq!(cache.len(), 2, "capacity bound holds");
         assert_eq!(cache.evictions(), 1);
         // `a` survived (recently used); preparing it again is a hit.
-        let pa_third = cache.prepared(&a);
+        let pa_third = heap(cache.handle(&a));
         assert!(Arc::ptr_eq(&pa, &pa_third), "recently used entry kept");
         // `b` was evicted: re-preparation yields a fresh allocation...
-        let pb_new = cache.prepared(&b);
+        let pb_new = heap(cache.handle(&b));
         assert_eq!(cache.evictions(), 2, "re-admitting b evicted c");
         // ...that scores bit-identically to an uncached preparation.
         let direct = Matcher::paper_default().prepare(&b);

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use super::{fnv1a_bytes, Prepared, Similarity};
+use super::{fnv1a_bytes, Prepared, PreparedView, Similarity};
 
 /// Cosine of the angle between lower-cased token *count* vectors.
 /// Unlike Jaccard, repeated tokens carry weight, which suits titles
@@ -31,13 +31,13 @@ impl Similarity for CosineTokens {
         Prepared::HashedCounts { counts, norm }
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
         let (
-            Prepared::HashedCounts {
+            PreparedView::HashedCounts {
                 counts: ca,
                 norm: na,
             },
-            Prepared::HashedCounts {
+            PreparedView::HashedCounts {
                 counts: cb,
                 norm: nb,
             },

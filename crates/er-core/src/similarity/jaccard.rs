@@ -1,6 +1,8 @@
 //! Jaccard similarity over whitespace tokens.
 
-use super::{fnv1a_bytes, into_hash_set, jaccard_of_sorted_sets, Prepared, Similarity};
+use super::{
+    fnv1a_bytes, into_hash_set, jaccard_of_sorted_sets, Prepared, PreparedView, Similarity,
+};
 
 /// Token-set Jaccard: `|A ∩ B| / |A ∪ B|` over lower-cased whitespace
 /// tokens. A natural fit for titles with reordered words.
@@ -19,7 +21,7 @@ impl Similarity for Jaccard {
         ))
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
         jaccard_of_sorted_sets(a.hashed_set(), b.hashed_set())
     }
 

@@ -1,7 +1,17 @@
 //! Jaro and Jaro-Winkler similarity — the classic record-linkage
 //! measure for short name-like strings.
 
-use super::{Prepared, Similarity};
+use std::cell::RefCell;
+
+use super::{Prepared, PreparedView, Similarity};
+
+thread_local! {
+    /// Match bookkeeping (`b_used`, matched chars of each side) reused
+    /// across calls so the hot compare loop never allocates once the
+    /// buffers have grown to the corpus's longest string.
+    static JARO_SCRATCH: RefCell<(Vec<bool>, Vec<char>, Vec<char>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
 
 fn jaro(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
@@ -11,38 +21,44 @@ fn jaro(a: &[char], b: &[char]) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
-    for (i, &ca) in a.iter().enumerate() {
-        let lo = i.saturating_sub(window);
-        let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == ca {
-                b_used[j] = true;
-                matches_a.push(ca);
-                break;
+    JARO_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (b_used, matches_a, matches_b) = &mut *scratch;
+        b_used.clear();
+        b_used.resize(b.len(), false);
+        matches_a.clear();
+        matches_b.clear();
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            for j in lo..hi {
+                if !b_used[j] && b[j] == ca {
+                    b_used[j] = true;
+                    matches_a.push(ca);
+                    break;
+                }
             }
         }
-    }
-    let m = matches_a.len();
-    if m == 0 {
-        return 0.0;
-    }
-    let matches_b: Vec<char> = b
-        .iter()
-        .zip(b_used.iter())
-        .filter(|(_, &used)| used)
-        .map(|(&c, _)| c)
-        .collect();
-    let transpositions = matches_a
-        .iter()
-        .zip(matches_b.iter())
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
-    let m = m as f64;
-    let t = transpositions as f64;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+        let m = matches_a.len();
+        if m == 0 {
+            return 0.0;
+        }
+        matches_b.extend(
+            b.iter()
+                .zip(b_used.iter())
+                .filter(|(_, &used)| used)
+                .map(|(&c, _)| c),
+        );
+        let transpositions = matches_a
+            .iter()
+            .zip(matches_b.iter())
+            .filter(|(x, y)| x != y)
+            .count()
+            / 2;
+        let m = m as f64;
+        let t = transpositions as f64;
+        (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    })
 }
 
 /// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus of up
@@ -65,7 +81,7 @@ impl Similarity for JaroWinkler {
         Prepared::Chars(s.chars().collect())
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
         let (ac, bc) = (a.chars(), b.chars());
         let j = jaro(ac, bc);
         let prefix = ac

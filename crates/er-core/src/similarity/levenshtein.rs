@@ -3,7 +3,18 @@
 //! the edit distance of their title. Two entities with a minimal
 //! similarity of 0.8 were regarded as matches."
 
-use super::{Prepared, Similarity};
+use std::cell::RefCell;
+
+use super::{Prepared, PreparedView, Similarity};
+
+thread_local! {
+    /// The two DP rows both Levenshtein kernels work in. Thread-local
+    /// so the O(b²) compare loop performs zero heap allocations after
+    /// the rows have grown to the corpus's longest string; `RefCell`
+    /// borrows are confined to one (non-recursive) kernel invocation.
+    static DP_ROWS: RefCell<(Vec<usize>, Vec<usize>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Unrestricted Levenshtein distance over Unicode scalar values.
 ///
@@ -17,7 +28,9 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
 }
 
 /// Levenshtein distance over pre-decoded scalar values, two-row
-/// dynamic programming, `O(|a|·|b|)` time and `O(min)` space.
+/// dynamic programming, `O(|a|·|b|)` time and `O(min)` space — the
+/// rows live in thread-local scratch, so steady-state calls do not
+/// allocate.
 pub fn levenshtein_distance_chars(a_chars: &[char], b_chars: &[char]) -> usize {
     // Keep the inner row the shorter one for cache friendliness.
     let (long, short) = if a_chars.len() >= b_chars.len() {
@@ -28,19 +41,25 @@ pub fn levenshtein_distance_chars(a_chars: &[char], b_chars: &[char]) -> usize {
     if short.is_empty() {
         return long.len();
     }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur: Vec<usize> = vec![0; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let sub = prev[j] + usize::from(lc != sc);
-            let del = prev[j + 1] + 1;
-            let ins = cur[j] + 1;
-            cur[j + 1] = sub.min(del).min(ins);
+    DP_ROWS.with(|rows| {
+        let mut rows = rows.borrow_mut();
+        let (prev, cur) = &mut *rows;
+        prev.clear();
+        prev.extend(0..=short.len());
+        cur.clear();
+        cur.resize(short.len() + 1, 0);
+        for (i, &lc) in long.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &sc) in short.iter().enumerate() {
+                let sub = prev[j] + usize::from(lc != sc);
+                let del = prev[j + 1] + 1;
+                let ins = cur[j] + 1;
+                cur[j + 1] = sub.min(del).min(ins);
+            }
+            std::mem::swap(prev, cur);
         }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[short.len()]
+        prev[short.len()]
+    })
 }
 
 /// Banded early-exit check: is `levenshtein_distance(a, b) <= k`?
@@ -74,36 +93,44 @@ pub fn levenshtein_bounded_chars(a_chars: &[char], b_chars: &[char], k: usize) -
         return (n <= k).then_some(n);
     }
     const BIG: usize = usize::MAX / 2;
-    // prev[j] = distance for prefix lengths (i, j); band-limited.
-    let mut prev: Vec<usize> = vec![BIG; m + 1];
-    for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
-        *p = j;
-    }
-    let mut cur: Vec<usize> = vec![BIG; m + 1];
-    for i in 1..=n {
-        let lo = i.saturating_sub(k).max(1);
-        let hi = (i + k).min(m);
-        if lo > hi {
-            return None;
+    DP_ROWS.with(|rows| {
+        let mut rows = rows.borrow_mut();
+        let (prev, cur) = &mut *rows;
+        // prev[j] = distance for prefix lengths (i, j); band-limited.
+        // clear + resize refills every cell with BIG, so reusing the
+        // scratch rows is bit-identical to freshly allocated ones.
+        prev.clear();
+        prev.resize(m + 1, BIG);
+        for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
+            *p = j;
         }
-        cur[lo - 1] = if lo == 1 { i } else { BIG };
-        let mut row_min = cur[lo - 1];
-        for j in lo..=hi {
-            let sub = prev[j - 1] + usize::from(a_chars[i - 1] != b_chars[j - 1]);
-            let del = prev[j].saturating_add(1);
-            let ins = cur[j - 1].saturating_add(1);
-            cur[j] = sub.min(del).min(ins);
-            row_min = row_min.min(cur[j]);
+        cur.clear();
+        cur.resize(m + 1, BIG);
+        for i in 1..=n {
+            let lo = i.saturating_sub(k).max(1);
+            let hi = (i + k).min(m);
+            if lo > hi {
+                return None;
+            }
+            cur[lo - 1] = if lo == 1 { i } else { BIG };
+            let mut row_min = cur[lo - 1];
+            for j in lo..=hi {
+                let sub = prev[j - 1] + usize::from(a_chars[i - 1] != b_chars[j - 1]);
+                let del = prev[j].saturating_add(1);
+                let ins = cur[j - 1].saturating_add(1);
+                cur[j] = sub.min(del).min(ins);
+                row_min = row_min.min(cur[j]);
+            }
+            if hi < m {
+                cur[hi + 1] = BIG;
+            }
+            if row_min > k {
+                return None;
+            }
+            std::mem::swap(prev, cur);
         }
-        if hi < m {
-            cur[hi + 1] = BIG;
-        }
-        if row_min > k {
-            return None;
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    (prev[m] <= k).then_some(prev[m])
+        (prev[m] <= k).then_some(prev[m])
+    })
 }
 
 /// `1 − d(a,b) / max(|a|,|b|)`: the similarity the paper thresholds at
@@ -116,7 +143,7 @@ impl Similarity for NormalizedLevenshtein {
         Prepared::Chars(s.chars().collect())
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
         let (ac, bc) = (a.chars(), b.chars());
         let max_len = ac.len().max(bc.len());
         if max_len == 0 {
@@ -132,7 +159,12 @@ impl Similarity for NormalizedLevenshtein {
     /// the unrestricted path: a returned distance inside the band *is*
     /// the true distance, and the similarity is computed by the same
     /// expression.
-    fn sim_prepared_at_least(&self, a: &Prepared, b: &Prepared, floor: f64) -> Option<f64> {
+    fn sim_view_at_least(
+        &self,
+        a: &PreparedView<'_>,
+        b: &PreparedView<'_>,
+        floor: f64,
+    ) -> Option<f64> {
         let (ac, bc) = (a.chars(), b.chars());
         let max_len = ac.len().max(bc.len());
         if max_len == 0 {

@@ -41,6 +41,13 @@
 //! ≈ 2⁻⁶⁴ per pair) is the only way the hashed result could diverge
 //! from exact string sets, and both `sim` and `sim_prepared` share it.
 //!
+//! Every kernel is written against borrowed [`PreparedView`]s, so the
+//! same code path serves heap [`Prepared`] values and entities
+//! interned into a [`crate::arena::PreparedArena`] slab; kernels keep
+//! their mutable state in thread-local scratch buffers, making a pair
+//! comparison allocation-free once the scratch has grown to the
+//! corpus's longest string.
+//!
 //! Higher-level call sites cache prepared forms per entity — see
 //! [`crate::matcher::PreparedEntity`] and
 //! [`crate::matcher::MatcherCache`].
@@ -86,20 +93,108 @@ pub enum Prepared {
 }
 
 impl Prepared {
-    /// The char buffer, panicking on a foreign variant.
-    pub(crate) fn chars(&self) -> &[char] {
+    /// A borrowed view of this prepared form — the representation the
+    /// similarity kernels actually consume. The same [`PreparedView`]
+    /// can also be produced from an interned
+    /// [`crate::arena::PreparedArena`] slot, which is how the heap and
+    /// arena storage paths share one set of kernels (and are bit-exact
+    /// by construction).
+    pub fn view(&self) -> PreparedView<'_> {
         match self {
-            Prepared::Chars(c) => c,
+            Prepared::Chars(c) => PreparedView::Chars(c),
+            Prepared::HashedSet(h) => PreparedView::HashedSet(h),
+            Prepared::HashedCounts { counts, norm } => PreparedView::HashedCounts {
+                counts,
+                norm: *norm,
+            },
+            Prepared::Tokens(t) => PreparedView::Tokens(TokenListView::Heap(t)),
+        }
+    }
+}
+
+/// A borrowed prepared representation: slices into either a heap
+/// [`Prepared`] or a [`crate::arena::PreparedArena`] slab. `Copy`, so
+/// the O(b²) compare loop passes it around without touching the heap.
+#[derive(Debug, Clone, Copy)]
+pub enum PreparedView<'a> {
+    /// Unicode scalar values (edit-distance family).
+    Chars(&'a [char]),
+    /// Sorted, deduplicated element hashes (set-overlap family).
+    HashedSet(&'a [u64]),
+    /// Sorted `(hash, count)` pairs plus the precomputed L2 norm
+    /// (cosine family).
+    HashedCounts {
+        /// Sorted by hash, one entry per distinct element.
+        counts: &'a [(u64, f64)],
+        /// `sqrt(Σ count²)`.
+        norm: f64,
+    },
+    /// A token list, each token itself viewable (hybrid family).
+    Tokens(TokenListView<'a>),
+}
+
+impl<'a> PreparedView<'a> {
+    /// The char buffer, panicking on a foreign variant.
+    pub(crate) fn chars(self) -> &'a [char] {
+        match self {
+            PreparedView::Chars(c) => c,
             other => panic!("expected Prepared::Chars, got {other:?}"),
         }
     }
 
     /// The hashed element set, panicking on a foreign variant.
-    pub(crate) fn hashed_set(&self) -> &[u64] {
+    pub(crate) fn hashed_set(self) -> &'a [u64] {
         match self {
-            Prepared::HashedSet(h) => h,
+            PreparedView::HashedSet(h) => h,
             other => panic!("expected Prepared::HashedSet, got {other:?}"),
         }
+    }
+}
+
+/// A borrowed token list: either the heap token `Vec` of a
+/// [`Prepared::Tokens`] or a node span inside a
+/// [`crate::arena::PreparedArena`]. Indexed access only — an iterator
+/// would need a boxed or enum-dispatched state, and the Monge-Elkan
+/// alignment is an index loop anyway.
+#[derive(Clone, Copy)]
+pub enum TokenListView<'a> {
+    /// Tokens owned by a heap [`Prepared::Tokens`].
+    Heap(&'a [Prepared]),
+    /// Tokens interned in an arena's node slab.
+    Arena {
+        /// The owning arena.
+        arena: &'a crate::arena::PreparedArena,
+        /// Span into the arena's node slab.
+        nodes: crate::arena::Span,
+    },
+}
+
+impl<'a> TokenListView<'a> {
+    /// Number of tokens.
+    pub fn len(self) -> usize {
+        match self {
+            TokenListView::Heap(t) => t.len(),
+            TokenListView::Arena { nodes, .. } => nodes.len(),
+        }
+    }
+
+    /// True for an empty token list.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// A view of token `index`; panics out of range.
+    pub fn get(self, index: usize) -> PreparedView<'a> {
+        match self {
+            TokenListView::Heap(t) => t[index].view(),
+            TokenListView::Arena { arena, nodes } => arena.token_view(nodes, index),
+        }
+    }
+}
+
+impl std::fmt::Debug for TokenListView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TokenListView(len={})", self.len())
     }
 }
 
@@ -165,22 +260,40 @@ pub(crate) fn jaccard_of_sorted_sets(a: &[u64], b: &[u64]) -> f64 {
 
 /// A symmetric string similarity in `[0, 1]`.
 ///
-/// Implementors define [`prepare`](Similarity::prepare) and
-/// [`sim_prepared`](Similarity::sim_prepared); the string-level
-/// [`sim`](Similarity::sim) is derived, so both entry points always
-/// agree bit-exactly.
+/// Implementors define [`prepare`](Similarity::prepare) and the view
+/// kernel [`sim_view`](Similarity::sim_view);
+/// [`sim_prepared`](Similarity::sim_prepared) and the string-level
+/// [`sim`](Similarity::sim) are derived, so every entry point —
+/// string, heap-prepared, or arena-interned — agrees bit-exactly by
+/// construction.
 pub trait Similarity: Send + Sync {
     /// Preprocesses `s` into this measure's cached representation.
     ///
     /// Call once per string, then evaluate all its pairs through
-    /// [`sim_prepared`](Similarity::sim_prepared).
+    /// [`sim_prepared`](Similarity::sim_prepared) (or intern into a
+    /// [`crate::arena::PreparedArena`] and use
+    /// [`sim_view`](Similarity::sim_view)).
     fn prepare(&self, s: &str) -> Prepared;
 
-    /// Similarity of two prepared strings; `1.0` means identical.
+    /// Similarity of two prepared views; `1.0` means identical. The
+    /// single kernel both storage paths (heap [`Prepared`] and arena
+    /// slabs) funnel into — implementations must not allocate per
+    /// call beyond thread-local scratch, which is what keeps the
+    /// blocked O(b²) compare loop allocation-free after warm-up.
     ///
     /// # Panics
     /// If either argument was prepared by a different measure family.
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64;
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64;
+
+    /// Similarity of two prepared strings; `1.0` means identical.
+    ///
+    /// Provided as `sim_view(a.view(), b.view())`.
+    ///
+    /// # Panics
+    /// If either argument was prepared by a different measure family.
+    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+        self.sim_view(&a.view(), &b.view())
+    }
 
     /// Similarity of `a` and `b`; `1.0` means identical.
     ///
@@ -192,7 +305,7 @@ pub trait Similarity: Send + Sync {
 
     /// Threshold-aware comparison: `Some(sim)` iff `sim >= floor`,
     /// where the returned value is **bit-identical** to
-    /// [`sim_prepared`](Similarity::sim_prepared).
+    /// [`sim_view`](Similarity::sim_view).
     ///
     /// The default computes the full similarity and compares. Measures
     /// with a cheaper bounded kernel override it to abandon hopeless
@@ -200,9 +313,20 @@ pub trait Similarity: Send + Sync {
     /// diagonal DP band wide enough for distances that can still reach
     /// `floor`, which is what makes thresholded matching at paper
     /// scale affordable.
-    fn sim_prepared_at_least(&self, a: &Prepared, b: &Prepared, floor: f64) -> Option<f64> {
-        let s = self.sim_prepared(a, b);
+    fn sim_view_at_least(
+        &self,
+        a: &PreparedView<'_>,
+        b: &PreparedView<'_>,
+        floor: f64,
+    ) -> Option<f64> {
+        let s = self.sim_view(a, b);
         (s >= floor).then_some(s)
+    }
+
+    /// [`sim_view_at_least`](Similarity::sim_view_at_least) over heap
+    /// prepared forms.
+    fn sim_prepared_at_least(&self, a: &Prepared, b: &Prepared, floor: f64) -> Option<f64> {
+        self.sim_view_at_least(&a.view(), &b.view(), floor)
     }
 
     /// Short identifier for reports.

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use super::{Prepared, Similarity};
+use super::{Prepared, PreparedView, Similarity, TokenListView};
 
 /// Symmetrized Monge-Elkan: for each token of one string take the best
 /// inner-similarity against the other string's tokens, average, and
@@ -25,15 +25,16 @@ impl MongeElkan {
         Self { inner }
     }
 
-    fn directed(&self, from: &[Prepared], to: &[Prepared]) -> f64 {
+    fn directed(&self, from: TokenListView<'_>, to: TokenListView<'_>) -> f64 {
         if from.is_empty() {
             return if to.is_empty() { 1.0 } else { 0.0 };
         }
         let mut sum = 0.0;
-        for a in from {
+        for i in 0..from.len() {
+            let a = from.get(i);
             let mut best: f64 = 0.0;
-            for b in to {
-                best = best.max(self.inner.sim_prepared(a, b));
+            for j in 0..to.len() {
+                best = best.max(self.inner.sim_view(&a, &to.get(j)));
             }
             sum += best;
         }
@@ -56,15 +57,15 @@ impl Similarity for MongeElkan {
         )
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
-        let (Prepared::Tokens(ta), Prepared::Tokens(tb)) = (a, b) else {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
+        let (PreparedView::Tokens(ta), PreparedView::Tokens(tb)) = (a, b) else {
             panic!("expected Prepared::Tokens, got {a:?} / {b:?}");
         };
         if ta.is_empty() && tb.is_empty() {
             return 1.0;
         }
-        let ab = self.directed(ta, tb);
-        let ba = self.directed(tb, ta);
+        let ab = self.directed(*ta, *tb);
+        let ba = self.directed(*tb, *ta);
         ((ab + ba) / 2.0).clamp(0.0, 1.0)
     }
 

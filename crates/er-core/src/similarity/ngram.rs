@@ -1,6 +1,8 @@
 //! Character n-gram similarity (Jaccard over padded n-grams).
 
-use super::{fnv1a_chars, into_hash_set, jaccard_of_sorted_sets, Prepared, Similarity};
+use super::{
+    fnv1a_chars, into_hash_set, jaccard_of_sorted_sets, Prepared, PreparedView, Similarity,
+};
 
 /// Jaccard similarity over the sets of character `n`-grams, with the
 /// string padded by `n−1` sentinel characters on each side so that
@@ -45,7 +47,7 @@ impl Similarity for NGram {
         Prepared::HashedSet(into_hash_set(self.gram_hashes(s)))
     }
 
-    fn sim_prepared(&self, a: &Prepared, b: &Prepared) -> f64 {
+    fn sim_view(&self, a: &PreparedView<'_>, b: &PreparedView<'_>) -> f64 {
         jaccard_of_sorted_sets(a.hashed_set(), b.hashed_set())
     }
 

@@ -1,0 +1,130 @@
+//! Proves the arena-backed compare loop is allocation-free after
+//! warm-up: once every entity of a block has been interned, an entire
+//! all-pairs `matches_handles` sweep performs **zero** heap
+//! allocations.
+//!
+//! A single `#[test]` drives the whole file — integration tests in one
+//! binary may run on multiple threads, which would make a global
+//! allocation counter racy across tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use er_core::{Entity, MatchRule, Matcher, MatcherCache};
+
+/// Counts every allocation routed through the global allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn corpus() -> Vec<Entity> {
+    // Titles long and varied enough to exercise the banded DP, the
+    // token measures, and the set measures; one entity lacks a title
+    // to cover the missing-attribute path.
+    let titles = [
+        "canon eos 5d mark iii body kit",
+        "canon eos 5d mark ii body kit",
+        "nikon coolpix s3300 compact camera",
+        "nikon coolpix s3200 compact camera",
+        "olympus om-d e-m5 micro four thirds",
+        "sony alpha a7 full frame mirrorless",
+        "sony alpha a7r full frame mirrorless",
+        "panasonic lumix dmc-gh3 body only",
+        "fujifilm x-pro1 rangefinder style",
+        "pentax k-5 ii dslr weather sealed",
+        "leica m9 rangefinder digital",
+        "samsung nx200 compact system camera",
+    ];
+    let mut entities: Vec<Entity> = titles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Entity::new(i as u64, [("title", *t), ("brand", "whatever corp")]))
+        .collect();
+    entities.push(Entity::new(99, [("brand", "untitled gmbh")]));
+    entities
+}
+
+#[test]
+fn arena_compare_loop_allocates_nothing_after_warm_up() {
+    // A multi-rule matcher exercises every measure family through the
+    // weighted path: edit distance (chars + DP scratch), Jaro-Winkler
+    // (match scratch), Monge-Elkan (nested token views), Jaccard /
+    // n-gram (hashed sets), cosine (hashed counts).
+    let matcher = Arc::new(Matcher::new(
+        vec![
+            MatchRule::new("title", Arc::new(er_core::NormalizedLevenshtein)).with_weight(2.0),
+            MatchRule::new("title", Arc::new(er_core::JaroWinkler::default())),
+            MatchRule::new("title", Arc::new(er_core::MongeElkan::default())),
+            MatchRule::new("title", Arc::new(er_core::Jaccard)),
+            MatchRule::new("title", Arc::new(er_core::NGram::trigram())),
+            MatchRule::new("brand", Arc::new(er_core::CosineTokens)),
+        ],
+        0.5,
+    ));
+    let entities = corpus();
+    let mut cache = MatcherCache::new(Arc::clone(&matcher));
+
+    // Warm-up: intern every entity, then run one full all-pairs sweep
+    // so thread-local scratch buffers grow to their high-water marks.
+    let handles: Vec<_> = entities.iter().map(|e| cache.handle(e)).collect();
+    let mut warm_decisions = Vec::with_capacity(handles.len() * handles.len());
+    for i in 0..handles.len() {
+        for j in (i + 1)..handles.len() {
+            warm_decisions.push(cache.matches_handles(&handles[i], &handles[j]));
+        }
+    }
+
+    // Measured pass: the identical sweep must not touch the allocator.
+    // The result buffer is allocated before the snapshot so only the
+    // compare loop itself is counted.
+    let mut hot_decisions = Vec::with_capacity(warm_decisions.len());
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..handles.len() {
+        for j in (i + 1)..handles.len() {
+            hot_decisions.push(cache.matches_handles(&handles[i], &handles[j]));
+        }
+    }
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    // The decision comparison happens after measurement so its own
+    // bookkeeping cannot pollute the counter; `hot_decisions` was
+    // pre-sized above for the same reason.
+    assert_eq!(
+        during, 0,
+        "arena compare loop allocated {during} times after warm-up"
+    );
+    assert_eq!(
+        warm_decisions
+            .iter()
+            .map(|d| d.map(f64::to_bits))
+            .collect::<Vec<_>>(),
+        hot_decisions
+            .iter()
+            .map(|d| d.map(f64::to_bits))
+            .collect::<Vec<_>>(),
+        "hot pass must reproduce warm-up decisions bit-exactly"
+    );
+    // Sanity: the sweep actually compared things both ways.
+    assert!(warm_decisions.iter().any(|d| d.is_some()));
+    assert!(warm_decisions.iter().any(|d| d.is_none()));
+}

@@ -83,7 +83,8 @@ impl Reducer for BasicReducer {
         for e2 in group.values() {
             let e2 = self.comparer.prepare_cached(&mut self.cache, e2);
             for e1 in &buffer {
-                self.comparer.compare_prepared(e1, &e2, &block, ctx);
+                self.comparer
+                    .compare_prepared(&self.cache, e1, &e2, &block, ctx);
             }
             buffer.push(e2);
         }

@@ -112,9 +112,11 @@ pub fn compute_bdm_in(
     reduce_tasks: usize,
     parallelism: usize,
     use_combiner: bool,
+    spill_threshold: Option<usize>,
 ) -> Result<BdmProducts, MrError> {
     let m = input.len();
-    let job = bdm_job(blocking, reduce_tasks, parallelism, use_combiner);
+    let job = bdm_job(blocking, reduce_tasks, parallelism, use_combiner)
+        .with_spill_threshold(spill_threshold);
     let out = workflow.chained_stage(&job, input)?;
     let bdm = BlockDistributionMatrix::from_counts(
         m,
@@ -143,6 +145,7 @@ pub fn compute_bdm(
         reduce_tasks,
         parallelism,
         use_combiner,
+        None,
     )
 }
 

@@ -58,7 +58,8 @@ impl Reducer for BlockSplitReducer {
             for e2 in group.values() {
                 let e2 = self.comparer.prepare_cached(&mut self.cache, &e2.keyed);
                 for e1 in &buffer {
-                    self.comparer.compare_prepared(e1, &e2, &block_key, ctx);
+                    self.comparer
+                        .compare_prepared(&self.cache, e1, &e2, &block_key, ctx);
                 }
                 buffer.push(e2);
             }
@@ -82,7 +83,8 @@ impl Reducer for BlockSplitReducer {
             }
             for e1 in &bucket_a {
                 for e2 in &bucket_b {
-                    self.comparer.compare_prepared(e1, e2, &block_key, ctx);
+                    self.comparer
+                        .compare_prepared(&self.cache, e1, e2, &block_key, ctx);
                 }
             }
         }

@@ -6,16 +6,18 @@
 //! (backed by a per-task [`MatcherCache`], so even entities revisited
 //! across groups — PairRange range replicas, multi-pass blocking — are
 //! prepared a single time), and pairs are scored through
-//! [`PairComparer::compare_prepared`] on the cached forms. In
-//! count-only mode preparation is skipped entirely; the similarity
-//! measure never runs.
+//! [`PairComparer::compare_prepared`] on the cached
+//! [`PreparedHandle`]s. The default cache runs in arena mode, so the
+//! handles are `Copy`-sized ids into contiguous slabs and the compare
+//! loop allocates nothing after warm-up. In count-only mode
+//! preparation is skipped entirely; the similarity measure never runs.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use er_core::blocking::BlockKey;
 use er_core::result::MatchPair;
-use er_core::{Matcher, MatcherCache, PreparedEntity};
+use er_core::{Matcher, MatcherCache, PreparedHandle};
 use mr_engine::reducer::ReduceContext;
 
 use crate::{Keyed, COMPARISONS};
@@ -220,29 +222,27 @@ impl PairComparer {
     }
 
     /// The owned half of [`PairComparer::prepare_cached`]: just the
-    /// cached prepared form (`None` exactly when count-only), for
+    /// cached prepared handle (`None` exactly when count-only), for
     /// buffers that outlive a borrow scope — e.g. a sliding window
     /// carried across reduce groups. Reassemble a comparison handle
     /// with [`PreparedRef::from_parts`].
-    pub fn prepare_owned(
-        &self,
-        cache: &mut MatcherCache,
-        keyed: &Keyed,
-    ) -> Option<Arc<PreparedEntity>> {
-        (!self.count_only).then(|| cache.prepared(&keyed.entity))
+    pub fn prepare_owned(&self, cache: &mut MatcherCache, keyed: &Keyed) -> Option<PreparedHandle> {
+        (!self.count_only).then(|| cache.handle(&keyed.entity))
     }
 
     /// [`PairComparer::compare`] over prepared handles: same gate,
     /// same counters, same emissions — but similarity runs on the
-    /// cached representations, bit-exact with the string path.
+    /// cached representations (through `cache`, which must be the one
+    /// that issued the handles), bit-exact with the string path.
     pub fn compare_prepared(
         &self,
+        cache: &MatcherCache,
         a: &PreparedRef<'_>,
         b: &PreparedRef<'_>,
         current: &BlockKey,
         ctx: &mut ReduceContext<MatchPair, f64>,
     ) {
-        self.compare_prepared_into(a, b, current, ctx, |ctx, pair, score| {
+        self.compare_prepared_into(cache, a, b, current, ctx, |ctx, pair, score| {
             ctx.emit(pair, score);
         });
     }
@@ -255,6 +255,7 @@ impl PairComparer {
     /// with boundary records).
     pub fn compare_prepared_into<KO, VO>(
         &self,
+        cache: &MatcherCache,
         a: &PreparedRef<'_>,
         b: &PreparedRef<'_>,
         current: &BlockKey,
@@ -280,7 +281,7 @@ impl PairComparer {
             a.prepared.as_ref().expect("prepared under !count_only"),
             b.prepared.as_ref().expect("prepared under !count_only"),
         );
-        if let Some(score) = self.matcher.matches_prepared(pa, pb) {
+        if let Some(score) = cache.matches_handles(pa, pb) {
             sink(
                 ctx,
                 MatchPair::new(a.keyed.entity.entity_ref(), b.keyed.entity.entity_ref()),
@@ -290,23 +291,23 @@ impl PairComparer {
     }
 }
 
-/// A block entity paired with its cached prepared form — what the
+/// A block entity paired with its cached prepared handle — what the
 /// strategy reducers buffer instead of bare [`Keyed`] references.
 /// `prepared` is `None` exactly when the comparer is count-only.
 #[derive(Debug, Clone)]
 pub struct PreparedRef<'a> {
     /// The annotated entity.
     pub keyed: &'a Keyed,
-    prepared: Option<Arc<PreparedEntity>>,
+    prepared: Option<PreparedHandle>,
 }
 
 impl<'a> PreparedRef<'a> {
     /// Reassembles a comparison handle from parts produced by
-    /// [`PairComparer::prepare_owned`]. `prepared` must be the form
-    /// that comparer returned for this entity (`None` exactly for
-    /// count-only comparers) — handing a non-count-only comparer a
+    /// [`PairComparer::prepare_owned`]. `prepared` must be the handle
+    /// that comparer's cache returned for this entity (`None` exactly
+    /// for count-only comparers) — handing a non-count-only comparer a
     /// `None` panics inside the compare call.
-    pub fn from_parts(keyed: &'a Keyed, prepared: Option<Arc<PreparedEntity>>) -> Self {
+    pub fn from_parts(keyed: &'a Keyed, prepared: Option<PreparedHandle>) -> Self {
         Self { keyed, prepared }
     }
 }
@@ -408,7 +409,7 @@ mod tests {
                 comparer.prepare_cached(&mut cache, &a),
                 comparer.prepare_cached(&mut cache, &b),
             );
-            comparer.compare_prepared(&pa, &pb, &block, &mut prepared);
+            comparer.compare_prepared(&cache, &pa, &pb, &block, &mut prepared);
             assert_eq!(direct.output(), prepared.output());
             assert_eq!(
                 direct.counters().get(COMPARISONS),
@@ -443,9 +444,16 @@ mod tests {
             num_reduce_tasks: 1,
             num_map_tasks: 1,
         });
-        comparer.compare_prepared_into(&pa, &pb, &BlockKey::new("blk"), &mut ctx, |c, pair, s| {
-            c.emit((), format!("{pair} @ {s:.1}"));
-        });
+        comparer.compare_prepared_into(
+            &cache,
+            &pa,
+            &pb,
+            &BlockKey::new("blk"),
+            &mut ctx,
+            |c, pair, s| {
+                c.emit((), format!("{pair} @ {s:.1}"));
+            },
+        );
         assert_eq!(ctx.counters().get(COMPARISONS), 1);
         assert_eq!(ctx.output().len(), 1);
         assert!(ctx.output()[0].1.contains("0.9"));
@@ -459,7 +467,7 @@ mod tests {
         let pa = comparer.prepare_cached(&mut cache, &a);
         assert!(cache.is_empty(), "count-only must not prepare entities");
         let mut c = ctx();
-        comparer.compare_prepared(&pa, &pa.clone(), &BlockKey::new("blk"), &mut c);
+        comparer.compare_prepared(&cache, &pa, &pa.clone(), &BlockKey::new("blk"), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 1);
         assert!(c.output().is_empty());
     }
@@ -495,7 +503,7 @@ mod tests {
             comparer.prepare_cached(&mut cache, &b),
         );
         let mut c = ctx();
-        comparer.compare_prepared(&pa, &pb, &BlockKey::new("zzz"), &mut c);
+        comparer.compare_prepared(&cache, &pa, &pb, &BlockKey::new("zzz"), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 0);
         assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 1);
     }
@@ -521,7 +529,7 @@ mod tests {
             comparer.prepare_cached(&mut cache, &a),
             comparer.prepare_cached(&mut cache, &b),
         );
-        comparer.compare_prepared(&pa, &pb, &BlockKey::new("blk"), &mut c);
+        comparer.compare_prepared(&cache, &pa, &pb, &BlockKey::new("blk"), &mut c);
         assert_eq!(c.counters().get(MULTIPASS_SKIPPED), 2);
         assert_eq!(c.counters().get(COMPARISONS), 1);
     }
@@ -556,7 +564,7 @@ mod tests {
             comparer.prepare_cached(&mut cache, &r2),
             comparer.prepare_cached(&mut cache, &s1),
         );
-        comparer.compare_prepared(&pr, &ps, &BlockKey::new("blk"), &mut c);
+        comparer.compare_prepared(&cache, &pr, &ps, &BlockKey::new("blk"), &mut c);
         assert_eq!(c.counters().get(COMPARISONS), 2);
     }
 

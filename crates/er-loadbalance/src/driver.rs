@@ -128,6 +128,19 @@ impl ErConfig {
         self
     }
 
+    /// Seals map-side shuffle buckets into sorted runs every
+    /// `threshold` open records, bounding map-phase resident memory
+    /// (forwards to [`RuntimeConfig::spill_threshold`]); `None`
+    /// restores the spill-free default. Outputs are byte-identical at
+    /// any threshold.
+    ///
+    /// # Panics
+    /// If `threshold` is `Some(0)`.
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.runtime = self.runtime.with_spill_threshold(threshold);
+        self
+    }
+
     /// Bounds every strategy reducer's prepared-entity cache (forwards
     /// to [`RuntimeConfig::matcher_cache_capacity`]); `None` restores
     /// the unbounded default.
@@ -159,6 +172,11 @@ impl ErConfig {
     /// The prepared-entity cache bound (`None` = unbounded).
     pub fn matcher_cache_capacity(&self) -> Option<usize> {
         self.runtime.matcher_cache_capacity
+    }
+
+    /// The map-side spill threshold (`None` = never spill).
+    pub fn spill_threshold(&self) -> Option<usize> {
+        self.runtime.spill_threshold
     }
 
     pub(crate) fn comparer(&self) -> PairComparer {
@@ -245,7 +263,8 @@ pub fn run_er_in(
                 config.comparer(),
                 config.reduce_tasks(),
                 config.parallelism(),
-            );
+            )
+            .with_spill_threshold(config.spill_threshold());
             let out = workflow.chained_stage(&job, input)?;
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {
@@ -266,32 +285,35 @@ pub fn run_er_in(
                 config.reduce_tasks(),
                 config.parallelism(),
                 config.use_combiner,
+                config.spill_threshold(),
             )?;
             let bdm = Arc::new(bdm);
             // The BDM's side outputs are chained into the matching job
             // by the workflow layer, which enforces the identical-
             // partitioning invariant Algorithms 1–3 require.
             let out = match config.strategy {
-                StrategyKind::BlockSplit => workflow.chained_stage(
-                    &block_split_job_with_policy(
+                StrategyKind::BlockSplit => {
+                    let job = block_split_job_with_policy(
                         Arc::clone(&bdm),
                         config.comparer(),
                         config.split_policy,
                         config.reduce_tasks(),
                         config.parallelism(),
-                    ),
-                    annotated,
-                )?,
-                _ => workflow.chained_stage(
-                    &pair_range_job(
+                    )
+                    .with_spill_threshold(config.spill_threshold());
+                    workflow.chained_stage(&job, annotated)?
+                }
+                _ => {
+                    let job = pair_range_job(
                         Arc::clone(&bdm),
                         config.comparer(),
                         config.range_policy,
                         config.reduce_tasks(),
                         config.parallelism(),
-                    ),
-                    annotated,
-                )?,
+                    )
+                    .with_spill_threshold(config.spill_threshold());
+                    workflow.chained_stage(&job, annotated)?
+                }
             };
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {

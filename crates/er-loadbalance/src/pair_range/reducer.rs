@@ -95,7 +95,7 @@ impl Reducer for PairRangeReducer {
                 let k = ranges.range_of(pair_index(&self.bdm, block, *index1, e2.index));
                 if k == my_range {
                     self.comparer
-                        .compare_prepared(e1, &prepared2, &block_key, ctx);
+                        .compare_prepared(&self.cache, e1, &prepared2, &block_key, ctx);
                 } else if k > my_range {
                     // Monotone in the buffer coordinate: nothing later
                     // in the buffer can still belong to this range.

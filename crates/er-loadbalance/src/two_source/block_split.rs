@@ -203,7 +203,8 @@ impl Reducer for TwoSourceBlockSplitReducer {
         }
         for e1 in &r_side {
             for e2 in &s_side {
-                self.comparer.compare_prepared(e1, e2, &block_key, ctx);
+                self.comparer
+                    .compare_prepared(&self.cache, e1, e2, &block_key, ctx);
             }
         }
     }

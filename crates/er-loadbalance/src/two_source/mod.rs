@@ -190,7 +190,8 @@ pub fn run_linkage_in(
             comparer,
             config.reduce_tasks(),
             config.parallelism(),
-        );
+        )
+        .with_spill_threshold(config.spill_threshold());
         let out = workflow.chained_stage(&job, input)?;
         let mut result = MatchResult::new();
         for (pair, score) in out.reduce_outputs.into_iter().flatten() {
@@ -210,29 +211,32 @@ pub fn run_linkage_in(
         config.reduce_tasks(),
         config.parallelism(),
         config.use_combiner,
+        config.spill_threshold(),
     )?;
     let bdm = Arc::new(bdm);
     let ts = Arc::new(TwoSourceBdm::new(Arc::clone(&bdm), sources));
     let out = match config.strategy {
-        StrategyKind::BlockSplit => workflow.chained_stage(
-            &block_split::block_split_two_source_job(
+        StrategyKind::BlockSplit => {
+            let job = block_split::block_split_two_source_job(
                 ts,
                 comparer,
                 config.reduce_tasks(),
                 config.parallelism(),
-            ),
-            annotated,
-        )?,
-        StrategyKind::PairRange => workflow.chained_stage(
-            &pair_range::pair_range_two_source_job(
+            )
+            .with_spill_threshold(config.spill_threshold());
+            workflow.chained_stage(&job, annotated)?
+        }
+        StrategyKind::PairRange => {
+            let job = pair_range::pair_range_two_source_job(
                 ts,
                 comparer,
                 config.range_policy,
                 config.reduce_tasks(),
                 config.parallelism(),
-            ),
-            annotated,
-        )?,
+            )
+            .with_spill_threshold(config.spill_threshold());
+            workflow.chained_stage(&job, annotated)?
+        }
         StrategyKind::Basic => unreachable!("handled above"),
     };
     let mut result = MatchResult::new();

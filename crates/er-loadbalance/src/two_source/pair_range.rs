@@ -189,8 +189,13 @@ impl Reducer for TwoSourcePairRangeReducer {
                     let p = self.ts.pair_index(block, *index1, value.index);
                     let k = ranges.range_of(p);
                     if k == my_range {
-                        self.comparer
-                            .compare_prepared(e1, &prepared_s, &block_key, ctx);
+                        self.comparer.compare_prepared(
+                            &self.cache,
+                            e1,
+                            &prepared_s,
+                            &block_key,
+                            ctx,
+                        );
                     } else if k > my_range {
                         // Pair index grows with the R index for a fixed
                         // S entity: nothing later in the buffer fits.

@@ -215,6 +215,19 @@ impl SnConfig {
         self
     }
 
+    /// Seals map-side shuffle buckets into sorted runs every
+    /// `threshold` open records, bounding map-phase resident memory
+    /// (forwards to [`RuntimeConfig::spill_threshold`]); `None`
+    /// restores the spill-free default. Outputs are byte-identical at
+    /// any threshold.
+    ///
+    /// # Panics
+    /// If `threshold` is `Some(0)`.
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.runtime = self.runtime.with_spill_threshold(threshold);
+        self
+    }
+
     /// Number of key ranges == reduce tasks of the matching job.
     pub fn partitions(&self) -> usize {
         self.runtime.reduce_tasks
@@ -234,6 +247,11 @@ impl SnConfig {
     /// The prepared-entity cache bound (`None` = unbounded).
     pub fn matcher_cache_capacity(&self) -> Option<usize> {
         self.runtime.matcher_cache_capacity
+    }
+
+    /// The map-side spill threshold (`None` = never spill).
+    pub fn spill_threshold(&self) -> Option<usize> {
+        self.runtime.spill_threshold
     }
 
     pub(crate) fn comparer(&self) -> PairComparer {
@@ -438,6 +456,7 @@ pub fn run_sn_stages(
         config.partitions(),
         config.parallelism(),
         config.use_combiner,
+        config.spill_threshold(),
     )?;
     let partitioner_arc = Arc::new(partitioner.clone());
     match config.strategy {
@@ -448,7 +467,8 @@ pub fn run_sn_stages(
                 config.window,
                 config.partitions(),
                 config.parallelism(),
-            );
+            )
+            .with_spill_threshold(config.spill_threshold());
             let out = workflow.chained_stage(&job, annotated)?;
             let lens = out.metrics.per_reduce_counter(PARTITION_ENTITIES);
             let match_metrics = out.metrics;
@@ -462,7 +482,8 @@ pub fn run_sn_stages(
                 // partition per boundary), so it runs outside the
                 // chained-shape invariant.
                 let boundaries = boundary_input.len();
-                let job = stitch_job(comparer, config.window, boundaries, config.parallelism());
+                let job = stitch_job(comparer, config.window, boundaries, config.parallelism())
+                    .with_spill_threshold(config.spill_threshold());
                 let out = workflow.repartitioned_stage(&job, boundary_input)?;
                 for (pair, score) in out.reduce_outputs.into_iter().flatten() {
                     result.insert(pair, score);
@@ -514,7 +535,8 @@ pub fn run_sn_stages(
                 config.window,
                 config.partitions(),
                 config.parallelism(),
-            );
+            )
+            .with_spill_threshold(config.spill_threshold());
             let out = workflow.chained_stage(&job, annotated)?;
             let mut result = MatchResult::new();
             for (pair, score) in out.reduce_outputs.into_iter().flatten() {

@@ -409,6 +409,7 @@ impl Reducer for StitchReducer {
                             break;
                         }
                         self.comparer.compare_prepared(
+                            &self.cache,
                             left,
                             &prepared,
                             &er_core::blocking::BlockKey::bottom(),

@@ -171,6 +171,7 @@ pub fn sample_distribution_in(
     partitions: usize,
     parallelism: usize,
     use_combiner: bool,
+    spill_threshold: Option<usize>,
 ) -> Result<SampleProducts, MrError> {
     let job = sample_job(
         sort_key,
@@ -179,7 +180,8 @@ pub fn sample_distribution_in(
         partitions,
         parallelism,
         use_combiner,
-    );
+    )
+    .with_spill_threshold(spill_threshold);
     let out = workflow.chained_stage(&job, input)?;
     let histogram = key_histogram(out.reduce_outputs.into_iter().flatten());
     let partitioner = RangePartitioner::from_counts(histogram, partitions);
@@ -208,6 +210,7 @@ pub fn sample_distribution(
         partitions,
         parallelism,
         use_combiner,
+        None,
     )
 }
 

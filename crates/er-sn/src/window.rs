@@ -17,20 +17,20 @@
 //! replica (those pairs belong to the predecessor partition).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use er_core::blocking::BlockKey;
 use er_core::result::MatchPair;
-use er_core::{MatcherCache, PreparedEntity};
+use er_core::{MatcherCache, PreparedHandle};
 use er_loadbalance::compare::{PairComparer, PreparedRef};
 use er_loadbalance::Keyed;
 use mr_engine::reducer::ReduceContext;
 
 /// Ring buffer of the `w − 1` most recent entities with their
-/// prepared forms (cheap to hold: `Arc` handles all the way down).
+/// prepared handles (cheap to hold: arena ids or `Arc`s all the way
+/// down).
 #[derive(Debug, Clone)]
 pub struct WindowBuffer {
-    ring: VecDeque<(Keyed, Option<Arc<PreparedEntity>>)>,
+    ring: VecDeque<(Keyed, Option<PreparedHandle>)>,
     capacity: usize,
     /// The constant `⊥` block key all SN comparisons run under.
     block: BlockKey,
@@ -72,12 +72,12 @@ impl WindowBuffer {
         let next = PreparedRef::from_parts(keyed, prepared.clone());
         for (prev_keyed, prev_prepared) in &self.ring {
             let prev = PreparedRef::from_parts(prev_keyed, prev_prepared.clone());
-            comparer.compare_prepared_into(&prev, &next, &self.block, ctx, &mut sink);
+            comparer.compare_prepared_into(cache, &prev, &next, &self.block, ctx, &mut sink);
         }
         self.push(keyed.clone(), prepared);
     }
 
-    fn push(&mut self, keyed: Keyed, prepared: Option<Arc<PreparedEntity>>) {
+    fn push(&mut self, keyed: Keyed, prepared: Option<PreparedHandle>) {
         self.ring.push_back((keyed, prepared));
         if self.ring.len() > self.capacity {
             self.ring.pop_front();
@@ -114,6 +114,7 @@ mod tests {
     use er_core::{Entity, Matcher};
     use er_loadbalance::COMPARISONS;
     use mr_engine::reducer::ReduceTaskInfo;
+    use std::sync::Arc;
 
     fn ctx() -> ReduceContext<MatchPair, f64> {
         ReduceContext::for_testing(ReduceTaskInfo {

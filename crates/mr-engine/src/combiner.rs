@@ -8,12 +8,14 @@
 //! task's local output, on groups of keys that compare equal under the
 //! job's *sort* comparator, and must be an associative + commutative
 //! reduction of values for a fixed key. The engine applies it once per
-//! map task (Hadoop may apply it zero or more times per spill — any
-//! number of applications must be legal; our tests assert idempotence
-//! of a second application for the shipped combiners).
+//! **seal** — once per map task without a spill threshold, once per
+//! spill with one (exactly Hadoop's "zero or more applications per
+//! spill" contract; any number of applications must be legal, and our
+//! tests assert idempotence of a second application for the shipped
+//! combiners plus result equality across spill thresholds).
 //!
 //! Like Hadoop's spill combiner, the engine combines *per partition
-//! bucket*: map output is partitioned first, each bucket is
+//! bucket*: map output is partitioned first, each sealed bucket is
 //! stable-sorted once, and [`combine_sorted_run`] then reduces
 //! adjacent equal-key groups in a single pass — the bucket sort the
 //! shuffle needs anyway doubles as the combiner's grouping sort, so

@@ -12,29 +12,41 @@
 //! Hadoop's spill-sort/merge split, and the reduce side never
 //! materializes its merged input:
 //!
-//! 1. **Map side** — each map task partitions its output into `r`
-//!    buckets, stable-sorts every bucket by the sort comparator, and
-//!    (when a combiner is installed) runs the combiner over each
-//!    already-sorted bucket in a single pass — the bucket sort the
+//! 1. **Map side** — each map task routes its output into `r` open
+//!    partition buckets *as it is emitted* (the context buffer is
+//!    drained after every `map` call, never accumulating the task's
+//!    full output). Whenever the open records cross the configured
+//!    [`JobBuilder::spill_threshold`] the whole bucket set is sealed
+//!    into immutable sorted runs — each non-empty bucket is
+//!    stable-sorted by the sort comparator and (when a combiner is
+//!    installed) combined in a single pass, exactly like Hadoop's
+//!    spill files — and once more at end of task. The bucket sort the
 //!    shuffle needs anyway doubles as the combiner's grouping sort, so
-//!    each record is sorted exactly once. All of this happens inside
-//!    the map task body, in parallel across map tasks.
-//! 2. **Coordinator** — only *transposes* the `m × r` bucket matrix so
-//!    each reduce task receives its `m` sorted runs: an `O(m·r)`
-//!    pointer move, no comparisons.
+//!    each record is sorted exactly once. A map task therefore holds
+//!    at most `threshold` unsorted records (measured by the map-side
+//!    [`TaskMetrics::peak_resident_records`](crate::metrics::TaskMetrics)
+//!    and [`TaskMetrics::spilled_runs`](crate::metrics::TaskMetrics)
+//!    gauges); with no threshold it seals exactly one run per bucket
+//!    at the end, the legacy fully-buffered layout. All of this
+//!    happens inside the map task body, in parallel across map tasks;
+//!    see [`crate::spill`] for the machinery.
+//! 2. **Coordinator** — only *transposes* the per-task run lists so
+//!    each reduce task receives its `m × (runs per task)` sorted runs
+//!    flattened in (map task, seal order): an `O(total runs)` pointer
+//!    move, no comparisons.
 //!    [`JobMetrics::shuffle_wall`](crate::metrics::JobMetrics)
 //!    records this residual coordinator cost.
 //! 3. **Reduce side** — each reduce task drives a streaming heap merge
-//!    ([`crate::merge::GroupStream`], `O(N_j log m)`
-//!    comparisons) that yields reduce *groups* incrementally. Only the
-//!    current group — one maximal run of keys equal under the grouping
-//!    comparator — is buffered (in a reusable buffer), plus at most one
-//!    head record per unexhausted run. The fully merged run is never
-//!    allocated — the extra `O(task input)` copy the pre-streaming
-//!    path materialized is gone, and the merge/group machinery itself
-//!    buffers only `O(largest group + m)` records (input runs remain
-//!    owned by the stream's iterators, with heap payloads released
-//!    group by group as they are moved out);
+//!    ([`crate::merge::GroupStream`], `O(N_j log k)` comparisons over
+//!    its `k` runs) that yields reduce *groups* incrementally. Only
+//!    the current group — one maximal run of keys equal under the
+//!    grouping comparator — is buffered (in a reusable buffer), plus
+//!    at most one head record per unexhausted run. The fully merged
+//!    run is never allocated — the extra `O(task input)` copy the
+//!    pre-streaming path materialized is gone, and the merge/group
+//!    machinery itself buffers only `O(largest group + k)` records
+//!    (input runs remain owned by the stream's iterators, with heap
+//!    payloads released group by group as they are moved out);
 //!    [`TaskMetrics::peak_group_len`](crate::metrics::TaskMetrics) and
 //!    [`TaskMetrics::peak_resident_records`](crate::metrics::TaskMetrics)
 //!    record the observed machinery peaks per reduce task so the bound
@@ -42,47 +54,64 @@
 //!
 //! # Determinism guarantee
 //!
-//! Equal sort keys arrive in (map task index, emission order): within
-//! a run the map-side sort is stable, and the heap merge breaks ties
-//! toward the lower-indexed map task (and preserves within-run order
-//! by construction). This is byte-identical to concatenating the runs
-//! in map-task order and stable-sorting — the pre-streaming
-//! implementation, retained as
+//! Equal sort keys arrive in (map task index, seal order, emission
+//! order): within a sealed run the map-side sort is stable, a seal
+//! contains only records emitted before every record of the next
+//! seal, and the heap merge breaks ties toward the lower run index —
+//! with runs flattened in (map task, seal) order that bias composes
+//! to the lower-indexed map task first, earlier seal next. Since seal
+//! boundaries respect emission order, (map task, seal, emission) is
+//! the same total order as (map task, emission): the output is
+//! byte-identical to concatenating per-task output in map-task order
+//! and stable-sorting — the pre-streaming implementation, retained as
 //! [`merge_sorted_runs`](crate::merge::merge_sorted_runs) for
-//! equivalence tests — and holds at any `parallelism`;
-//! `reduce_outputs` is a pure function of (input, job definition). The
-//! test suite asserts this property across parallelism levels.
+//! equivalence tests — at **any** spill threshold and any
+//! `parallelism`; `reduce_outputs` is a pure function of (input, job
+//! definition). (With a combiner installed the reduce *input* may
+//! differ across thresholds — the combiner runs once per seal — but a
+//! legal combiner leaves the job result unchanged.) The test suite
+//! asserts this property across spill thresholds × parallelism
+//! levels.
 
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::combiner::{combine_sorted_run, Combiner};
+use crate::combiner::Combiner;
 use crate::comparator::{natural_order, KeyCmp};
 use crate::counters::{self, CounterSet};
 use crate::error::MrError;
 use crate::input::Partitions;
-use crate::mapper::{run_map_task, MapTaskInfo, Mapper};
+use crate::mapper::{run_map_task_spilling, MapTaskInfo, Mapper};
 use crate::merge::GroupStream;
 use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
 use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::pool::{run_tasks, WorkerPool};
 use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
+use crate::spill::MapSpiller;
 
 /// How a job's map/reduce tasks are executed: a transient scoped pool
-/// spawned for this run, or a caller-owned persistent [`WorkerPool`].
-/// Both produce byte-identical output (index-addressed slots either
-/// way); the choice is purely operational.
+/// spawned for this run, or a caller-owned persistent [`WorkerPool`]
+/// (optionally capped to fewer concurrent slots than the pool owns).
+/// All modes produce byte-identical output (index-addressed slots
+/// either way); the choice is purely operational.
 enum Exec<'p> {
-    Transient { parallelism: usize },
-    Pooled(&'p WorkerPool),
+    Transient {
+        parallelism: usize,
+    },
+    Pooled {
+        pool: &'p WorkerPool,
+        /// Upper bound on concurrently used pool slots; `None` uses
+        /// the whole pool.
+        cap: Option<usize>,
+    },
 }
 
 impl Exec<'_> {
     fn parallelism(&self) -> usize {
         match self {
             Exec::Transient { parallelism } => *parallelism,
-            Exec::Pooled(pool) => pool.threads(),
+            Exec::Pooled { pool, cap } => cap.map_or(pool.threads(), |c| c.min(pool.threads())),
         }
     }
 
@@ -93,7 +122,11 @@ impl Exec<'_> {
     {
         match self {
             Exec::Transient { parallelism } => run_tasks(count, *parallelism, f),
-            Exec::Pooled(pool) => pool.run_tasks(count, f),
+            Exec::Pooled { pool, cap: None } => pool.run_tasks(count, f),
+            Exec::Pooled {
+                pool,
+                cap: Some(cap),
+            } => pool.run_tasks_capped(count, *cap, f),
         }
     }
 }
@@ -148,6 +181,7 @@ where
     combiner: Option<Combiner<M::KOut, M::VOut>>,
     reduce_tasks: usize,
     parallelism: usize,
+    spill_threshold: Option<usize>,
 }
 
 // Deliberately free of key bounds (unlike the `builder` impl's
@@ -161,6 +195,26 @@ where
     /// The job name (used in metrics and workflow stage reports).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Replaces the map-side spill threshold on an already-built job —
+    /// the post-hoc twin of [`JobBuilder::spill_threshold`], letting
+    /// drivers apply a runtime-wide knob to jobs whose construction
+    /// they do not own. Purely operational: output is byte-identical
+    /// at any threshold.
+    #[must_use]
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        assert!(
+            threshold.is_none_or(|t| t >= 1),
+            "spill threshold must be at least one record"
+        );
+        self.spill_threshold = threshold;
+        self
+    }
+
+    /// The configured map-side spill threshold, if any.
+    pub fn spill_threshold(&self) -> Option<usize> {
+        self.spill_threshold
     }
 }
 
@@ -186,6 +240,7 @@ where
             combiner: None,
             reduce_tasks: 1,
             parallelism: default_parallelism(),
+            spill_threshold: None,
         }
     }
 }
@@ -212,6 +267,7 @@ where
     combiner: Option<Combiner<M::KOut, M::VOut>>,
     reduce_tasks: usize,
     parallelism: usize,
+    spill_threshold: Option<usize>,
 }
 
 impl<M, R> JobBuilder<M, R>
@@ -228,6 +284,24 @@ where
     /// Sets the number of local worker threads (task slots).
     pub fn parallelism(mut self, p: usize) -> Self {
         self.parallelism = p;
+        self
+    }
+
+    /// Sets the map-side spill threshold, in records: a map task seals
+    /// its open partition buckets into immutable sorted runs whenever
+    /// they hold this many records, bounding the map phase's unsorted
+    /// resident set (`None`, the default, buffers the whole task
+    /// output and seals once — the legacy layout). Output is
+    /// byte-identical at any threshold; see [`crate::spill`].
+    ///
+    /// # Panics
+    /// If `threshold` is `Some(0)` — a seal needs at least one record.
+    pub fn spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        assert!(
+            threshold.is_none_or(|t| t >= 1),
+            "spill threshold must be at least one record"
+        );
+        self.spill_threshold = threshold;
         self
     }
 
@@ -268,12 +342,14 @@ where
             combiner: self.combiner,
             reduce_tasks: self.reduce_tasks,
             parallelism: self.parallelism,
+            spill_threshold: self.spill_threshold,
         }
     }
 }
 
 struct MapTaskResult<K, V, S> {
-    buckets: Vec<Vec<(K, V)>>,
+    /// Sealed sorted runs per reduce task, in seal order.
+    runs: Vec<Vec<Vec<(K, V)>>>,
     side: Vec<S>,
     metrics: TaskMetrics,
 }
@@ -315,7 +391,26 @@ where
         pool: &WorkerPool,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
-        self.run_with(Exec::Pooled(pool), input)
+        self.run_with(Exec::Pooled { pool, cap: None }, input)
+    }
+
+    /// Like [`Job::run_on`], but uses at most `max_parallelism` of the
+    /// pool's slots concurrently — so one run can be throttled without
+    /// respawning the pool (the pool's threads outlive the cap).
+    /// Output is byte-identical to any other execution mode.
+    pub fn run_on_capped(
+        &self,
+        pool: &WorkerPool,
+        max_parallelism: usize,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        self.run_with(
+            Exec::Pooled {
+                pool,
+                cap: Some(max_parallelism),
+            },
+            input,
+        )
     }
 
     fn run_with(
@@ -345,77 +440,73 @@ where
                     num_map_tasks: m,
                     num_reduce_tasks: r,
                 };
-                let mut ctx = run_map_task(&self.mapper, info, &input[i]);
-                let pre_combine = ctx.out.len() as u64;
+                // Emitted records stream straight into the spiller,
+                // which partitions them into open buckets and seals
+                // the set into sorted (and combined) runs whenever the
+                // spill threshold is crossed — the map task never
+                // holds more than `threshold` unsorted records plus
+                // its sealed runs. Sorting and combining thus run
+                // inside map tasks, in parallel; the coordinator never
+                // sorts.
+                let mut spiller = MapSpiller::new(
+                    self.partitioner.as_ref(),
+                    &self.sort_cmp,
+                    self.combiner.as_ref(),
+                    r,
+                    self.spill_threshold,
+                );
+                let mut ctx = run_map_task_spilling(&self.mapper, info, &input[i], |k, v| {
+                    spiller.push(k, v)
+                })?;
+                ctx.counters.add(
+                    counters::MAP_OUTPUT_RECORDS_PRECOMBINE,
+                    ctx.emitted() as u64,
+                );
+                let spilled = spiller.finish();
                 ctx.counters
-                    .add(counters::MAP_OUTPUT_RECORDS_PRECOMBINE, pre_combine);
-                let mut buckets: Vec<Vec<(M::KOut, M::VOut)>> =
-                    (0..r).map(|_| Vec::new()).collect();
-                for (k, v) in std::mem::take(&mut ctx.out) {
-                    let p = self.partitioner.partition(&k, r);
-                    if p >= r {
-                        return Err(MrError::PartitionOutOfRange {
-                            got: p,
-                            num_reduce_tasks: r,
-                        });
-                    }
-                    buckets[p].push((k, v));
-                }
-                // Map-side sort: emit sorted runs so the shuffle never
-                // sorts on the coordinator thread. Stable, so equal
-                // keys keep emission order within this task. The
-                // combiner (if any) then reduces each already-sorted
-                // bucket in one pass — partitioning first means this
-                // single sort serves both the combiner and the shuffle.
-                for bucket in &mut buckets {
-                    bucket.sort_by(|a, b| (self.sort_cmp)(&a.0, &b.0));
-                    if let Some(c) = &self.combiner {
-                        *bucket = combine_sorted_run(std::mem::take(bucket), &self.sort_cmp, c);
-                    }
-                }
-                let records_out: u64 = buckets.iter().map(|b| b.len() as u64).sum();
-                ctx.counters.add(counters::MAP_OUTPUT_RECORDS, records_out);
+                    .add(counters::MAP_OUTPUT_RECORDS, spilled.records_out);
                 let metrics = TaskMetrics {
                     kind: TaskKind::Map,
                     index: i,
                     records_in: input[i].len() as u64,
-                    records_out,
+                    records_out: spilled.records_out,
                     counters: ctx.counters,
                     wall: start.elapsed(),
                     peak_group_len: 0,
-                    peak_resident_records: 0,
+                    peak_resident_records: spilled.peak_open_records,
+                    spilled_runs: spilled.spilled_runs,
                 };
                 Ok(MapTaskResult {
-                    buckets,
+                    runs: spilled.runs,
                     side: ctx.side,
                     metrics,
                 })
             });
         let mut map_tasks_metrics = Vec::with_capacity(m);
         let mut side_outputs = Vec::with_capacity(m);
-        let mut all_buckets: Vec<Vec<Vec<(M::KOut, M::VOut)>>> = Vec::with_capacity(m);
+        let mut all_runs: Vec<Vec<Vec<Vec<(M::KOut, M::VOut)>>>> = Vec::with_capacity(m);
         for res in map_results {
             let task = res?;
             map_tasks_metrics.push(task.metrics);
             side_outputs.push(task.side);
-            all_buckets.push(task.buckets);
+            all_runs.push(task.runs);
         }
 
         // ---- Shuffle ---------------------------------------------------
-        // Reduce task j receives bucket j of every map task as a
-        // pre-sorted run, in map-task order. The coordinator only
-        // transposes the m×r bucket matrix (pointer moves); the k-way
-        // merge happens inside each reduce task on the worker pool.
-        // Merge ties break toward the lower map task, so values with
-        // equal sort keys keep (map task, emission) order — the
-        // Hadoop-like guarantee that keeps sub-block entities of one
-        // input partition contiguous.
+        // Reduce task j receives every sealed run destined for it,
+        // flattened in (map task, seal order). The coordinator only
+        // moves run pointers (no comparisons); the k-way merge happens
+        // inside each reduce task on the worker pool. Merge ties break
+        // toward the lower run index — lower map task first, earlier
+        // seal next — so values with equal sort keys keep (map task,
+        // emission) order, the Hadoop-like guarantee that keeps
+        // sub-block entities of one input partition contiguous.
         let shuffle_start = Instant::now();
         let mut runs_per_reduce: Vec<Vec<Vec<(M::KOut, M::VOut)>>> =
             (0..r).map(|_| Vec::with_capacity(m)).collect();
-        for task_buckets in all_buckets {
-            for (j, bucket) in task_buckets.into_iter().enumerate() {
-                runs_per_reduce[j].push(bucket);
+        for task_runs in all_runs {
+            for (j, runs) in task_runs.into_iter().enumerate() {
+                runs_per_reduce[j].extend(runs);
             }
         }
         // Slots let each reduce closure take ownership of its runs
@@ -473,6 +564,7 @@ where
                 wall: start.elapsed(),
                 peak_group_len,
                 peak_resident_records,
+                spilled_runs: 0,
             };
             (ctx.out, metrics)
         });
@@ -783,12 +875,174 @@ mod tests {
             task.peak_resident_records
         );
         assert!(out.metrics.peak_resident_fraction() < 1.0);
-        // Map tasks report no reduce-side peaks.
-        assert!(out
-            .metrics
-            .map_tasks
-            .iter()
-            .all(|t| t.peak_group_len == 0 && t.peak_resident_records == 0));
+        // Map tasks report no group peaks; without a spill threshold
+        // their open-set high-water is the full task output (6 and 3
+        // words respectively).
+        assert!(out.metrics.map_tasks.iter().all(|t| t.peak_group_len == 0));
+        assert_eq!(out.metrics.map_peak_resident_records(), 6);
+        assert_eq!(out.metrics.spilled_runs(), 0, "no threshold, no spills");
+    }
+
+    #[test]
+    fn spill_threshold_bounds_map_resident_set_and_keeps_output_identical() {
+        // 9 records per map task over 3 tasks; thresholds from 1 to
+        // beyond the input must leave every reduce output byte-equal
+        // while capping the map-side open set.
+        let input = lines(&[
+            "a b c a b c a b c",
+            "c c c a a a b b b",
+            "b a b a b a b a b",
+        ]);
+        let reference = wordcount_job(3, 1)
+            .run(partition_evenly(input.clone(), 3))
+            .unwrap();
+        assert_eq!(reference.metrics.spilled_runs(), 0);
+        for threshold in [1usize, 2, 4, 9, 100] {
+            let mut gauges: Option<(u64, u64)> = None;
+            for parallelism in [1usize, 2, 4, 8] {
+                let out = wordcount_job(3, parallelism)
+                    .with_spill_threshold(Some(threshold))
+                    .run(partition_evenly(input.clone(), 3))
+                    .unwrap();
+                assert_eq!(
+                    out.reduce_outputs, reference.reduce_outputs,
+                    "threshold {threshold} x parallelism {parallelism} changed the output"
+                );
+                assert!(
+                    out.metrics.map_peak_resident_records() <= threshold as u64,
+                    "threshold {threshold}: open set peaked at {}",
+                    out.metrics.map_peak_resident_records()
+                );
+                // The map-side gauges are per-task quantities: they
+                // must be invariant under parallelism.
+                let now = (
+                    out.metrics.map_peak_resident_records(),
+                    out.metrics.spilled_runs(),
+                );
+                match gauges {
+                    None => gauges = Some(now),
+                    Some(expected) => assert_eq!(
+                        now, expected,
+                        "threshold {threshold}: gauges drifted at parallelism {parallelism}"
+                    ),
+                }
+                // Each map task emits exactly 9 records, so a
+                // threshold of 9 still seals once (on the 9th record);
+                // only a threshold beyond the input never spills.
+                if threshold <= 9 {
+                    assert!(
+                        out.metrics.spilled_runs() > 0,
+                        "threshold {threshold} must trigger spills"
+                    );
+                } else {
+                    assert_eq!(out.metrics.spilled_runs(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_job_with_combiner_matches_unspilled_result() {
+        // The combiner runs once per seal, so the reduce *input* may
+        // differ across thresholds — the job *result* must not, and
+        // the precombine counter still counts raw emissions.
+        let input = partition_evenly(lines(&["a a a a b", "a a b b b"]), 2);
+        let build = |threshold: Option<usize>| {
+            let mapper = ClosureMapper::new(
+                |_: &(), line: &String, ctx: &mut MapContext<String, u64, ()>| {
+                    for w in line.split_whitespace() {
+                        ctx.emit(w.to_string(), 1);
+                    }
+                },
+            );
+            let reducer = ClosureReducer::new(
+                |group: Group<'_, String, u64>, ctx: &mut ReduceContext<String, u64>| {
+                    ctx.emit(group.key().clone(), group.values().sum());
+                },
+            );
+            Job::builder("wc+spill", mapper, reducer)
+                .reduce_tasks(2)
+                .parallelism(1)
+                .combiner(crate::combiner::sum_u64_combiner())
+                .spill_threshold(threshold)
+                .build()
+        };
+        let plain = build(None).run(input.clone()).unwrap();
+        for threshold in [1usize, 2, 3, 5] {
+            let spilled = build(Some(threshold)).run(input.clone()).unwrap();
+            assert_eq!(
+                spilled.reduce_outputs, plain.reduce_outputs,
+                "threshold {threshold} changed the combined result"
+            );
+            assert_eq!(
+                spilled
+                    .metrics
+                    .counters
+                    .get(counters::MAP_OUTPUT_RECORDS_PRECOMBINE),
+                10,
+                "precombine counter counts raw emissions at any threshold"
+            );
+            // Per-seal combining can only keep *more* pairs than the
+            // one-shot full-bucket combine.
+            assert!(spilled.metrics.map_output_records() >= plain.metrics.map_output_records());
+        }
+    }
+
+    #[test]
+    fn spilled_runs_reach_the_reducer_in_emission_order() {
+        // Single key, threshold 1: every record becomes its own sealed
+        // run, and the reducer must still see (map task, emission)
+        // order — the multi-run extension of the stability contract.
+        let mapper =
+            ClosureMapper::new(|_: &(), v: &String, ctx: &mut MapContext<u8, String, ()>| {
+                ctx.emit(0u8, v.clone());
+            });
+        let reducer = ClosureReducer::new(
+            |group: Group<'_, u8, String>, ctx: &mut ReduceContext<(), Vec<String>>| {
+                ctx.emit((), group.values().cloned().collect());
+            },
+        );
+        let input = vec![
+            vec![((), "m0-a".to_string()), ((), "m0-b".to_string())],
+            vec![((), "m1-a".to_string())],
+            vec![((), "m2-a".to_string()), ((), "m2-b".to_string())],
+        ];
+        let job = Job::builder("stable-spill", mapper, reducer)
+            .reduce_tasks(1)
+            .parallelism(4)
+            .spill_threshold(Some(1))
+            .build();
+        let out = job.run(input).unwrap();
+        assert_eq!(
+            out.records().next().expect("one record").1,
+            vec!["m0-a", "m0-b", "m1-a", "m2-a", "m2-b"]
+        );
+        assert_eq!(out.metrics.spilled_runs(), 5, "one sealed run per record");
+        assert_eq!(out.metrics.map_peak_resident_records(), 1);
+    }
+
+    #[test]
+    fn spill_threshold_survives_pooled_and_capped_execution() {
+        let input = partition_evenly(lines(&["x y z", "y z", "z z y x", "w", "x w y"]), 3);
+        let reference = wordcount_job(4, 1).run(input.clone()).unwrap();
+        let pool = WorkerPool::new(4);
+        let job = wordcount_job(4, 2).with_spill_threshold(Some(2));
+        let pooled = job.run_on(&pool, input.clone()).unwrap();
+        assert_eq!(pooled.reduce_outputs, reference.reduce_outputs);
+        for cap in [1usize, 2, 3, 8] {
+            let capped = job.run_on_capped(&pool, cap, input.clone()).unwrap();
+            assert_eq!(
+                capped.reduce_outputs, reference.reduce_outputs,
+                "cap {cap} diverged"
+            );
+        }
+        assert_eq!(pool.threads_spawned(), 4, "caps must not spawn threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_spill_threshold_is_rejected() {
+        let _ = wordcount_job(1, 1).with_spill_threshold(Some(0));
     }
 
     #[test]

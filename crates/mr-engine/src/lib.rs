@@ -82,6 +82,7 @@ pub mod partitioner;
 pub mod pool;
 pub mod reducer;
 pub mod runtime;
+pub mod spill;
 pub mod workflow;
 
 pub use adapters::{ClosureMapper, ClosureReducer};

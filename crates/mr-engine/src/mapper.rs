@@ -29,6 +29,10 @@ pub struct MapContext<KO, VO, S> {
     pub(crate) out: Vec<(KO, VO)>,
     pub(crate) side: Vec<S>,
     pub(crate) counters: CounterSet,
+    /// Total pairs emitted over the task's lifetime. Tracked
+    /// separately from `out.len()` because the engine drains `out`
+    /// into the map-side spiller between records.
+    pub(crate) emitted: usize,
 }
 
 impl<KO, VO, S> MapContext<KO, VO, S> {
@@ -38,6 +42,7 @@ impl<KO, VO, S> MapContext<KO, VO, S> {
             out: Vec::new(),
             side: Vec::new(),
             counters: CounterSet::new(),
+            emitted: 0,
         }
     }
 
@@ -51,7 +56,9 @@ impl<KO, VO, S> MapContext<KO, VO, S> {
         self.info
     }
 
-    /// Pairs emitted so far (read access for tests of custom mappers).
+    /// Pairs emitted and not yet consumed by the engine (read access
+    /// for tests of custom mappers; inside a running job the engine
+    /// drains this buffer into the map-side spiller between records).
     pub fn output(&self) -> &[(KO, VO)] {
         &self.out
     }
@@ -69,6 +76,7 @@ impl<KO, VO, S> MapContext<KO, VO, S> {
     /// Emits an intermediate key-value pair into the shuffle.
     pub fn emit(&mut self, key: KO, value: VO) {
         self.out.push((key, value));
+        self.emitted += 1;
     }
 
     /// Writes a record to this map task's *additional output* file.
@@ -86,9 +94,12 @@ impl<KO, VO, S> MapContext<KO, VO, S> {
         self.counters.add(name, delta);
     }
 
-    /// Number of pairs emitted so far (useful for flow-control tests).
+    /// Total number of pairs emitted so far over the task's lifetime
+    /// (useful for flow-control tests). Unlike [`MapContext::output`],
+    /// this count is unaffected by the engine draining the buffer into
+    /// the map-side spiller.
     pub fn emitted(&self) -> usize {
-        self.out.len()
+        self.emitted
     }
 }
 
@@ -124,8 +135,42 @@ pub trait Mapper: Clone + Send + Sync {
     fn finish(&mut self, _ctx: &mut MapContext<Self::KOut, Self::VOut, Self::Side>) {}
 }
 
+/// Drives a single map task over its input partition, draining every
+/// emitted pair into `sink` as it appears — after each `map` call and
+/// after `finish` — so the engine's spiller sees records in emission
+/// order without the context ever accumulating the full output.
+/// Returns the drained context (side outputs, counters, emission
+/// total); `sink` errors abort the task.
+pub(crate) fn run_map_task_spilling<M: Mapper, E>(
+    prototype: &M,
+    info: MapTaskInfo,
+    partition: &[(M::KIn, M::VIn)],
+    mut sink: impl FnMut(M::KOut, M::VOut) -> Result<(), E>,
+) -> Result<MapContext<M::KOut, M::VOut, M::Side>, E> {
+    let mut mapper = prototype.clone();
+    let mut ctx = MapContext::new(info);
+    mapper.setup(&info);
+    for (k, v) in partition {
+        mapper.map(k, v, &mut ctx);
+        ctx.counters.inc(counters::MAP_INPUT_RECORDS);
+        for (k, v) in ctx.out.drain(..) {
+            sink(k, v)?;
+        }
+    }
+    mapper.finish(&mut ctx);
+    for (k, v) in ctx.out.drain(..) {
+        sink(k, v)?;
+    }
+    ctx.counters
+        .add(counters::MAP_SIDE_OUTPUT_RECORDS, ctx.side.len() as u64);
+    Ok(ctx)
+}
+
 /// Drives a single map task over its input partition and returns the
-/// filled context. Engine-internal, exposed for white-box tests.
+/// filled (undrained) context. White-box-test twin of
+/// [`run_map_task_spilling`] — the engine itself streams through the
+/// spilling variant.
+#[cfg(test)]
 pub(crate) fn run_map_task<M: Mapper>(
     prototype: &M,
     info: MapTaskInfo,
@@ -181,6 +226,30 @@ mod tests {
         assert_eq!(ctx.side, vec!["saw 7".to_string(), "saw 8".to_string()]);
         assert_eq!(ctx.counters.get(counters::MAP_SIDE_OUTPUT_RECORDS), 2);
         assert_eq!(ctx.info().task_index, 3);
+    }
+
+    #[test]
+    fn spilling_driver_drains_in_emission_order_and_keeps_the_total() {
+        let mapper = ClosureMapper::new(|k: &u32, v: &u32, ctx: &mut MapContext<u32, u32, ()>| {
+            ctx.emit(*k, *v);
+            ctx.emit(*k, v * 10);
+        });
+        let info = MapTaskInfo {
+            task_index: 0,
+            num_map_tasks: 1,
+            num_reduce_tasks: 1,
+        };
+        let part = vec![(1u32, 1u32), (2, 2)];
+        let mut seen = Vec::new();
+        let ctx = run_map_task_spilling(&mapper, info, &part, |k, v| {
+            seen.push((k, v));
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(1, 1), (1, 10), (2, 2), (2, 20)]);
+        assert!(ctx.output().is_empty(), "driver leaves the buffer drained");
+        assert_eq!(ctx.emitted(), 4, "emission total survives the drain");
+        assert_eq!(ctx.counters.get(counters::MAP_INPUT_RECORDS), 2);
     }
 
     #[test]

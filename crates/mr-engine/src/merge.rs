@@ -3,7 +3,9 @@
 //! Two implementations of the same contract live here:
 //!
 //! * [`GroupStream`] — the production path: a binary-heap (tournament)
-//!   merge over the `m` map-side sorted runs that yields reduce
+//!   merge over the map-side sorted runs — one per map task without a
+//!   spill threshold, `m × (seals per task)` with one (the spiller
+//!   flattens them in (map task, seal) order) — that yields reduce
 //!   *groups* incrementally. Only the current group (one maximal run
 //!   of keys equal under the grouping comparator) is buffered and the
 //!   merged run as a whole is never materialized, eliminating the
@@ -20,11 +22,15 @@
 //!
 //! # Determinism contract
 //!
-//! Both paths are byte-identical to concatenating the runs in map-task
+//! Both paths are byte-identical to concatenating the runs in input
 //! order and stable-sorting: within a run, emission order is
-//! preserved, and ties between runs break toward the lower run (map
-//! task) index. The heap orders run heads by `(sort key, run index)`,
-//! so after a pop the same run wins again while its head stays equal —
+//! preserved, and ties between runs break toward the lower run index.
+//! With runs handed over in (map task, seal order) — the engine's
+//! shuffle layout — that left bias composes to (map task, seal,
+//! emission-within-seal), which equals plain (map task, emission)
+//! order because a seal contains only records emitted before the next
+//! seal's. The heap orders run heads by `(sort key, run index)`, so
+//! after a pop the same run wins again while its head stays equal —
 //! exactly the drain order of a stable sort.
 
 use std::cmp::Ordering;

@@ -49,13 +49,21 @@ pub struct TaskMetrics {
     /// only; zero for map tasks.
     pub peak_group_len: u64,
     /// Peak records simultaneously resident in this task's streaming
-    /// merge machinery: the current group buffer plus one buffered
-    /// head per unexhausted run. This measures the *extra* buffering
+    /// machinery. For **reduce** tasks: the current group buffer plus
+    /// one buffered head per unexhausted run — the *extra* buffering
     /// beyond the input runs themselves (whose inline storage lives
     /// until the task ends); the pre-streaming materialized merge
-    /// held a full second copy, sitting at `records_in` here. Reduce
-    /// tasks only; zero for map tasks.
+    /// held a full second copy, sitting at `records_in` here. For
+    /// **map** tasks: the high-water mark of unsorted records in the
+    /// spiller's open bucket set — bounded by the job's spill
+    /// threshold when one is configured, equal to the task's full
+    /// post-map output when not.
     pub peak_resident_records: u64,
+    /// Sorted runs this map task sealed because its open bucket set
+    /// crossed the spill threshold (the final flush is not counted, so
+    /// an unspilled map task reports zero). Always zero for reduce
+    /// tasks.
+    pub spilled_runs: u64,
 }
 
 impl TaskMetrics {
@@ -128,6 +136,28 @@ impl JobMetrics {
             .unwrap_or(0)
     }
 
+    /// Worst per-**map**-task peak of unsorted records resident in the
+    /// spiller's open bucket set — the map-side twin of
+    /// [`JobMetrics::peak_resident_records`]. With a spill threshold
+    /// configured this is bounded by the threshold; without one it
+    /// equals the largest map task's post-map output (the legacy
+    /// fully-buffered behavior). Invariant under parallelism, like
+    /// every per-task gauge.
+    pub fn map_peak_resident_records(&self) -> u64 {
+        self.map_tasks
+            .iter()
+            .map(|t| t.peak_resident_records)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total sorted runs sealed by threshold-triggered spills across
+    /// all map tasks; zero when no task ever crossed the spill
+    /// threshold (including the unspilled `None` configuration).
+    pub fn spilled_runs(&self) -> u64 {
+        self.map_tasks.iter().map(|t| t.spilled_runs).sum()
+    }
+
     /// Job-level memory ratio of the reduce phase's merge buffering:
     /// `Σ peak_resident_records / Σ records_in` over reduce tasks —
     /// the size of the merge machinery's working set relative to the
@@ -182,6 +212,7 @@ mod tests {
             wall: Duration::from_millis(1),
             peak_group_len: 0,
             peak_resident_records: 0,
+            spilled_runs: 0,
         }
     }
 
@@ -251,6 +282,23 @@ mod tests {
         assert_eq!(j.peak_group_len(), 0);
         assert_eq!(j.peak_resident_records(), 0);
         assert_eq!(j.peak_resident_fraction(), 1.0);
+        assert_eq!(j.map_peak_resident_records(), 0);
+        assert_eq!(j.spilled_runs(), 0);
+    }
+
+    #[test]
+    fn map_gauges_aggregate_as_max_and_sum() {
+        let mut j = job(&[0]);
+        j.map_tasks = (0..3).map(|i| task(TaskKind::Map, i, 0)).collect();
+        for (t, (resident, spilled)) in j.map_tasks.iter_mut().zip([(12u64, 3u64), (40, 0), (7, 5)])
+        {
+            t.peak_resident_records = resident;
+            t.spilled_runs = spilled;
+        }
+        assert_eq!(j.map_peak_resident_records(), 40, "max over map tasks");
+        assert_eq!(j.spilled_runs(), 8, "sum over map tasks");
+        // Reduce-side gauges must not pick up map-task values.
+        assert_eq!(j.peak_resident_records(), 0);
     }
 
     #[test]

@@ -199,15 +199,33 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_tasks_capped(count, usize::MAX, f)
+    }
+
+    /// Like [`WorkerPool::run_tasks`], but uses at most `cap` of the
+    /// pool's worker slots concurrently — a per-dispatch parallelism
+    /// override that never spawns or retires threads (the unused
+    /// workers simply see no tasks for this dispatch). `cap == 1` runs
+    /// inline on the caller, like a single-slot pool. Results are
+    /// byte-identical at any cap.
+    ///
+    /// # Panics
+    /// If `cap` is zero.
+    pub fn run_tasks_capped<T, F>(&self, count: usize, cap: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        assert!(cap > 0, "parallelism cap must be at least 1");
         if count == 0 {
             return Vec::new();
         }
-        if self.handles.is_empty() || count == 1 {
+        if self.handles.is_empty() || count == 1 || cap == 1 {
             return (0..count).map(f).collect();
         }
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
-        let workers = self.handles.len().min(count);
+        let workers = cap.min(self.handles.len()).min(count);
         let sync = DispatchSync {
             pending: Mutex::new(workers),
             done: Condvar::new(),
@@ -441,5 +459,32 @@ mod tests {
     #[should_panic(expected = "parallelism")]
     fn zero_slot_pool_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn capped_dispatch_matches_uncapped_results_without_new_threads() {
+        let pool = WorkerPool::new(4);
+        let spawned = pool.threads_spawned();
+        for cap in [1usize, 2, 3, 4, 99] {
+            let capped = pool.run_tasks_capped(20, cap, |i| i * 7);
+            let uncapped = pool.run_tasks(20, |i| i * 7);
+            assert_eq!(capped, uncapped, "cap {cap}");
+            assert_eq!(pool.threads_spawned(), spawned, "cap {cap} spawned threads");
+        }
+    }
+
+    #[test]
+    fn cap_of_one_runs_inline_on_the_caller() {
+        let pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        let ids = pool.run_tasks_capped(6, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 1")]
+    fn zero_cap_panics() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.run_tasks_capped(4, 0, |i| i);
     }
 }

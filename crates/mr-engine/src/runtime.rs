@@ -44,6 +44,16 @@ pub struct RuntimeConfig {
     pub matcher_cache_capacity: Option<usize>,
     /// Count comparisons without evaluating similarity (timing runs).
     pub count_only: bool,
+    /// Map-side spill threshold in *records held open* per map task
+    /// (`None` = never spill, the in-core default). When `Some(t)`, a
+    /// map task seals its open bucket set into immutable sorted runs
+    /// every time the open set reaches `t` records, so its unsorted
+    /// resident working set never exceeds `t` records; the reduce-side
+    /// k-way merge consumes the extra runs with byte-identical job
+    /// output at any threshold. See
+    /// [`Job::with_spill_threshold`](crate::engine::Job::with_spill_threshold)
+    /// and the [`crate::spill`] module for the mechanism.
+    pub spill_threshold: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -53,6 +63,7 @@ impl Default for RuntimeConfig {
             reduce_tasks: 4,
             matcher_cache_capacity: None,
             count_only: false,
+            spill_threshold: None,
         }
     }
 }
@@ -95,6 +106,25 @@ impl RuntimeConfig {
     /// Switches comparison counting only (no similarity evaluation).
     pub fn with_count_only(mut self, count_only: bool) -> Self {
         self.count_only = count_only;
+        self
+    }
+
+    /// Bounds each map task's open (unsorted, uncombined) working set
+    /// to at most `threshold` records before it is sealed into
+    /// immutable sorted runs; `None` restores the never-spill default.
+    /// Job output is byte-identical at any threshold — only peak map
+    /// memory and the number of runs the reduce-side merge consumes
+    /// change.
+    ///
+    /// # Panics
+    /// If `threshold` is `Some(0)` — a map task must be able to hold
+    /// at least the record it is currently emitting.
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        assert!(
+            threshold.is_none_or(|t| t >= 1),
+            "spill threshold must be at least one record"
+        );
+        self.spill_threshold = threshold;
         self
     }
 }
@@ -145,6 +175,22 @@ impl Runtime {
     pub fn workflow(&self, name: impl Into<String>) -> Workflow {
         Workflow::on_pool(name, Arc::clone(&self.pool))
     }
+
+    /// Like [`Runtime::workflow`], but caps this one workflow's stages
+    /// at `max_parallelism` concurrent map/reduce tasks — still on the
+    /// runtime's existing threads, never respawning the pool. Lets a
+    /// single resolve run narrower than the runtime (e.g. to bound its
+    /// peak memory) without paying thread churn.
+    ///
+    /// # Panics
+    /// If `max_parallelism` is zero.
+    pub fn workflow_with_parallelism(
+        &self,
+        name: impl Into<String>,
+        max_parallelism: usize,
+    ) -> Workflow {
+        self.workflow(name).with_parallelism_cap(max_parallelism)
+    }
 }
 
 #[cfg(test)]
@@ -179,11 +225,24 @@ mod tests {
             .with_parallelism(3)
             .with_reduce_tasks(7)
             .with_matcher_cache_capacity(Some(16))
-            .with_count_only(true);
+            .with_count_only(true)
+            .with_spill_threshold(Some(64));
         assert_eq!(config.parallelism, 3);
         assert_eq!(config.reduce_tasks, 7);
         assert_eq!(config.matcher_cache_capacity, Some(16));
         assert!(config.count_only);
+        assert_eq!(config.spill_threshold, Some(64));
+        assert_eq!(
+            config.with_spill_threshold(None).spill_threshold,
+            None,
+            "None must restore the never-spill default"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_spill_threshold_config_rejected() {
+        let _ = RuntimeConfig::new().with_spill_threshold(Some(0));
     }
 
     #[test]
@@ -212,6 +271,28 @@ mod tests {
             );
         }
         assert!(runtime.pool().tasks_executed() > 0);
+    }
+
+    #[test]
+    fn per_workflow_parallelism_cap_reuses_the_pool() {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(3));
+        let input = partition_evenly((0..40u32).map(|v| ((), v)).collect(), 4);
+        let mut wf = runtime.workflow("wide");
+        let expected = wf
+            .chained_stage(&count_job(3), input.clone())
+            .unwrap()
+            .reduce_outputs;
+        for cap in [1usize, 2, 8] {
+            let mut narrow = runtime.workflow_with_parallelism(format!("cap-{cap}"), cap);
+            assert_eq!(narrow.parallelism_cap(), Some(cap));
+            let out = narrow.chained_stage(&count_job(3), input.clone()).unwrap();
+            assert_eq!(out.reduce_outputs, expected, "cap {cap} drifted");
+            assert_eq!(
+                runtime.pool().threads_spawned(),
+                3,
+                "cap {cap} must not respawn the pool"
+            );
+        }
     }
 
     #[test]

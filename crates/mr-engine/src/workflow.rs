@@ -90,6 +90,9 @@ pub struct Workflow {
     /// Persistent worker pool the stages execute on; `None` runs each
     /// stage on its own transient scoped pool (the historical path).
     pool: Option<Arc<WorkerPool>>,
+    /// Per-workflow cap on concurrently used pool slots; `None` uses
+    /// the whole pool. Only meaningful for pool-bound workflows.
+    parallelism_cap: Option<usize>,
 }
 
 impl Workflow {
@@ -104,6 +107,7 @@ impl Workflow {
             partitions: None,
             stages: Vec::new(),
             pool: None,
+            parallelism_cap: None,
         }
     }
 
@@ -127,6 +131,28 @@ impl Workflow {
     /// The persistent pool this workflow is bound to, if any.
     pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
         self.pool.as_ref()
+    }
+
+    /// Caps this workflow's stages to at most `cap` concurrently used
+    /// pool slots — a per-run parallelism override that reuses the
+    /// pool's existing threads instead of respawning a smaller pool
+    /// (see [`crate::pool::WorkerPool::run_tasks_capped`]). Output is
+    /// byte-identical at any cap. Effective only for pool-bound
+    /// workflows; a transient workflow's stages keep their jobs'
+    /// configured parallelism.
+    ///
+    /// # Panics
+    /// If `cap` is zero.
+    #[must_use]
+    pub fn with_parallelism_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "parallelism cap must be at least 1");
+        self.parallelism_cap = Some(cap);
+        self
+    }
+
+    /// The configured parallelism cap, if any.
+    pub fn parallelism_cap(&self) -> Option<usize> {
+        self.parallelism_cap
     }
 
     /// Number of stages executed so far.
@@ -194,9 +220,10 @@ impl Workflow {
         M::VOut: Sync,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
-        let out = match &self.pool {
-            Some(pool) => job.run_on(pool, input)?,
-            None => job.run(input)?,
+        let out = match (&self.pool, self.parallelism_cap) {
+            (Some(pool), Some(cap)) => job.run_on_capped(pool, cap, input)?,
+            (Some(pool), None) => job.run_on(pool, input)?,
+            (None, _) => job.run(input)?,
         };
         self.stages.push(out.metrics.clone());
         Ok(out)
@@ -278,6 +305,21 @@ impl WorkflowMetrics {
             .map(JobMetrics::peak_resident_records)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Worst per-map-task open-bucket resident peak across all stages
+    /// — the map-side spill gauge, maximized like its reduce twin.
+    pub fn map_peak_resident_records(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(JobMetrics::map_peak_resident_records)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total threshold-triggered sealed runs across all stages.
+    pub fn spilled_runs(&self) -> u64 {
+        self.stages.iter().map(JobMetrics::spilled_runs).sum()
     }
 }
 
@@ -442,6 +484,34 @@ mod tests {
                 .peak_resident_records()
                 .max(stage2.peak_resident_records())
         );
+    }
+
+    #[test]
+    fn capped_workflow_reuses_the_pool_and_matches_uncapped_output() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let input = partition_evenly((0..20u32).map(|v| ((), v)).collect(), 4);
+        let mut reference = Workflow::on_pool("uncapped", Arc::clone(&pool));
+        let expected = reference
+            .chained_stage(&annotate_job(1), input.clone())
+            .unwrap()
+            .reduce_outputs;
+        for cap in [1usize, 2, 3, 9] {
+            let mut wf = Workflow::on_pool("capped", Arc::clone(&pool)).with_parallelism_cap(cap);
+            assert_eq!(wf.parallelism_cap(), Some(cap));
+            let out = wf.chained_stage(&annotate_job(1), input.clone()).unwrap();
+            assert_eq!(out.reduce_outputs, expected, "cap {cap} diverged");
+            assert_eq!(
+                pool.threads_spawned(),
+                4,
+                "cap {cap} must not respawn the pool"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 1")]
+    fn zero_parallelism_cap_is_rejected() {
+        let _ = Workflow::new("bad").with_parallelism_cap(0);
     }
 
     #[test]

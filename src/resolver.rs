@@ -13,7 +13,7 @@
 //!    function, matcher, sort key, window, …);
 //! 3. describe *what* to resolve with a [`Scenario`] value and call
 //!    [`Resolver::resolve`], which compiles the scenario into the very
-//!    same [`Workflow`](mr_engine::workflow::Workflow) stages the
+//!    same [`Workflow`] stages the
 //!    legacy drivers build — so outputs are byte-identical to the old
 //!    entry points (proven in `tests/resolver_api.rs`) — and returns
 //!    one unified [`Outcome`] or [`ResolveError`].
@@ -60,7 +60,7 @@ use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::Runtime;
-use mr_engine::workflow::WorkflowMetrics;
+use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use er_loadbalance::ErConfig;
 
@@ -498,6 +498,17 @@ impl<'rt> Resolver<'rt> {
         self
     }
 
+    /// Sets the map-side spill threshold for this session, overriding
+    /// the runtime default: shuffle buckets are sealed into sorted
+    /// runs every `threshold` open records, bounding map-phase
+    /// resident memory. `None` restores the spill-free default;
+    /// outputs are byte-identical at any threshold.
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.er = self.er.with_spill_threshold(threshold);
+        self.sn = self.sn.with_spill_threshold(threshold);
+        self
+    }
+
     /// The blocking-scenario config this session would compile for
     /// `strategy` — what [`Resolver::resolve`] hands to the stage
     /// compilers, exposed for oracles
@@ -524,7 +535,44 @@ impl<'rt> Resolver<'rt> {
         scenario: &Scenario,
         input: Partitions<(), Ent>,
     ) -> Result<Outcome, ResolveError> {
-        let mut workflow = self.runtime.workflow(scenario.workflow_name());
+        self.resolve_in(
+            self.runtime.workflow(scenario.workflow_name()),
+            scenario,
+            input,
+        )
+    }
+
+    /// Like [`Resolver::resolve`], but caps how many of the runtime's
+    /// persistent workers this run may occupy — no new threads are
+    /// spawned and none are torn down; the run simply schedules its
+    /// tasks onto at most `max_parallelism` of the existing pool.
+    ///
+    /// Lets one shared runtime serve latency-sensitive foreground runs
+    /// next to throughput batch runs. Outputs are byte-identical to
+    /// [`Resolver::resolve`] at any cap.
+    ///
+    /// # Panics
+    /// If `max_parallelism` is zero.
+    pub fn resolve_with(
+        &self,
+        scenario: &Scenario,
+        input: Partitions<(), Ent>,
+        max_parallelism: usize,
+    ) -> Result<Outcome, ResolveError> {
+        self.resolve_in(
+            self.runtime
+                .workflow_with_parallelism(scenario.workflow_name(), max_parallelism),
+            scenario,
+            input,
+        )
+    }
+
+    fn resolve_in(
+        &self,
+        mut workflow: Workflow,
+        scenario: &Scenario,
+        input: Partitions<(), Ent>,
+    ) -> Result<Outcome, ResolveError> {
         match scenario {
             Scenario::Dedup { strategy } => {
                 let config = self.er_config(*strategy);

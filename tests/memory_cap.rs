@@ -1,11 +1,18 @@
-//! The memory-guard extension of BlockSplit's split policy: blocks
-//! larger than the cap split even when their workload fits the
-//! average, bounding the entities any reduce group must buffer.
+//! The two memory guards, end to end:
+//!
+//! * **reduce side** — BlockSplit's split-policy cap: blocks larger
+//!   than the cap split even when their workload fits the average,
+//!   bounding the entities any reduce group must buffer;
+//! * **map side** — the shuffle spill threshold: map tasks seal their
+//!   in-memory buckets into immutable sorted runs every `t` open
+//!   records, so peak map residency is `O(t)` regardless of input
+//!   size, with byte-identical output at any threshold.
 
 use std::sync::Arc;
 
 use dedupe_mr::prelude::*;
 use er_loadbalance::block_split::{create_match_tasks_with_policy, SplitPolicy};
+use mr_engine::metrics::JobMetrics;
 
 fn one_big_block(n: usize, m: usize) -> Partitions<(), Ent> {
     let entities: Vec<Ent> = (0..n)
@@ -78,6 +85,172 @@ fn cap_bounds_reduce_group_buffering() {
         .sum::<u64>();
     assert!(groups > 1, "the cap must create multiple match tasks");
     assert_eq!(capped.total_comparisons(), n * (n - 1) / 2);
+}
+
+/// A DS1-shaped corpus of exactly `n` entities with real titles (so
+/// full scoring runs).
+fn spill_corpus(n: usize, m: usize) -> Partitions<(), Ent> {
+    let mut spec = er_datagen::ds1_spec(42).scaled(n as f64 / 114_000.0);
+    spec.n_entities = n;
+    let ds = er_datagen::generate_products(&spec);
+    partition_round_robin(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        m,
+    )
+}
+
+#[test]
+fn spill_threshold_bounds_map_and_reduce_resident_records() {
+    // Acceptance gate of the out-of-core map side: on a corpus at
+    // least 4x the spill threshold, the peak resident record gauges
+    // (map buckets + reduce merge window) must stay a small fraction
+    // of the input, and the output must not change at all.
+    let n = 200usize;
+    let threshold = 25usize; // n/m = 100 records per map task >= 4x this
+    let m = 2usize;
+    let input = spill_corpus(n, m);
+
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(2)
+            .with_reduce_tasks(3),
+    );
+    let plain = Resolver::new(&runtime);
+    let spilling = plain.clone().with_spill_threshold(Some(threshold));
+    let scenario = Scenario::Dedup {
+        strategy: StrategyKind::BlockSplit,
+    };
+
+    let reference = plain.resolve(&scenario, input.clone()).unwrap();
+    assert_eq!(
+        reference.workflow.spilled_runs(),
+        0,
+        "no threshold, no spills"
+    );
+
+    let spilled = spilling.resolve(&scenario, input).unwrap();
+    assert!(
+        spilled.workflow.spilled_runs() > 0,
+        "a 4x-threshold corpus must actually spill"
+    );
+    // Map side: every map task's resident bucket set stays at the
+    // threshold; multi-key blocking may hold the final record's few
+    // replicas on top.
+    let map_peak = spilled.workflow.map_peak_resident_records();
+    assert!(
+        map_peak <= threshold as u64 + 4,
+        "map peak {map_peak} must be bounded by the spill threshold {threshold}"
+    );
+    // Whole-run residency (worst map task + worst reduce merge
+    // window) stays well under the input size: the run is out-of-core
+    // on both sides.
+    let reduce_peak: u64 = spilled
+        .workflow
+        .stages
+        .iter()
+        .map(JobMetrics::peak_resident_records)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        map_peak + reduce_peak < (n as u64) / 2,
+        "resident set {map_peak} + {reduce_peak} must stay below half the {n}-record input"
+    );
+    // And spilling must be invisible in the output.
+    assert_eq!(
+        result_bits(&spilled.result),
+        result_bits(&reference.result),
+        "spilling changed the match output"
+    );
+    // The combiner now runs per sealed run, so *post-combine* record
+    // counts may legitimately differ; everything upstream of the
+    // combiner and everything semantic must not.
+    for counter in [
+        "er.comparisons",
+        "mr.map.input.records",
+        "mr.map.output.records.precombine",
+        "mr.map.side.records",
+        "mr.reduce.output.records",
+    ] {
+        assert_eq!(
+            spilled.workflow.counters.get(counter),
+            reference.workflow.counters.get(counter),
+            "spilling changed `{counter}`"
+        );
+    }
+}
+
+/// Byte-exact view of a match result: pairs plus raw score bits.
+fn result_bits(result: &MatchResult) -> Vec<(MatchPair, u64)> {
+    result.iter().map(|(p, s)| (p, s.to_bits())).collect()
+}
+
+#[test]
+fn output_is_byte_identical_across_spill_thresholds_and_parallelism() {
+    // threshold in {1 (spill every record), default (never), "infinity"
+    // (threshold > input, zero seals)} x parallelism {1, 2, 4, 8}: one
+    // reference, eleven runs, zero drift.
+    let input = spill_corpus(120, 3);
+    let scenario = Scenario::Dedup {
+        strategy: StrategyKind::BlockSplit,
+    };
+    let thresholds = [Some(1), None, Some(usize::MAX)];
+
+    let mut reference: Option<Vec<(MatchPair, u64)>> = None;
+    for parallelism in [1usize, 2, 4, 8] {
+        let runtime = Runtime::new(
+            RuntimeConfig::new()
+                .with_parallelism(parallelism)
+                .with_reduce_tasks(4),
+        );
+        for threshold in thresholds {
+            let resolver = Resolver::new(&runtime).with_spill_threshold(threshold);
+            let outcome = resolver.resolve(&scenario, input.clone()).unwrap();
+            if threshold == Some(usize::MAX) {
+                assert_eq!(
+                    outcome.workflow.spilled_runs(),
+                    0,
+                    "a threshold beyond the input must never seal a run"
+                );
+            }
+            let bits = result_bits(&outcome.result);
+            match &reference {
+                None => reference = Some(bits),
+                Some(expected) => assert_eq!(
+                    &bits, expected,
+                    "threshold {threshold:?} x parallelism {parallelism} drifted"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn map_memory_gauges_are_parallelism_invariant() {
+    // The gauges measure the plan (records per map task at each
+    // instant), not the schedule: timing-independent by construction,
+    // pinned here across worker counts.
+    let input = spill_corpus(120, 3);
+    let scenario = Scenario::sorted_neighborhood(SnStrategy::JobSn);
+    let mut reference: Option<(u64, u64)> = None;
+    for parallelism in [1usize, 2, 8] {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(parallelism));
+        let resolver = Resolver::new(&runtime)
+            .with_window(4)
+            .with_partitions(3)
+            .with_spill_threshold(Some(10));
+        let outcome = resolver.resolve(&scenario, input.clone()).unwrap();
+        let gauges = (
+            outcome.workflow.map_peak_resident_records(),
+            outcome.workflow.spilled_runs(),
+        );
+        match reference {
+            None => reference = Some(gauges),
+            Some(expected) => assert_eq!(
+                gauges, expected,
+                "p{parallelism}: map gauges must not depend on the schedule"
+            ),
+        }
+    }
 }
 
 #[test]

@@ -304,6 +304,47 @@ fn count_only_sessions_count_without_scoring_across_scenarios() {
 }
 
 #[test]
+fn resolve_with_caps_parallelism_without_spawning_threads() {
+    let input = corpus(3);
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(5),
+    );
+    let resolver = Resolver::new(&runtime).with_window(4).with_partitions(3);
+    let spawned_at_construction = runtime.pool().threads_spawned();
+    assert_eq!(spawned_at_construction, 4);
+
+    for scenario in [
+        Scenario::Dedup {
+            strategy: StrategyKind::BlockSplit,
+        },
+        Scenario::sorted_neighborhood(SnStrategy::JobSn),
+    ] {
+        let uncapped = resolver.resolve(&scenario, input.clone()).unwrap();
+        for cap in [1, 2, 8] {
+            let capped = resolver
+                .resolve_with(&scenario, input.clone(), cap)
+                .unwrap();
+            assert_eq!(
+                result_bits(&capped.result),
+                result_bits(&uncapped.result),
+                "{scenario}/cap{cap}: capped run drifted from the uncapped one"
+            );
+            assert_eq!(
+                capped.workflow.counters, uncapped.workflow.counters,
+                "{scenario}/cap{cap}: merged workflow counters"
+            );
+            assert_eq!(
+                runtime.pool().threads_spawned(),
+                spawned_at_construction,
+                "{scenario}/cap{cap}: a capped run must reuse the pool, not respawn it"
+            );
+        }
+    }
+}
+
+#[test]
 fn one_runtime_reuses_its_pool_across_scenarios_without_drift() {
     let input = corpus(3);
     let (ts_input, ts_sources) = two_source_corpus();
