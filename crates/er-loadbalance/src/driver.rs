@@ -14,6 +14,7 @@ use std::sync::Arc;
 use er_core::blocking::{BlockingFunction, PrefixBlocking};
 use er_core::{MatchResult, Matcher};
 use mr_engine::error::MrError;
+use mr_engine::fault::{FaultPlan, FaultPolicy};
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::RuntimeConfig;
@@ -51,6 +52,10 @@ pub struct ErConfig {
     /// Shared execution knobs: reduce tasks `r` (both jobs), worker
     /// threads, count-only mode, prepared-entity cache bound.
     pub runtime: RuntimeConfig,
+    /// Deterministic fault-injection schedule applied to every job of
+    /// the run (empty by default — injection is a test/bench harness,
+    /// never implied by a policy). See [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 impl ErConfig {
@@ -64,6 +69,7 @@ impl ErConfig {
             use_combiner: true,
             split_policy: SplitPolicy::paper(),
             runtime: RuntimeConfig::default(),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -153,6 +159,33 @@ impl ErConfig {
         self
     }
 
+    /// Replaces the per-task fault-tolerance policy — retry budget and
+    /// straggler deadline — every job of the run executes under
+    /// (forwards to [`RuntimeConfig::fault_policy`]).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.runtime = self.runtime.with_fault_policy(policy);
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule (panics or
+    /// delays at exact task coordinates) for every job of the run —
+    /// the test/bench harness proving the retry path. An empty plan
+    /// (the default) injects nothing.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The per-task fault-tolerance policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.runtime.fault_policy
+    }
+
+    /// The deterministic fault-injection schedule (empty = none).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Number of reduce tasks `r` (both jobs).
     pub fn reduce_tasks(&self) -> usize {
         self.runtime.reduce_tasks
@@ -197,6 +230,7 @@ impl std::fmt::Debug for ErConfig {
             .field("use_combiner", &self.use_combiner)
             .field("split_policy", &self.split_policy)
             .field("runtime", &self.runtime)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -345,7 +379,9 @@ pub fn run_er_in(
 /// `Resolver` with `Scenario::Dedup` — which runs the identical stages
 /// on a persistent worker pool shared across runs.
 pub fn run_er(input: Partitions<(), Ent>, config: &ErConfig) -> Result<ErOutcome, MrError> {
-    let mut workflow = Workflow::new(format!("er-{}", config.strategy));
+    let mut workflow = Workflow::new(format!("er-{}", config.strategy))
+        .with_fault_policy(config.fault_policy())
+        .with_fault_plan(config.fault_plan().clone());
     let stages = run_er_in(&mut workflow, input, config)?;
     Ok(ErOutcome {
         result: stages.result,

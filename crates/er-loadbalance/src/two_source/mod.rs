@@ -266,7 +266,9 @@ pub fn run_linkage(
     sources: Vec<SourceId>,
     config: &ErConfig,
 ) -> Result<ErOutcome, MrError> {
-    let mut workflow = Workflow::new(format!("linkage-{}", config.strategy));
+    let mut workflow = Workflow::new(format!("linkage-{}", config.strategy))
+        .with_fault_policy(config.fault_policy())
+        .with_fault_plan(config.fault_plan().clone());
     let stages = run_linkage_in(&mut workflow, input, sources, config)?;
     Ok(ErOutcome {
         result: stages.result,

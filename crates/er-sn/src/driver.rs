@@ -23,6 +23,7 @@ use er_core::{MatchResult, Matcher, MatcherCache};
 use er_loadbalance::compare::PairComparer;
 use er_loadbalance::Ent;
 use mr_engine::error::MrError;
+use mr_engine::fault::{FaultPlan, FaultPolicy};
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::RuntimeConfig;
@@ -103,6 +104,10 @@ pub struct SnConfig {
     /// Shared execution knobs; `runtime.reduce_tasks` is the number of
     /// key ranges (== reduce tasks of the matching job).
     pub runtime: RuntimeConfig,
+    /// Deterministic fault-injection schedule applied to every job of
+    /// the run (empty by default — injection is a test/bench harness,
+    /// never implied by a policy). See [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 impl SnConfig {
@@ -117,6 +122,7 @@ impl SnConfig {
             use_combiner: true,
             null_key_policy: NullKeyPolicy::default(),
             runtime: RuntimeConfig::default(),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -228,6 +234,33 @@ impl SnConfig {
         self
     }
 
+    /// Replaces the per-task fault-tolerance policy — retry budget and
+    /// straggler deadline — every job of the run executes under
+    /// (forwards to [`RuntimeConfig::fault_policy`]).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.runtime = self.runtime.with_fault_policy(policy);
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule (panics or
+    /// delays at exact task coordinates) for every job of the run —
+    /// the test/bench harness proving the retry path. An empty plan
+    /// (the default) injects nothing.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The per-task fault-tolerance policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.runtime.fault_policy
+    }
+
+    /// The deterministic fault-injection schedule (empty = none).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Number of key ranges == reduce tasks of the matching job.
     pub fn partitions(&self) -> usize {
         self.runtime.reduce_tasks
@@ -274,6 +307,7 @@ impl std::fmt::Debug for SnConfig {
             .field("use_combiner", &self.use_combiner)
             .field("null_key_policy", &self.null_key_policy)
             .field("runtime", &self.runtime)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -386,7 +420,9 @@ pub fn run_sorted_neighborhood(
     input: Partitions<(), Ent>,
     config: &SnConfig,
 ) -> Result<SnOutcome, SnError> {
-    let mut workflow = Workflow::new(format!("sn-{}", config.strategy));
+    let mut workflow = Workflow::new(format!("sn-{}", config.strategy))
+        .with_fault_policy(config.fault_policy())
+        .with_fault_plan(config.fault_plan().clone());
     let stages = run_sorted_neighborhood_in(&mut workflow, input, config)?;
     Ok(SnOutcome {
         result: stages.result,

@@ -175,7 +175,9 @@ pub fn run_multipass_sn(
     config: &SnConfig,
     passes: &[Arc<dyn SortKeyFunction>],
 ) -> Result<MultiPassSnOutcome, SnError> {
-    let mut workflow = Workflow::new(format!("sn-multipass-{}", config.strategy));
+    let mut workflow = Workflow::new(format!("sn-multipass-{}", config.strategy))
+        .with_fault_policy(config.fault_policy())
+        .with_fault_plan(config.fault_plan().clone());
     let stages = run_multipass_sn_in(&mut workflow, input, config, passes)?;
     Ok(MultiPassSnOutcome {
         result: stages.result,

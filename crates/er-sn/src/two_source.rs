@@ -94,7 +94,9 @@ pub fn run_two_source_sn(
     sources: Vec<SourceId>,
     config: &SnConfig,
 ) -> Result<SnOutcome, SnError> {
-    let mut workflow = Workflow::new(format!("sn-two-source-{}", config.strategy));
+    let mut workflow = Workflow::new(format!("sn-two-source-{}", config.strategy))
+        .with_fault_policy(config.fault_policy())
+        .with_fault_plan(config.fault_plan().clone());
     let stages = run_two_source_sn_in(&mut workflow, input, sources, config)?;
     Ok(SnOutcome {
         result: stages.result,

@@ -81,6 +81,10 @@ use crate::combiner::Combiner;
 use crate::comparator::{natural_order, KeyCmp};
 use crate::counters::{self, CounterSet};
 use crate::error::MrError;
+use crate::fault::{
+    lock_unpoisoned, run_speculative, FaultKind, FaultPlan, FaultPolicy, FtStats, PhaseFt,
+    TaskAttempts,
+};
 use crate::input::Partitions;
 use crate::mapper::{run_map_task_spilling, MapTaskInfo, Mapper};
 use crate::merge::GroupStream;
@@ -127,6 +131,46 @@ impl Exec<'_> {
                 pool,
                 cap: Some(cap),
             } => pool.run_tasks_capped(count, *cap, f),
+        }
+    }
+
+    /// Runs one phase's tasks under the fault boundary: every task
+    /// body executes inside `PhaseFt::run_task` (panic catch + retry
+    /// loop), and — when the policy sets a task deadline — on the
+    /// speculative dispatcher instead of the plain cursor pool.
+    fn run_ft<T, F>(&self, count: usize, phase: &PhaseFt<'_>, body: F) -> Vec<Result<T, MrError>>
+    where
+        T: Send,
+        F: Fn(usize, u32) -> Result<T, MrError> + Sync,
+    {
+        let attempts = TaskAttempts::new(count);
+        match (phase.policy.task_deadline, self) {
+            (None, _) => self.run(count, |i| {
+                phase.run_task(i, attempts.task(i), |attempt| body(i, attempt))
+            }),
+            (Some(deadline), Exec::Pooled { pool, cap }) => run_speculative(
+                pool,
+                cap.unwrap_or(usize::MAX),
+                count,
+                deadline,
+                phase,
+                &attempts,
+                &body,
+            ),
+            (Some(deadline), Exec::Transient { parallelism }) => {
+                if *parallelism <= 1 {
+                    // No free slot can ever exist; sequential, like the
+                    // plain inline path.
+                    (0..count)
+                        .map(|i| phase.run_task(i, attempts.task(i), |attempt| body(i, attempt)))
+                        .collect()
+                } else {
+                    // Speculation needs a real pool to find free slots
+                    // on; spawn the transient one for this phase.
+                    let pool = WorkerPool::new(*parallelism);
+                    run_speculative(&pool, usize::MAX, count, deadline, phase, &attempts, &body)
+                }
+            }
         }
     }
 }
@@ -182,6 +226,8 @@ where
     reduce_tasks: usize,
     parallelism: usize,
     spill_threshold: Option<usize>,
+    fault_policy: FaultPolicy,
+    fault_plan: FaultPlan,
 }
 
 // Deliberately free of key bounds (unlike the `builder` impl's
@@ -216,6 +262,36 @@ where
     pub fn spill_threshold(&self) -> Option<usize> {
         self.spill_threshold
     }
+
+    /// Replaces the fault policy on an already-built job — the
+    /// post-hoc twin of [`JobBuilder::fault_policy`], letting drivers
+    /// apply a runtime-wide policy to jobs whose construction they do
+    /// not own. Purely operational: retried tasks are byte-identical
+    /// re-executions (see [`crate::fault`]).
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// The fault policy in force for this job (workflow-level
+    /// overrides take precedence when the job runs as a stage).
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Replaces the fault-injection plan on an already-built job — the
+    /// test/bench hook for deterministic failure schedules.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The fault-injection plan in force for this job.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
 }
 
 impl<M, R> Job<M, R>
@@ -241,6 +317,8 @@ where
             reduce_tasks: 1,
             parallelism: default_parallelism(),
             spill_threshold: None,
+            fault_policy: FaultPolicy::default(),
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -268,6 +346,8 @@ where
     reduce_tasks: usize,
     parallelism: usize,
     spill_threshold: Option<usize>,
+    fault_policy: FaultPolicy,
+    fault_plan: FaultPlan,
 }
 
 impl<M, R> JobBuilder<M, R>
@@ -330,6 +410,20 @@ where
         self
     }
 
+    /// Sets the fault policy (attempts per task, straggler deadline);
+    /// the default is [`FaultPolicy::fail_fast`]. See [`crate::fault`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (test/bench
+    /// hook); the default empty plan injects nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Finalizes the job.
     pub fn build(self) -> Job<M, R> {
         Job {
@@ -343,6 +437,8 @@ where
             reduce_tasks: self.reduce_tasks,
             parallelism: self.parallelism,
             spill_threshold: self.spill_threshold,
+            fault_policy: self.fault_policy,
+            fault_plan: self.fault_plan,
         }
     }
 }
@@ -418,6 +514,38 @@ where
         exec: Exec<'_>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        self.run_with_faults(exec, None, None, input)
+    }
+
+    /// Workflow entry point: run on an optional `(pool, cap)` with
+    /// workflow-level fault policy/plan overrides (each `None` falls
+    /// back to the job's own configuration).
+    pub(crate) fn run_with_overrides(
+        &self,
+        pool: Option<(&WorkerPool, Option<usize>)>,
+        policy: Option<FaultPolicy>,
+        plan: Option<&FaultPlan>,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        let exec = match pool {
+            Some((pool, cap)) => Exec::Pooled { pool, cap },
+            None => Exec::Transient {
+                parallelism: self.parallelism,
+            },
+        };
+        self.run_with_faults(exec, policy, plan, input)
+    }
+
+    fn run_with_faults(
+        &self,
+        exec: Exec<'_>,
+        policy_override: Option<FaultPolicy>,
+        plan_override: Option<&FaultPlan>,
+        input: Partitions<M::KIn, M::VIn>,
+    ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
+        let policy = policy_override.unwrap_or(self.fault_policy);
+        let plan = plan_override.unwrap_or(&self.fault_plan);
+        let stats = FtStats::default();
         let job_start = Instant::now();
         let m = input.len();
         let r = self.reduce_tasks;
@@ -432,9 +560,20 @@ where
         }
 
         // ---- Map phase -------------------------------------------------
-        let map_results: Vec<Result<MapTaskResult<M::KOut, M::VOut, M::Side>, MrError>> =
-            exec.run(m, |i| {
+        // Each *attempt* builds a fresh spiller and context over the
+        // borrowed, immutable input partition, so a retried or
+        // speculative re-execution observes exactly the state of the
+        // first — the determinism argument of `crate::fault`.
+        let map_phase = PhaseFt {
+            policy,
+            job: &self.name,
+            kind: FaultKind::Map,
+            stats: &stats,
+        };
+        let map_results: Vec<Result<MapTaskResult<M::KOut, M::VOut, M::Side>, MrError>> = exec
+            .run_ft(m, &map_phase, |i, attempt| {
                 let start = Instant::now();
+                plan.fire(&self.name, FaultKind::Map, i, attempt);
                 let info = MapTaskInfo {
                     task_index: i,
                     num_map_tasks: m,
@@ -462,6 +601,7 @@ where
                     counters::MAP_OUTPUT_RECORDS_PRECOMBINE,
                     ctx.emitted() as u64,
                 );
+                plan.fire(&self.name, FaultKind::Sort, i, attempt);
                 let spilled = spiller.finish();
                 ctx.counters
                     .add(counters::MAP_OUTPUT_RECORDS, spilled.records_out);
@@ -518,60 +658,81 @@ where
         let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ----------------------------------------------
-        let reduce_results: Vec<(Vec<(R::KOut, R::VOut)>, TaskMetrics)> = exec.run(r, |j| {
-            let start = Instant::now();
-            let info = ReduceTaskInfo {
-                task_index: j,
-                num_reduce_tasks: r,
-                num_map_tasks: m,
-            };
-            let mut reducer = self.reducer.clone();
-            let mut ctx = ReduceContext::new(info);
-            reducer.setup(&info);
-            let runs = run_slots[j]
-                .lock()
-                .expect("run slot lock is uncontended")
-                .take()
-                .expect("each reduce task consumes its runs exactly once");
-            let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
-            // Streaming reduce: groups come out of the heap merge
-            // one at a time into a reusable buffer — the merged
-            // run is never materialized. The stream tracks its own
-            // resident high-water mark (group buffer + buffered
-            // run heads, sampled per record so mid-group states
-            // count too).
-            let mut stream = GroupStream::new(runs, &self.sort_cmp);
-            let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
-            let mut groups = 0u64;
-            let mut peak_group_len = 0u64;
-            while stream.next_group(&self.group_cmp, &mut group_buf) {
-                groups += 1;
-                peak_group_len = peak_group_len.max(group_buf.len() as u64);
-                reducer.reduce(Group::new(&group_buf), &mut ctx);
-            }
-            let peak_resident_records = stream.peak_resident_records() as u64;
-            reducer.finish(&mut ctx);
-            ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
-            ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
-            ctx.counters
-                .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
-            let metrics = TaskMetrics {
-                kind: TaskKind::Reduce,
-                index: j,
-                records_in,
-                records_out: ctx.out.len() as u64,
-                counters: ctx.counters,
-                wall: start.elapsed(),
-                peak_group_len,
-                peak_resident_records,
-                spilled_runs: 0,
-            };
-            (ctx.out, metrics)
-        });
+        let reduce_phase = PhaseFt {
+            policy,
+            job: &self.name,
+            kind: FaultKind::Reduce,
+            stats: &stats,
+        };
+        let reduce_results: Vec<Result<(Vec<(R::KOut, R::VOut)>, TaskMetrics), MrError>> = exec
+            .run_ft(r, &reduce_phase, |j, attempt| {
+                let start = Instant::now();
+                plan.fire(&self.name, FaultKind::Reduce, j, attempt);
+                let info = ReduceTaskInfo {
+                    task_index: j,
+                    num_reduce_tasks: r,
+                    num_map_tasks: m,
+                };
+                let mut reducer = self.reducer.clone();
+                let mut ctx = ReduceContext::new(info);
+                reducer.setup(&info);
+                // An attempt that can be followed by another execution
+                // — a retry (attempt below the budget) or a
+                // speculative twin (deadline set) — must leave the
+                // runs in place and consume a clone; only a provably
+                // final, sole execution may take them. On the
+                // fail-fast default (1 attempt, no deadline) every
+                // attempt takes, so the fault boundary adds no copy to
+                // the fault-free path.
+                let runs = {
+                    let mut slot = lock_unpoisoned(&run_slots[j]);
+                    if attempt >= policy.max_attempts && policy.task_deadline.is_none() {
+                        slot.take()
+                    } else {
+                        slot.clone()
+                    }
+                    .expect("each reduce task's runs outlive its final attempt")
+                };
+                let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
+                // Streaming reduce: groups come out of the heap merge
+                // one at a time into a reusable buffer — the merged
+                // run is never materialized. The stream tracks its own
+                // resident high-water mark (group buffer + buffered
+                // run heads, sampled per record so mid-group states
+                // count too).
+                let mut stream = GroupStream::new(runs, &self.sort_cmp);
+                let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
+                let mut groups = 0u64;
+                let mut peak_group_len = 0u64;
+                while stream.next_group(&self.group_cmp, &mut group_buf) {
+                    groups += 1;
+                    peak_group_len = peak_group_len.max(group_buf.len() as u64);
+                    reducer.reduce(Group::new(&group_buf), &mut ctx);
+                }
+                let peak_resident_records = stream.peak_resident_records() as u64;
+                reducer.finish(&mut ctx);
+                ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
+                ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
+                ctx.counters
+                    .add(counters::REDUCE_OUTPUT_RECORDS, ctx.out.len() as u64);
+                let metrics = TaskMetrics {
+                    kind: TaskKind::Reduce,
+                    index: j,
+                    records_in,
+                    records_out: ctx.out.len() as u64,
+                    counters: ctx.counters,
+                    wall: start.elapsed(),
+                    peak_group_len,
+                    peak_resident_records,
+                    spilled_runs: 0,
+                };
+                Ok((ctx.out, metrics))
+            });
 
         let mut reduce_outputs = Vec::with_capacity(r);
         let mut reduce_tasks_metrics = Vec::with_capacity(r);
-        for (out, metrics) in reduce_results {
+        for res in reduce_results {
+            let (out, metrics) = res?;
             reduce_outputs.push(out);
             reduce_tasks_metrics.push(metrics);
         }
@@ -587,6 +748,18 @@ where
             counters: counters_total,
             shuffle_wall,
             wall: job_start.elapsed(),
+            task_failures: stats
+                .task_failures
+                .load(std::sync::atomic::Ordering::Relaxed),
+            tasks_retried: stats
+                .tasks_retried
+                .load(std::sync::atomic::Ordering::Relaxed),
+            speculative_launched: stats
+                .speculative_launched
+                .load(std::sync::atomic::Ordering::Relaxed),
+            speculative_won: stats
+                .speculative_won
+                .load(std::sync::atomic::Ordering::Relaxed),
         };
         Ok(JobOutput {
             reduce_outputs,
@@ -1203,6 +1376,130 @@ mod tests {
             "three jobs must share the four construction-time threads"
         );
         assert!(pool.tasks_executed() > 0);
+    }
+
+    #[test]
+    fn fail_once_retry_is_byte_identical_at_every_kind_and_parallelism() {
+        use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
+        let input = lines(&["x y z", "y z", "z z y x", "w", "x w y"]);
+        let reference = wordcount_job(4, 1)
+            .run(partition_evenly(input.clone(), 3))
+            .unwrap();
+        for kind in [FaultKind::Map, FaultKind::Sort, FaultKind::Reduce] {
+            for parallelism in [1usize, 2, 4, 8] {
+                let plan =
+                    FaultPlan::new().panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "injected once");
+                let out = wordcount_job(4, parallelism)
+                    .with_fault_policy(FaultPolicy::retry(2))
+                    .with_fault_plan(plan)
+                    .run(partition_evenly(input.clone(), 3))
+                    .unwrap();
+                assert_eq!(
+                    out.reduce_outputs, reference.reduce_outputs,
+                    "{kind} fault at parallelism {parallelism} changed the output"
+                );
+                assert_eq!(out.metrics.task_failures, 1, "{kind} x{parallelism}");
+                assert_eq!(out.metrics.tasks_retried, 1, "{kind} x{parallelism}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_typed_error_not_panic() {
+        use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
+        let input = partition_evenly(lines(&["a b", "c d"]), 2);
+        let plan = FaultPlan::new().panic_always("wc", FaultKind::Reduce, 1, "always dies");
+        let err = wordcount_job(2, 2)
+            .with_fault_policy(FaultPolicy::retry(3))
+            .with_fault_plan(plan)
+            .run(input)
+            .unwrap_err();
+        let MrError::TaskFailed(task_error) = err else {
+            panic!("expected TaskFailed, got {err:?}");
+        };
+        assert_eq!(task_error.job, "wc");
+        assert_eq!(task_error.kind, FaultKind::Reduce);
+        assert_eq!(task_error.task, 1);
+        assert_eq!(task_error.attempts, 3);
+        assert_eq!(task_error.payload, "always dies");
+    }
+
+    #[test]
+    fn fail_fast_catches_the_panic_at_the_boundary() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // Default policy: no retry, but still a typed error — the
+        // panic must not unwind out of `run`.
+        let plan = FaultPlan::new().panic_at("wc", FaultKind::Map, 0, 1, "first failure");
+        let err = wordcount_job(2, 2)
+            .with_fault_plan(plan)
+            .run(partition_evenly(lines(&["a b", "c"]), 2))
+            .unwrap_err();
+        let MrError::TaskFailed(task_error) = err else {
+            panic!("expected TaskFailed, got {err:?}");
+        };
+        assert_eq!(task_error.attempts, 1);
+        assert_eq!(task_error.kind, FaultKind::Map);
+    }
+
+    #[test]
+    fn pool_survives_a_failed_job_and_reruns_byte_identically() {
+        use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
+        let input = partition_evenly(lines(&["x y z", "y z", "w w"]), 3);
+        let pool = WorkerPool::new(4);
+        let reference = wordcount_job(4, 1).run(input.clone()).unwrap();
+        let failing = wordcount_job(4, 2)
+            .with_fault_policy(FaultPolicy::retry(2))
+            .with_fault_plan(FaultPlan::new().panic_always(
+                FaultPlan::ANY_JOB,
+                FaultKind::Map,
+                1,
+                "doomed",
+            ));
+        for _ in 0..2 {
+            assert!(matches!(
+                failing.run_on(&pool, input.clone()).unwrap_err(),
+                MrError::TaskFailed(_)
+            ));
+        }
+        // The same pool immediately completes a clean job with output
+        // identical to the transient reference and no new threads.
+        let out = wordcount_job(4, 2).run_on(&pool, input.clone()).unwrap();
+        assert_eq!(out.reduce_outputs, reference.reduce_outputs);
+        assert_eq!(pool.threads_spawned(), 4, "failures must not spawn threads");
+    }
+
+    #[test]
+    fn straggler_deadline_speculates_and_keeps_output_identical() {
+        use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
+        use std::time::Duration;
+        let input = lines(&["x y z", "y z", "z z y x", "w", "x w y"]);
+        let reference = wordcount_job(2, 1)
+            .run(partition_evenly(input.clone(), 3))
+            .unwrap();
+        let pool = WorkerPool::new(4);
+        // Map task 0's first attempt stalls 300ms; the 25ms deadline
+        // launches a twin (attempt 2, no delay) that wins.
+        let job = wordcount_job(2, 4)
+            .with_fault_policy(
+                FaultPolicy::retry(2).with_task_deadline(Some(Duration::from_millis(25))),
+            )
+            .with_fault_plan(FaultPlan::new().delay_at(
+                FaultPlan::ANY_JOB,
+                FaultKind::Map,
+                0,
+                1,
+                Duration::from_millis(300),
+            ));
+        let out = job
+            .run_on(&pool, partition_evenly(input.clone(), 3))
+            .unwrap();
+        assert_eq!(out.reduce_outputs, reference.reduce_outputs);
+        assert_eq!(out.metrics.speculative_launched, 1);
+        assert_eq!(
+            out.metrics.speculative_won, 1,
+            "the clean twin must beat a 300ms straggler under a 25ms deadline"
+        );
+        assert_eq!(out.metrics.task_failures, 0);
     }
 
     #[test]

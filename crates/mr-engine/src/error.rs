@@ -2,11 +2,17 @@
 
 use std::fmt;
 
+use crate::fault::TaskError;
+
 /// Errors surfaced by [`crate::engine::Job::run`] and helpers.
 ///
 /// User map/reduce functions are infallible by construction (mirroring
-/// the paper's pseudo-code); every error here is a configuration or
-/// input-shape problem detected before any task runs.
+/// the paper's pseudo-code); most errors here are configuration or
+/// input-shape problems detected before any task runs. The exception
+/// is [`MrError::TaskFailed`]: a task *panic* caught at the task
+/// boundary whose retry budget (see
+/// [`FaultPolicy`](crate::fault::FaultPolicy)) ran out — the one error
+/// produced mid-execution, and always instead of a propagated panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MrError {
     /// A job was configured with zero reduce tasks.
@@ -45,6 +51,9 @@ pub enum MrError {
         /// Observed value.
         got: usize,
     },
+    /// A task panicked on every allowed attempt; the payload names the
+    /// job, stage, task kind/index, attempt count, and panic message.
+    TaskFailed(TaskError),
 }
 
 impl fmt::Display for MrError {
@@ -77,6 +86,7 @@ impl fmt::Display for MrError {
                      were expected — the partitioning drifted between stages"
                 ),
             },
+            MrError::TaskFailed(task_error) => write!(f, "{task_error}"),
         }
     }
 }
@@ -113,6 +123,23 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("partition 1"));
+        let e = MrError::TaskFailed(crate::fault::TaskError {
+            job: "bdm".into(),
+            stage: Some("er-BlockSplit/bdm".into()),
+            kind: crate::fault::FaultKind::Map,
+            task: 2,
+            attempts: 3,
+            payload: "boom".into(),
+        });
+        for needle in [
+            "bdm",
+            "er-BlockSplit/bdm",
+            "map task 2",
+            "3 attempts",
+            "boom",
+        ] {
+            assert!(e.to_string().contains(needle), "missing {needle}: {e}");
+        }
     }
 
     #[test]

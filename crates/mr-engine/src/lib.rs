@@ -74,6 +74,7 @@ pub mod comparator;
 pub mod counters;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod input;
 pub mod mapper;
 pub mod merge;
@@ -91,6 +92,7 @@ pub use comparator::{natural_order, KeyCmp};
 pub use counters::CounterSet;
 pub use engine::{Job, JobBuilder, JobOutput};
 pub use error::MrError;
+pub use fault::{FaultAction, FaultKind, FaultPlan, FaultPolicy, InjectedFault, TaskError};
 pub use input::{partition_evenly, partition_round_robin, Partitions};
 pub use mapper::{MapContext, MapTaskInfo, Mapper};
 pub use merge::{merge_sorted_runs, GroupStream};
@@ -108,6 +110,7 @@ pub mod prelude {
     pub use crate::counters::CounterSet;
     pub use crate::engine::{Job, JobBuilder, JobOutput};
     pub use crate::error::MrError;
+    pub use crate::fault::{FaultKind, FaultPlan, FaultPolicy, TaskError};
     pub use crate::input::{partition_evenly, partition_round_robin, Partitions};
     pub use crate::mapper::{MapContext, MapTaskInfo, Mapper};
     pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};

@@ -92,6 +92,20 @@ pub struct JobMetrics {
     pub shuffle_wall: Duration,
     /// Wall-clock duration of the whole job on the local worker pool.
     pub wall: Duration,
+    /// Task attempts that ended in a panic caught at the task boundary
+    /// (each failed attempt counts once, whether retried or fatal).
+    pub task_failures: u64,
+    /// Failed attempts that were re-executed under the job's
+    /// [`FaultPolicy`](crate::fault::FaultPolicy) retry budget; always
+    /// `<= task_failures`.
+    pub tasks_retried: u64,
+    /// Speculative twins launched for tasks that exceeded the policy's
+    /// task deadline.
+    pub speculative_launched: u64,
+    /// Speculative twins that finished before their straggling
+    /// original (first completion wins); always
+    /// `<= speculative_launched`.
+    pub speculative_won: u64,
 }
 
 impl JobMetrics {
@@ -228,6 +242,10 @@ mod tests {
             counters: CounterSet::new(),
             shuffle_wall: Duration::ZERO,
             wall: Duration::ZERO,
+            task_failures: 0,
+            tasks_retried: 0,
+            speculative_launched: 0,
+            speculative_won: 0,
         }
     }
 

@@ -23,8 +23,10 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+use crate::fault::lock_unpoisoned;
 
 /// Runs `count` tasks produced by `f(task_index)` on up to
 /// `parallelism` worker threads and returns results in task order.
@@ -57,10 +59,11 @@ where
                     break;
                 }
                 let result = f(i);
-                let prev = slots[i]
-                    .lock()
-                    .expect("no other writer can have panicked while holding slot {i}")
-                    .replace(result);
+                // Poison-tolerant: the guarded value is a write-once
+                // slot, valid at every instruction boundary, so a
+                // panic elsewhere must not escalate to a double-panic
+                // abort here.
+                let prev = lock_unpoisoned(&slots[i]).replace(result);
                 assert!(prev.is_none(), "slot {i} written twice");
             });
         }
@@ -70,7 +73,7 @@ where
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                .expect("slot lock cannot be poisoned after a clean scope exit")
+                .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| panic!("task {i} produced no result"))
         })
         .collect()
@@ -232,10 +235,15 @@ impl WorkerPool {
             panic: Mutex::new(None),
         };
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             for _ in 0..workers {
                 // One cursor-draining loop per worker slot, same as the
-                // transient pool's per-thread body.
+                // transient pool's per-thread body. Every lock below is
+                // poison-tolerant: a panic while holding a slot must
+                // not abort via double-panic or wedge the dispatch
+                // handshake (the guarded values — write-once slots and
+                // a plain counter — are valid at every instruction
+                // boundary).
                 let body = || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -243,20 +251,16 @@ impl WorkerPool {
                             break;
                         }
                         let result = f(i);
-                        let prev = slots[i]
-                            .lock()
-                            .expect("no other writer can have panicked while holding the slot")
-                            .replace(result);
+                        let prev = lock_unpoisoned(&slots[i]).replace(result);
                         assert!(prev.is_none(), "slot {i} written twice");
                     }));
                     if let Err(payload) = outcome {
                         // First panic wins; store BEFORE the decrement
                         // so the dispatcher observes it once pending
                         // reaches zero.
-                        let mut slot = sync.panic.lock().expect("panic slot poisoned");
-                        slot.get_or_insert(payload);
+                        lock_unpoisoned(&sync.panic).get_or_insert(payload);
                     }
-                    let mut pending = sync.pending.lock().expect("pending count poisoned");
+                    let mut pending = lock_unpoisoned(&sync.pending);
                     *pending -= 1;
                     if *pending == 0 {
                         sync.done.notify_all();
@@ -278,12 +282,15 @@ impl WorkerPool {
             self.shared.work_ready.notify_all();
         }
         // The borrow fence: wait for all dispatched tasks.
-        let mut pending = sync.pending.lock().expect("pending count poisoned");
+        let mut pending = lock_unpoisoned(&sync.pending);
         while *pending > 0 {
-            pending = sync.done.wait(pending).expect("pending count poisoned");
+            pending = sync
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(pending);
-        if let Some(payload) = sync.panic.lock().expect("panic slot poisoned").take() {
+        if let Some(payload) = lock_unpoisoned(&sync.panic).take() {
             resume_unwind(payload);
         }
         slots
@@ -291,17 +298,51 @@ impl WorkerPool {
             .enumerate()
             .map(|(i, slot)| {
                 slot.into_inner()
-                    .expect("slot lock cannot be poisoned after a clean dispatch")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .unwrap_or_else(|| panic!("task {i} produced no result"))
             })
             .collect()
+    }
+
+    /// Number of OS worker threads currently servicing the queue (0
+    /// for the inline single-slot pool).
+    pub(crate) fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues `copies` erased clones of `body` on the pool's workers
+    /// without any completion bookkeeping of its own — the raw
+    /// building block the speculative dispatcher
+    /// ([`crate::fault::run_speculative`]) uses to run its own
+    /// work-queue loops on pool threads.
+    ///
+    /// # Safety
+    /// `body` may borrow the caller's stack frame. The caller MUST NOT
+    /// return (or otherwise invalidate those borrows) until it has
+    /// observed that every enqueued copy fully returned — panic paths
+    /// included — via its own fence (e.g. a pending count decremented
+    /// by a drop guard inside `body`).
+    pub(crate) unsafe fn enqueue_fenced<'env>(&self, copies: usize, body: &'env (dyn Fn() + Sync)) {
+        {
+            let mut queue = lock_unpoisoned(&self.shared.queue);
+            for _ in 0..copies {
+                let task: Box<dyn FnOnce() + Send + 'env> = Box::new(body);
+                // SAFETY: delegated to the caller per this function's
+                // contract — the fence outlives every enqueued copy.
+                let task: PoolTask = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, PoolTask>(task)
+                };
+                queue.tasks.push_back(task);
+            }
+        }
+        self.shared.work_ready.notify_all();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             queue.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -318,7 +359,7 @@ impl Drop for WorkerPool {
 fn worker_main(shared: &PoolShared) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
                     break task;
@@ -326,7 +367,10 @@ fn worker_main(shared: &PoolShared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Count BEFORE running: the task body performs the dispatch's

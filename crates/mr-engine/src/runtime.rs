@@ -20,6 +20,7 @@
 use std::sync::Arc;
 
 use crate::engine::default_parallelism;
+use crate::fault::FaultPolicy;
 use crate::pool::WorkerPool;
 use crate::workflow::Workflow;
 
@@ -54,6 +55,13 @@ pub struct RuntimeConfig {
     /// [`Job::with_spill_threshold`](crate::engine::Job::with_spill_threshold)
     /// and the [`crate::spill`] module for the mechanism.
     pub spill_threshold: Option<usize>,
+    /// Per-task fault-tolerance policy (attempts per task, straggler
+    /// deadline) applied to every workflow this runtime hands out. The
+    /// default is [`FaultPolicy::fail_fast`]: the first task panic
+    /// ends the resolve with a typed error — task panics never unwind
+    /// out of a resolve in any mode, and a failed resolve leaves the
+    /// runtime fully usable. See [`crate::fault`].
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -64,6 +72,7 @@ impl Default for RuntimeConfig {
             matcher_cache_capacity: None,
             count_only: false,
             spill_threshold: None,
+            fault_policy: FaultPolicy::fail_fast(),
         }
     }
 }
@@ -127,6 +136,13 @@ impl RuntimeConfig {
         self.spill_threshold = threshold;
         self
     }
+
+    /// Replaces the fault-tolerance policy (retry budget and straggler
+    /// deadline) every workflow of this runtime runs under.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
 }
 
 /// An owned, reusable engine handle: a persistent [`WorkerPool`] plus
@@ -171,9 +187,10 @@ impl Runtime {
     }
 
     /// Starts a [`Workflow`] bound to this runtime's pool: its stages
-    /// run on the runtime's threads, never spawning their own.
+    /// run on the runtime's threads, never spawning their own, under
+    /// the runtime's [`RuntimeConfig::fault_policy`].
     pub fn workflow(&self, name: impl Into<String>) -> Workflow {
-        Workflow::on_pool(name, Arc::clone(&self.pool))
+        Workflow::on_pool(name, Arc::clone(&self.pool)).with_fault_policy(self.config.fault_policy)
     }
 
     /// Like [`Runtime::workflow`], but caps this one workflow's stages

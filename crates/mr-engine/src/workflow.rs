@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use crate::counters::CounterSet;
 use crate::engine::{Job, JobOutput};
 use crate::error::MrError;
+use crate::fault::{FaultPlan, FaultPolicy};
 use crate::input::Partitions;
 use crate::mapper::Mapper;
 use crate::metrics::JobMetrics;
@@ -93,6 +94,13 @@ pub struct Workflow {
     /// Per-workflow cap on concurrently used pool slots; `None` uses
     /// the whole pool. Only meaningful for pool-bound workflows.
     parallelism_cap: Option<usize>,
+    /// Workflow-level fault policy; overrides every stage job's own
+    /// policy when set (the [`crate::runtime::Runtime`] seeds it from
+    /// [`crate::runtime::RuntimeConfig::fault_policy`]).
+    fault_policy: Option<FaultPolicy>,
+    /// Workflow-level fault-injection plan; overrides every stage
+    /// job's own plan when set.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Workflow {
@@ -108,6 +116,8 @@ impl Workflow {
             stages: Vec::new(),
             pool: None,
             parallelism_cap: None,
+            fault_policy: None,
+            fault_plan: None,
         }
     }
 
@@ -153,6 +163,39 @@ impl Workflow {
     /// The configured parallelism cap, if any.
     pub fn parallelism_cap(&self) -> Option<usize> {
         self.parallelism_cap
+    }
+
+    /// Sets the fault policy every stage of this workflow runs under,
+    /// overriding the stage jobs' own policies — how a runtime-wide
+    /// retry/deadline configuration reaches jobs whose construction
+    /// the workflow does not own. Retried tasks re-execute
+    /// byte-identically (see [`crate::fault`]), so the policy never
+    /// changes workflow output — only whether a task panic becomes a
+    /// retry or a typed
+    /// [`MrError::TaskFailed`].
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// The workflow-level fault policy, if one is set.
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        self.fault_policy
+    }
+
+    /// Installs a deterministic fault-injection plan for every stage
+    /// of this workflow (test/bench hook), overriding the stage jobs'
+    /// own plans.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The workflow-level fault-injection plan, if one is set.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Number of stages executed so far.
@@ -220,13 +263,30 @@ impl Workflow {
         M::VOut: Sync,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
-        let out = match (&self.pool, self.parallelism_cap) {
-            (Some(pool), Some(cap)) => job.run_on_capped(pool, cap, input)?,
-            (Some(pool), None) => job.run_on(pool, input)?,
-            (None, _) => job.run(input)?,
-        };
+        let pool = self
+            .pool
+            .as_ref()
+            .map(|pool| (pool.as_ref(), self.parallelism_cap));
+        let out = job
+            .run_with_overrides(pool, self.fault_policy, self.fault_plan.as_ref(), input)
+            .map_err(|e| self.identify_stage(job.name(), e))?;
         self.stages.push(out.metrics.clone());
         Ok(out)
+    }
+
+    /// Fills the `workflow/stage` path into a task failure bubbling up
+    /// from a stage, so the error's `Display` alone identifies the
+    /// workflow, stage, and task.
+    fn identify_stage(&self, job_name: &str, err: MrError) -> MrError {
+        match err {
+            MrError::TaskFailed(mut task_error) => {
+                task_error
+                    .stage
+                    .get_or_insert_with(|| format!("{}/{}", self.name, job_name));
+                MrError::TaskFailed(task_error)
+            }
+            other => other,
+        }
     }
 
     /// Completes the workflow, rolling every stage's metrics into a
@@ -320,6 +380,30 @@ impl WorkflowMetrics {
     /// Total threshold-triggered sealed runs across all stages.
     pub fn spilled_runs(&self) -> u64 {
         self.stages.iter().map(JobMetrics::spilled_runs).sum()
+    }
+
+    /// Total task attempts that panicked (and were caught at the task
+    /// boundary) across all stages.
+    pub fn task_failures(&self) -> u64 {
+        self.stages.iter().map(|s| s.task_failures).sum()
+    }
+
+    /// Total failed attempts that were re-executed under the fault
+    /// policy's retry budget, across all stages.
+    pub fn tasks_retried(&self) -> u64 {
+        self.stages.iter().map(|s| s.tasks_retried).sum()
+    }
+
+    /// Total speculative twins launched for deadline-exceeding tasks,
+    /// across all stages.
+    pub fn speculative_launched(&self) -> u64 {
+        self.stages.iter().map(|s| s.speculative_launched).sum()
+    }
+
+    /// Total speculative twins that beat their straggling original,
+    /// across all stages.
+    pub fn speculative_won(&self) -> u64 {
+        self.stages.iter().map(|s| s.speculative_won).sum()
     }
 }
 

@@ -108,6 +108,7 @@ pub mod prelude {
         two_source_oracle_comparisons, two_source_sn_oracle, MultiPassSnOutcome, NullKeyPolicy,
         SnConfig, SnError, SnOutcome, SnStrategy,
     };
+    pub use mr_engine::fault::{FaultKind, FaultPlan, FaultPolicy, TaskError};
     pub use mr_engine::input::{partition_evenly, partition_round_robin, Partitions};
     pub use mr_engine::pool::WorkerPool;
     pub use mr_engine::runtime::{Runtime, RuntimeConfig};

@@ -57,6 +57,7 @@ use er_sn::multipass::run_multipass_sn_in;
 use er_sn::two_source::run_two_source_sn_in;
 use er_sn::{NullKeyPolicy, SnConfig, SnError, SnPassReport, SnStrategy};
 use mr_engine::error::MrError;
+use mr_engine::fault::{FaultPlan, FaultPolicy};
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::Runtime;
@@ -509,6 +510,27 @@ impl<'rt> Resolver<'rt> {
         self
     }
 
+    /// Overrides the per-task fault-tolerance policy (retry budget,
+    /// straggler deadline) for this session, replacing the runtime's
+    /// [`RuntimeConfig::fault_policy`](mr_engine::runtime::RuntimeConfig::fault_policy)
+    /// default. Retried or speculated tasks never change the match
+    /// result — outputs stay byte-identical to a fault-free run.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.er = self.er.with_fault_policy(policy);
+        self.sn = self.sn.with_fault_policy(policy);
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule for every
+    /// scenario this session resolves — the test/bench harness that
+    /// exercises the retry and speculation paths at exact task
+    /// coordinates. An empty plan (the default) injects nothing.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.er = self.er.with_fault_plan(plan.clone());
+        self.sn = self.sn.with_fault_plan(plan);
+        self
+    }
+
     /// The blocking-scenario config this session would compile for
     /// `strategy` — what [`Resolver::resolve`] hands to the stage
     /// compilers, exposed for oracles
@@ -573,6 +595,12 @@ impl<'rt> Resolver<'rt> {
         scenario: &Scenario,
         input: Partitions<(), Ent>,
     ) -> Result<Outcome, ResolveError> {
+        // Session-level fault settings override the runtime default
+        // the workflow was seeded with (`er` and `sn` are kept in
+        // sync, so either carries the session's settings).
+        workflow = workflow
+            .with_fault_policy(self.er.fault_policy())
+            .with_fault_plan(self.er.fault_plan().clone());
         match scenario {
             Scenario::Dedup { strategy } => {
                 let config = self.er_config(*strategy);

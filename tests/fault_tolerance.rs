@@ -1,0 +1,352 @@
+//! Acceptance suite for the fault-tolerance layer:
+//!
+//! * **fault matrix** — fail-once and fail-twice schedules injected at
+//!   every task kind (map, sort, reduce), for each of three scenario
+//!   families (BlockSplit dedup, RepSN, two-source BlockSplit
+//!   linkage), at parallelism {1, 2, 4, 8}: the run completes `Ok`,
+//!   the match output is byte-identical (pairs *and* score bits) to a
+//!   fault-free reference, and the workflow gauges count every
+//!   injected event exactly once;
+//! * **fail-always** — an exhausted retry budget surfaces as the typed
+//!   [`ResolveError`] carrying job, stage, task and attempt identity —
+//!   never a panic;
+//! * **graceful degradation** — the same `Runtime` that just failed a
+//!   resolve immediately completes a fault-free resolve with identical
+//!   output and `threads_spawned()` unchanged;
+//! * **speculation** — a deterministic injected straggler is
+//!   re-dispatched under a task deadline and the first completion
+//!   wins, without changing the output.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dedupe_mr::prelude::*;
+use er_datagen::{ds1_spec, generate_products};
+use mr_engine::MrError;
+
+const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+/// Task kinds a fault can strike at; every scenario family is probed
+/// at all three.
+const KINDS: [FaultKind; 3] = [FaultKind::Map, FaultKind::Sort, FaultKind::Reduce];
+
+/// A DS1-shaped corpus small enough for the full matrix (kinds ×
+/// schedules × parallelism levels × scenario families).
+fn corpus(m: usize) -> Partitions<(), Ent> {
+    let ds = generate_products(&ds1_spec(77).scaled(0.003));
+    partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        m,
+    )
+}
+
+/// Two-source input: the corpus split into an R and an S catalog.
+fn two_source_corpus() -> (Partitions<(), Ent>, Vec<SourceId>) {
+    let ds = generate_products(&ds1_spec(78).scaled(0.003));
+    let mut r = Vec::new();
+    let mut s = Vec::new();
+    for (i, e) in ds.entities.into_iter().enumerate() {
+        if i % 2 == 0 {
+            r.push(Arc::new(e) as Ent);
+        } else {
+            s.push(Arc::new(Entity::with_source(SourceId::S, e.id().0, e.attributes())) as Ent);
+        }
+    }
+    two_source_input(r, s, 2)
+}
+
+/// Byte-exact view of a match result: pairs plus raw score bits.
+fn result_bits(result: &MatchResult) -> Vec<(MatchPair, u64)> {
+    result.iter().map(|(p, s)| (p, s.to_bits())).collect()
+}
+
+/// The three scenario families of the matrix, with their inputs and
+/// the number of workflow stages a wildcard task-0 injection strikes.
+fn families() -> Vec<(&'static str, Scenario, Partitions<(), Ent>, u64)> {
+    let (linkage_input, sources) = two_source_corpus();
+    vec![
+        (
+            "BlockSplit dedup",
+            Scenario::Dedup {
+                strategy: StrategyKind::BlockSplit,
+            },
+            corpus(4),
+            2, // bdm + er-block-split
+        ),
+        (
+            "RepSN",
+            Scenario::sorted_neighborhood(SnStrategy::RepSn),
+            corpus(4),
+            2, // sn-sample + sn-repsn
+        ),
+        (
+            "two-source linkage",
+            Scenario::Linkage {
+                strategy: StrategyKind::BlockSplit,
+                sources,
+            },
+            linkage_input,
+            2, // bdm + er-block-split-2src
+        ),
+    ]
+}
+
+fn resolver(runtime: &Runtime) -> Resolver<'_> {
+    Resolver::new(runtime).with_window(3)
+}
+
+/// Fail-once at every kind: wildcard task-0 injection on attempt 1
+/// strikes each stage once; with a 2-attempt budget the run completes
+/// with byte-identical output and the gauges count each injected panic
+/// exactly once, at every parallelism.
+#[test]
+fn fail_once_matrix_is_byte_identical_and_counted_exactly() {
+    for (name, scenario, input, stages) in families() {
+        let reference_rt = Runtime::new(RuntimeConfig::new().with_parallelism(1));
+        let reference = resolver(&reference_rt)
+            .resolve(&scenario, input.clone())
+            .unwrap();
+        for kind in KINDS {
+            for parallelism in PARALLELISM_LEVELS {
+                let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(parallelism));
+                let outcome = resolver(&runtime)
+                    .with_fault_policy(FaultPolicy::retry(2))
+                    .with_fault_plan(FaultPlan::new().panic_at(
+                        FaultPlan::ANY_JOB,
+                        kind,
+                        0,
+                        1,
+                        "injected once",
+                    ))
+                    .resolve(&scenario, input.clone())
+                    .unwrap_or_else(|e| {
+                        panic!("{name}, {kind} fault, x{parallelism}: resolve failed: {e}")
+                    });
+                assert_eq!(
+                    result_bits(&outcome.result),
+                    result_bits(&reference.result),
+                    "{name}, {kind} fault, x{parallelism}: output drifted"
+                );
+                assert_eq!(
+                    outcome.workflow.task_failures(),
+                    stages,
+                    "{name}, {kind} fault, x{parallelism}: one failure per stage"
+                );
+                assert_eq!(
+                    outcome.workflow.tasks_retried(),
+                    stages,
+                    "{name}, {kind} fault, x{parallelism}: every failure retried"
+                );
+                assert_eq!(outcome.workflow.speculative_launched(), 0);
+            }
+        }
+    }
+}
+
+/// Fail-twice: attempts 1 and 2 both panic; a 3-attempt budget
+/// recovers with exact double-counted gauges and identical output.
+#[test]
+fn fail_twice_recovers_under_a_three_attempt_budget() {
+    for (name, scenario, input, stages) in families() {
+        let reference_rt = Runtime::new(RuntimeConfig::new().with_parallelism(1));
+        let reference = resolver(&reference_rt)
+            .resolve(&scenario, input.clone())
+            .unwrap();
+        for kind in KINDS {
+            let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(4));
+            let outcome = resolver(&runtime)
+                .with_fault_policy(FaultPolicy::retry(3))
+                .with_fault_plan(
+                    FaultPlan::new()
+                        .panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "first")
+                        .panic_at(FaultPlan::ANY_JOB, kind, 0, 2, "second"),
+                )
+                .resolve(&scenario, input.clone())
+                .unwrap_or_else(|e| panic!("{name}, {kind} fail-twice: resolve failed: {e}"));
+            assert_eq!(
+                result_bits(&outcome.result),
+                result_bits(&reference.result),
+                "{name}, {kind} fail-twice: output drifted"
+            );
+            assert_eq!(
+                outcome.workflow.task_failures(),
+                2 * stages,
+                "{name} {kind}"
+            );
+            assert_eq!(
+                outcome.workflow.tasks_retried(),
+                2 * stages,
+                "{name} {kind}"
+            );
+        }
+    }
+}
+
+/// Fail-always: the retry budget exhausts and the run returns the
+/// typed error — with the full task identity in its display — instead
+/// of panicking.
+#[test]
+fn exhausted_retries_surface_job_stage_and_task_identity() {
+    for (name, scenario, input, _) in families() {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(2));
+        let err = resolver(&runtime)
+            .with_fault_policy(FaultPolicy::retry(3))
+            .with_fault_plan(FaultPlan::new().panic_always(
+                FaultPlan::ANY_JOB,
+                FaultKind::Map,
+                0,
+                "terminal fault",
+            ))
+            .resolve(&scenario, input)
+            .unwrap_err();
+        let ResolveError::Mr(MrError::TaskFailed(task_error)) = &err else {
+            panic!("{name}: expected TaskFailed, got {err:?}");
+        };
+        assert_eq!(task_error.kind, FaultKind::Map, "{name}");
+        assert_eq!(task_error.task, 0, "{name}");
+        assert_eq!(task_error.attempts, 3, "{name}: full budget spent");
+        let stage = task_error.stage.as_deref().unwrap_or_default();
+        assert!(
+            stage.starts_with(&scenario.workflow_name()),
+            "{name}: stage `{stage}` must name the workflow"
+        );
+        // The one-line display carries workflow, stage, task identity
+        // and the failure payload — satellite requirement.
+        let display = err.to_string();
+        for needle in [
+            task_error.job.as_str(),
+            stage,
+            "map task 0",
+            "3 attempt",
+            "terminal fault",
+        ] {
+            assert!(
+                display.contains(needle),
+                "{name}: display `{display}` must mention `{needle}`"
+            );
+        }
+    }
+}
+
+/// Graceful degradation: a runtime whose resolve just failed is fully
+/// usable — the next, fault-free resolve on the *same* runtime
+/// completes with byte-identical output and no thread churn.
+#[test]
+fn runtime_survives_failure_and_completes_the_next_resolve() {
+    let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(4));
+    let session = resolver(&runtime);
+    for (name, scenario, input, _) in families() {
+        let reference = session.resolve(&scenario, input.clone()).unwrap();
+        for kind in KINDS {
+            let err = session
+                .clone()
+                .with_fault_policy(FaultPolicy::retry(2))
+                .with_fault_plan(FaultPlan::new().panic_always(
+                    FaultPlan::ANY_JOB,
+                    kind,
+                    0,
+                    "unrecoverable",
+                ))
+                .resolve(&scenario, input.clone())
+                .unwrap_err();
+            assert!(
+                matches!(err, ResolveError::Mr(MrError::TaskFailed(_))),
+                "{name} {kind}: typed error expected, got {err:?}"
+            );
+            // The very same runtime, immediately afterwards:
+            let again = session.resolve(&scenario, input.clone()).unwrap();
+            assert_eq!(
+                result_bits(&again.result),
+                result_bits(&reference.result),
+                "{name} {kind}: post-failure resolve drifted"
+            );
+        }
+    }
+    assert_eq!(
+        runtime.pool().threads_spawned(),
+        4,
+        "failed resolves must never spawn replacement threads"
+    );
+}
+
+/// Straggler speculation: a 1.2s injected delay on one map attempt
+/// under a 150ms deadline launches a clean twin whose completion wins,
+/// with the output unchanged. The deadline is far above any honest
+/// task's debug-mode wall time, so exactly one twin launches.
+#[test]
+fn injected_straggler_is_speculated_away() {
+    let input = corpus(4);
+    let scenario = Scenario::Dedup {
+        strategy: StrategyKind::BlockSplit,
+    };
+    let reference_rt = Runtime::new(RuntimeConfig::new().with_parallelism(1));
+    let reference = resolver(&reference_rt)
+        .resolve(&scenario, input.clone())
+        .unwrap();
+    let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(4));
+    let outcome = resolver(&runtime)
+        .with_fault_policy(
+            FaultPolicy::retry(2).with_task_deadline(Some(Duration::from_millis(150))),
+        )
+        .with_fault_plan(FaultPlan::new().delay_at(
+            "bdm",
+            FaultKind::Map,
+            0,
+            1,
+            Duration::from_millis(1200),
+        ))
+        .resolve(&scenario, input)
+        .unwrap();
+    assert_eq!(
+        result_bits(&outcome.result),
+        result_bits(&reference.result),
+        "speculation changed the output"
+    );
+    assert_eq!(
+        outcome.workflow.speculative_launched(),
+        1,
+        "the delayed attempt must be re-dispatched exactly once"
+    );
+    assert_eq!(
+        outcome.workflow.speculative_won(),
+        1,
+        "the clean twin must beat a 1.2s straggler under a 150ms deadline"
+    );
+    assert_eq!(outcome.workflow.task_failures(), 0);
+}
+
+/// The legacy entry points carry the same fault configuration as the
+/// resolver: `run_er` under a fail-once plan retries and reproduces
+/// the fault-free output byte-for-byte.
+#[test]
+fn legacy_run_er_threads_the_fault_config() {
+    let input = corpus(3);
+    let clean = ErConfig::new(StrategyKind::BlockSplit).with_parallelism(2);
+    let reference = run_er(input.clone(), &clean).unwrap();
+    let faulted = clean
+        .clone()
+        .with_fault_policy(FaultPolicy::retry(2))
+        .with_fault_plan(FaultPlan::new().panic_at(
+            FaultPlan::ANY_JOB,
+            FaultKind::Reduce,
+            0,
+            1,
+            "injected once",
+        ));
+    let outcome = run_er(input.clone(), &faulted).unwrap();
+    assert_eq!(result_bits(&outcome.result), result_bits(&reference.result));
+    assert_eq!(outcome.workflow.task_failures(), 2, "one per stage");
+    // Exhaustion through the legacy surface is the same typed error.
+    let fatal = clean.with_fault_plan(FaultPlan::new().panic_always(
+        "er-block-split",
+        FaultKind::Reduce,
+        0,
+        "doomed",
+    ));
+    let err = run_er(input, &fatal).unwrap_err();
+    let MrError::TaskFailed(task_error) = err else {
+        panic!("expected TaskFailed, got {err:?}");
+    };
+    assert_eq!(task_error.job, "er-block-split");
+    assert_eq!(task_error.attempts, 1, "fail-fast default: one attempt");
+}
