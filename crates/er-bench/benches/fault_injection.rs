@@ -8,8 +8,9 @@
 //!   pre-fault-layer behavior;
 //! * **retry-armed** — a 3-attempt retry budget but a fault-free run:
 //!   measures the pure bookkeeping overhead of the fault layer (the
-//!   per-attempt catch boundary plus the clone-vs-take of reduce
-//!   runs), which must stay inside the run-to-run noise band;
+//!   per-attempt catch boundary plus the borrow-vs-take of reduce
+//!   runs — non-final attempts stream borrowed runs, cloning records
+//!   lazily), which must stay inside the run-to-run noise band;
 //! * **recovery** — the same budget under a deterministic fail-once
 //!   schedule striking ~10% of the 48 task slots (5 injected panics
 //!   per run): measures the wall-clock cost of re-executing failed
@@ -40,6 +41,7 @@ const INJECTIONS: usize = 5;
 
 fn fail_once_schedule() -> FaultPlan {
     FaultPlan::new()
+        .silence_injected_panics()
         .panic_at("bdm", FaultKind::Map, 0, 1, "injected")
         .panic_at("bdm", FaultKind::Reduce, 3, 1, "injected")
         .panic_at("er-block-split", FaultKind::Map, 1, 1, "injected")

@@ -74,7 +74,7 @@
 //! levels.
 
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::RwLock;
 use std::time::Instant;
 
 use crate::combiner::Combiner;
@@ -82,8 +82,8 @@ use crate::comparator::{natural_order, KeyCmp};
 use crate::counters::{self, CounterSet};
 use crate::error::MrError;
 use crate::fault::{
-    lock_unpoisoned, run_speculative, FaultKind, FaultPlan, FaultPolicy, FtStats, PhaseFt,
-    TaskAttempts,
+    read_unpoisoned, run_speculative, write_unpoisoned, FaultKind, FaultPlan, FaultPolicy, FtStats,
+    PhaseFt, TaskAttempts,
 };
 use crate::input::Partitions;
 use crate::mapper::{run_map_task_spilling, MapTaskInfo, Mapper};
@@ -450,6 +450,35 @@ struct MapTaskResult<K, V, S> {
     metrics: TaskMetrics,
 }
 
+/// Drives one reduce attempt's streaming group loop over either run
+/// source — owned (a final execution moving records out) or borrowed
+/// (a retryable/speculative attempt cloning them lazily). Groups come
+/// out of the heap merge one at a time into a reusable buffer; the
+/// merged run is never materialized. Returns `(groups,
+/// peak_group_len)`; the stream itself tracks the resident high-water
+/// mark (group buffer + buffered run heads, sampled per record so
+/// mid-group states count too).
+fn drive_reduce<K, V, I, Rd>(
+    stream: &mut GroupStream<'_, K, V, I>,
+    group_cmp: &KeyCmp<K>,
+    reducer: &mut Rd,
+    ctx: &mut ReduceContext<Rd::KOut, Rd::VOut>,
+) -> (u64, u64)
+where
+    I: Iterator<Item = (K, V)>,
+    Rd: Reducer<KIn = K, VIn = V>,
+{
+    let mut group_buf: Vec<(K, V)> = Vec::new();
+    let mut groups = 0u64;
+    let mut peak_group_len = 0u64;
+    while stream.next_group(group_cmp, &mut group_buf) {
+        groups += 1;
+        peak_group_len = peak_group_len.max(group_buf.len() as u64);
+        reducer.reduce(Group::new(&group_buf), ctx);
+    }
+    (groups, peak_group_len)
+}
+
 impl<M, R> Job<M, R>
 where
     M: Mapper,
@@ -649,11 +678,13 @@ where
                 runs_per_reduce[j].extend(runs);
             }
         }
-        // Slots let each reduce closure take ownership of its runs
-        // through the shared `Fn` the pool requires.
-        let run_slots: Vec<Mutex<Option<Vec<Vec<(M::KOut, M::VOut)>>>>> = runs_per_reduce
+        // Slots let each reduce closure reach its runs through the
+        // shared `Fn` the pool requires: non-final attempts share a
+        // read guard over the one resident copy, a final execution
+        // takes ownership through the write guard.
+        let run_slots: Vec<RwLock<Option<Vec<Vec<(M::KOut, M::VOut)>>>>> = runs_per_reduce
             .into_iter()
-            .map(|runs| Mutex::new(Some(runs)))
+            .map(|runs| RwLock::new(Some(runs)))
             .collect();
         let shuffle_wall = shuffle_start.elapsed();
 
@@ -679,37 +710,38 @@ where
                 // An attempt that can be followed by another execution
                 // — a retry (attempt below the budget) or a
                 // speculative twin (deadline set) — must leave the
-                // runs in place and consume a clone; only a provably
-                // final, sole execution may take them. On the
-                // fail-fast default (1 attempt, no deadline) every
-                // attempt takes, so the fault boundary adds no copy to
-                // the fault-free path.
-                let runs = {
-                    let mut slot = lock_unpoisoned(&run_slots[j]);
+                // runs in place: it streams them *borrowed* under a
+                // shared read guard, cloning each record only as the
+                // merge delivers it, so a retry finds the runs
+                // untouched and concurrent twins share the one
+                // resident copy (never a second full copy). Only a
+                // provably final, sole execution takes ownership and
+                // moves records out. On the fail-fast default (1
+                // attempt, no deadline) every attempt takes, so the
+                // fault boundary adds no copy to the fault-free path.
+                let (records_in, groups, peak_group_len, peak_resident_records) =
                     if attempt >= policy.max_attempts && policy.task_deadline.is_none() {
-                        slot.take()
+                        let runs = write_unpoisoned(&run_slots[j])
+                            .take()
+                            .expect("each reduce task's runs outlive its final attempt");
+                        let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
+                        let mut stream = GroupStream::new(runs, &self.sort_cmp);
+                        let (groups, peak_group_len) =
+                            drive_reduce(&mut stream, &self.group_cmp, &mut reducer, &mut ctx);
+                        let peak = stream.peak_resident_records() as u64;
+                        (records_in, groups, peak_group_len, peak)
                     } else {
-                        slot.clone()
-                    }
-                    .expect("each reduce task's runs outlive its final attempt")
-                };
-                let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
-                // Streaming reduce: groups come out of the heap merge
-                // one at a time into a reusable buffer — the merged
-                // run is never materialized. The stream tracks its own
-                // resident high-water mark (group buffer + buffered
-                // run heads, sampled per record so mid-group states
-                // count too).
-                let mut stream = GroupStream::new(runs, &self.sort_cmp);
-                let mut group_buf: Vec<(M::KOut, M::VOut)> = Vec::new();
-                let mut groups = 0u64;
-                let mut peak_group_len = 0u64;
-                while stream.next_group(&self.group_cmp, &mut group_buf) {
-                    groups += 1;
-                    peak_group_len = peak_group_len.max(group_buf.len() as u64);
-                    reducer.reduce(Group::new(&group_buf), &mut ctx);
-                }
-                let peak_resident_records = stream.peak_resident_records() as u64;
+                        let guard = read_unpoisoned(&run_slots[j]);
+                        let runs = guard
+                            .as_deref()
+                            .expect("each reduce task's runs outlive its final attempt");
+                        let records_in: u64 = runs.iter().map(|run| run.len() as u64).sum();
+                        let mut stream = GroupStream::over(runs, &self.sort_cmp);
+                        let (groups, peak_group_len) =
+                            drive_reduce(&mut stream, &self.group_cmp, &mut reducer, &mut ctx);
+                        let peak = stream.peak_resident_records() as u64;
+                        (records_in, groups, peak_group_len, peak)
+                    };
                 reducer.finish(&mut ctx);
                 ctx.counters.add(counters::REDUCE_INPUT_RECORDS, records_in);
                 ctx.counters.add(counters::REDUCE_INPUT_GROUPS, groups);
@@ -1387,8 +1419,9 @@ mod tests {
             .unwrap();
         for kind in [FaultKind::Map, FaultKind::Sort, FaultKind::Reduce] {
             for parallelism in [1usize, 2, 4, 8] {
-                let plan =
-                    FaultPlan::new().panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "injected once");
+                let plan = FaultPlan::new()
+                    .silence_injected_panics()
+                    .panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "injected once");
                 let out = wordcount_job(4, parallelism)
                     .with_fault_policy(FaultPolicy::retry(2))
                     .with_fault_plan(plan)
@@ -1408,7 +1441,9 @@ mod tests {
     fn exhausted_retries_surface_as_typed_error_not_panic() {
         use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
         let input = partition_evenly(lines(&["a b", "c d"]), 2);
-        let plan = FaultPlan::new().panic_always("wc", FaultKind::Reduce, 1, "always dies");
+        let plan = FaultPlan::new()
+            .silence_injected_panics()
+            .panic_always("wc", FaultKind::Reduce, 1, "always dies");
         let err = wordcount_job(2, 2)
             .with_fault_policy(FaultPolicy::retry(3))
             .with_fault_plan(plan)
@@ -1429,7 +1464,9 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         // Default policy: no retry, but still a typed error — the
         // panic must not unwind out of `run`.
-        let plan = FaultPlan::new().panic_at("wc", FaultKind::Map, 0, 1, "first failure");
+        let plan = FaultPlan::new()
+            .silence_injected_panics()
+            .panic_at("wc", FaultKind::Map, 0, 1, "first failure");
         let err = wordcount_job(2, 2)
             .with_fault_plan(plan)
             .run(partition_evenly(lines(&["a b", "c"]), 2))
@@ -1449,7 +1486,7 @@ mod tests {
         let reference = wordcount_job(4, 1).run(input.clone()).unwrap();
         let failing = wordcount_job(4, 2)
             .with_fault_policy(FaultPolicy::retry(2))
-            .with_fault_plan(FaultPlan::new().panic_always(
+            .with_fault_plan(FaultPlan::new().silence_injected_panics().panic_always(
                 FaultPlan::ANY_JOB,
                 FaultKind::Map,
                 1,

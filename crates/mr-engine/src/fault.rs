@@ -25,7 +25,9 @@
 //! mapper clone, and a fresh spiller per *attempt*. Every reduce task
 //! is a pure function of `(job definition, its shuffled runs)`: an
 //! attempt that may be followed by another (retry or speculative twin)
-//! consumes a *clone* of the runs, leaving the original in place. A
+//! leaves the runs in place and streams them *borrowed*, cloning each
+//! record only as the merge delivers it; a provably final, sole
+//! execution takes ownership and moves records out instead. A
 //! re-executed task therefore observes exactly the state its first
 //! execution observed, and the engine's determinism contract (output
 //! is a pure function of input and job definition at any parallelism)
@@ -36,7 +38,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use crate::error::MrError;
@@ -53,6 +55,18 @@ use crate::pool::WorkerPool;
 /// every instruction boundary, so the "poisoned" state is benign.
 pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_unpoisoned`] for shared `RwLock` reads (reduce attempts
+/// borrowing their runs concurrently).
+pub(crate) fn read_unpoisoned<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_unpoisoned`] for exclusive `RwLock` writes (a final reduce
+/// execution taking its runs).
+pub(crate) fn write_unpoisoned<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Which phase of a task a fault belongs to.
@@ -247,6 +261,10 @@ pub struct InjectedFault {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: Vec<InjectedFault>,
+    /// Explicit opt-in for the process-wide stderr filter on injected
+    /// panics; off by default so library callers never get a panic
+    /// hook installed as a side effect.
+    silence_panic_output: bool,
 }
 
 impl FaultPlan {
@@ -272,6 +290,21 @@ impl FaultPlan {
     #[must_use]
     pub fn with(mut self, fault: InjectedFault) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Suppresses the default "thread panicked" stderr report for
+    /// panics *injected by this plan* (real task panics still reach
+    /// the hook chain unchanged).
+    ///
+    /// This installs a permanent, process-wide filtering panic hook
+    /// the first time an injected panic fires, chaining to whatever
+    /// hook is current at that moment — so it is an explicit opt-in
+    /// for test and bench code that owns the process's panic hook.
+    /// Library callers should leave it off (the default).
+    #[must_use]
+    pub fn silence_injected_panics(mut self) -> Self {
+        self.silence_panic_output = true;
         self
     }
 
@@ -352,7 +385,9 @@ impl FaultPlan {
             match &fault.action {
                 FaultAction::Delay(delay) => std::thread::sleep(*delay),
                 FaultAction::Panic(message) => {
-                    silence_injected_panic_output();
+                    if self.silence_panic_output {
+                        silence_injected_panic_output();
+                    }
                     std::panic::panic_any(InjectedPanic {
                         kind,
                         message: message.clone(),
@@ -365,8 +400,9 @@ impl FaultPlan {
 
 /// Panic payload of an injected [`FaultAction::Panic`]: carries the
 /// fault kind so the catch site attributes a map-side `Sort` fault
-/// correctly, and is recognized by the filtering panic hook so
-/// injected panics do not spam stderr in tests and benches.
+/// correctly, and is recognized by the filtering panic hook (opt-in
+/// via [`FaultPlan::silence_injected_panics`]) so injected panics do
+/// not spam stderr in tests and benches.
 struct InjectedPanic {
     kind: FaultKind,
     message: String,
@@ -374,7 +410,8 @@ struct InjectedPanic {
 
 /// Installs (once) a panic hook that suppresses the default "thread
 /// panicked" report for [`InjectedPanic`] payloads only; every real
-/// panic still reaches the previous hook.
+/// panic still reaches the previous hook. Only called when a plan
+/// explicitly opted in via [`FaultPlan::silence_injected_panics`].
 fn silence_injected_panic_output() {
     static SILENCE: std::sync::Once = std::sync::Once::new();
     SILENCE.call_once(|| {
@@ -498,8 +535,9 @@ struct SpecSlot<T> {
     /// First writer wins; the losing twin's result is dropped.
     result: Mutex<Option<Result<T, MrError>>>,
     done: AtomicBool,
-    /// When the primary execution started — the watchdog's reference
-    /// point for the deadline.
+    /// When the task's current attempt started (re-armed at every
+    /// attempt boundary) — the watchdog's reference point for the
+    /// per-attempt deadline.
     started: Mutex<Option<Instant>>,
     /// Set once when the watchdog decides to speculate, so each task
     /// gets at most one twin.
@@ -595,10 +633,14 @@ where
             if slot.done.load(Ordering::Acquire) {
                 continue; // a twin whose primary already finished
             }
-            if !speculative {
+            // Each attempt re-arms the deadline clock: the policy's
+            // deadline is per *attempt*, so a retry is measured from
+            // its own start, not the first attempt's. A twin re-arming
+            // the clock is harmless — `speculated` is one-shot.
+            let result = phase.run_task(i, attempts.task(i), |a| {
                 *lock_unpoisoned(&slot.started) = Some(Instant::now());
-            }
-            let result = phase.run_task(i, attempts.task(i), |a| body(i, a));
+                body(i, a)
+            });
             let mut cell = lock_unpoisoned(&slot.result);
             if cell.is_none() {
                 *cell = Some(result);
@@ -608,7 +650,13 @@ where
                     phase.stats.speculative_won.fetch_add(1, Ordering::Relaxed);
                 }
                 if completed.fetch_add(1, Ordering::AcqRel) + 1 >= count {
-                    // Wake loop bodies parked on an empty queue.
+                    // Wake loop bodies parked on an empty queue. The
+                    // notify is bracketed by the queue mutex: a waiter
+                    // holds it between its `completed` check and its
+                    // park, so acquiring (and releasing) it here
+                    // orders this completion after any stale check —
+                    // the wakeup cannot be lost.
+                    drop(lock_unpoisoned(&queue));
                     queue_ready.notify_all();
                 }
             }
@@ -691,7 +739,9 @@ mod tests {
 
     #[test]
     fn plan_matches_job_kind_task_and_attempt() {
-        let plan = FaultPlan::new().panic_at("bdm", FaultKind::Map, 2, 1, "boom");
+        let plan = FaultPlan::new()
+            .silence_injected_panics()
+            .panic_at("bdm", FaultKind::Map, 2, 1, "boom");
         // Wrong job / kind / task / attempt: no fire.
         plan.fire("other", FaultKind::Map, 2, 1);
         plan.fire("bdm", FaultKind::Reduce, 2, 1);
@@ -709,7 +759,9 @@ mod tests {
 
     #[test]
     fn wildcard_job_and_every_attempt_match() {
-        let plan = FaultPlan::new().panic_always(FaultPlan::ANY_JOB, FaultKind::Sort, 0, "always");
+        let plan = FaultPlan::new()
+            .silence_injected_panics()
+            .panic_always(FaultPlan::ANY_JOB, FaultKind::Sort, 0, "always");
         for attempt in 1..4 {
             for job in ["a", "b"] {
                 let err = catch_unwind(AssertUnwindSafe(|| {
@@ -820,7 +872,9 @@ mod tests {
             kind: FaultKind::Map,
             stats: &stats,
         };
-        let plan = FaultPlan::new().panic_always("j", FaultKind::Sort, 0, "seal died");
+        let plan = FaultPlan::new()
+            .silence_injected_panics()
+            .panic_always("j", FaultKind::Sort, 0, "seal died");
         let attempts = TaskAttempts::new(1);
         let err = phase
             .run_task::<()>(0, attempts.task(0), |attempt| {
@@ -869,6 +923,39 @@ mod tests {
             "the twin (attempt 2, no delay) must beat the 400ms straggler"
         );
         assert_eq!(stats.task_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn speculative_dispatcher_drains_under_racy_completions() {
+        // Tasks that finish almost instantly maximize the window where
+        // the final completion lands between a worker's `completed`
+        // check and its park on the queue condvar — the lost-wakeup
+        // shape. Many rounds on one pool must all drain.
+        let pool = WorkerPool::new(4);
+        let stats = FtStats::default();
+        let phase = PhaseFt {
+            policy: FaultPolicy::fail_fast().with_task_deadline(Some(Duration::from_millis(5))),
+            job: "j",
+            kind: FaultKind::Map,
+            stats: &stats,
+        };
+        for round in 0..50 {
+            let attempts = TaskAttempts::new(8);
+            let out = run_speculative(
+                &pool,
+                usize::MAX,
+                8,
+                Duration::from_millis(5),
+                &phase,
+                &attempts,
+                &|i, _| Ok(i + round),
+            );
+            assert_eq!(
+                out.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+                (round..8 + round).collect::<Vec<_>>(),
+                "round {round} lost a task"
+            );
+        }
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub use error::MrError;
 pub use fault::{FaultAction, FaultKind, FaultPlan, FaultPolicy, InjectedFault, TaskError};
 pub use input::{partition_evenly, partition_round_robin, Partitions};
 pub use mapper::{MapContext, MapTaskInfo, Mapper};
-pub use merge::{merge_sorted_runs, GroupStream};
+pub use merge::{merge_sorted_runs, ClonedRunIter, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
 pub use pool::WorkerPool;

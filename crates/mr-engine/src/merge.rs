@@ -37,15 +37,25 @@ use std::cmp::Ordering;
 
 use crate::comparator::KeyCmp;
 
+/// Run source of a [`GroupStream`] built over *borrowed* runs: each
+/// record is cloned lazily as the merge delivers it.
+pub type ClonedRunIter<'r, K, V> = std::iter::Cloned<std::slice::Iter<'r, (K, V)>>;
+
 /// Streaming k-way merge that yields one reduce group at a time.
 ///
-/// Construction moves the runs into per-run iterators; records are
-/// moved out as they are consumed, so heap-allocated key/value
+/// [`GroupStream::new`] moves the runs into per-run iterators; records
+/// are moved out as they are consumed, so heap-allocated key/value
 /// payloads (strings, `Arc`s) are released group by group rather than
-/// living for the whole task.
-pub struct GroupStream<'c, K, V> {
+/// living for the whole task. [`GroupStream::over`] instead borrows
+/// the runs and clones each record lazily on delivery — for callers
+/// (like a retryable reduce attempt) that must leave the runs intact
+/// without paying for a second full copy up front.
+pub struct GroupStream<'c, K, V, I = std::vec::IntoIter<(K, V)>>
+where
+    I: Iterator<Item = (K, V)>,
+{
     sort_cmp: &'c KeyCmp<K>,
-    iters: Vec<std::vec::IntoIter<(K, V)>>,
+    iters: Vec<I>,
     /// Head element of each not-yet-exhausted run (`None` once drained).
     heads: Vec<Option<(K, V)>>,
     /// Min-heap of run indices, ordered by `(head key, run index)`.
@@ -58,11 +68,29 @@ pub struct GroupStream<'c, K, V> {
 }
 
 impl<'c, K, V> GroupStream<'c, K, V> {
-    /// Builds the stream over `runs`, each already sorted under
-    /// `sort_cmp`.
+    /// Builds the stream over owned `runs`, each already sorted under
+    /// `sort_cmp`; records are moved out as they are consumed.
     pub fn new(runs: Vec<Vec<(K, V)>>, sort_cmp: &'c KeyCmp<K>) -> Self {
-        let mut iters: Vec<std::vec::IntoIter<(K, V)>> =
-            runs.into_iter().map(Vec::into_iter).collect();
+        Self::from_iters(runs.into_iter().map(Vec::into_iter).collect(), sort_cmp)
+    }
+}
+
+impl<'c, 'r, K: Clone, V: Clone> GroupStream<'c, K, V, ClonedRunIter<'r, K, V>> {
+    /// Builds the stream over *borrowed* `runs`, cloning each record
+    /// lazily as the merge delivers it. The runs stay intact for a
+    /// later re-execution; the stream's own residency stays
+    /// `O(largest group + runs)` cloned records, never a second full
+    /// copy.
+    pub fn over(runs: &'r [Vec<(K, V)>], sort_cmp: &'c KeyCmp<K>) -> Self {
+        Self::from_iters(runs.iter().map(|run| run.iter().cloned()).collect(), sort_cmp)
+    }
+}
+
+impl<'c, K, V, I> GroupStream<'c, K, V, I>
+where
+    I: Iterator<Item = (K, V)>,
+{
+    fn from_iters(mut iters: Vec<I>, sort_cmp: &'c KeyCmp<K>) -> Self {
         let heads: Vec<Option<(K, V)>> = iters.iter_mut().map(Iterator::next).collect();
         let heap: Vec<usize> = (0..heads.len()).filter(|&i| heads[i].is_some()).collect();
         let mut stream = Self {
@@ -392,6 +420,25 @@ mod tests {
         let mut buf = Vec::new();
         while stream.next_group(&group_cmp, &mut buf) {}
         assert_eq!(stream.peak_resident_records(), 3);
+    }
+
+    #[test]
+    fn borrowed_stream_matches_owned_and_leaves_runs_intact() {
+        // `over` must deliver exactly the groups `new` does while the
+        // source runs survive a full drain untouched — the property a
+        // retryable reduce attempt depends on.
+        let sort_cmp = natural_order::<u32>();
+        let group_cmp = natural_order::<u32>();
+        let runs = tagged_runs();
+        let owned = collect_groups(runs.clone(), &sort_cmp, &group_cmp);
+        let mut stream = GroupStream::over(&runs, &sort_cmp);
+        let mut buf = Vec::new();
+        let mut borrowed = Vec::new();
+        while stream.next_group(&group_cmp, &mut buf) {
+            borrowed.push(buf.clone());
+        }
+        assert_eq!(borrowed, owned);
+        assert_eq!(runs, tagged_runs(), "borrowed runs survive the drain");
     }
 
     #[test]

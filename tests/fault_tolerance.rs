@@ -111,7 +111,7 @@ fn fail_once_matrix_is_byte_identical_and_counted_exactly() {
                 let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(parallelism));
                 let outcome = resolver(&runtime)
                     .with_fault_policy(FaultPolicy::retry(2))
-                    .with_fault_plan(FaultPlan::new().panic_at(
+                    .with_fault_plan(FaultPlan::new().silence_injected_panics().panic_at(
                         FaultPlan::ANY_JOB,
                         kind,
                         0,
@@ -158,6 +158,7 @@ fn fail_twice_recovers_under_a_three_attempt_budget() {
                 .with_fault_policy(FaultPolicy::retry(3))
                 .with_fault_plan(
                     FaultPlan::new()
+                        .silence_injected_panics()
                         .panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "first")
                         .panic_at(FaultPlan::ANY_JOB, kind, 0, 2, "second"),
                 )
@@ -191,7 +192,7 @@ fn exhausted_retries_surface_job_stage_and_task_identity() {
         let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(2));
         let err = resolver(&runtime)
             .with_fault_policy(FaultPolicy::retry(3))
-            .with_fault_plan(FaultPlan::new().panic_always(
+            .with_fault_plan(FaultPlan::new().silence_injected_panics().panic_always(
                 FaultPlan::ANY_JOB,
                 FaultKind::Map,
                 0,
@@ -241,7 +242,7 @@ fn runtime_survives_failure_and_completes_the_next_resolve() {
             let err = session
                 .clone()
                 .with_fault_policy(FaultPolicy::retry(2))
-                .with_fault_plan(FaultPlan::new().panic_always(
+                .with_fault_plan(FaultPlan::new().silence_injected_panics().panic_always(
                     FaultPlan::ANY_JOB,
                     kind,
                     0,
@@ -326,7 +327,7 @@ fn legacy_run_er_threads_the_fault_config() {
     let faulted = clean
         .clone()
         .with_fault_policy(FaultPolicy::retry(2))
-        .with_fault_plan(FaultPlan::new().panic_at(
+        .with_fault_plan(FaultPlan::new().silence_injected_panics().panic_at(
             FaultPlan::ANY_JOB,
             FaultKind::Reduce,
             0,
@@ -337,7 +338,7 @@ fn legacy_run_er_threads_the_fault_config() {
     assert_eq!(result_bits(&outcome.result), result_bits(&reference.result));
     assert_eq!(outcome.workflow.task_failures(), 2, "one per stage");
     // Exhaustion through the legacy surface is the same typed error.
-    let fatal = clean.with_fault_plan(FaultPlan::new().panic_always(
+    let fatal = clean.with_fault_plan(FaultPlan::new().silence_injected_panics().panic_always(
         "er-block-split",
         FaultKind::Reduce,
         0,
