@@ -15,8 +15,11 @@ use er_bench::{
 };
 use er_datagen::dataset::key_sequence;
 use er_datagen::ds1_spec;
-use er_loadbalance::driver::{run_er, ErConfig};
+use er_loadbalance::driver::{run_er_in, ErConfig};
 use er_loadbalance::StrategyKind;
+use mr_engine::pool::WorkerPool;
+use mr_engine::trace::{TraceRecorder, TraceReport, TraceSink};
+use mr_engine::workflow::Workflow;
 
 const NODE_STEPS: [usize; 7] = [1, 2, 5, 10, 20, 40, 100];
 
@@ -24,7 +27,10 @@ const NODE_STEPS: [usize; 7] = [1, 2, 5, 10, 20, 40, 100];
 /// analogue of the figure's cluster-size axis): wall time must fall
 /// while the streaming reduce gauges — a function of (input, job),
 /// not of scheduling — stay *identical*, the memory-side determinism
-/// companion to the byte-identical `reduce_outputs` guarantee.
+/// companion to the byte-identical `reduce_outputs` guarantee. Each
+/// run carries a trace recorder, so the per-slot utilization series —
+/// how evenly the scheduler kept the workers busy — lands in the
+/// record next to the wall it explains.
 /// Returns one JSON record per parallelism level.
 fn engine_parallelism_sweep() -> Vec<Json> {
     let ds = er_datagen::generate_products(&ds1_spec(PAPER_SEED).scaled(0.01));
@@ -34,14 +40,27 @@ fn engine_parallelism_sweep() -> Vec<Json> {
     );
     let mut records = Vec::new();
     let mut reference: Option<(u64, u64)> = None;
-    let mut table = TextTable::new(&["parallelism", "wall", "peak group", "peak resident"]);
+    let mut table = TextTable::new(&[
+        "parallelism",
+        "wall",
+        "peak group",
+        "peak resident",
+        "slot utilization",
+    ]);
     for parallelism in [1usize, 2, 4] {
         let config = ErConfig::new(StrategyKind::BlockSplit)
             .with_reduce_tasks(40)
             .with_parallelism(parallelism)
             .with_count_only(true);
-        let outcome = run_er(input.clone(), &config).unwrap();
-        let m = &outcome.match_metrics;
+        let recorder = Arc::new(TraceRecorder::new());
+        let concrete: Arc<TraceRecorder> = Arc::clone(&recorder);
+        let sink: Arc<dyn TraceSink> = concrete;
+        let pool = Arc::new(WorkerPool::new(parallelism));
+        let mut workflow =
+            Workflow::on_pool(format!("fig13-x{parallelism}"), pool).with_trace_sink(sink);
+        let stages = run_er_in(&mut workflow, input.clone(), &config).unwrap();
+        workflow.finish();
+        let m = &stages.match_metrics;
         let gauges = (m.peak_group_len(), m.peak_resident_records());
         match &reference {
             None => reference = Some(gauges),
@@ -50,12 +69,19 @@ fn engine_parallelism_sweep() -> Vec<Json> {
                 "streaming memory gauges must not depend on parallelism"
             ),
         }
+        let report = TraceReport::from_events(&recorder.events());
+        let utilization: Vec<(usize, f64)> = report.utilization().into_iter().collect();
+        let util_cells: Vec<String> = utilization
+            .iter()
+            .map(|(slot, frac)| format!("{slot}:{:.0}%", frac * 100.0))
+            .collect();
         let wall_ms = m.wall.as_secs_f64() * 1e3;
         table.row(vec![
             parallelism.to_string(),
             fmt_ms(wall_ms),
             gauges.0.to_string(),
             gauges.1.to_string(),
+            util_cells.join(" "),
         ]);
         records.push(Json::obj([
             ("parallelism", Json::Num(parallelism as f64)),
@@ -65,6 +91,20 @@ fn engine_parallelism_sweep() -> Vec<Json> {
             (
                 "peak_resident_fraction",
                 Json::Num(m.peak_resident_fraction()),
+            ),
+            (
+                "slot_utilization",
+                Json::Arr(
+                    utilization
+                        .iter()
+                        .map(|&(slot, frac)| {
+                            Json::obj([
+                                ("slot", Json::Num(slot as f64)),
+                                ("busy_fraction", Json::Num(frac)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]));
     }

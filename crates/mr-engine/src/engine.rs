@@ -90,9 +90,10 @@ use crate::mapper::{run_map_task_spilling, MapTaskInfo, Mapper};
 use crate::merge::GroupStream;
 use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
 use crate::partitioner::{HashPartitioner, Partitioner};
-use crate::pool::{run_tasks, WorkerPool};
+use crate::pool::{run_tasks_ctx, WorkerPool};
 use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
 use crate::spill::MapSpiller;
+use crate::trace::{SpillTrace, TaskCtx, TraceEventData, TraceSink, Tracer};
 
 /// How a job's map/reduce tasks are executed: a transient scoped pool
 /// spawned for this run, or a caller-owned persistent [`WorkerPool`]
@@ -119,18 +120,20 @@ impl Exec<'_> {
         }
     }
 
-    fn run<T, F>(&self, count: usize, f: F) -> Vec<T>
+    fn run<T, F>(&self, count: usize, tracer: &Tracer, f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        F: Fn(usize, TaskCtx) -> T + Sync,
     {
         match self {
-            Exec::Transient { parallelism } => run_tasks(count, *parallelism, f),
-            Exec::Pooled { pool, cap: None } => pool.run_tasks(count, f),
+            Exec::Transient { parallelism } => run_tasks_ctx(count, *parallelism, tracer, f),
+            Exec::Pooled { pool, cap: None } => {
+                pool.run_tasks_capped_ctx(count, usize::MAX, tracer, f)
+            }
             Exec::Pooled {
                 pool,
                 cap: Some(cap),
-            } => pool.run_tasks_capped(count, *cap, f),
+            } => pool.run_tasks_capped_ctx(count, *cap, tracer, f),
         }
     }
 
@@ -141,12 +144,12 @@ impl Exec<'_> {
     fn run_ft<T, F>(&self, count: usize, phase: &PhaseFt<'_>, body: F) -> Vec<Result<T, MrError>>
     where
         T: Send,
-        F: Fn(usize, u32) -> Result<T, MrError> + Sync,
+        F: Fn(usize, u32, TaskCtx) -> Result<T, MrError> + Sync,
     {
         let attempts = TaskAttempts::new(count);
         match (phase.policy.task_deadline, self) {
-            (None, _) => self.run(count, |i| {
-                phase.run_task(i, attempts.task(i), |attempt| body(i, attempt))
+            (None, _) => self.run(count, &phase.tracer, |i, ctx| {
+                phase.run_task(i, attempts.task(i), ctx, |attempt| body(i, attempt, ctx))
             }),
             (Some(deadline), Exec::Pooled { pool, cap }) => run_speculative(
                 pool,
@@ -162,7 +165,11 @@ impl Exec<'_> {
                     // No free slot can ever exist; sequential, like the
                     // plain inline path.
                     (0..count)
-                        .map(|i| phase.run_task(i, attempts.task(i), |attempt| body(i, attempt)))
+                        .map(|i| {
+                            let ctx = TaskCtx::default();
+                            phase
+                                .run_task(i, attempts.task(i), ctx, |attempt| body(i, attempt, ctx))
+                        })
                         .collect()
                 } else {
                     // Speculation needs a real pool to find free slots
@@ -228,6 +235,7 @@ where
     spill_threshold: Option<usize>,
     fault_policy: FaultPolicy,
     fault_plan: FaultPlan,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 // Deliberately free of key bounds (unlike the `builder` impl's
@@ -292,6 +300,23 @@ where
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.fault_plan
     }
+
+    /// Attaches a [`TraceSink`] receiving the structured execution
+    /// events of [`crate::trace`] — the post-hoc twin of
+    /// [`JobBuilder::trace_sink`]. The default (no sink) runs the
+    /// engine untraced: every instrumentation point is one untaken
+    /// branch. When the job runs as a workflow stage, a workflow-level
+    /// sink takes precedence so all stages share one timeline.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// The trace sink attached to this job, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace_sink.as_ref()
+    }
 }
 
 impl<M, R> Job<M, R>
@@ -319,6 +344,7 @@ where
             spill_threshold: None,
             fault_policy: FaultPolicy::default(),
             fault_plan: FaultPlan::default(),
+            trace_sink: None,
         }
     }
 }
@@ -348,6 +374,7 @@ where
     spill_threshold: Option<usize>,
     fault_policy: FaultPolicy,
     fault_plan: FaultPlan,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl<M, R> JobBuilder<M, R>
@@ -424,6 +451,13 @@ where
         self
     }
 
+    /// Attaches a [`TraceSink`] receiving structured execution events
+    /// (see [`crate::trace`]). The default runs untraced at zero cost.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     /// Finalizes the job.
     pub fn build(self) -> Job<M, R> {
         Job {
@@ -439,6 +473,7 @@ where
             spill_threshold: self.spill_threshold,
             fault_policy: self.fault_policy,
             fault_plan: self.fault_plan,
+            trace_sink: self.trace_sink,
         }
     }
 }
@@ -543,17 +578,20 @@ where
         exec: Exec<'_>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
-        self.run_with_faults(exec, None, None, input)
+        self.run_with_faults(exec, None, None, None, input)
     }
 
     /// Workflow entry point: run on an optional `(pool, cap)` with
     /// workflow-level fault policy/plan overrides (each `None` falls
-    /// back to the job's own configuration).
+    /// back to the job's own configuration) and an optional
+    /// workflow-level tracer, which takes precedence over the job's
+    /// own sink so all stages share one timeline and epoch.
     pub(crate) fn run_with_overrides(
         &self,
         pool: Option<(&WorkerPool, Option<usize>)>,
         policy: Option<FaultPolicy>,
         plan: Option<&FaultPlan>,
+        tracer: Option<Tracer>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
         let exec = match pool {
@@ -562,7 +600,7 @@ where
                 parallelism: self.parallelism,
             },
         };
-        self.run_with_faults(exec, policy, plan, input)
+        self.run_with_faults(exec, policy, plan, tracer, input)
     }
 
     fn run_with_faults(
@@ -570,10 +608,15 @@ where
         exec: Exec<'_>,
         policy_override: Option<FaultPolicy>,
         plan_override: Option<&FaultPlan>,
+        tracer_override: Option<Tracer>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
         let policy = policy_override.unwrap_or(self.fault_policy);
         let plan = plan_override.unwrap_or(&self.fault_plan);
+        let tracer = tracer_override.unwrap_or_else(|| match &self.trace_sink {
+            Some(sink) => Tracer::new(Arc::clone(sink)),
+            None => Tracer::off(),
+        });
         let stats = FtStats::default();
         let job_start = Instant::now();
         let m = input.len();
@@ -587,6 +630,11 @@ where
         if exec.parallelism() == 0 {
             return Err(MrError::ZeroParallelism);
         }
+        tracer.emit_with(None, || TraceEventData::JobStarted {
+            job: self.name.clone(),
+            map_tasks: m,
+            reduce_tasks: r,
+        });
 
         // ---- Map phase -------------------------------------------------
         // Each *attempt* builds a fresh spiller and context over the
@@ -598,9 +646,10 @@ where
             job: &self.name,
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: tracer.clone(),
         };
         let map_results: Vec<Result<MapTaskResult<M::KOut, M::VOut, M::Side>, MrError>> = exec
-            .run_ft(m, &map_phase, |i, attempt| {
+            .run_ft(m, &map_phase, |i, attempt, tctx| {
                 let start = Instant::now();
                 plan.fire(&self.name, FaultKind::Map, i, attempt);
                 let info = MapTaskInfo {
@@ -622,7 +671,13 @@ where
                     self.combiner.as_ref(),
                     r,
                     self.spill_threshold,
-                );
+                )
+                .with_trace(tracer.is_on().then(|| SpillTrace {
+                    tracer: tracer.clone(),
+                    job: self.name.clone(),
+                    task: i,
+                    slot: Some(tctx.slot),
+                }));
                 let mut ctx = run_map_task_spilling(&self.mapper, info, &input[i], |k, v| {
                     spiller.push(k, v)
                 })?;
@@ -644,6 +699,8 @@ where
                     peak_group_len: 0,
                     peak_resident_records: spilled.peak_open_records,
                     spilled_runs: spilled.spilled_runs,
+                    queue_wait: tctx.queue_wait,
+                    attempts: attempt,
                 };
                 Ok(MapTaskResult {
                     runs: spilled.runs,
@@ -678,6 +735,7 @@ where
                 runs_per_reduce[j].extend(runs);
             }
         }
+        let total_runs: usize = runs_per_reduce.iter().map(Vec::len).sum();
         // Slots let each reduce closure reach its runs through the
         // shared `Fn` the pool requires: non-final attempts share a
         // read guard over the one resident copy, a final execution
@@ -687,6 +745,11 @@ where
             .map(|runs| RwLock::new(Some(runs)))
             .collect();
         let shuffle_wall = shuffle_start.elapsed();
+        tracer.emit_with(None, || TraceEventData::ShuffleCompleted {
+            job: self.name.clone(),
+            runs: total_runs,
+            wall: shuffle_wall,
+        });
 
         // ---- Reduce phase ----------------------------------------------
         let reduce_phase = PhaseFt {
@@ -694,9 +757,10 @@ where
             job: &self.name,
             kind: FaultKind::Reduce,
             stats: &stats,
+            tracer: tracer.clone(),
         };
         let reduce_results: Vec<Result<(Vec<(R::KOut, R::VOut)>, TaskMetrics), MrError>> = exec
-            .run_ft(r, &reduce_phase, |j, attempt| {
+            .run_ft(r, &reduce_phase, |j, attempt, tctx| {
                 let start = Instant::now();
                 plan.fire(&self.name, FaultKind::Reduce, j, attempt);
                 let info = ReduceTaskInfo {
@@ -757,6 +821,8 @@ where
                     peak_group_len,
                     peak_resident_records,
                     spilled_runs: 0,
+                    queue_wait: tctx.queue_wait,
+                    attempts: attempt,
                 };
                 Ok((ctx.out, metrics))
             });
@@ -793,6 +859,10 @@ where
                 .speculative_won
                 .load(std::sync::atomic::Ordering::Relaxed),
         };
+        tracer.emit_with(None, || TraceEventData::JobFinished {
+            job: self.name.clone(),
+            wall: metrics.wall,
+        });
         Ok(JobOutput {
             reduce_outputs,
             side_outputs,
@@ -1419,9 +1489,13 @@ mod tests {
             .unwrap();
         for kind in [FaultKind::Map, FaultKind::Sort, FaultKind::Reduce] {
             for parallelism in [1usize, 2, 4, 8] {
-                let plan = FaultPlan::new()
-                    .silence_injected_panics()
-                    .panic_at(FaultPlan::ANY_JOB, kind, 0, 1, "injected once");
+                let plan = FaultPlan::new().silence_injected_panics().panic_at(
+                    FaultPlan::ANY_JOB,
+                    kind,
+                    0,
+                    1,
+                    "injected once",
+                );
                 let out = wordcount_job(4, parallelism)
                     .with_fault_policy(FaultPolicy::retry(2))
                     .with_fault_plan(plan)
@@ -1441,9 +1515,12 @@ mod tests {
     fn exhausted_retries_surface_as_typed_error_not_panic() {
         use crate::fault::{FaultKind, FaultPlan, FaultPolicy};
         let input = partition_evenly(lines(&["a b", "c d"]), 2);
-        let plan = FaultPlan::new()
-            .silence_injected_panics()
-            .panic_always("wc", FaultKind::Reduce, 1, "always dies");
+        let plan = FaultPlan::new().silence_injected_panics().panic_always(
+            "wc",
+            FaultKind::Reduce,
+            1,
+            "always dies",
+        );
         let err = wordcount_job(2, 2)
             .with_fault_policy(FaultPolicy::retry(3))
             .with_fault_plan(plan)
@@ -1464,9 +1541,13 @@ mod tests {
         use crate::fault::{FaultKind, FaultPlan};
         // Default policy: no retry, but still a typed error — the
         // panic must not unwind out of `run`.
-        let plan = FaultPlan::new()
-            .silence_injected_panics()
-            .panic_at("wc", FaultKind::Map, 0, 1, "first failure");
+        let plan = FaultPlan::new().silence_injected_panics().panic_at(
+            "wc",
+            FaultKind::Map,
+            0,
+            1,
+            "first failure",
+        );
         let err = wordcount_job(2, 2)
             .with_fault_plan(plan)
             .run(partition_evenly(lines(&["a b", "c"]), 2))

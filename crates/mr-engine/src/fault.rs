@@ -38,12 +38,15 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::{Duration, Instant};
 
 use crate::error::MrError;
 use crate::metrics::TaskKind;
 use crate::pool::WorkerPool;
+use crate::trace::{TaskCtx, TraceEventData, Tracer};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -484,12 +487,14 @@ impl TaskAttempts {
 }
 
 /// One phase's view of the fault machinery: the policy in force, the
-/// job identity for error reporting, and the shared gauge sink.
+/// job identity for error reporting, the shared gauge sink, and the
+/// trace handle attempt events are emitted on.
 pub(crate) struct PhaseFt<'a> {
     pub policy: FaultPolicy,
     pub job: &'a str,
     pub kind: FaultKind,
     pub stats: &'a FtStats,
+    pub tracer: Tracer,
 }
 
 impl PhaseFt<'_> {
@@ -499,20 +504,76 @@ impl PhaseFt<'_> {
     /// typed [`MrError::TaskFailed`] instead. Non-panic errors
     /// (configuration problems) are not retried — they are
     /// deterministic and would fail identically again.
+    ///
+    /// Attempt lifecycle events are emitted at exactly the same sites
+    /// as the `FtStats` gauges, so per-category event counts and the
+    /// gauges can never disagree. With tracing off every extra site is
+    /// one branch — no clock reads, no allocation.
     pub fn run_task<T>(
         &self,
         task: usize,
         state: &TaskAttemptState,
+        ctx: TaskCtx,
         body: impl Fn(u32) -> Result<T, MrError>,
     ) -> Result<T, MrError> {
+        let tracing = self.tracer.is_on();
+        if tracing {
+            self.tracer.emit(
+                Some(ctx.slot),
+                TraceEventData::QueueWaited {
+                    job: self.job.to_string(),
+                    kind: self.kind,
+                    task,
+                    wait: ctx.queue_wait,
+                },
+            );
+        }
         loop {
             let attempt = state.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+            if tracing {
+                self.tracer.emit(
+                    Some(ctx.slot),
+                    TraceEventData::AttemptStarted {
+                        job: self.job.to_string(),
+                        kind: self.kind,
+                        task,
+                        attempt,
+                    },
+                );
+            }
+            let started = tracing.then(Instant::now);
             match catch_unwind(AssertUnwindSafe(|| body(attempt))) {
-                Ok(result) => return result,
+                Ok(result) => {
+                    if let Some(started) = started {
+                        self.tracer.emit(
+                            Some(ctx.slot),
+                            TraceEventData::AttemptFinished {
+                                job: self.job.to_string(),
+                                kind: self.kind,
+                                task,
+                                attempt,
+                                wall: started.elapsed(),
+                            },
+                        );
+                    }
+                    return result;
+                }
                 Err(payload) => {
                     self.stats.task_failures.fetch_add(1, Ordering::Relaxed);
                     let failures = state.failures.fetch_add(1, Ordering::Relaxed) + 1;
                     let (kind, message) = describe_panic(payload, self.kind);
+                    if tracing {
+                        self.tracer.emit(
+                            Some(ctx.slot),
+                            TraceEventData::AttemptFailed {
+                                job: self.job.to_string(),
+                                kind,
+                                task,
+                                attempt,
+                                message: message.clone(),
+                            },
+                        );
+                    }
                     if failures >= self.policy.max_attempts {
                         return Err(MrError::TaskFailed(TaskError {
                             job: self.job.to_string(),
@@ -524,6 +585,17 @@ impl PhaseFt<'_> {
                         }));
                     }
                     self.stats.tasks_retried.fetch_add(1, Ordering::Relaxed);
+                    if tracing {
+                        self.tracer.emit(
+                            Some(ctx.slot),
+                            TraceEventData::AttemptRetried {
+                                job: self.job.to_string(),
+                                kind: self.kind,
+                                task,
+                                next_attempt: attempt + 1,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -582,14 +654,17 @@ pub(crate) fn run_speculative<T, F>(
 ) -> Vec<Result<T, MrError>>
 where
     T: Send,
-    F: Fn(usize, u32) -> Result<T, MrError> + Sync,
+    F: Fn(usize, u32, TaskCtx) -> Result<T, MrError> + Sync,
 {
     // Inline execution (single-slot pool, cap 1, or a single task) has
     // no free slots to speculate on: run sequentially like the plain
     // path so output and thread behavior stay identical.
     if pool.worker_count() == 0 || cap <= 1 || count == 1 {
         return (0..count)
-            .map(|i| phase.run_task(i, attempts.task(i), |a| body(i, a)))
+            .map(|i| {
+                let ctx = TaskCtx::default();
+                phase.run_task(i, attempts.task(i), ctx, |a| body(i, a, ctx))
+            })
             .collect();
     }
     let loops = cap.min(pool.worker_count()).min(count);
@@ -601,16 +676,32 @@ where
             speculated: AtomicBool::new(false),
         })
         .collect();
-    // Work items: (task index, is speculative twin). Primaries are
+    // Work items: (task index, is speculative twin, enqueue instant —
+    // the reference point for the item's queue wait). Primaries are
     // enqueued up front in task order; the watchdog appends twins.
-    let queue: Mutex<VecDeque<(usize, bool)>> =
-        Mutex::new((0..count).map(|i| (i, false)).collect());
+    let enqueued = Instant::now();
+    let queue: Mutex<VecDeque<(usize, bool, Instant)>> =
+        Mutex::new((0..count).map(|i| (i, false, enqueued)).collect());
     let queue_ready = Condvar::new();
     let completed = AtomicUsize::new(0);
     let pending = Mutex::new(loops);
     let all_returned = Condvar::new();
+    // The enqueued loop bodies are `copies` of one identical closure;
+    // each copy draws its own slot id here so trace events can tell
+    // the lanes apart.
+    let next_slot = AtomicUsize::new(0);
+    phase
+        .tracer
+        .emit_with(None, || TraceEventData::TasksEnqueued {
+            tasks: count,
+            queue_depth: count,
+        });
 
     let loop_body = || {
+        let worker_slot = next_slot.fetch_add(1, Ordering::Relaxed);
+        phase
+            .tracer
+            .emit(Some(worker_slot), TraceEventData::SlotAcquired);
         let _guard = PendingGuard {
             pending: &pending,
             done: &all_returned,
@@ -628,18 +719,27 @@ where
                     q = queue_ready.wait(q).unwrap_or_else(PoisonError::into_inner);
                 }
             };
-            let Some((i, speculative)) = item else { return };
+            let Some((i, speculative, item_enqueued)) = item else {
+                phase
+                    .tracer
+                    .emit(Some(worker_slot), TraceEventData::SlotReleased);
+                return;
+            };
             let slot = &slots[i];
             if slot.done.load(Ordering::Acquire) {
-                continue; // a twin whose primary already finished
+                continue; // a twin whose primary already finished (never ran)
             }
+            let ctx = TaskCtx {
+                slot: worker_slot,
+                queue_wait: item_enqueued.elapsed(),
+            };
             // Each attempt re-arms the deadline clock: the policy's
             // deadline is per *attempt*, so a retry is measured from
             // its own start, not the first attempt's. A twin re-arming
             // the clock is harmless — `speculated` is one-shot.
-            let result = phase.run_task(i, attempts.task(i), |a| {
+            let result = phase.run_task(i, attempts.task(i), ctx, |a| {
                 *lock_unpoisoned(&slot.started) = Some(Instant::now());
-                body(i, a)
+                body(i, a, ctx)
             });
             let mut cell = lock_unpoisoned(&slot.result);
             if cell.is_none() {
@@ -648,6 +748,14 @@ where
                 slot.done.store(true, Ordering::Release);
                 if speculative {
                     phase.stats.speculative_won.fetch_add(1, Ordering::Relaxed);
+                    phase
+                        .tracer
+                        .emit_with(Some(worker_slot), || TraceEventData::SpeculativeWon {
+                            job: phase.job.to_string(),
+                            kind: phase.kind,
+                            task: i,
+                            twin: true,
+                        });
                 }
                 if completed.fetch_add(1, Ordering::AcqRel) + 1 >= count {
                     // Wake loop bodies parked on an empty queue. The
@@ -659,6 +767,18 @@ where
                     drop(lock_unpoisoned(&queue));
                     queue_ready.notify_all();
                 }
+            } else {
+                // The sibling copy already installed a result — this
+                // copy ran to completion and lost the race.
+                drop(cell);
+                phase
+                    .tracer
+                    .emit_with(Some(worker_slot), || TraceEventData::SpeculativeLost {
+                        job: phase.job.to_string(),
+                        kind: phase.kind,
+                        task: i,
+                        twin: speculative,
+                    });
             }
         }
     };
@@ -700,7 +820,14 @@ where
                     .stats
                     .speculative_launched
                     .fetch_add(1, Ordering::Relaxed);
-                lock_unpoisoned(&queue).push_back((index, true));
+                phase
+                    .tracer
+                    .emit_with(None, || TraceEventData::SpeculativeLaunched {
+                        job: phase.job.to_string(),
+                        kind: phase.kind,
+                        task: index,
+                    });
+                lock_unpoisoned(&queue).push_back((index, true, Instant::now()));
                 queue_ready.notify_all();
             }
         }
@@ -739,9 +866,13 @@ mod tests {
 
     #[test]
     fn plan_matches_job_kind_task_and_attempt() {
-        let plan = FaultPlan::new()
-            .silence_injected_panics()
-            .panic_at("bdm", FaultKind::Map, 2, 1, "boom");
+        let plan = FaultPlan::new().silence_injected_panics().panic_at(
+            "bdm",
+            FaultKind::Map,
+            2,
+            1,
+            "boom",
+        );
         // Wrong job / kind / task / attempt: no fire.
         plan.fire("other", FaultKind::Map, 2, 1);
         plan.fire("bdm", FaultKind::Reduce, 2, 1);
@@ -759,9 +890,12 @@ mod tests {
 
     #[test]
     fn wildcard_job_and_every_attempt_match() {
-        let plan = FaultPlan::new()
-            .silence_injected_panics()
-            .panic_always(FaultPlan::ANY_JOB, FaultKind::Sort, 0, "always");
+        let plan = FaultPlan::new().silence_injected_panics().panic_always(
+            FaultPlan::ANY_JOB,
+            FaultKind::Sort,
+            0,
+            "always",
+        );
         for attempt in 1..4 {
             for job in ["a", "b"] {
                 let err = catch_unwind(AssertUnwindSafe(|| {
@@ -799,9 +933,10 @@ mod tests {
             job: "j",
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         let attempts = TaskAttempts::new(1);
-        let out = phase.run_task(0, attempts.task(0), |attempt| {
+        let out = phase.run_task(0, attempts.task(0), TaskCtx::default(), |attempt| {
             if attempt < 3 {
                 panic!("attempt {attempt} dies");
             }
@@ -820,10 +955,13 @@ mod tests {
             job: "j",
             kind: FaultKind::Reduce,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         let attempts = TaskAttempts::new(1);
         let err = phase
-            .run_task::<()>(0, attempts.task(0), |_| panic!("always dies"))
+            .run_task::<()>(0, attempts.task(0), TaskCtx::default(), |_| {
+                panic!("always dies")
+            })
             .unwrap_err();
         let MrError::TaskFailed(task_error) = err else {
             panic!("expected TaskFailed, got {err:?}");
@@ -845,11 +983,12 @@ mod tests {
             job: "j",
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         let attempts = TaskAttempts::new(1);
         let calls = AtomicU32::new(0);
         let err = phase
-            .run_task::<()>(0, attempts.task(0), |_| {
+            .run_task::<()>(0, attempts.task(0), TaskCtx::default(), |_| {
                 calls.fetch_add(1, Ordering::Relaxed);
                 Err(MrError::NoReduceTasks)
             })
@@ -871,13 +1010,17 @@ mod tests {
             job: "j",
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: Tracer::off(),
         };
-        let plan = FaultPlan::new()
-            .silence_injected_panics()
-            .panic_always("j", FaultKind::Sort, 0, "seal died");
+        let plan = FaultPlan::new().silence_injected_panics().panic_always(
+            "j",
+            FaultKind::Sort,
+            0,
+            "seal died",
+        );
         let attempts = TaskAttempts::new(1);
         let err = phase
-            .run_task::<()>(0, attempts.task(0), |attempt| {
+            .run_task::<()>(0, attempts.task(0), TaskCtx::default(), |attempt| {
                 plan.fire("j", FaultKind::Sort, 0, attempt);
                 unreachable!("the injection fires first");
             })
@@ -898,6 +1041,7 @@ mod tests {
             job: "j",
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         let attempts = TaskAttempts::new(3);
         let out = run_speculative(
@@ -907,7 +1051,7 @@ mod tests {
             Duration::from_millis(25),
             &phase,
             &attempts,
-            &|i, attempt| {
+            &|i, attempt, _ctx| {
                 if i == 1 && attempt == 1 {
                     std::thread::sleep(Duration::from_millis(400));
                 }
@@ -938,6 +1082,7 @@ mod tests {
             job: "j",
             kind: FaultKind::Map,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         for round in 0..50 {
             let attempts = TaskAttempts::new(8);
@@ -948,7 +1093,7 @@ mod tests {
                 Duration::from_millis(5),
                 &phase,
                 &attempts,
-                &|i, _| Ok(i + round),
+                &|i, _, _| Ok(i + round),
             );
             assert_eq!(
                 out.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
@@ -967,6 +1112,7 @@ mod tests {
             job: "j",
             kind: FaultKind::Reduce,
             stats: &stats,
+            tracer: Tracer::off(),
         };
         let attempts = TaskAttempts::new(4);
         let out = run_speculative(
@@ -976,7 +1122,7 @@ mod tests {
             Duration::from_millis(1),
             &phase,
             &attempts,
-            &|i, _| Ok(i),
+            &|i, _, _| Ok(i),
         );
         assert_eq!(
             out.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),

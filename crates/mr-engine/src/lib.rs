@@ -76,6 +76,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod input;
+pub mod json;
 pub mod mapper;
 pub mod merge;
 pub mod metrics;
@@ -84,6 +85,7 @@ pub mod pool;
 pub mod reducer;
 pub mod runtime;
 pub mod spill;
+pub mod trace;
 pub mod workflow;
 
 pub use adapters::{ClosureMapper, ClosureReducer};
@@ -101,6 +103,9 @@ pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
 pub use pool::WorkerPool;
 pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
 pub use runtime::{Runtime, RuntimeConfig};
+pub use trace::{
+    CountingSink, JsonlSink, TraceEvent, TraceEventData, TraceRecorder, TraceReport, TraceSink,
+};
 pub use workflow::{ensure_same_shape, Workflow, WorkflowMetrics};
 
 /// Convenience glob-import for downstream crates and examples.
@@ -118,5 +123,6 @@ pub mod prelude {
     pub use crate::pool::WorkerPool;
     pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
     pub use crate::runtime::{Runtime, RuntimeConfig};
+    pub use crate::trace::{TraceEvent, TraceEventData, TraceRecorder, TraceReport, TraceSink};
     pub use crate::workflow::{Workflow, WorkflowMetrics};
 }

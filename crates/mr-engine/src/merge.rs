@@ -82,7 +82,10 @@ impl<'c, 'r, K: Clone, V: Clone> GroupStream<'c, K, V, ClonedRunIter<'r, K, V>> 
     /// `O(largest group + runs)` cloned records, never a second full
     /// copy.
     pub fn over(runs: &'r [Vec<(K, V)>], sort_cmp: &'c KeyCmp<K>) -> Self {
-        Self::from_iters(runs.iter().map(|run| run.iter().cloned()).collect(), sort_cmp)
+        Self::from_iters(
+            runs.iter().map(|run| run.iter().cloned()).collect(),
+            sort_cmp,
+        )
     }
 }
 

@@ -64,6 +64,17 @@ pub struct TaskMetrics {
     /// an unspilled map task reports zero). Always zero for reduce
     /// tasks.
     pub spilled_runs: u64,
+    /// Scheduling delay between this task's dispatch being enqueued on
+    /// the worker pool and its winning attempt starting; zero on
+    /// inline (single-slot) execution. A wall quantity — excluded from
+    /// the deterministic-gauge set, like [`TaskMetrics::wall`].
+    pub queue_wait: Duration,
+    /// Attempt number that produced this task's output (1 = the first
+    /// attempt succeeded; higher values count retries, and a winning
+    /// speculative twin reports its own attempt number). Deterministic
+    /// under a deterministic [`FaultPlan`](crate::fault::FaultPlan)
+    /// with no task deadline.
+    pub attempts: u32,
 }
 
 impl TaskMetrics {
@@ -227,6 +238,8 @@ mod tests {
             peak_group_len: 0,
             peak_resident_records: 0,
             spilled_runs: 0,
+            queue_wait: Duration::ZERO,
+            attempts: 1,
         }
     }
 

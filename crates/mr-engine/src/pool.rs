@@ -25,8 +25,10 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::fault::lock_unpoisoned;
+use crate::trace::{TaskCtx, TraceEventData, Tracer};
 
 /// Runs `count` tasks produced by `f(task_index)` on up to
 /// `parallelism` worker threads and returns results in task order.
@@ -38,33 +40,67 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_tasks_ctx(count, parallelism, &Tracer::off(), |i, _ctx| f(i))
+}
+
+/// [`run_tasks`] with per-task scheduling context: `f` additionally
+/// receives the [`TaskCtx`] (worker-slot index and enqueue→start
+/// wait), and slot lifecycle events are emitted on `tracer`. The
+/// engine's phase dispatch goes through here; the public [`run_tasks`]
+/// delegates with a disabled tracer.
+pub(crate) fn run_tasks_ctx<T, F>(count: usize, parallelism: usize, tracer: &Tracer, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, TaskCtx) -> T + Sync,
+{
     assert!(parallelism > 0, "parallelism must be at least 1");
     if count == 0 {
         return Vec::new();
     }
     if parallelism == 1 || count == 1 {
-        return (0..count).map(f).collect();
+        // Inline execution: no queue, no slots — zero scheduling delay
+        // by construction, so no pool events are emitted.
+        return (0..count).map(|i| f(i, TaskCtx::default())).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let workers = parallelism.min(count);
+    let enqueued = Instant::now();
+    tracer.emit(
+        None,
+        TraceEventData::TasksEnqueued {
+            tasks: count,
+            queue_depth: count,
+        },
+    );
     // std scoped threads: a worker panic propagates out of the scope
     // after all threads joined, so the slot-unwrap below only ever runs
     // on a fully successful pool.
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+        let slots = &slots;
+        let cursor = &cursor;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
+                tracer.emit(Some(w), TraceEventData::SlotAcquired);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let ctx = TaskCtx {
+                        slot: w,
+                        queue_wait: enqueued.elapsed(),
+                    };
+                    let result = f(i, ctx);
+                    // Poison-tolerant: the guarded value is a write-once
+                    // slot, valid at every instruction boundary, so a
+                    // panic elsewhere must not escalate to a double-panic
+                    // abort here.
+                    let prev = lock_unpoisoned(&slots[i]).replace(result);
+                    assert!(prev.is_none(), "slot {i} written twice");
                 }
-                let result = f(i);
-                // Poison-tolerant: the guarded value is a write-once
-                // slot, valid at every instruction boundary, so a
-                // panic elsewhere must not escalate to a double-panic
-                // abort here.
-                let prev = lock_unpoisoned(&slots[i]).replace(result);
-                assert!(prev.is_none(), "slot {i} written twice");
+                tracer.emit(Some(w), TraceEventData::SlotReleased);
             });
         }
     });
@@ -219,12 +255,32 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_tasks_capped_ctx(count, cap, &Tracer::off(), |i, _ctx| f(i))
+    }
+
+    /// [`WorkerPool::run_tasks_capped`] with per-task scheduling
+    /// context and slot lifecycle events — see [`run_tasks_ctx`]. The
+    /// public entry points delegate here with a disabled tracer.
+    pub(crate) fn run_tasks_capped_ctx<T, F>(
+        &self,
+        count: usize,
+        cap: usize,
+        tracer: &Tracer,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, TaskCtx) -> T + Sync,
+    {
         assert!(cap > 0, "parallelism cap must be at least 1");
         if count == 0 {
             return Vec::new();
         }
         if self.handles.is_empty() || count == 1 || cap == 1 {
-            return (0..count).map(f).collect();
+            // Inline execution bypasses the queue entirely: zero
+            // scheduling delay by construction, no pool events, and
+            // `tasks_executed` intentionally stays untouched.
+            return (0..count).map(|i| f(i, TaskCtx::default())).collect();
         }
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -234,9 +290,17 @@ impl WorkerPool {
             done: Condvar::new(),
             panic: Mutex::new(None),
         };
+        let enqueued = Instant::now();
         {
+            // The bodies capture `w` by value (it is the slot id), so
+            // they are `move` closures; everything shared is re-borrowed
+            // here so the move copies references, not the structures.
+            let slots = &slots;
+            let cursor = &cursor;
+            let sync = &sync;
+            let f = &f;
             let mut queue = lock_unpoisoned(&self.shared.queue);
-            for _ in 0..workers {
+            for w in 0..workers {
                 // One cursor-draining loop per worker slot, same as the
                 // transient pool's per-thread body. Every lock below is
                 // poison-tolerant: a panic while holding a slot must
@@ -244,13 +308,18 @@ impl WorkerPool {
                 // handshake (the guarded values — write-once slots and
                 // a plain counter — are valid at every instruction
                 // boundary).
-                let body = || {
+                let body = move || {
+                    tracer.emit(Some(w), TraceEventData::SlotAcquired);
                     let outcome = catch_unwind(AssertUnwindSafe(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
-                        let result = f(i);
+                        let ctx = TaskCtx {
+                            slot: w,
+                            queue_wait: enqueued.elapsed(),
+                        };
+                        let result = f(i, ctx);
                         let prev = lock_unpoisoned(&slots[i]).replace(result);
                         assert!(prev.is_none(), "slot {i} written twice");
                     }));
@@ -260,6 +329,7 @@ impl WorkerPool {
                         // reaches zero.
                         lock_unpoisoned(&sync.panic).get_or_insert(payload);
                     }
+                    tracer.emit(Some(w), TraceEventData::SlotReleased);
                     let mut pending = lock_unpoisoned(&sync.pending);
                     *pending -= 1;
                     if *pending == 0 {
@@ -279,6 +349,10 @@ impl WorkerPool {
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, PoolTask>(task) };
                 queue.tasks.push_back(task);
             }
+            tracer.emit_with(None, || TraceEventData::TasksEnqueued {
+                tasks: count,
+                queue_depth: queue.tasks.len(),
+            });
             self.shared.work_ready.notify_all();
         }
         // The borrow fence: wait for all dispatched tasks.

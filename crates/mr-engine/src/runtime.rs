@@ -22,6 +22,7 @@ use std::sync::Arc;
 use crate::engine::default_parallelism;
 use crate::fault::FaultPolicy;
 use crate::pool::WorkerPool;
+use crate::trace::TraceSink;
 use crate::workflow::Workflow;
 
 /// The execution knobs shared by every scenario in the workspace —
@@ -158,10 +159,23 @@ impl RuntimeConfig {
 /// assert!(wf.pool().is_some());
 /// assert_eq!(runtime.pool().threads(), 2);
 /// ```
-#[derive(Debug)]
 pub struct Runtime {
     config: RuntimeConfig,
     pool: Arc<WorkerPool>,
+    /// Trace sink seeded into every workflow this runtime hands out;
+    /// `None` (the default) runs everything untraced at zero cost.
+    trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+// Manual: `dyn TraceSink` carries no `Debug` bound.
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("config", &self.config)
+            .field("pool", &self.pool)
+            .field("traced", &self.trace_sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Runtime {
@@ -173,7 +187,11 @@ impl Runtime {
     /// If `config.parallelism` is zero.
     pub fn new(config: RuntimeConfig) -> Self {
         let pool = Arc::new(WorkerPool::new(config.parallelism));
-        Self { config, pool }
+        Self {
+            config,
+            pool,
+            trace_sink: None,
+        }
     }
 
     /// The shared configuration.
@@ -186,11 +204,34 @@ impl Runtime {
         &self.pool
     }
 
+    /// Attaches a [`TraceSink`] seeded into every workflow this
+    /// runtime hands out, so one sink observes all resolves executed
+    /// on the runtime (see [`crate::trace`]). The default (no sink)
+    /// runs untraced with zero overhead. The sink lives on the
+    /// [`Runtime`] rather than the [`RuntimeConfig`] so the config
+    /// stays `Copy`.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// The trace sink seeded into this runtime's workflows, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace_sink.as_ref()
+    }
+
     /// Starts a [`Workflow`] bound to this runtime's pool: its stages
     /// run on the runtime's threads, never spawning their own, under
-    /// the runtime's [`RuntimeConfig::fault_policy`].
+    /// the runtime's [`RuntimeConfig::fault_policy`] (and trace sink,
+    /// when one is attached).
     pub fn workflow(&self, name: impl Into<String>) -> Workflow {
-        Workflow::on_pool(name, Arc::clone(&self.pool)).with_fault_policy(self.config.fault_policy)
+        let wf = Workflow::on_pool(name, Arc::clone(&self.pool))
+            .with_fault_policy(self.config.fault_policy);
+        match &self.trace_sink {
+            Some(sink) => wf.with_trace_sink(Arc::clone(sink)),
+            None => wf,
+        }
     }
 
     /// Like [`Runtime::workflow`], but caps this one workflow's stages

@@ -36,6 +36,7 @@ use crate::combiner::{combine_sorted_run, Combiner};
 use crate::comparator::KeyCmp;
 use crate::error::MrError;
 use crate::partitioner::Partitioner;
+use crate::trace::{SpillTrace, TraceEventData};
 
 /// What a finished map task hands back to the engine.
 pub(crate) struct SpillResult<K, V> {
@@ -72,6 +73,9 @@ pub(crate) struct MapSpiller<'j, K, V> {
     spilled_runs: u64,
     peak_open_records: usize,
     records_out: u64,
+    /// Trace context for threshold-triggered seals; `None` (the
+    /// default, and always when no sink is attached) emits nothing.
+    trace: Option<SpillTrace>,
 }
 
 impl<'j, K: Clone, V> MapSpiller<'j, K, V> {
@@ -94,7 +98,16 @@ impl<'j, K: Clone, V> MapSpiller<'j, K, V> {
             spilled_runs: 0,
             peak_open_records: 0,
             records_out: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches the trace context threshold-triggered seals report
+    /// through. The engine passes `None` unless a sink is attached, so
+    /// the untraced path never pays for the context's job-name clone.
+    pub(crate) fn with_trace(mut self, trace: Option<SpillTrace>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Routes one emitted record into its open bucket, sealing the
@@ -137,6 +150,17 @@ impl<'j, K: Clone, V> MapSpiller<'j, K, V> {
             }
             if threshold_triggered {
                 self.spilled_runs += 1;
+                // Emitted exactly where the `spilled_runs` gauge
+                // increments, so trace count == gauge by construction.
+                if let Some(t) = &self.trace {
+                    t.tracer
+                        .emit_with(t.slot, || TraceEventData::SpillRunSealed {
+                            job: t.job.clone(),
+                            task: t.task,
+                            reduce_task: j,
+                            records: run.len(),
+                        });
+                }
             }
             self.records_out += run.len() as u64;
             self.sealed[j].push(run);

@@ -1,0 +1,1821 @@
+//! Structured execution tracing: an event stream from the engine's hot
+//! path, pluggable sinks, and a post-run analyzer.
+//!
+//! [`JobMetrics`](crate::metrics::JobMetrics) answers *how much* — how
+//! many retries, how many spilled runs, how large the biggest reduce
+//! group was. It cannot answer *when* or *where*: which pool slot ran
+//! the straggling reduce task, how long an attempt sat queued behind
+//! the skewed one, whether the speculative twin actually saved wall
+//! time. This module adds that dimension as a stream of
+//! [`TraceEvent`]s emitted while a job runs, delivered to a
+//! [`TraceSink`] the caller attaches via
+//! [`Job::with_trace_sink`](crate::engine::Job::with_trace_sink),
+//! [`Workflow::with_trace_sink`](crate::workflow::Workflow::with_trace_sink),
+//! or [`Runtime::with_trace_sink`](crate::runtime::Runtime::with_trace_sink).
+//!
+//! With no sink attached the engine constructs **no events at all**:
+//! every instrumentation point is guarded by a single
+//! `Option<Arc<_>>` check, so the fault-free hot path stays within its
+//! existing noise band.
+//!
+//! # Event schema
+//!
+//! Every event carries `at` (a monotonic offset from the run's epoch)
+//! and, where a worker slot is attributable, the pool slot index. The
+//! payload splits into two families:
+//!
+//! * **Logical lifecycle events** — job/stage start+finish, task
+//!   *attempt* start/finish/fail/retry (coordinates `(job, kind,
+//!   task, attempt)` match [`TaskError`](crate::fault::TaskError)),
+//!   spill-run sealed, shuffle transpose. Stripped of timestamps and
+//!   slot ids (see [`TraceEventData::logical_line`]), the multiset of
+//!   these events is **byte-identical across parallelism** for any
+//!   deterministic (deadline-free) fault plan, and each category's
+//!   count agrees exactly with the corresponding `JobMetrics` gauge.
+//!   That makes the trace a correctness probe, not just a log.
+//! * **Operational events** — worker slot acquired/released, queue
+//!   depth at enqueue, per-attempt queue wait, speculative
+//!   launch/win/loss. These are genuinely timing- and
+//!   parallelism-dependent and are excluded from the logical view.
+//!
+//! # Attaching a sink and reading a report
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mr_engine::prelude::*;
+//!
+//! let recorder = Arc::new(TraceRecorder::new());
+//! let mapper = ClosureMapper::new(|_k: &(), v: &u32, ctx: &mut MapContext<u32, u64, ()>| {
+//!     ctx.emit(v % 3, 1);
+//! });
+//! let reducer = ClosureReducer::new(|g: Group<'_, u32, u64>, ctx: &mut ReduceContext<u32, u64>| {
+//!     ctx.emit(*g.key(), g.values().sum());
+//! });
+//! let out = Job::builder("demo", mapper, reducer)
+//!     .reduce_tasks(2)
+//!     .parallelism(2)
+//!     .build()
+//!     .with_trace_sink(recorder.clone())
+//!     .run(partition_evenly((0..12u32).map(|v| ((), v)).collect(), 3))
+//!     .unwrap();
+//!
+//! // One finished attempt per map and reduce task, matching the metrics:
+//! let tasks = out.metrics.map_tasks.len() + out.metrics.reduce_tasks.len();
+//! assert_eq!(recorder.count("attempt_finished"), tasks as u64);
+//!
+//! // The analyzer turns the raw stream into timelines and percentiles:
+//! let report = TraceReport::from_events(&recorder.events());
+//! assert_eq!(report.count("job_finished"), 1);
+//! println!("{}", report.to_text());
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fault::{lock_unpoisoned, FaultKind};
+use crate::json::Json;
+
+/// One execution event: a monotonic timestamp (offset from the run
+/// epoch), the worker slot it is attributable to (if any), and the
+/// payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic offset from the run's epoch (workflow start, or job
+    /// start for bare [`Job::run`](crate::engine::Job::run)).
+    pub at: Duration,
+    /// Pool worker-slot index, when the event happened on (or is
+    /// attributable to) a specific slot. Coordinator-side events and
+    /// inline (parallelism 1) execution report `None` or slot 0
+    /// respectively.
+    pub slot: Option<usize>,
+    /// What happened.
+    pub data: TraceEventData,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (one JSONL line for
+    /// [`JsonlSink`]). Durations are exported in fractional
+    /// milliseconds.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("event".into(), Json::str(self.data.category())),
+            ("at_ms".into(), dur_ms(self.at)),
+            (
+                "slot".into(),
+                match self.slot {
+                    Some(s) => Json::Num(s as f64),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        self.data.push_json_members(&mut members);
+        Json::Obj(members)
+    }
+}
+
+/// The payload of a [`TraceEvent`]: what happened, with the
+/// coordinates needed to correlate it back to tasks and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventData {
+    /// A job began executing (after input validation).
+    JobStarted {
+        /// Job name.
+        job: String,
+        /// Number of map tasks (input partitions).
+        map_tasks: usize,
+        /// Number of reduce tasks.
+        reduce_tasks: usize,
+    },
+    /// A job finished successfully.
+    JobFinished {
+        /// Job name.
+        job: String,
+        /// The job's total wall time (the critical path).
+        wall: Duration,
+    },
+    /// A workflow stage began.
+    StageStarted {
+        /// Workflow name.
+        workflow: String,
+        /// Job name of the stage.
+        job: String,
+        /// Zero-based stage index within the workflow.
+        stage: usize,
+    },
+    /// A workflow stage finished.
+    StageFinished {
+        /// Workflow name.
+        workflow: String,
+        /// Job name of the stage.
+        job: String,
+        /// Zero-based stage index within the workflow.
+        stage: usize,
+        /// Stage wall time.
+        wall: Duration,
+    },
+    /// A task attempt began executing its body.
+    AttemptStarted {
+        /// Job name.
+        job: String,
+        /// Phase of the failed work, matching [`FaultKind`].
+        kind: FaultKind,
+        /// Task index within the phase.
+        task: usize,
+        /// One-based attempt number.
+        attempt: u32,
+    },
+    /// A task attempt completed successfully.
+    AttemptFinished {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// One-based attempt number.
+        attempt: u32,
+        /// Attempt body wall time (excludes queue wait).
+        wall: Duration,
+    },
+    /// A task attempt failed (panicked or returned an error).
+    AttemptFailed {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// One-based attempt number.
+        attempt: u32,
+        /// The failure description (panic message or error text).
+        message: String,
+    },
+    /// A failed attempt is being retried.
+    AttemptRetried {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// The attempt number the retry will run as.
+        next_attempt: u32,
+    },
+    /// The straggler watchdog launched a speculative twin.
+    SpeculativeLaunched {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+    },
+    /// A task copy finished first and its result was installed.
+    SpeculativeWon {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// `true` when the speculative twin (not the original copy)
+        /// won the race.
+        twin: bool,
+    },
+    /// A task copy finished after its sibling already won.
+    SpeculativeLost {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// `true` when the losing copy was the speculative twin.
+        twin: bool,
+    },
+    /// A map task sealed one open bucket into an immutable sorted run.
+    SpillRunSealed {
+        /// Job name.
+        job: String,
+        /// Map task index.
+        task: usize,
+        /// Reduce task (bucket) the run belongs to.
+        reduce_task: usize,
+        /// Records in the sealed run.
+        records: usize,
+    },
+    /// The coordinator finished transposing map-side runs to reduce
+    /// tasks.
+    ShuffleCompleted {
+        /// Job name.
+        job: String,
+        /// Total sorted runs handed to reduce tasks.
+        runs: usize,
+        /// Transpose wall time (matches `JobMetrics::shuffle_wall`).
+        wall: Duration,
+    },
+    /// A pool worker slot picked up work for this dispatch.
+    SlotAcquired,
+    /// A pool worker slot finished its share of a dispatch.
+    SlotReleased,
+    /// A batch of tasks was pushed onto the pool queue.
+    TasksEnqueued {
+        /// Tasks in this dispatch.
+        tasks: usize,
+        /// Queue depth right after the push (queued closures,
+        /// including these).
+        queue_depth: usize,
+    },
+    /// A task attempt was picked up; `wait` is enqueue → start.
+    QueueWaited {
+        /// Job name.
+        job: String,
+        /// Phase.
+        kind: FaultKind,
+        /// Task index.
+        task: usize,
+        /// Scheduling delay: time between dispatch enqueue and the
+        /// task body starting on a worker.
+        wait: Duration,
+    },
+}
+
+impl TraceEventData {
+    /// Stable category name: the `event` member of the JSONL encoding
+    /// and the key of [`CountingSink`] / [`TraceReport::count`].
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEventData::JobStarted { .. } => "job_started",
+            TraceEventData::JobFinished { .. } => "job_finished",
+            TraceEventData::StageStarted { .. } => "stage_started",
+            TraceEventData::StageFinished { .. } => "stage_finished",
+            TraceEventData::AttemptStarted { .. } => "attempt_started",
+            TraceEventData::AttemptFinished { .. } => "attempt_finished",
+            TraceEventData::AttemptFailed { .. } => "attempt_failed",
+            TraceEventData::AttemptRetried { .. } => "attempt_retried",
+            TraceEventData::SpeculativeLaunched { .. } => "speculative_launched",
+            TraceEventData::SpeculativeWon { .. } => "speculative_won",
+            TraceEventData::SpeculativeLost { .. } => "speculative_lost",
+            TraceEventData::SpillRunSealed { .. } => "spill_run_sealed",
+            TraceEventData::ShuffleCompleted { .. } => "shuffle_completed",
+            TraceEventData::SlotAcquired => "slot_acquired",
+            TraceEventData::SlotReleased => "slot_released",
+            TraceEventData::TasksEnqueued { .. } => "tasks_enqueued",
+            TraceEventData::QueueWaited { .. } => "queue_waited",
+        }
+    }
+
+    /// The event's parallelism-invariant rendering: deterministic
+    /// coordinates only, timestamps/durations/slots stripped. Returns
+    /// `None` for operational events (queue, slot, speculation), whose
+    /// very occurrence depends on timing. For a deterministic
+    /// (deadline-free) fault plan, the sorted multiset of these lines
+    /// is byte-identical at any parallelism.
+    pub fn logical_line(&self) -> Option<String> {
+        match self {
+            TraceEventData::JobStarted {
+                job,
+                map_tasks,
+                reduce_tasks,
+            } => Some(format!(
+                "job_started job={job} map_tasks={map_tasks} reduce_tasks={reduce_tasks}"
+            )),
+            TraceEventData::JobFinished { job, .. } => Some(format!("job_finished job={job}")),
+            TraceEventData::StageStarted {
+                workflow,
+                job,
+                stage,
+            } => Some(format!(
+                "stage_started workflow={workflow} job={job} stage={stage}"
+            )),
+            TraceEventData::StageFinished {
+                workflow,
+                job,
+                stage,
+                ..
+            } => Some(format!(
+                "stage_finished workflow={workflow} job={job} stage={stage}"
+            )),
+            TraceEventData::AttemptStarted {
+                job,
+                kind,
+                task,
+                attempt,
+            } => Some(format!(
+                "attempt_started job={job} kind={kind} task={task} attempt={attempt}"
+            )),
+            TraceEventData::AttemptFinished {
+                job,
+                kind,
+                task,
+                attempt,
+                ..
+            } => Some(format!(
+                "attempt_finished job={job} kind={kind} task={task} attempt={attempt}"
+            )),
+            TraceEventData::AttemptFailed {
+                job,
+                kind,
+                task,
+                attempt,
+                message,
+            } => Some(format!(
+                "attempt_failed job={job} kind={kind} task={task} attempt={attempt} message={message}"
+            )),
+            TraceEventData::AttemptRetried {
+                job,
+                kind,
+                task,
+                next_attempt,
+            } => Some(format!(
+                "attempt_retried job={job} kind={kind} task={task} next_attempt={next_attempt}"
+            )),
+            TraceEventData::SpillRunSealed {
+                job,
+                task,
+                reduce_task,
+                records,
+            } => Some(format!(
+                "spill_run_sealed job={job} task={task} reduce_task={reduce_task} records={records}"
+            )),
+            TraceEventData::ShuffleCompleted { job, runs, .. } => {
+                Some(format!("shuffle_completed job={job} runs={runs}"))
+            }
+            TraceEventData::SpeculativeLaunched { .. }
+            | TraceEventData::SpeculativeWon { .. }
+            | TraceEventData::SpeculativeLost { .. }
+            | TraceEventData::SlotAcquired
+            | TraceEventData::SlotReleased
+            | TraceEventData::TasksEnqueued { .. }
+            | TraceEventData::QueueWaited { .. } => None,
+        }
+    }
+
+    fn push_json_members(&self, members: &mut Vec<(String, Json)>) {
+        let mut push = |k: &str, v: Json| members.push((k.to_string(), v));
+        match self {
+            TraceEventData::JobStarted {
+                job,
+                map_tasks,
+                reduce_tasks,
+            } => {
+                push("job", Json::str(job));
+                push("map_tasks", Json::Num(*map_tasks as f64));
+                push("reduce_tasks", Json::Num(*reduce_tasks as f64));
+            }
+            TraceEventData::JobFinished { job, wall } => {
+                push("job", Json::str(job));
+                push("wall_ms", dur_ms(*wall));
+            }
+            TraceEventData::StageStarted {
+                workflow,
+                job,
+                stage,
+            } => {
+                push("workflow", Json::str(workflow));
+                push("job", Json::str(job));
+                push("stage", Json::Num(*stage as f64));
+            }
+            TraceEventData::StageFinished {
+                workflow,
+                job,
+                stage,
+                wall,
+            } => {
+                push("workflow", Json::str(workflow));
+                push("job", Json::str(job));
+                push("stage", Json::Num(*stage as f64));
+                push("wall_ms", dur_ms(*wall));
+            }
+            TraceEventData::AttemptStarted {
+                job,
+                kind,
+                task,
+                attempt,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("attempt", Json::Num(*attempt as f64));
+            }
+            TraceEventData::AttemptFinished {
+                job,
+                kind,
+                task,
+                attempt,
+                wall,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("attempt", Json::Num(*attempt as f64));
+                push("wall_ms", dur_ms(*wall));
+            }
+            TraceEventData::AttemptFailed {
+                job,
+                kind,
+                task,
+                attempt,
+                message,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("attempt", Json::Num(*attempt as f64));
+                push("message", Json::str(message));
+            }
+            TraceEventData::AttemptRetried {
+                job,
+                kind,
+                task,
+                next_attempt,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("next_attempt", Json::Num(*next_attempt as f64));
+            }
+            TraceEventData::SpeculativeLaunched { job, kind, task } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+            }
+            TraceEventData::SpeculativeWon {
+                job,
+                kind,
+                task,
+                twin,
+            }
+            | TraceEventData::SpeculativeLost {
+                job,
+                kind,
+                task,
+                twin,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("twin", Json::Bool(*twin));
+            }
+            TraceEventData::SpillRunSealed {
+                job,
+                task,
+                reduce_task,
+                records,
+            } => {
+                push("job", Json::str(job));
+                push("task", Json::Num(*task as f64));
+                push("reduce_task", Json::Num(*reduce_task as f64));
+                push("records", Json::Num(*records as f64));
+            }
+            TraceEventData::ShuffleCompleted { job, runs, wall } => {
+                push("job", Json::str(job));
+                push("runs", Json::Num(*runs as f64));
+                push("wall_ms", dur_ms(*wall));
+            }
+            TraceEventData::SlotAcquired | TraceEventData::SlotReleased => {}
+            TraceEventData::TasksEnqueued { tasks, queue_depth } => {
+                push("tasks", Json::Num(*tasks as f64));
+                push("queue_depth", Json::Num(*queue_depth as f64));
+            }
+            TraceEventData::QueueWaited {
+                job,
+                kind,
+                task,
+                wait,
+            } => {
+                push("job", Json::str(job));
+                push("kind", Json::str(kind.to_string()));
+                push("task", Json::Num(*task as f64));
+                push("wait_ms", dur_ms(*wait));
+            }
+        }
+    }
+}
+
+fn dur_ms(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e3)
+}
+
+/// Receives trace events as they are emitted. Implementations must be
+/// cheap and thread-safe — `record` is called from worker threads
+/// while tasks run.
+pub trait TraceSink: Send + Sync {
+    /// Delivers one event. Events from concurrent workers arrive in
+    /// arbitrary interleaving; `at` timestamps give the true order.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The engine-internal handle every instrumentation point goes
+/// through. `Tracer::off()` is the default: a `None` inner, so the
+/// hot-path cost of disabled tracing is one branch — no allocation,
+/// no clock read.
+#[derive(Clone)]
+pub(crate) struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+}
+
+impl Tracer {
+    /// The disabled tracer: every `emit` is a single branch.
+    pub(crate) fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// A tracer whose timestamps are offsets from "now".
+    pub(crate) fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self::with_epoch(sink, Instant::now())
+    }
+
+    /// A tracer with an explicit epoch — workflows pass their start
+    /// instant so stage and task events share one timeline.
+    pub(crate) fn with_epoch(sink: Arc<dyn TraceSink>, epoch: Instant) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner { sink, epoch })),
+        }
+    }
+
+    /// Whether a sink is attached. Guard any event construction that
+    /// allocates with this.
+    pub(crate) fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits one event (no-op when off). Prefer [`Tracer::emit_with`]
+    /// when building the payload allocates.
+    pub(crate) fn emit(&self, slot: Option<usize>, data: TraceEventData) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(&TraceEvent {
+                at: inner.epoch.elapsed(),
+                slot,
+                data,
+            });
+        }
+    }
+
+    /// Emits one event, constructing the payload only when a sink is
+    /// attached — the form instrumentation points in per-record or
+    /// per-task loops use.
+    pub(crate) fn emit_with(&self, slot: Option<usize>, data: impl FnOnce() -> TraceEventData) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(&TraceEvent {
+                at: inner.epoch.elapsed(),
+                slot,
+                data: data(),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("on", &self.is_on()).finish()
+    }
+}
+
+/// Per-task execution context threaded from the pool dispatch into the
+/// fault-tolerant task runner: which slot the task landed on and how
+/// long it sat queued before starting.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TaskCtx {
+    /// Worker-slot index executing the task (0 on inline paths).
+    pub(crate) slot: usize,
+    /// Enqueue → start scheduling delay (zero on inline paths).
+    pub(crate) queue_wait: Duration,
+}
+
+/// Trace context handed to a [`MapSpiller`](crate::spill::MapSpiller)
+/// so threshold-triggered seals can emit [`SpillRunSealed`] events.
+/// Built only when the tracer is on, so the off path never clones the
+/// job name per task.
+///
+/// [`SpillRunSealed`]: TraceEventData::SpillRunSealed
+#[derive(Debug, Clone)]
+pub(crate) struct SpillTrace {
+    pub(crate) tracer: Tracer,
+    pub(crate) job: String,
+    pub(crate) task: usize,
+    pub(crate) slot: Option<usize>,
+}
+
+/// An in-memory sink: records every event for post-run queries. The
+/// sink tests and the [`TraceReport`] analyzer are built on.
+#[derive(Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder. Wrap it in an `Arc` to attach it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all recorded events, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        lock_unpoisoned(&self.events).clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.events).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events (reuse one recorder across runs).
+    pub fn clear(&self) {
+        lock_unpoisoned(&self.events).clear();
+    }
+
+    /// Number of recorded events in the given category (see
+    /// [`TraceEventData::category`]).
+    pub fn count(&self, category: &str) -> u64 {
+        lock_unpoisoned(&self.events)
+            .iter()
+            .filter(|e| e.data.category() == category)
+            .count() as u64
+    }
+
+    /// The canonical logical view: every event's
+    /// [`TraceEventData::logical_line`], sorted. Two runs of the same
+    /// deterministic job at different parallelism produce byte-equal
+    /// vectors.
+    pub fn logical_events(&self) -> Vec<String> {
+        let mut lines: Vec<String> = lock_unpoisoned(&self.events)
+            .iter()
+            .filter_map(|e| e.data.logical_line())
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn record(&self, event: &TraceEvent) {
+        lock_unpoisoned(&self.events).push(event.clone());
+    }
+}
+
+/// A sink that counts events per category without storing them —
+/// constant memory no matter how long the run.
+#[derive(Default)]
+pub struct CountingSink {
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CountingSink {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all per-category counts.
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        lock_unpoisoned(&self.counts).clone()
+    }
+
+    /// Count for one category (0 if never seen).
+    pub fn count(&self, category: &str) -> u64 {
+        lock_unpoisoned(&self.counts)
+            .get(category)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for CountingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountingSink")
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&self, event: &TraceEvent) {
+        *lock_unpoisoned(&self.counts)
+            .entry(event.data.category())
+            .or_insert(0) += 1;
+    }
+}
+
+/// A sink that writes one JSON object per event (JSONL) to any
+/// writer, built on the dependency-free [`crate::json`] machinery.
+/// Write errors are swallowed — tracing must never fail the job it
+/// observes.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        Self {
+            writer: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Creates (truncates) `path` and buffers writes to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+
+    /// Flushes buffered lines (also done on drop).
+    pub fn flush(&self) -> std::io::Result<()> {
+        lock_unpoisoned(&self.writer).flush()
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut writer = lock_unpoisoned(&self.writer);
+        let _ = writeln!(writer, "{}", event.to_json());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = lock_unpoisoned(&self.writer).flush();
+    }
+}
+
+/// Queue-wait distribution in fractional milliseconds (nearest-rank
+/// percentiles over every recorded [`QueueWaited`] event).
+///
+/// [`QueueWaited`]: TraceEventData::QueueWaited
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueWaitStats {
+    /// Number of waits observed.
+    pub count: usize,
+    /// Median wait.
+    pub p50_ms: f64,
+    /// 90th percentile wait.
+    pub p90_ms: f64,
+    /// 99th percentile wait.
+    pub p99_ms: f64,
+    /// Longest wait.
+    pub max_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    start: Duration,
+    end: Duration,
+    label: String,
+}
+
+#[derive(Debug, Clone)]
+struct JobSummary {
+    job: String,
+    map_tasks: usize,
+    reduce_tasks: usize,
+    wall: Option<Duration>,
+    sum_of_walls: Duration,
+    reduce_wall_ms: Vec<f64>,
+}
+
+/// One resolved speculation race: which copy won and how much wall it
+/// saved (losing copy's finish minus the winner's).
+#[derive(Debug, Clone)]
+pub struct Speculation {
+    /// Job name.
+    pub job: String,
+    /// Phase.
+    pub kind: FaultKind,
+    /// Task index.
+    pub task: usize,
+    /// `true` when the speculative twin won (the speculation paid
+    /// off); `false` when the original finished first after all.
+    pub twin_won: bool,
+    /// Wall time saved versus waiting for the losing copy, when the
+    /// loser's finish was observed.
+    pub saved: Option<Duration>,
+}
+
+/// Post-run analyzer over a recorded event stream: per-worker
+/// timelines, per-stage critical path vs. sum-of-walls, reduce-load
+/// skew, speculation attribution, and queue-wait percentiles.
+///
+/// Build it from [`TraceRecorder::events`], then render with
+/// [`TraceReport::to_text`] or export with [`TraceReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    total: Duration,
+    counts: BTreeMap<&'static str, u64>,
+    lanes: BTreeMap<usize, Vec<Segment>>,
+    jobs: Vec<JobSummary>,
+    speculation: Vec<Speculation>,
+    queue_waits_ms: Vec<f64>,
+}
+
+impl TraceReport {
+    /// Analyzes a recorded stream. Order does not matter; everything
+    /// is keyed on coordinates and `at` timestamps.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let total = events.iter().map(|e| e.at).max().unwrap_or(Duration::ZERO);
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut lanes: BTreeMap<usize, Vec<Segment>> = BTreeMap::new();
+        let mut jobs: Vec<JobSummary> = Vec::new();
+        let mut won: BTreeMap<(String, &'static str, usize), (bool, Duration)> = BTreeMap::new();
+        let mut lost: BTreeMap<(String, &'static str, usize), Duration> = BTreeMap::new();
+        let mut launched: Vec<(String, FaultKind, usize)> = Vec::new();
+        let mut queue_waits_ms: Vec<f64> = Vec::new();
+
+        fn kind_str(kind: FaultKind) -> &'static str {
+            match kind {
+                FaultKind::Map => "map",
+                FaultKind::Sort => "sort",
+                FaultKind::Reduce => "reduce",
+            }
+        }
+        fn summary<'a>(jobs: &'a mut Vec<JobSummary>, job: &str) -> &'a mut JobSummary {
+            if let Some(i) = jobs.iter().position(|s| s.job == job) {
+                &mut jobs[i]
+            } else {
+                jobs.push(JobSummary {
+                    job: job.to_string(),
+                    map_tasks: 0,
+                    reduce_tasks: 0,
+                    wall: None,
+                    sum_of_walls: Duration::ZERO,
+                    reduce_wall_ms: Vec::new(),
+                });
+                jobs.last_mut().expect("just pushed")
+            }
+        }
+
+        for event in events {
+            *counts.entry(event.data.category()).or_insert(0) += 1;
+            match &event.data {
+                TraceEventData::JobStarted {
+                    job,
+                    map_tasks,
+                    reduce_tasks,
+                } => {
+                    let s = summary(&mut jobs, job);
+                    s.map_tasks = *map_tasks;
+                    s.reduce_tasks = *reduce_tasks;
+                }
+                TraceEventData::JobFinished { job, wall } => {
+                    summary(&mut jobs, job).wall = Some(*wall);
+                }
+                TraceEventData::AttemptFinished {
+                    job,
+                    kind,
+                    task,
+                    attempt,
+                    wall,
+                } => {
+                    let s = summary(&mut jobs, job);
+                    s.sum_of_walls += *wall;
+                    if *kind == FaultKind::Reduce {
+                        s.reduce_wall_ms.push(wall.as_secs_f64() * 1e3);
+                    }
+                    if let Some(slot) = event.slot {
+                        lanes.entry(slot).or_default().push(Segment {
+                            start: event.at.checked_sub(*wall).unwrap_or_default(),
+                            end: event.at,
+                            label: format!("{job}/{}/{task}#{attempt}", kind_str(*kind)),
+                        });
+                    }
+                }
+                TraceEventData::SpeculativeLaunched { job, kind, task } => {
+                    launched.push((job.clone(), *kind, *task));
+                }
+                TraceEventData::SpeculativeWon {
+                    job,
+                    kind,
+                    task,
+                    twin,
+                } => {
+                    won.insert((job.clone(), kind_str(*kind), *task), (*twin, event.at));
+                }
+                TraceEventData::SpeculativeLost {
+                    job, kind, task, ..
+                } => {
+                    lost.insert((job.clone(), kind_str(*kind), *task), event.at);
+                }
+                TraceEventData::QueueWaited { wait, .. } => {
+                    queue_waits_ms.push(wait.as_secs_f64() * 1e3);
+                }
+                _ => {}
+            }
+        }
+
+        let mut speculation: Vec<Speculation> = Vec::new();
+        for (job, kind, task) in launched {
+            let key = (job.clone(), kind_str(kind), task);
+            // `SpeculativeWon` is emitted only when the twin beats the
+            // original (matching the `speculative_won` gauge), so a
+            // launch with no Won event means the original won — still
+            // one resolved race. Wall saved is attributable only when
+            // the losing copy also ran to completion and reported in.
+            let won_entry = won.get(&key);
+            let saved = won_entry.and_then(|(_, won_at)| {
+                lost.get(&key)
+                    .map(|lost_at| lost_at.checked_sub(*won_at).unwrap_or_default())
+            });
+            speculation.push(Speculation {
+                job,
+                kind,
+                task,
+                twin_won: won_entry.is_some_and(|(twin, _)| *twin),
+                saved,
+            });
+        }
+        queue_waits_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite wait"));
+        for lane in lanes.values_mut() {
+            lane.sort_by_key(|s| s.start);
+        }
+        Self {
+            total,
+            counts,
+            lanes,
+            jobs,
+            speculation,
+            queue_waits_ms,
+        }
+    }
+
+    /// Timestamp of the last event — the observed run length.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Per-category event counts.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Count for one category (0 if never seen).
+    pub fn count(&self, category: &str) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Busy wall time per worker slot (sum of finished-attempt
+    /// segments attributed to that slot).
+    pub fn slot_busy(&self) -> BTreeMap<usize, Duration> {
+        self.lanes
+            .iter()
+            .map(|(slot, segs)| {
+                let busy = segs
+                    .iter()
+                    .map(|s| s.end.checked_sub(s.start).unwrap_or_default())
+                    .sum();
+                (*slot, busy)
+            })
+            .collect()
+    }
+
+    /// Utilization per worker slot: busy time divided by the observed
+    /// run length, in `[0, 1]` (clamped — attempt walls measured
+    /// inside the task can round above the outer span).
+    pub fn utilization(&self) -> BTreeMap<usize, f64> {
+        let total = self.total.as_secs_f64();
+        self.slot_busy()
+            .into_iter()
+            .map(|(slot, busy)| {
+                let frac = if total > 0.0 {
+                    (busy.as_secs_f64() / total).min(1.0)
+                } else {
+                    0.0
+                };
+                (slot, frac)
+            })
+            .collect()
+    }
+
+    /// Resolved speculation races, in launch order.
+    pub fn speculation(&self) -> &[Speculation] {
+        &self.speculation
+    }
+
+    /// Queue-wait percentiles, or `None` when no task was pool-queued
+    /// (inline execution).
+    pub fn queue_wait_stats(&self) -> Option<QueueWaitStats> {
+        if self.queue_waits_ms.is_empty() {
+            return None;
+        }
+        let pct = |p: f64| -> f64 {
+            let n = self.queue_waits_ms.len();
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            self.queue_waits_ms[rank - 1]
+        };
+        Some(QueueWaitStats {
+            count: self.queue_waits_ms.len(),
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p99_ms: pct(0.99),
+            max_ms: *self.queue_waits_ms.last().expect("non-empty"),
+        })
+    }
+
+    /// Renders the full report as human-readable text: per-worker
+    /// Gantt timeline, per-job critical path vs. sum-of-walls, the
+    /// reduce-load skew histogram, speculation attribution, and
+    /// queue-wait percentiles.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let total_ms = self.total.as_secs_f64() * 1e3;
+        let events: u64 = self.counts.values().sum();
+        out.push_str(&format!(
+            "trace report: {events} events over {total_ms:.2} ms\n"
+        ));
+
+        out.push_str("\nper-worker timeline\n");
+        if self.lanes.is_empty() {
+            out.push_str("  (no slot-attributed attempts recorded)\n");
+        }
+        const WIDTH: usize = 48;
+        let utilization = self.utilization();
+        for (slot, segs) in &self.lanes {
+            let mut bar = vec!['.'; WIDTH];
+            for seg in segs {
+                if self.total.is_zero() {
+                    continue;
+                }
+                let begin = (seg.start.as_secs_f64() / self.total.as_secs_f64() * WIDTH as f64)
+                    .floor() as usize;
+                let finish = (seg.end.as_secs_f64() / self.total.as_secs_f64() * WIDTH as f64)
+                    .ceil() as usize;
+                for cell in bar
+                    .iter_mut()
+                    .take(finish.min(WIDTH))
+                    .skip(begin.min(WIDTH))
+                {
+                    *cell = '#';
+                }
+            }
+            let bar: String = bar.into_iter().collect();
+            let busy = utilization.get(slot).copied().unwrap_or(0.0) * 100.0;
+            out.push_str(&format!(
+                "  slot {slot} |{bar}| {busy:5.1}% busy, {} attempts\n",
+                segs.len()
+            ));
+            if segs.len() <= 4 {
+                for seg in segs {
+                    out.push_str(&format!(
+                        "      {:.2}..{:.2} ms {}\n",
+                        seg.start.as_secs_f64() * 1e3,
+                        seg.end.as_secs_f64() * 1e3,
+                        seg.label
+                    ));
+                }
+            }
+        }
+
+        out.push_str("\nstages (critical path vs. sum of task walls)\n");
+        if self.jobs.is_empty() {
+            out.push_str("  (no jobs recorded)\n");
+        }
+        for job in &self.jobs {
+            let sum_ms = job.sum_of_walls.as_secs_f64() * 1e3;
+            match job.wall {
+                Some(wall) => {
+                    let wall_ms = wall.as_secs_f64() * 1e3;
+                    let ratio = if wall_ms > 0.0 { sum_ms / wall_ms } else { 0.0 };
+                    out.push_str(&format!(
+                        "  {}: wall {wall_ms:.2} ms, task walls {sum_ms:.2} ms ({ratio:.2}x), {} map + {} reduce tasks\n",
+                        job.job, job.map_tasks, job.reduce_tasks
+                    ));
+                }
+                None => out.push_str(&format!(
+                    "  {}: unfinished, task walls {sum_ms:.2} ms\n",
+                    job.job
+                )),
+            }
+            if job.reduce_wall_ms.len() > 1 {
+                out.push_str(&format!(
+                    "    reduce-load skew: {}\n",
+                    histogram(&job.reduce_wall_ms, 8)
+                ));
+            }
+        }
+
+        out.push_str("\nspeculation\n");
+        if self.speculation.is_empty() {
+            out.push_str("  (no speculative launches)\n");
+        }
+        for spec in &self.speculation {
+            let winner = if spec.twin_won {
+                "speculative twin won"
+            } else {
+                "original won the race"
+            };
+            match spec.saved {
+                Some(saved) => out.push_str(&format!(
+                    "  {}/{}/{}: {winner}, saved {:.2} ms\n",
+                    spec.job,
+                    spec.kind,
+                    spec.task,
+                    saved.as_secs_f64() * 1e3
+                )),
+                None => out.push_str(&format!(
+                    "  {}/{}/{}: {winner}, loser not observed\n",
+                    spec.job, spec.kind, spec.task
+                )),
+            }
+        }
+
+        out.push_str("\nqueue wait\n");
+        match self.queue_wait_stats() {
+            Some(stats) => out.push_str(&format!(
+                "  {} waits: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+                stats.count, stats.p50_ms, stats.p90_ms, stats.p99_ms, stats.max_ms
+            )),
+            None => out.push_str("  (no pool-queued tasks)\n"),
+        }
+        out
+    }
+
+    /// Exports the report as one JSON object (the payload of
+    /// `BENCH_trace_report.json`): per-category counts, per-slot
+    /// busy/utilization, per-job walls and reduce-load series,
+    /// speculation attribution, and queue-wait percentiles.
+    pub fn to_json(&self) -> Json {
+        let events = Json::Obj(
+            self.counts
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let busy = self.slot_busy();
+        let utilization = self.utilization();
+        let workers = Json::Arr(
+            busy.iter()
+                .map(|(slot, busy)| {
+                    Json::obj([
+                        ("slot", Json::Num(*slot as f64)),
+                        ("busy_ms", dur_ms(*busy)),
+                        (
+                            "utilization",
+                            Json::Num(utilization.get(slot).copied().unwrap_or(0.0)),
+                        ),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        );
+        let jobs = Json::Arr(
+            self.jobs
+                .iter()
+                .map(|job| {
+                    Json::obj([
+                        ("job", Json::str(&job.job)),
+                        ("map_tasks", Json::Num(job.map_tasks as f64)),
+                        ("reduce_tasks", Json::Num(job.reduce_tasks as f64)),
+                        ("wall_ms", job.wall.map(dur_ms).unwrap_or(Json::Null)),
+                        ("sum_task_wall_ms", dur_ms(job.sum_of_walls)),
+                        (
+                            "reduce_wall_ms",
+                            Json::Arr(job.reduce_wall_ms.iter().map(|w| Json::Num(*w)).collect()),
+                        ),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        );
+        let speculation = Json::Arr(
+            self.speculation
+                .iter()
+                .map(|spec| {
+                    Json::obj([
+                        ("job", Json::str(&spec.job)),
+                        ("kind", Json::str(spec.kind.to_string())),
+                        ("task", Json::Num(spec.task as f64)),
+                        ("twin_won", Json::Bool(spec.twin_won)),
+                        ("saved_ms", spec.saved.map(dur_ms).unwrap_or(Json::Null)),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        );
+        let queue_wait = match self.queue_wait_stats() {
+            Some(stats) => Json::obj([
+                ("count", Json::Num(stats.count as f64)),
+                ("p50_ms", Json::Num(stats.p50_ms)),
+                ("p90_ms", Json::Num(stats.p90_ms)),
+                ("p99_ms", Json::Num(stats.p99_ms)),
+                ("max_ms", Json::Num(stats.max_ms)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("total_ms", dur_ms(self.total)),
+            ("events", events),
+            ("workers", workers),
+            ("jobs", jobs),
+            ("speculation", speculation),
+            ("queue_wait", queue_wait),
+        ])
+    }
+}
+
+/// A compact fixed-bucket histogram rendering (`min..max` split into
+/// `buckets`, counts as a bar of digits capped at 9).
+fn histogram(samples: &[f64], buckets: usize) -> String {
+    if samples.is_empty() {
+        return "(empty)".to_string();
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max <= min {
+        return format!("{} tasks all at {min:.2} ms", samples.len());
+    }
+    let mut counts = vec![0usize; buckets];
+    for &s in samples {
+        let i = (((s - min) / (max - min)) * buckets as f64) as usize;
+        counts[i.min(buckets - 1)] += 1;
+    }
+    let bar: String = counts
+        .iter()
+        .map(|&c| std::char::from_digit(c.min(9) as u32, 10).expect("single digit"))
+        .collect();
+    format!(
+        "[{bar}] over {min:.2}..{max:.2} ms ({} tasks)",
+        samples.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn finished(at: u64, slot: usize, task: usize, kind: FaultKind, wall: u64) -> TraceEvent {
+        TraceEvent {
+            at: ms(at),
+            slot: Some(slot),
+            data: TraceEventData::AttemptFinished {
+                job: "j".into(),
+                kind,
+                task,
+                attempt: 1,
+                wall: ms(wall),
+            },
+        }
+    }
+
+    #[test]
+    fn logical_view_keeps_lifecycle_and_drops_operational_events() {
+        let logical = [
+            TraceEventData::JobStarted {
+                job: "j".into(),
+                map_tasks: 2,
+                reduce_tasks: 3,
+            },
+            TraceEventData::AttemptFailed {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                attempt: 1,
+                message: "boom".into(),
+            },
+            TraceEventData::SpillRunSealed {
+                job: "j".into(),
+                task: 1,
+                reduce_task: 2,
+                records: 7,
+            },
+            TraceEventData::ShuffleCompleted {
+                job: "j".into(),
+                runs: 6,
+                wall: ms(1),
+            },
+        ];
+        for data in logical {
+            assert!(
+                data.logical_line().is_some(),
+                "{} must be logical",
+                data.category()
+            );
+        }
+        let operational = [
+            TraceEventData::SlotAcquired,
+            TraceEventData::SlotReleased,
+            TraceEventData::TasksEnqueued {
+                tasks: 4,
+                queue_depth: 4,
+            },
+            TraceEventData::QueueWaited {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                wait: ms(1),
+            },
+            TraceEventData::SpeculativeLaunched {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 3,
+            },
+            TraceEventData::SpeculativeWon {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 3,
+                twin: true,
+            },
+            TraceEventData::SpeculativeLost {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 3,
+                twin: false,
+            },
+        ];
+        for data in operational {
+            assert!(
+                data.logical_line().is_none(),
+                "{} must be operational",
+                data.category()
+            );
+        }
+    }
+
+    #[test]
+    fn logical_lines_strip_walls_but_keep_coordinates() {
+        let line = TraceEventData::AttemptFinished {
+            job: "bdm".into(),
+            kind: FaultKind::Sort,
+            task: 4,
+            attempt: 2,
+            wall: ms(123),
+        }
+        .logical_line()
+        .unwrap();
+        assert_eq!(line, "attempt_finished job=bdm kind=sort task=4 attempt=2");
+    }
+
+    #[test]
+    fn off_tracer_emits_nothing_and_recorder_captures_everything() {
+        let recorder = Arc::new(TraceRecorder::new());
+        let off = Tracer::off();
+        assert!(!off.is_on());
+        off.emit(None, TraceEventData::SlotAcquired);
+        assert!(recorder.is_empty());
+
+        let on = Tracer::new(recorder.clone() as Arc<dyn TraceSink>);
+        assert!(on.is_on());
+        on.emit(Some(2), TraceEventData::SlotAcquired);
+        on.emit_with(None, || TraceEventData::TasksEnqueued {
+            tasks: 3,
+            queue_depth: 3,
+        });
+        assert_eq!(recorder.len(), 2);
+        let events = recorder.events();
+        assert_eq!(events[0].slot, Some(2));
+        assert_eq!(events[1].data.category(), "tasks_enqueued");
+        recorder.clear();
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn recorder_logical_events_sort_canonically() {
+        let recorder = TraceRecorder::new();
+        let tracer = Tracer::new(Arc::new(TraceRecorder::new()));
+        drop(tracer); // recorder below is fed directly, order scrambled
+        for task in [2usize, 0, 1] {
+            recorder.record(&TraceEvent {
+                at: ms(task as u64),
+                slot: Some(task),
+                data: TraceEventData::AttemptStarted {
+                    job: "j".into(),
+                    kind: FaultKind::Map,
+                    task,
+                    attempt: 1,
+                },
+            });
+        }
+        recorder.record(&TraceEvent {
+            at: ms(9),
+            slot: None,
+            data: TraceEventData::QueueWaited {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                wait: ms(1),
+            },
+        });
+        assert_eq!(
+            recorder.logical_events(),
+            vec![
+                "attempt_started job=j kind=map task=0 attempt=1",
+                "attempt_started job=j kind=map task=1 attempt=1",
+                "attempt_started job=j kind=map task=2 attempt=1",
+            ]
+        );
+        assert_eq!(recorder.count("attempt_started"), 3);
+        assert_eq!(recorder.count("queue_waited"), 1);
+    }
+
+    #[test]
+    fn counting_sink_counts_per_category() {
+        let sink = CountingSink::new();
+        for _ in 0..3 {
+            sink.record(&TraceEvent {
+                at: ms(0),
+                slot: None,
+                data: TraceEventData::SlotAcquired,
+            });
+        }
+        sink.record(&TraceEvent {
+            at: ms(1),
+            slot: None,
+            data: TraceEventData::SlotReleased,
+        });
+        assert_eq!(sink.count("slot_acquired"), 3);
+        assert_eq!(sink.count("slot_released"), 1);
+        assert_eq!(sink.count("job_started"), 0);
+        assert_eq!(sink.counts().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_object_per_line() {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(Shared(buf.clone()));
+        sink.record(&TraceEvent {
+            at: ms(5),
+            slot: Some(1),
+            data: TraceEventData::AttemptFinished {
+                job: "j \"quoted\"".into(),
+                kind: FaultKind::Reduce,
+                task: 3,
+                attempt: 2,
+                wall: ms(4),
+            },
+        });
+        sink.record(&TraceEvent {
+            at: ms(6),
+            slot: None,
+            data: TraceEventData::JobFinished {
+                job: "j".into(),
+                wall: ms(6),
+            },
+        });
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(Json::as_str),
+            Some("attempt_finished")
+        );
+        assert_eq!(first.get("slot").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(first.get("task").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            first.get("job").and_then(Json::as_str),
+            Some("j \"quoted\"")
+        );
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("slot"), Some(&Json::Null));
+        assert_eq!(second.get("wall_ms").and_then(Json::as_f64), Some(6.0));
+    }
+
+    #[test]
+    fn report_attributes_lanes_jobs_and_queue_waits() {
+        let mut events = vec![
+            TraceEvent {
+                at: ms(0),
+                slot: None,
+                data: TraceEventData::JobStarted {
+                    job: "j".into(),
+                    map_tasks: 2,
+                    reduce_tasks: 2,
+                },
+            },
+            finished(10, 0, 0, FaultKind::Map, 10),
+            finished(12, 1, 1, FaultKind::Map, 8),
+            finished(30, 0, 0, FaultKind::Reduce, 18),
+            finished(40, 1, 1, FaultKind::Reduce, 26),
+            TraceEvent {
+                at: ms(40),
+                slot: None,
+                data: TraceEventData::JobFinished {
+                    job: "j".into(),
+                    wall: ms(40),
+                },
+            },
+        ];
+        for (task, wait) in [(0u64, 1u64), (1, 3), (2, 2), (3, 9)] {
+            events.push(TraceEvent {
+                at: ms(task),
+                slot: Some(0),
+                data: TraceEventData::QueueWaited {
+                    job: "j".into(),
+                    kind: FaultKind::Map,
+                    task: task as usize,
+                    wait: ms(wait),
+                },
+            });
+        }
+        let report = TraceReport::from_events(&events);
+        assert_eq!(report.total(), ms(40));
+        assert_eq!(report.count("attempt_finished"), 4);
+        let busy = report.slot_busy();
+        assert_eq!(busy[&0], ms(28));
+        assert_eq!(busy[&1], ms(34));
+        let utilization = report.utilization();
+        assert!((utilization[&0] - 0.7).abs() < 1e-9);
+        assert!((utilization[&1] - 0.85).abs() < 1e-9);
+        let stats = report.queue_wait_stats().unwrap();
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.p50_ms, 2.0);
+        assert_eq!(stats.p90_ms, 9.0);
+        assert_eq!(stats.max_ms, 9.0);
+        let text = report.to_text();
+        assert!(text.contains("slot 0"), "timeline lane missing:\n{text}");
+        assert!(
+            text.contains("wall 40.00 ms"),
+            "critical path missing:\n{text}"
+        );
+        assert!(
+            text.contains("p50 2.000 ms"),
+            "percentiles missing:\n{text}"
+        );
+    }
+
+    #[test]
+    fn report_attributes_speculation_savings() {
+        let events = vec![
+            TraceEvent {
+                at: ms(100),
+                slot: None,
+                data: TraceEventData::SpeculativeLaunched {
+                    job: "j".into(),
+                    kind: FaultKind::Reduce,
+                    task: 3,
+                },
+            },
+            TraceEvent {
+                at: ms(150),
+                slot: Some(1),
+                data: TraceEventData::SpeculativeWon {
+                    job: "j".into(),
+                    kind: FaultKind::Reduce,
+                    task: 3,
+                    twin: true,
+                },
+            },
+            TraceEvent {
+                at: ms(420),
+                slot: Some(0),
+                data: TraceEventData::SpeculativeLost {
+                    job: "j".into(),
+                    kind: FaultKind::Reduce,
+                    task: 3,
+                    twin: false,
+                },
+            },
+        ];
+        let report = TraceReport::from_events(&events);
+        let specs = report.speculation();
+        assert_eq!(specs.len(), 1);
+        assert!(specs[0].twin_won);
+        assert_eq!(specs[0].saved, Some(ms(270)));
+        let text = report.to_text();
+        assert!(
+            text.contains("speculative twin won, saved 270.00 ms"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_json_reparses_and_carries_every_section() {
+        let events = vec![
+            TraceEvent {
+                at: ms(0),
+                slot: None,
+                data: TraceEventData::JobStarted {
+                    job: "j".into(),
+                    map_tasks: 1,
+                    reduce_tasks: 1,
+                },
+            },
+            finished(5, 0, 0, FaultKind::Map, 5),
+            TraceEvent {
+                at: ms(6),
+                slot: Some(0),
+                data: TraceEventData::QueueWaited {
+                    job: "j".into(),
+                    kind: FaultKind::Map,
+                    task: 0,
+                    wait: ms(2),
+                },
+            },
+        ];
+        let report = TraceReport::from_events(&events);
+        let json = report.to_json();
+        let reparsed = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(reparsed, json);
+        assert_eq!(
+            json.get("events")
+                .and_then(|e| e.get("attempt_finished"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            json.get("workers")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("queue_wait")
+                .and_then(|q| q.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn histogram_renders_fixed_width_buckets() {
+        assert_eq!(histogram(&[], 4), "(empty)");
+        assert!(histogram(&[2.0, 2.0], 4).contains("all at 2.00 ms"));
+        let h = histogram(&[0.0, 0.0, 1.0, 3.9, 4.0], 4);
+        assert!(h.starts_with("[2102]"), "{h}");
+    }
+
+    #[test]
+    fn event_json_encodes_every_category() {
+        let all = [
+            TraceEventData::JobStarted {
+                job: "j".into(),
+                map_tasks: 1,
+                reduce_tasks: 1,
+            },
+            TraceEventData::JobFinished {
+                job: "j".into(),
+                wall: ms(1),
+            },
+            TraceEventData::StageStarted {
+                workflow: "w".into(),
+                job: "j".into(),
+                stage: 0,
+            },
+            TraceEventData::StageFinished {
+                workflow: "w".into(),
+                job: "j".into(),
+                stage: 0,
+                wall: ms(1),
+            },
+            TraceEventData::AttemptStarted {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                attempt: 1,
+            },
+            TraceEventData::AttemptFinished {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                attempt: 1,
+                wall: ms(1),
+            },
+            TraceEventData::AttemptFailed {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                attempt: 1,
+                message: "m".into(),
+            },
+            TraceEventData::AttemptRetried {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                next_attempt: 2,
+            },
+            TraceEventData::SpeculativeLaunched {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 0,
+            },
+            TraceEventData::SpeculativeWon {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 0,
+                twin: false,
+            },
+            TraceEventData::SpeculativeLost {
+                job: "j".into(),
+                kind: FaultKind::Reduce,
+                task: 0,
+                twin: true,
+            },
+            TraceEventData::SpillRunSealed {
+                job: "j".into(),
+                task: 0,
+                reduce_task: 0,
+                records: 1,
+            },
+            TraceEventData::ShuffleCompleted {
+                job: "j".into(),
+                runs: 1,
+                wall: ms(1),
+            },
+            TraceEventData::SlotAcquired,
+            TraceEventData::SlotReleased,
+            TraceEventData::TasksEnqueued {
+                tasks: 1,
+                queue_depth: 1,
+            },
+            TraceEventData::QueueWaited {
+                job: "j".into(),
+                kind: FaultKind::Map,
+                task: 0,
+                wait: ms(1),
+            },
+        ];
+        for data in all {
+            let category = data.category();
+            let event = TraceEvent {
+                at: ms(7),
+                slot: Some(0),
+                data,
+            };
+            let json = event.to_json();
+            let reparsed = Json::parse(&json.to_string()).unwrap();
+            assert_eq!(reparsed.get("event").and_then(Json::as_str), Some(category));
+            assert_eq!(reparsed.get("at_ms").and_then(Json::as_f64), Some(7.0));
+        }
+    }
+}

@@ -40,6 +40,7 @@ use crate::mapper::Mapper;
 use crate::metrics::JobMetrics;
 use crate::pool::WorkerPool;
 use crate::reducer::Reducer;
+use crate::trace::{TraceEventData, TraceSink, Tracer};
 
 /// Checks that two partitionings have identical shape (same number of
 /// partitions, same number of records per partition); a mismatch is
@@ -81,7 +82,6 @@ pub fn ensure_same_shape<K1, V1, K2, V2>(
 /// the same-partitioning invariant between chained stages, and
 /// collects per-stage metrics. Call [`Workflow::finish`] when the last
 /// stage completed to obtain the rolled-up [`WorkflowMetrics`].
-#[derive(Debug)]
 pub struct Workflow {
     name: String,
     started: Instant,
@@ -101,6 +101,27 @@ pub struct Workflow {
     /// Workflow-level fault-injection plan; overrides every stage
     /// job's own plan when set.
     fault_plan: Option<FaultPlan>,
+    /// Workflow-level trace sink; when set, every stage runs traced
+    /// with the workflow's start instant as the shared epoch
+    /// (overriding any per-job sink), and stage boundary events wrap
+    /// each job's own event stream.
+    trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+// Manual: `dyn TraceSink` carries no `Debug` bound.
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workflow")
+            .field("name", &self.name)
+            .field("partitions", &self.partitions)
+            .field("stages", &self.stages)
+            .field("pool", &self.pool)
+            .field("parallelism_cap", &self.parallelism_cap)
+            .field("fault_policy", &self.fault_policy)
+            .field("fault_plan", &self.fault_plan)
+            .field("traced", &self.trace_sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Workflow {
@@ -118,6 +139,7 @@ impl Workflow {
             parallelism_cap: None,
             fault_policy: None,
             fault_plan: None,
+            trace_sink: None,
         }
     }
 
@@ -198,6 +220,26 @@ impl Workflow {
         self.fault_plan.as_ref()
     }
 
+    /// Attaches a [`TraceSink`] receiving structured execution events
+    /// from every stage of this workflow (see [`crate::trace`]). All
+    /// stages share one timeline: event timestamps are offsets from
+    /// the workflow's start instant, and each stage's job events are
+    /// bracketed by
+    /// [`StageStarted`](TraceEventData::StageStarted)/
+    /// [`StageFinished`](TraceEventData::StageFinished). A
+    /// workflow-level sink overrides any sink attached to a stage job
+    /// (mirroring the fault policy/plan precedence).
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// The workflow-level trace sink, if one is set.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace_sink.as_ref()
+    }
+
     /// Number of stages executed so far.
     pub fn stages_run(&self) -> usize {
         self.stages.len()
@@ -267,9 +309,38 @@ impl Workflow {
             .pool
             .as_ref()
             .map(|pool| (pool.as_ref(), self.parallelism_cap));
+        // The workflow's start instant is the shared epoch, so stage
+        // and task events of consecutive stages land on one timeline.
+        let tracer = self
+            .trace_sink
+            .as_ref()
+            .map(|sink| Tracer::with_epoch(Arc::clone(sink), self.started));
+        let stage = self.stages.len();
+        let stage_start = Instant::now();
+        if let Some(t) = &tracer {
+            t.emit_with(None, || TraceEventData::StageStarted {
+                workflow: self.name.clone(),
+                job: job.name().to_string(),
+                stage,
+            });
+        }
         let out = job
-            .run_with_overrides(pool, self.fault_policy, self.fault_plan.as_ref(), input)
+            .run_with_overrides(
+                pool,
+                self.fault_policy,
+                self.fault_plan.as_ref(),
+                tracer.clone(),
+                input,
+            )
             .map_err(|e| self.identify_stage(job.name(), e))?;
+        if let Some(t) = &tracer {
+            t.emit_with(None, || TraceEventData::StageFinished {
+                workflow: self.name.clone(),
+                job: job.name().to_string(),
+                stage,
+                wall: stage_start.elapsed(),
+            });
+        }
         self.stages.push(out.metrics.clone());
         Ok(out)
     }

@@ -61,6 +61,7 @@ use mr_engine::fault::{FaultPlan, FaultPolicy};
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::Runtime;
+use mr_engine::trace::TraceSink;
 use mr_engine::workflow::{Workflow, WorkflowMetrics};
 
 use er_loadbalance::ErConfig;
@@ -374,11 +375,25 @@ impl Outcome {
 /// one [`SnConfig`] template synced with the runtime's
 /// [`RuntimeConfig`](mr_engine::runtime::RuntimeConfig), so a compiled
 /// scenario is *exactly* what the legacy entry point would have built.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Resolver<'rt> {
     runtime: &'rt Runtime,
     er: ErConfig,
     sn: SnConfig,
+    /// Session-level trace sink; overrides the runtime's when set.
+    trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+// Manual: `dyn TraceSink` carries no `Debug` bound.
+impl std::fmt::Debug for Resolver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolver")
+            .field("runtime", &self.runtime)
+            .field("er", &self.er)
+            .field("sn", &self.sn)
+            .field("traced", &self.trace_sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'rt> Resolver<'rt> {
@@ -392,6 +407,7 @@ impl<'rt> Resolver<'rt> {
             // The strategy placeholders are overwritten per scenario.
             er: ErConfig::new(StrategyKind::Basic).with_runtime(shared),
             sn: SnConfig::new(SnStrategy::JobSn).with_runtime(shared),
+            trace_sink: None,
         }
     }
 
@@ -531,6 +547,16 @@ impl<'rt> Resolver<'rt> {
         self
     }
 
+    /// Attaches a [`TraceSink`] receiving structured execution events
+    /// (task attempts, retries, speculation, spills, pool scheduling;
+    /// see [`mr_engine::trace`]) from every scenario this session
+    /// resolves — overriding any sink on the runtime. The default (no
+    /// sink) resolves untraced at zero cost.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     /// The blocking-scenario config this session would compile for
     /// `strategy` — what [`Resolver::resolve`] hands to the stage
     /// compilers, exposed for oracles
@@ -601,6 +627,9 @@ impl<'rt> Resolver<'rt> {
         workflow = workflow
             .with_fault_policy(self.er.fault_policy())
             .with_fault_plan(self.er.fault_plan().clone());
+        if let Some(sink) = &self.trace_sink {
+            workflow = workflow.with_trace_sink(Arc::clone(sink));
+        }
         match scenario {
             Scenario::Dedup { strategy } => {
                 let config = self.er_config(*strategy);
