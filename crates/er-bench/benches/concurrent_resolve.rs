@@ -1,0 +1,251 @@
+//! Concurrent multi-tenant resolve — aggregate throughput and
+//! per-resolve latency of N tenant threads sharing one `Runtime`,
+//! against the same workload resolved back to back.
+//!
+//! Four mixed scenario shapes (BlockSplit dedup, RepSN, PairRange
+//! dedup, JobSN) play the tenants; each tenant count in {1, 2, 4, 8}
+//! runs under FIFO and fair-share scheduling on a fixed-size pool.
+//! Every concurrent outcome is hard-asserted byte-identical (pairs
+//! *and* score bits) to a sequential parallelism-1 reference — the
+//! scheduler may only change wall time, never output.
+//!
+//! `BENCH_concurrent_resolve.json` records, per (tenants, policy):
+//! median aggregate wall, p50/p95 per-resolve latency, plus the
+//! 4-tenant concurrent-vs-back-to-back speedup. The ≥1.3× aggregate
+//! throughput goal needs real cores; on a single-CPU host the verdict
+//! degrades to WARN rather than failing.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use dedupe_mr::prelude::*;
+use er_bench::{median_ms, write_bench_json, Json, PAPER_SEED};
+use mr_engine::pool::SchedulingPolicy;
+
+const TENANT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const POOL_PARALLELISM: usize = 4;
+const ROUNDS: usize = 3;
+
+const POLICIES: [SchedulingPolicy; 2] = [SchedulingPolicy::Fifo, SchedulingPolicy::FairShare];
+
+fn corpus(m: usize) -> Partitions<(), Ent> {
+    let ds = er_datagen::generate_products(&er_datagen::ds1_spec(PAPER_SEED).scaled(0.005));
+    partition_evenly(
+        ds.entities.into_iter().map(|e| ((), Arc::new(e))).collect(),
+        m,
+    )
+}
+
+/// The tenant mix: four distinct workflow shapes so concurrent stages
+/// of different pipelines interleave on the shared pool.
+fn scenarios() -> Vec<(&'static str, Scenario, Partitions<(), Ent>)> {
+    vec![
+        (
+            "block-split",
+            Scenario::Dedup {
+                strategy: StrategyKind::BlockSplit,
+            },
+            corpus(4),
+        ),
+        (
+            "repsn",
+            Scenario::sorted_neighborhood(SnStrategy::RepSn),
+            corpus(4),
+        ),
+        (
+            "pair-range",
+            Scenario::Dedup {
+                strategy: StrategyKind::PairRange,
+            },
+            corpus(3),
+        ),
+        (
+            "jobsn",
+            Scenario::sorted_neighborhood(SnStrategy::JobSn),
+            corpus(4),
+        ),
+    ]
+}
+
+fn resolver(runtime: &Runtime) -> Resolver<'_> {
+    Resolver::new(runtime).with_window(4).with_partitions(3)
+}
+
+fn result_bits(result: &MatchResult) -> Vec<(MatchPair, u64)> {
+    result.iter().map(|(p, s)| (p, s.to_bits())).collect()
+}
+
+/// q-th percentile of a latency sample (nearest-rank).
+fn percentile_ms(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct ConfigResult {
+    tenants: usize,
+    policy: &'static str,
+    wall_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn main() {
+    println!("== Concurrent multi-tenant resolve: throughput vs back-to-back ==\n");
+    let workload = scenarios();
+
+    // Sequential reference: parallelism-1 outputs are the byte-exact
+    // contract every concurrent run must reproduce.
+    let reference_rt = Runtime::new(RuntimeConfig::new().with_parallelism(1));
+    let reference_resolver = resolver(&reference_rt);
+    let references: Vec<Vec<(MatchPair, u64)>> = workload
+        .iter()
+        .map(|(_, scenario, input)| {
+            result_bits(
+                &reference_resolver
+                    .resolve(scenario, input.clone())
+                    .unwrap()
+                    .result,
+            )
+        })
+        .collect();
+
+    // Back-to-back baseline: the 4-tenant workload resolved
+    // sequentially on a pool of the same size.
+    let mut seq_walls = Vec::with_capacity(ROUNDS);
+    {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(POOL_PARALLELISM));
+        let session = resolver(&runtime);
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            for (i, (_, scenario, input)) in workload.iter().enumerate() {
+                let outcome = session.resolve(scenario, input.clone()).unwrap();
+                assert_eq!(result_bits(&outcome.result), references[i], "sequential");
+            }
+            seq_walls.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let seq_wall_ms = median_ms(&seq_walls);
+    println!(
+        "back-to-back, {} tenants on {} workers: {seq_wall_ms:.2} ms median aggregate wall\n",
+        workload.len(),
+        POOL_PARALLELISM
+    );
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for policy in POLICIES {
+        for tenants in TENANT_COUNTS {
+            let runtime = Runtime::new(
+                RuntimeConfig::new()
+                    .with_parallelism(POOL_PARALLELISM)
+                    .with_scheduling_policy(policy),
+            );
+            let base = resolver(&runtime);
+            let mut walls = Vec::with_capacity(ROUNDS);
+            let mut latencies: Vec<f64> = Vec::new();
+            for _ in 0..ROUNDS {
+                let start = Instant::now();
+                let round: Vec<(usize, f64)> = thread::scope(|scope| {
+                    let handles: Vec<_> = (0..tenants)
+                        .map(|t| {
+                            let i = t % workload.len();
+                            let (name, scenario, input) = &workload[i];
+                            let session = base.clone().with_tenant(format!("{name}-{t}"));
+                            let input = input.clone();
+                            scope.spawn(move || {
+                                let begin = Instant::now();
+                                let outcome = session.resolve(scenario, input).unwrap();
+                                let ms = begin.elapsed().as_secs_f64() * 1e3;
+                                (i, ms, result_bits(&outcome.result))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let (i, ms, bits) = h.join().expect("tenant thread");
+                            assert_eq!(
+                                bits,
+                                references[i],
+                                "t={tenants} {}: output must be byte-identical",
+                                policy.name()
+                            );
+                            (i, ms)
+                        })
+                        .collect()
+                });
+                walls.push(start.elapsed().as_secs_f64() * 1e3);
+                latencies.extend(round.into_iter().map(|(_, ms)| ms));
+            }
+            let stats = runtime.pool_stats();
+            assert_eq!(stats.queue_depth, 0, "queue drained");
+            assert!(stats.per_tenant_inflight.is_empty(), "no tenant inflight");
+            let r = ConfigResult {
+                tenants,
+                policy: policy.name(),
+                wall_ms: median_ms(&walls),
+                p50_ms: percentile_ms(&latencies, 0.50),
+                p95_ms: percentile_ms(&latencies, 0.95),
+            };
+            println!(
+                "{:>10}  t={tenants}  wall {:8.2} ms  p50 {:8.2} ms  p95 {:8.2} ms",
+                r.policy, r.wall_ms, r.p50_ms, r.p95_ms
+            );
+            results.push(r);
+        }
+    }
+
+    // Aggregate throughput verdict: 4 concurrent tenants vs the same
+    // 4 resolves back to back on an equal pool.
+    let conc_wall_ms = results
+        .iter()
+        .filter(|r| r.tenants == 4)
+        .map(|r| r.wall_ms)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = seq_wall_ms / conc_wall_ms;
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n4-tenant aggregate speedup vs back-to-back: {speedup:.2}x ({cores} host cores visible)"
+    );
+    let verdict = if speedup >= 1.3 {
+        "PASS concurrent scheduling beats back-to-back by >= 1.3x".to_string()
+    } else if cores < 2 {
+        format!(
+            "WARN single-core host: measured {speedup:.2}x; the >= 1.3x \
+             aggregate-throughput goal needs real cores (outputs verified byte-identical)"
+        )
+    } else {
+        format!("WARN aggregate speedup {speedup:.2}x below the 1.3x goal — investigate")
+    };
+    println!("{verdict}");
+
+    let mut members: Vec<(&str, Json)> = vec![
+        ("bench", Json::str("concurrent_resolve")),
+        ("pool_parallelism", Json::Num(POOL_PARALLELISM as f64)),
+        ("rounds", Json::Num(ROUNDS as f64)),
+        ("tenant_mix", Json::Num(workload.len() as f64)),
+        ("sequential_wall_4_ms", Json::Num(seq_wall_ms)),
+        (
+            "speedup_4_tenants_vs_sequential_ms_ratio",
+            Json::Num(speedup),
+        ),
+    ];
+    let mut keys: Vec<String> = Vec::new();
+    for r in &results {
+        keys.push(format!("wall_ms_t{}_{}", r.tenants, r.policy));
+        keys.push(format!("p50_ms_t{}_{}", r.tenants, r.policy));
+        keys.push(format!("p95_ms_t{}_{}", r.tenants, r.policy));
+    }
+    for (r, chunk) in results.iter().zip(keys.chunks(3)) {
+        members.push((chunk[0].as_str(), Json::Num(r.wall_ms)));
+        members.push((chunk[1].as_str(), Json::Num(r.p50_ms)));
+        members.push((chunk[2].as_str(), Json::Num(r.p95_ms)));
+    }
+    let json = Json::obj(members);
+    write_bench_json("concurrent_resolve", &json).expect("bench json export");
+}

@@ -18,7 +18,7 @@ use mr_engine::fault::{FaultPlan, FaultPolicy};
 use mr_engine::input::Partitions;
 use mr_engine::metrics::JobMetrics;
 use mr_engine::runtime::RuntimeConfig;
-use mr_engine::workflow::{Workflow, WorkflowMetrics};
+use mr_engine::workflow::{StageGraph, Workflow, WorkflowMetrics};
 
 use crate::basic::basic_job;
 use crate::bdm::BlockDistributionMatrix;
@@ -285,82 +285,120 @@ pub struct ErStages {
 /// `Resolver` drive. The workflow decides *where* stages run (its own
 /// transient threads, or a shared persistent pool); the stages are the
 /// same either way, so outputs are byte-identical.
+///
+/// The scenario compiles to a [`StageGraph`] instead of an eager
+/// loop: Basic is a single `match` node; BlockSplit/PairRange is
+/// `bdm → match`, where the matching node also seeds the job's
+/// [`mr_engine::engine::Job::with_weight_hint`] from the BDM's exact
+/// pair count so the pool's shortest-remaining-work policy can rank
+/// the batch. Node bodies submit their task sets to the pool's
+/// central ready-queue, letting stages of concurrently resolving
+/// workflows interleave.
 pub fn run_er_in(
     workflow: &mut Workflow,
     input: Partitions<(), Ent>,
     config: &ErConfig,
 ) -> Result<ErStages, MrError> {
+    use std::cell::RefCell;
+    let stages = RefCell::new(None);
+    // Intermediate slot the `bdm` node fills and the `match` node
+    // drains (used by the BDM-based strategies only); the dependency
+    // edge orders the fill before the take. Declared before the graph
+    // so the node closures' borrows outlive it.
+    let products = RefCell::new(None);
+    let mut graph: StageGraph<'_, MrError> = StageGraph::new();
     match config.strategy {
         StrategyKind::Basic => {
-            let job = basic_job(
-                Arc::clone(&config.blocking),
-                config.comparer(),
-                config.reduce_tasks(),
-                config.parallelism(),
-            )
-            .with_spill_threshold(config.spill_threshold());
-            let out = workflow.chained_stage(&job, input)?;
-            let mut result = MatchResult::new();
-            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
-                result.insert(pair, score);
-            }
-            Ok(ErStages {
-                result,
-                bdm: None,
-                bdm_metrics: None,
-                match_metrics: out.metrics,
-            })
+            graph.node("match", &[], |wf| {
+                let job = basic_job(
+                    Arc::clone(&config.blocking),
+                    config.comparer(),
+                    config.reduce_tasks(),
+                    config.parallelism(),
+                )
+                .with_spill_threshold(config.spill_threshold());
+                let out = wf.chained_stage(&job, input)?;
+                let mut result = MatchResult::new();
+                for (pair, score) in out.reduce_outputs.into_iter().flatten() {
+                    result.insert(pair, score);
+                }
+                *stages.borrow_mut() = Some(ErStages {
+                    result,
+                    bdm: None,
+                    bdm_metrics: None,
+                    match_metrics: out.metrics,
+                });
+                Ok(())
+            });
         }
         StrategyKind::BlockSplit | StrategyKind::PairRange => {
-            let (bdm, annotated, bdm_metrics) = compute_bdm_in(
-                workflow,
-                input,
-                Arc::clone(&config.blocking),
-                config.reduce_tasks(),
-                config.parallelism(),
-                config.use_combiner,
-                config.spill_threshold(),
-            )?;
-            let bdm = Arc::new(bdm);
-            // The BDM's side outputs are chained into the matching job
-            // by the workflow layer, which enforces the identical-
-            // partitioning invariant Algorithms 1–3 require.
-            let out = match config.strategy {
-                StrategyKind::BlockSplit => {
-                    let job = block_split_job_with_policy(
-                        Arc::clone(&bdm),
-                        config.comparer(),
-                        config.split_policy,
-                        config.reduce_tasks(),
-                        config.parallelism(),
-                    )
-                    .with_spill_threshold(config.spill_threshold());
-                    workflow.chained_stage(&job, annotated)?
+            let bdm_node = graph.node("bdm", &[], |wf| {
+                let (bdm, annotated, bdm_metrics) = compute_bdm_in(
+                    wf,
+                    input,
+                    Arc::clone(&config.blocking),
+                    config.reduce_tasks(),
+                    config.parallelism(),
+                    config.use_combiner,
+                    config.spill_threshold(),
+                )?;
+                *products.borrow_mut() = Some((Arc::new(bdm), annotated, bdm_metrics));
+                Ok(())
+            });
+            graph.node("match", &[bdm_node], |wf| {
+                let (bdm, annotated, bdm_metrics) = products
+                    .borrow_mut()
+                    .take()
+                    .expect("bdm node ran before match");
+                // The BDM's side outputs are chained into the matching
+                // job by the workflow layer, which enforces the
+                // identical-partitioning invariant Algorithms 1–3
+                // require. The BDM's exact pair count doubles as the
+                // job's scheduling weight.
+                let out = match config.strategy {
+                    StrategyKind::BlockSplit => {
+                        let job = block_split_job_with_policy(
+                            Arc::clone(&bdm),
+                            config.comparer(),
+                            config.split_policy,
+                            config.reduce_tasks(),
+                            config.parallelism(),
+                        )
+                        .with_spill_threshold(config.spill_threshold())
+                        .with_weight_hint(bdm.total_pairs());
+                        wf.chained_stage(&job, annotated)?
+                    }
+                    _ => {
+                        let job = pair_range_job(
+                            Arc::clone(&bdm),
+                            config.comparer(),
+                            config.range_policy,
+                            config.reduce_tasks(),
+                            config.parallelism(),
+                        )
+                        .with_spill_threshold(config.spill_threshold())
+                        .with_weight_hint(bdm.total_pairs());
+                        wf.chained_stage(&job, annotated)?
+                    }
+                };
+                let mut result = MatchResult::new();
+                for (pair, score) in out.reduce_outputs.into_iter().flatten() {
+                    result.insert(pair, score);
                 }
-                _ => {
-                    let job = pair_range_job(
-                        Arc::clone(&bdm),
-                        config.comparer(),
-                        config.range_policy,
-                        config.reduce_tasks(),
-                        config.parallelism(),
-                    )
-                    .with_spill_threshold(config.spill_threshold());
-                    workflow.chained_stage(&job, annotated)?
-                }
-            };
-            let mut result = MatchResult::new();
-            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
-                result.insert(pair, score);
-            }
-            Ok(ErStages {
-                result,
-                bdm: Some(bdm),
-                bdm_metrics: Some(bdm_metrics),
-                match_metrics: out.metrics,
-            })
+                *stages.borrow_mut() = Some(ErStages {
+                    result,
+                    bdm: Some(bdm),
+                    bdm_metrics: Some(bdm_metrics),
+                    match_metrics: out.metrics,
+                });
+                Ok(())
+            });
         }
     }
+    graph.run(workflow)?;
+    Ok(stages
+        .into_inner()
+        .expect("match node populates the outcome"))
 }
 
 /// Runs entity resolution over pre-partitioned input (each inner `Vec`

@@ -26,7 +26,7 @@ use er_core::{MatchResult, SourceId};
 use mr_engine::error::MrError;
 use mr_engine::input::Partitions;
 
-use mr_engine::workflow::Workflow;
+use mr_engine::workflow::{StageGraph, Workflow};
 
 use crate::bdm::BlockDistributionMatrix;
 use crate::bdm_job::compute_bdm_in;
@@ -177,78 +177,113 @@ pub fn run_linkage_in(
     config: &ErConfig,
 ) -> Result<crate::driver::ErStages, MrError> {
     use crate::driver::ErStages;
+    use std::cell::RefCell;
     assert_eq!(
         sources.len(),
         input.len(),
         "one source tag per input partition"
     );
     let comparer = config.comparer();
+    // The scenario compiles to a stage graph (Basic: one `match`
+    // node; BDM strategies: `bdm → match`) whose node bodies hand
+    // their task batches to the pool's shared ready-queue — see
+    // `run_er_in`, whose structure this mirrors for cross-source
+    // matching.
+    let stages = RefCell::new(None);
+    let products = RefCell::new(None);
+    let mut graph: StageGraph<'_, MrError> = StageGraph::new();
     if config.strategy == StrategyKind::Basic {
-        let job = basic::basic_two_source_job(
+        graph.node("match", &[], |wf| {
+            let job = basic::basic_two_source_job(
+                Arc::clone(&config.blocking),
+                Arc::new(sources),
+                comparer,
+                config.reduce_tasks(),
+                config.parallelism(),
+            )
+            .with_spill_threshold(config.spill_threshold());
+            let out = wf.chained_stage(&job, input)?;
+            let mut result = MatchResult::new();
+            for (pair, score) in out.reduce_outputs.into_iter().flatten() {
+                result.insert(pair, score);
+            }
+            *stages.borrow_mut() = Some(ErStages {
+                result,
+                bdm: None,
+                bdm_metrics: None,
+                match_metrics: out.metrics,
+            });
+            Ok(())
+        });
+        graph.run(workflow)?;
+        return Ok(stages
+            .into_inner()
+            .expect("match node populates the outcome"));
+    }
+    let bdm_node = graph.node("bdm", &[], |wf| {
+        let (bdm, annotated, bdm_metrics) = compute_bdm_in(
+            wf,
+            input,
             Arc::clone(&config.blocking),
-            Arc::new(sources),
-            comparer,
             config.reduce_tasks(),
             config.parallelism(),
-        )
-        .with_spill_threshold(config.spill_threshold());
-        let out = workflow.chained_stage(&job, input)?;
+            config.use_combiner,
+            config.spill_threshold(),
+        )?;
+        *products.borrow_mut() = Some((Arc::new(bdm), annotated, bdm_metrics));
+        Ok(())
+    });
+    graph.node("match", &[bdm_node], |wf| {
+        let (bdm, annotated, bdm_metrics) = products
+            .borrow_mut()
+            .take()
+            .expect("bdm node ran before match");
+        let ts = Arc::new(TwoSourceBdm::new(Arc::clone(&bdm), sources));
+        // The cross-source pair count is exact scheduling weight for
+        // shortest-remaining-work, like the single-source driver.
+        let weight = ts.total_pairs();
+        let out = match config.strategy {
+            StrategyKind::BlockSplit => {
+                let job = block_split::block_split_two_source_job(
+                    ts,
+                    comparer,
+                    config.reduce_tasks(),
+                    config.parallelism(),
+                )
+                .with_spill_threshold(config.spill_threshold())
+                .with_weight_hint(weight);
+                wf.chained_stage(&job, annotated)?
+            }
+            StrategyKind::PairRange => {
+                let job = pair_range::pair_range_two_source_job(
+                    ts,
+                    comparer,
+                    config.range_policy,
+                    config.reduce_tasks(),
+                    config.parallelism(),
+                )
+                .with_spill_threshold(config.spill_threshold())
+                .with_weight_hint(weight);
+                wf.chained_stage(&job, annotated)?
+            }
+            StrategyKind::Basic => unreachable!("handled above"),
+        };
         let mut result = MatchResult::new();
         for (pair, score) in out.reduce_outputs.into_iter().flatten() {
             result.insert(pair, score);
         }
-        return Ok(ErStages {
+        *stages.borrow_mut() = Some(ErStages {
             result,
-            bdm: None,
-            bdm_metrics: None,
+            bdm: Some(bdm),
+            bdm_metrics: Some(bdm_metrics),
             match_metrics: out.metrics,
         });
-    }
-    let (bdm, annotated, bdm_metrics) = compute_bdm_in(
-        workflow,
-        input,
-        Arc::clone(&config.blocking),
-        config.reduce_tasks(),
-        config.parallelism(),
-        config.use_combiner,
-        config.spill_threshold(),
-    )?;
-    let bdm = Arc::new(bdm);
-    let ts = Arc::new(TwoSourceBdm::new(Arc::clone(&bdm), sources));
-    let out = match config.strategy {
-        StrategyKind::BlockSplit => {
-            let job = block_split::block_split_two_source_job(
-                ts,
-                comparer,
-                config.reduce_tasks(),
-                config.parallelism(),
-            )
-            .with_spill_threshold(config.spill_threshold());
-            workflow.chained_stage(&job, annotated)?
-        }
-        StrategyKind::PairRange => {
-            let job = pair_range::pair_range_two_source_job(
-                ts,
-                comparer,
-                config.range_policy,
-                config.reduce_tasks(),
-                config.parallelism(),
-            )
-            .with_spill_threshold(config.spill_threshold());
-            workflow.chained_stage(&job, annotated)?
-        }
-        StrategyKind::Basic => unreachable!("handled above"),
-    };
-    let mut result = MatchResult::new();
-    for (pair, score) in out.reduce_outputs.into_iter().flatten() {
-        result.insert(pair, score);
-    }
-    Ok(crate::driver::ErStages {
-        result,
-        bdm: Some(bdm),
-        bdm_metrics: Some(bdm_metrics),
-        match_metrics: out.metrics,
-    })
+        Ok(())
+    });
+    graph.run(workflow)?;
+    Ok(stages
+        .into_inner()
+        .expect("match node populates the outcome"))
 }
 
 /// Runs two-source entity resolution (record linkage): `sources[p]`

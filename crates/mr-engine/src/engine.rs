@@ -90,7 +90,7 @@ use crate::mapper::{run_map_task_spilling, MapTaskInfo, Mapper};
 use crate::merge::GroupStream;
 use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
 use crate::partitioner::{HashPartitioner, Partitioner};
-use crate::pool::{run_tasks_ctx, WorkerPool};
+use crate::pool::{run_tasks_ctx, BatchTag, WorkerPool};
 use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer};
 use crate::spill::MapSpiller;
 use crate::trace::{SpillTrace, TaskCtx, TraceEventData, TraceSink, Tracer};
@@ -109,6 +109,9 @@ enum Exec<'p> {
         /// Upper bound on concurrently used pool slots; `None` uses
         /// the whole pool.
         cap: Option<usize>,
+        /// Scheduler identity of this job's dispatches — `(tenant,
+        /// workflow, stage, weight)`; untagged for bare `run_on`.
+        tag: BatchTag,
     },
 }
 
@@ -116,7 +119,7 @@ impl Exec<'_> {
     fn parallelism(&self) -> usize {
         match self {
             Exec::Transient { parallelism } => *parallelism,
-            Exec::Pooled { pool, cap } => cap.map_or(pool.threads(), |c| c.min(pool.threads())),
+            Exec::Pooled { pool, cap, .. } => cap.map_or(pool.threads(), |c| c.min(pool.threads())),
         }
     }
 
@@ -127,13 +130,9 @@ impl Exec<'_> {
     {
         match self {
             Exec::Transient { parallelism } => run_tasks_ctx(count, *parallelism, tracer, f),
-            Exec::Pooled { pool, cap: None } => {
-                pool.run_tasks_capped_ctx(count, usize::MAX, tracer, f)
+            Exec::Pooled { pool, cap, tag } => {
+                pool.run_tasks_tagged_ctx(count, cap.unwrap_or(usize::MAX), tracer, tag.clone(), f)
             }
-            Exec::Pooled {
-                pool,
-                cap: Some(cap),
-            } => pool.run_tasks_capped_ctx(count, *cap, tracer, f),
         }
     }
 
@@ -151,11 +150,12 @@ impl Exec<'_> {
             (None, _) => self.run(count, &phase.tracer, |i, ctx| {
                 phase.run_task(i, attempts.task(i), ctx, |attempt| body(i, attempt, ctx))
             }),
-            (Some(deadline), Exec::Pooled { pool, cap }) => run_speculative(
+            (Some(deadline), Exec::Pooled { pool, cap, tag }) => run_speculative(
                 pool,
                 cap.unwrap_or(usize::MAX),
                 count,
                 deadline,
+                Some(&tag.tenant),
                 phase,
                 &attempts,
                 &body,
@@ -175,7 +175,16 @@ impl Exec<'_> {
                     // Speculation needs a real pool to find free slots
                     // on; spawn the transient one for this phase.
                     let pool = WorkerPool::new(*parallelism);
-                    run_speculative(&pool, usize::MAX, count, deadline, phase, &attempts, &body)
+                    run_speculative(
+                        &pool,
+                        usize::MAX,
+                        count,
+                        deadline,
+                        None,
+                        phase,
+                        &attempts,
+                        &body,
+                    )
                 }
             }
         }
@@ -236,6 +245,7 @@ where
     fault_policy: FaultPolicy,
     fault_plan: FaultPlan,
     trace_sink: Option<Arc<dyn TraceSink>>,
+    weight_hint: u64,
 }
 
 // Deliberately free of key bounds (unlike the `builder` impl's
@@ -316,6 +326,24 @@ where
     /// The trace sink attached to this job, if any.
     pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
         self.trace_sink.as_ref()
+    }
+
+    /// Declares the job's estimated total work in comparison pairs —
+    /// the seed for [`crate::pool::SchedulingPolicy::
+    /// ShortestRemainingWork`], set by drivers whose BDM already
+    /// computed the exact pair count. Zero (the default) means
+    /// unknown. Purely operational: scheduling order never changes
+    /// output.
+    #[must_use]
+    pub fn with_weight_hint(mut self, pairs: u64) -> Self {
+        self.weight_hint = pairs;
+        self
+    }
+
+    /// The job's estimated total work in comparison pairs (0 =
+    /// unknown).
+    pub fn weight_hint(&self) -> u64 {
+        self.weight_hint
     }
 }
 
@@ -474,6 +502,7 @@ where
             fault_policy: self.fault_policy,
             fault_plan: self.fault_plan,
             trace_sink: self.trace_sink,
+            weight_hint: 0,
         }
     }
 }
@@ -551,7 +580,14 @@ where
         pool: &WorkerPool,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
-        self.run_with(Exec::Pooled { pool, cap: None }, input)
+        self.run_with(
+            Exec::Pooled {
+                pool,
+                cap: None,
+                tag: BatchTag::untagged(),
+            },
+            input,
+        )
     }
 
     /// Like [`Job::run_on`], but uses at most `max_parallelism` of the
@@ -568,6 +604,7 @@ where
             Exec::Pooled {
                 pool,
                 cap: Some(max_parallelism),
+                tag: BatchTag::untagged(),
             },
             input,
         )
@@ -581,21 +618,23 @@ where
         self.run_with_faults(exec, None, None, None, input)
     }
 
-    /// Workflow entry point: run on an optional `(pool, cap)` with
-    /// workflow-level fault policy/plan overrides (each `None` falls
-    /// back to the job's own configuration) and an optional
+    /// Workflow entry point: run on an optional `(pool, cap, tag)`
+    /// with workflow-level fault policy/plan overrides (each `None`
+    /// falls back to the job's own configuration) and an optional
     /// workflow-level tracer, which takes precedence over the job's
-    /// own sink so all stages share one timeline and epoch.
+    /// own sink so all stages share one timeline and epoch. The
+    /// [`BatchTag`] identifies the stage's dispatches to the pool's
+    /// shared scheduler, so concurrent workflows interleave fairly.
     pub(crate) fn run_with_overrides(
         &self,
-        pool: Option<(&WorkerPool, Option<usize>)>,
+        pool: Option<(&WorkerPool, Option<usize>, BatchTag)>,
         policy: Option<FaultPolicy>,
         plan: Option<&FaultPlan>,
         tracer: Option<Tracer>,
         input: Partitions<M::KIn, M::VIn>,
     ) -> Result<JobOutput<R::KOut, R::VOut, M::Side>, MrError> {
         let exec = match pool {
-            Some((pool, cap)) => Exec::Pooled { pool, cap },
+            Some((pool, cap, tag)) => Exec::Pooled { pool, cap, tag },
             None => Exec::Transient {
                 parallelism: self.parallelism,
             },

@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{
-    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 use std::time::{Duration, Instant};
 
@@ -643,11 +643,13 @@ impl Drop for PendingGuard<'_> {
 ///
 /// The calling thread doubles as the straggler watchdog while it
 /// blocks on the borrow fence (all loop bodies returned).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_speculative<T, F>(
     pool: &WorkerPool,
     cap: usize,
     count: usize,
     deadline: Duration,
+    tenant: Option<&Arc<str>>,
     phase: &PhaseFt<'_>,
     attempts: &TaskAttempts,
     body: &F,
@@ -701,7 +703,9 @@ where
         let worker_slot = next_slot.fetch_add(1, Ordering::Relaxed);
         phase
             .tracer
-            .emit(Some(worker_slot), TraceEventData::SlotAcquired);
+            .emit_with(Some(worker_slot), || TraceEventData::SlotAcquired {
+                tenant: tenant.map(|t| t.to_string()),
+            });
         let _guard = PendingGuard {
             pending: &pending,
             done: &all_returned,
@@ -1049,6 +1053,7 @@ mod tests {
             usize::MAX,
             3,
             Duration::from_millis(25),
+            None,
             &phase,
             &attempts,
             &|i, attempt, _ctx| {
@@ -1091,6 +1096,7 @@ mod tests {
                 usize::MAX,
                 8,
                 Duration::from_millis(5),
+                None,
                 &phase,
                 &attempts,
                 &|i, _, _| Ok(i + round),
@@ -1120,6 +1126,7 @@ mod tests {
             usize::MAX,
             4,
             Duration::from_millis(1),
+            None,
             &phase,
             &attempts,
             &|i, _, _| Ok(i),

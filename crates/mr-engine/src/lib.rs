@@ -100,13 +100,13 @@ pub use mapper::{MapContext, MapTaskInfo, Mapper};
 pub use merge::{merge_sorted_runs, ClonedRunIter, GroupStream};
 pub use metrics::{JobMetrics, TaskKind, TaskMetrics};
 pub use partitioner::{FnPartitioner, HashPartitioner, Partitioner};
-pub use pool::WorkerPool;
+pub use pool::{BatchTag, PoolStats, SchedulingPolicy, WorkerPool};
 pub use reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use trace::{
     CountingSink, JsonlSink, TraceEvent, TraceEventData, TraceRecorder, TraceReport, TraceSink,
 };
-pub use workflow::{ensure_same_shape, Workflow, WorkflowMetrics};
+pub use workflow::{ensure_same_shape, NodeId, StageGraph, Workflow, WorkflowMetrics};
 
 /// Convenience glob-import for downstream crates and examples.
 pub mod prelude {
@@ -120,9 +120,9 @@ pub mod prelude {
     pub use crate::mapper::{MapContext, MapTaskInfo, Mapper};
     pub use crate::metrics::{JobMetrics, TaskKind, TaskMetrics};
     pub use crate::partitioner::{FnPartitioner, HashPartitioner, Partitioner};
-    pub use crate::pool::WorkerPool;
+    pub use crate::pool::{PoolStats, SchedulingPolicy, WorkerPool};
     pub use crate::reducer::{Group, ReduceContext, ReduceTaskInfo, Reducer, SumReducer};
     pub use crate::runtime::{Runtime, RuntimeConfig};
     pub use crate::trace::{TraceEvent, TraceEventData, TraceRecorder, TraceReport, TraceSink};
-    pub use crate::workflow::{Workflow, WorkflowMetrics};
+    pub use crate::workflow::{StageGraph, Workflow, WorkflowMetrics};
 }

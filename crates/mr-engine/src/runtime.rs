@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use crate::engine::default_parallelism;
 use crate::fault::FaultPolicy;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolStats, SchedulingPolicy, WorkerPool};
 use crate::trace::TraceSink;
 use crate::workflow::Workflow;
 
@@ -63,6 +63,14 @@ pub struct RuntimeConfig {
     /// out of a resolve in any mode, and a failed resolve leaves the
     /// runtime fully usable. See [`crate::fault`].
     pub fault_policy: FaultPolicy,
+    /// Admission policy of the pool's operation-level dispatcher: the
+    /// order in which ready task batches of concurrent workflows are
+    /// claimed by free slots. [`SchedulingPolicy::Fifo`] (the default)
+    /// is strict arrival order; `FairShare` favors the tenant with the
+    /// least inflight work; `ShortestRemainingWork` favors the batch
+    /// with the least estimated remaining comparison pairs. Purely
+    /// operational — output is byte-identical under every policy.
+    pub scheduling_policy: SchedulingPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +82,7 @@ impl Default for RuntimeConfig {
             count_only: false,
             spill_threshold: None,
             fault_policy: FaultPolicy::fail_fast(),
+            scheduling_policy: SchedulingPolicy::Fifo,
         }
     }
 }
@@ -144,11 +153,46 @@ impl RuntimeConfig {
         self.fault_policy = policy;
         self
     }
+
+    /// Replaces the pool's batch admission policy (see
+    /// [`RuntimeConfig::scheduling_policy`]).
+    pub fn with_scheduling_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling_policy = policy;
+        self
+    }
 }
 
 /// An owned, reusable engine handle: a persistent [`WorkerPool`] plus
 /// the [`RuntimeConfig`] defaults, created once and shared across
 /// back-to-back workflow executions.
+///
+/// # Concurrency contract
+///
+/// `Runtime` is `Send + Sync` (asserted at compile time): share one
+/// instance behind an `Arc` (or a plain `&Runtime`) across as many
+/// threads as you like and call [`Runtime::workflow`] — or the
+/// facade's `Resolver::resolve()` — from all of them at once. Stages
+/// of concurrent workflows interleave at *operation* granularity on
+/// the shared pool: each stage's task batch is tagged with its
+/// workflow's tenant and queued on the dispatcher's ready-queue,
+/// where free slots claim tasks under the configured
+/// [`RuntimeConfig::scheduling_policy`]. Guarantees that hold under
+/// any interleaving:
+///
+/// * **Determinism** — every workflow's output is byte-identical to
+///   running it alone, sequentially: task results land in
+///   index-addressed slots, so scheduling order never reaches the
+///   data plane.
+/// * **Exact metrics** — [`crate::workflow::WorkflowMetrics`] roll up
+///   per workflow; concurrent workflows never bleed counters into
+///   each other.
+/// * **Failure isolation** — one workflow's task panic (or injected
+///   [`crate::fault::FaultPlan`]) fails *that* resolve with a typed
+///   error; other tenants' dispatch continues unaffected, and the
+///   runtime stays fully usable.
+/// * **Backpressure** — [`Runtime::pool_stats`] snapshots queue
+///   depth, busy slots, and per-tenant inflight work so callers can
+///   shed or delay load before submitting.
 ///
 /// ```
 /// use mr_engine::runtime::{Runtime, RuntimeConfig};
@@ -186,7 +230,10 @@ impl Runtime {
     /// # Panics
     /// If `config.parallelism` is zero.
     pub fn new(config: RuntimeConfig) -> Self {
-        let pool = Arc::new(WorkerPool::new(config.parallelism));
+        let pool = Arc::new(WorkerPool::with_policy(
+            config.parallelism,
+            config.scheduling_policy,
+        ));
         Self {
             config,
             pool,
@@ -202,6 +249,17 @@ impl Runtime {
     /// The persistent worker pool.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// A consistent snapshot of the pool's dispatch state: queued
+    /// tasks, busy slots, registered batches, and inflight tasks per
+    /// tenant. This is the backpressure hook for callers multiplexing
+    /// many tenants onto one runtime — sample it before submitting
+    /// and shed or delay load when the queue is deep or a tenant
+    /// already dominates. Sampling takes the scheduler lock briefly;
+    /// the snapshot is immediately stale but internally consistent.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Attaches a [`TraceSink`] seeded into every workflow this
@@ -250,6 +308,16 @@ impl Runtime {
         self.workflow(name).with_parallelism_cap(max_parallelism)
     }
 }
+
+/// Compile-time pin of the concurrency contract: a `Runtime` must
+/// stay shareable across threads (see the type docs). A field that
+/// breaks `Send + Sync` (e.g. an `Rc` or a bare `RefCell`) fails
+/// compilation here, not in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Runtime>();
+    assert_send_sync::<RuntimeConfig>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -357,5 +425,38 @@ mod tests {
     #[should_panic(expected = "parallelism")]
     fn zero_parallelism_runtime_rejected() {
         let _ = Runtime::new(RuntimeConfig::new().with_parallelism(0));
+    }
+
+    #[test]
+    fn scheduling_policy_reaches_the_pool() {
+        assert_eq!(
+            RuntimeConfig::new().scheduling_policy,
+            SchedulingPolicy::Fifo
+        );
+        let runtime = Runtime::new(
+            RuntimeConfig::new()
+                .with_parallelism(2)
+                .with_scheduling_policy(SchedulingPolicy::FairShare),
+        );
+        assert_eq!(
+            runtime.pool().scheduling_policy(),
+            SchedulingPolicy::FairShare
+        );
+    }
+
+    #[test]
+    fn pool_stats_snapshot_is_idle_between_runs_and_live_during_them() {
+        let runtime = Runtime::new(RuntimeConfig::new().with_parallelism(2));
+        assert_eq!(runtime.pool_stats(), PoolStats::default());
+        let input = partition_evenly((0..40u32).map(|v| ((), v)).collect(), 4);
+        let mut wf = runtime.workflow("stats").with_tenant("tenant-x");
+        wf.chained_stage(&count_job(3), input).unwrap();
+        // All batches drained: the snapshot must be empty again, with
+        // no lingering per-tenant inflight entries.
+        let after = runtime.pool_stats();
+        assert_eq!(after.queue_depth, 0);
+        assert_eq!(after.busy_slots, 0);
+        assert_eq!(after.active_batches, 0);
+        assert!(after.per_tenant_inflight.is_empty());
     }
 }

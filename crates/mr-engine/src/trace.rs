@@ -258,15 +258,41 @@ pub enum TraceEventData {
         wall: Duration,
     },
     /// A pool worker slot picked up work for this dispatch.
-    SlotAcquired,
+    SlotAcquired {
+        /// Tenant of the batch the slot will work on; `None` on the
+        /// transient (scoped-thread) pool, which has no scheduler.
+        tenant: Option<String>,
+    },
     /// A pool worker slot finished its share of a dispatch.
     SlotReleased,
+    /// A tagged stage batch was registered on the pool's shared
+    /// ready-queue (not yet running).
+    StageReady {
+        /// Tenant that submitted the batch.
+        tenant: String,
+        /// Workflow name.
+        workflow: String,
+        /// Zero-based stage index within the workflow.
+        stage: usize,
+        /// Tasks in the batch.
+        tasks: usize,
+    },
+    /// The scheduler admitted a registered stage batch: its first task
+    /// was claimed by a worker (or by dispatcher caller-help).
+    StageAdmitted {
+        /// Tenant that submitted the batch.
+        tenant: String,
+        /// Workflow name.
+        workflow: String,
+        /// Zero-based stage index within the workflow.
+        stage: usize,
+    },
     /// A batch of tasks was pushed onto the pool queue.
     TasksEnqueued {
         /// Tasks in this dispatch.
         tasks: usize,
-        /// Queue depth right after the push (queued closures,
-        /// including these).
+        /// Queue depth right after the push (unclaimed tasks across
+        /// all registered batches, including these).
         queue_depth: usize,
     },
     /// A task attempt was picked up; `wait` is enqueue → start.
@@ -301,8 +327,10 @@ impl TraceEventData {
             TraceEventData::SpeculativeLost { .. } => "speculative_lost",
             TraceEventData::SpillRunSealed { .. } => "spill_run_sealed",
             TraceEventData::ShuffleCompleted { .. } => "shuffle_completed",
-            TraceEventData::SlotAcquired => "slot_acquired",
+            TraceEventData::SlotAcquired { .. } => "slot_acquired",
             TraceEventData::SlotReleased => "slot_released",
+            TraceEventData::StageReady { .. } => "stage_ready",
+            TraceEventData::StageAdmitted { .. } => "stage_admitted",
             TraceEventData::TasksEnqueued { .. } => "tasks_enqueued",
             TraceEventData::QueueWaited { .. } => "queue_waited",
         }
@@ -384,11 +412,18 @@ impl TraceEventData {
             TraceEventData::ShuffleCompleted { job, runs, .. } => {
                 Some(format!("shuffle_completed job={job} runs={runs}"))
             }
+            // Scheduler events (StageReady/StageAdmitted/Slot*) are
+            // operational: whether a stage batch is even registered
+            // depends on the inline fast path, and admission order on
+            // tenant timing — so none of them may enter the logical
+            // stream the parallelism-invariance tests pin.
             TraceEventData::SpeculativeLaunched { .. }
             | TraceEventData::SpeculativeWon { .. }
             | TraceEventData::SpeculativeLost { .. }
-            | TraceEventData::SlotAcquired
+            | TraceEventData::SlotAcquired { .. }
             | TraceEventData::SlotReleased
+            | TraceEventData::StageReady { .. }
+            | TraceEventData::StageAdmitted { .. }
             | TraceEventData::TasksEnqueued { .. }
             | TraceEventData::QueueWaited { .. } => None,
         }
@@ -516,7 +551,36 @@ impl TraceEventData {
                 push("runs", Json::Num(*runs as f64));
                 push("wall_ms", dur_ms(*wall));
             }
-            TraceEventData::SlotAcquired | TraceEventData::SlotReleased => {}
+            TraceEventData::SlotAcquired { tenant } => {
+                push(
+                    "tenant",
+                    match tenant {
+                        Some(t) => Json::str(t),
+                        None => Json::Null,
+                    },
+                );
+            }
+            TraceEventData::SlotReleased => {}
+            TraceEventData::StageReady {
+                tenant,
+                workflow,
+                stage,
+                tasks,
+            } => {
+                push("tenant", Json::str(tenant));
+                push("workflow", Json::str(workflow));
+                push("stage", Json::Num(*stage as f64));
+                push("tasks", Json::Num(*tasks as f64));
+            }
+            TraceEventData::StageAdmitted {
+                tenant,
+                workflow,
+                stage,
+            } => {
+                push("tenant", Json::str(tenant));
+                push("workflow", Json::str(workflow));
+                push("stage", Json::Num(*stage as f64));
+            }
             TraceEventData::TasksEnqueued { tasks, queue_depth } => {
                 push("tasks", Json::Num(*tasks as f64));
                 push("queue_depth", Json::Num(*queue_depth as f64));
@@ -858,9 +922,34 @@ pub struct Speculation {
     pub saved: Option<Duration>,
 }
 
+/// Per-tenant scheduler activity aggregated from the dispatcher's
+/// decision-point events ([`StageReady`], [`StageAdmitted`], and
+/// tenant-tagged [`SlotAcquired`]).
+///
+/// [`StageReady`]: TraceEventData::StageReady
+/// [`StageAdmitted`]: TraceEventData::StageAdmitted
+/// [`SlotAcquired`]: TraceEventData::SlotAcquired
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub tenant: String,
+    /// Stage batches the tenant registered on the shared scheduler.
+    pub stages_submitted: usize,
+    /// Registered batches whose first task was claimed.
+    pub stages_admitted: usize,
+    /// Tasks across all registered batches.
+    pub tasks_submitted: usize,
+    /// Task claims executed under this tenant (slot acquisitions).
+    pub tasks_dispatched: usize,
+    /// Total ready→admitted wait across the tenant's stages — how
+    /// long its batches sat behind other tenants' work.
+    pub admission_wait: Duration,
+}
+
 /// Post-run analyzer over a recorded event stream: per-worker
 /// timelines, per-stage critical path vs. sum-of-walls, reduce-load
-/// skew, speculation attribution, and queue-wait percentiles.
+/// skew, speculation attribution, queue-wait percentiles, and
+/// per-tenant scheduler activity.
 ///
 /// Build it from [`TraceRecorder::events`], then render with
 /// [`TraceReport::to_text`] or export with [`TraceReport::to_json`].
@@ -872,6 +961,7 @@ pub struct TraceReport {
     jobs: Vec<JobSummary>,
     speculation: Vec<Speculation>,
     queue_waits_ms: Vec<f64>,
+    tenants: Vec<TenantSummary>,
 }
 
 impl TraceReport {
@@ -886,6 +976,23 @@ impl TraceReport {
         let mut lost: BTreeMap<(String, &'static str, usize), Duration> = BTreeMap::new();
         let mut launched: Vec<(String, FaultKind, usize)> = Vec::new();
         let mut queue_waits_ms: Vec<f64> = Vec::new();
+        let mut tenant_map: BTreeMap<String, TenantSummary> = BTreeMap::new();
+        let mut stage_ready_at: BTreeMap<(String, String, usize), Duration> = BTreeMap::new();
+
+        fn tenant_entry<'a>(
+            map: &'a mut BTreeMap<String, TenantSummary>,
+            tenant: &str,
+        ) -> &'a mut TenantSummary {
+            map.entry(tenant.to_string())
+                .or_insert_with(|| TenantSummary {
+                    tenant: tenant.to_string(),
+                    stages_submitted: 0,
+                    stages_admitted: 0,
+                    tasks_submitted: 0,
+                    tasks_dispatched: 0,
+                    admission_wait: Duration::ZERO,
+                })
+        }
 
         fn kind_str(kind: FaultKind) -> &'static str {
             match kind {
@@ -964,6 +1071,37 @@ impl TraceReport {
                 TraceEventData::QueueWaited { wait, .. } => {
                     queue_waits_ms.push(wait.as_secs_f64() * 1e3);
                 }
+                TraceEventData::StageReady {
+                    tenant,
+                    workflow,
+                    stage,
+                    tasks,
+                } => {
+                    let s = tenant_entry(&mut tenant_map, tenant);
+                    s.stages_submitted += 1;
+                    s.tasks_submitted += *tasks;
+                    stage_ready_at
+                        .entry((tenant.clone(), workflow.clone(), *stage))
+                        .or_insert(event.at);
+                }
+                TraceEventData::StageAdmitted {
+                    tenant,
+                    workflow,
+                    stage,
+                } => {
+                    let s = tenant_entry(&mut tenant_map, tenant);
+                    s.stages_admitted += 1;
+                    if let Some(ready) =
+                        stage_ready_at.get(&(tenant.clone(), workflow.clone(), *stage))
+                    {
+                        s.admission_wait += event.at.checked_sub(*ready).unwrap_or_default();
+                    }
+                }
+                TraceEventData::SlotAcquired {
+                    tenant: Some(tenant),
+                } => {
+                    tenant_entry(&mut tenant_map, tenant).tasks_dispatched += 1;
+                }
                 _ => {}
             }
         }
@@ -1000,6 +1138,7 @@ impl TraceReport {
             jobs,
             speculation,
             queue_waits_ms,
+            tenants: tenant_map.into_values().collect(),
         }
     }
 
@@ -1054,6 +1193,13 @@ impl TraceReport {
     /// Resolved speculation races, in launch order.
     pub fn speculation(&self) -> &[Speculation] {
         &self.speculation
+    }
+
+    /// Per-tenant scheduler activity, sorted by tenant name. Empty
+    /// when no tenant-tagged batch was registered (inline execution,
+    /// or tracing attached below the workflow layer).
+    pub fn tenants(&self) -> &[TenantSummary] {
+        &self.tenants
     }
 
     /// Queue-wait percentiles, or `None` when no task was pool-queued
@@ -1191,6 +1337,25 @@ impl TraceReport {
             )),
             None => out.push_str("  (no pool-queued tasks)\n"),
         }
+
+        out.push_str("\ntenants\n");
+        if self.tenants.is_empty() {
+            out.push_str("  (no tenant-tagged scheduler activity)\n");
+        }
+        for tenant in &self.tenants {
+            let mean_wait_ms = if tenant.stages_admitted > 0 {
+                tenant.admission_wait.as_secs_f64() * 1e3 / tenant.stages_admitted as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {}: {} stages submitted ({} admitted), {} tasks dispatched, mean admission wait {mean_wait_ms:.3} ms\n",
+                tenant.tenant,
+                tenant.stages_submitted,
+                tenant.stages_admitted,
+                tenant.tasks_dispatched
+            ));
+        }
         out
     }
 
@@ -1263,6 +1428,21 @@ impl TraceReport {
             ]),
             None => Json::Null,
         };
+        let tenants = Json::Arr(
+            self.tenants
+                .iter()
+                .map(|t| {
+                    Json::obj([
+                        ("tenant", Json::str(&t.tenant)),
+                        ("stages_submitted", Json::Num(t.stages_submitted as f64)),
+                        ("stages_admitted", Json::Num(t.stages_admitted as f64)),
+                        ("tasks_submitted", Json::Num(t.tasks_submitted as f64)),
+                        ("tasks_dispatched", Json::Num(t.tasks_dispatched as f64)),
+                        ("admission_wait_ms", dur_ms(t.admission_wait)),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        );
         Json::obj([
             ("total_ms", dur_ms(self.total)),
             ("events", events),
@@ -1270,6 +1450,7 @@ impl TraceReport {
             ("jobs", jobs),
             ("speculation", speculation),
             ("queue_wait", queue_wait),
+            ("tenants", tenants),
         ])
     }
 }
@@ -1357,7 +1538,7 @@ mod tests {
             );
         }
         let operational = [
-            TraceEventData::SlotAcquired,
+            TraceEventData::SlotAcquired { tenant: None },
             TraceEventData::SlotReleased,
             TraceEventData::TasksEnqueued {
                 tasks: 4,
@@ -1415,12 +1596,12 @@ mod tests {
         let recorder = Arc::new(TraceRecorder::new());
         let off = Tracer::off();
         assert!(!off.is_on());
-        off.emit(None, TraceEventData::SlotAcquired);
+        off.emit(None, TraceEventData::SlotAcquired { tenant: None });
         assert!(recorder.is_empty());
 
         let on = Tracer::new(recorder.clone() as Arc<dyn TraceSink>);
         assert!(on.is_on());
-        on.emit(Some(2), TraceEventData::SlotAcquired);
+        on.emit(Some(2), TraceEventData::SlotAcquired { tenant: None });
         on.emit_with(None, || TraceEventData::TasksEnqueued {
             tasks: 3,
             queue_depth: 3,
@@ -1479,7 +1660,7 @@ mod tests {
             sink.record(&TraceEvent {
                 at: ms(0),
                 slot: None,
-                data: TraceEventData::SlotAcquired,
+                data: TraceEventData::SlotAcquired { tenant: None },
             });
         }
         sink.record(&TraceEvent {
@@ -1792,7 +1973,7 @@ mod tests {
                 runs: 1,
                 wall: ms(1),
             },
-            TraceEventData::SlotAcquired,
+            TraceEventData::SlotAcquired { tenant: None },
             TraceEventData::SlotReleased,
             TraceEventData::TasksEnqueued {
                 tasks: 1,

@@ -38,7 +38,7 @@ use crate::fault::{FaultPlan, FaultPolicy};
 use crate::input::Partitions;
 use crate::mapper::Mapper;
 use crate::metrics::JobMetrics;
-use crate::pool::WorkerPool;
+use crate::pool::{BatchTag, WorkerPool};
 use crate::reducer::Reducer;
 use crate::trace::{TraceEventData, TraceSink, Tracer};
 
@@ -84,6 +84,13 @@ pub fn ensure_same_shape<K1, V1, K2, V2>(
 /// stage completed to obtain the rolled-up [`WorkflowMetrics`].
 pub struct Workflow {
     name: String,
+    /// Tenant this workflow's stage batches are attributed to on the
+    /// shared pool's ready-queue — the identity the dispatcher's
+    /// [`crate::pool::SchedulingPolicy::FairShare`] balances across
+    /// and [`crate::pool::PoolStats::per_tenant_inflight`] reports.
+    /// Defaults to `"default"`; purely operational (never changes
+    /// output).
+    tenant: Arc<str>,
     started: Instant,
     /// Partition count established by the first chained stage.
     partitions: Option<usize>,
@@ -113,6 +120,7 @@ impl std::fmt::Debug for Workflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Workflow")
             .field("name", &self.name)
+            .field("tenant", &self.tenant)
             .field("partitions", &self.partitions)
             .field("stages", &self.stages)
             .field("pool", &self.pool)
@@ -132,6 +140,7 @@ impl Workflow {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
+            tenant: Arc::from("default"),
             started: Instant::now(),
             partitions: None,
             stages: Vec::new(),
@@ -163,6 +172,26 @@ impl Workflow {
     /// The persistent pool this workflow is bound to, if any.
     pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
         self.pool.as_ref()
+    }
+
+    /// Attributes this workflow's stage batches to `tenant` on the
+    /// shared pool's ready-queue. The tenant id is what
+    /// [`crate::pool::SchedulingPolicy::FairShare`] balances across,
+    /// what [`crate::pool::PoolStats`] breaks inflight work down by,
+    /// and what the per-tenant section of
+    /// [`crate::trace::TraceReport`] aggregates on. Scheduling is
+    /// purely operational: output is byte-identical under any tenant
+    /// labeling.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<Arc<str>>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// The tenant this workflow's stages are attributed to
+    /// (`"default"` unless [`Workflow::with_tenant`] was called).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// Caps this workflow's stages to at most `cap` concurrently used
@@ -305,17 +334,27 @@ impl Workflow {
         M::VOut: Sync,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
     {
+        let stage = self.stages.len();
+        // Every task batch this stage dispatches carries the
+        // (tenant, workflow, stage) identity the operation-level
+        // dispatcher schedules on, plus the job's pair-count weight
+        // hint for shortest-remaining-work ordering.
+        let tag = BatchTag::new(
+            Arc::clone(&self.tenant),
+            self.name.as_str(),
+            stage,
+            job.weight_hint(),
+        );
         let pool = self
             .pool
             .as_ref()
-            .map(|pool| (pool.as_ref(), self.parallelism_cap));
+            .map(|pool| (pool.as_ref(), self.parallelism_cap, tag));
         // The workflow's start instant is the shared epoch, so stage
         // and task events of consecutive stages land on one timeline.
         let tracer = self
             .trace_sink
             .as_ref()
             .map(|sink| Tracer::with_epoch(Arc::clone(sink), self.started));
-        let stage = self.stages.len();
         let stage_start = Instant::now();
         if let Some(t) = &tracer {
             t.emit_with(None, || TraceEventData::StageStarted {
@@ -475,6 +514,149 @@ impl WorkflowMetrics {
     /// across all stages.
     pub fn speculative_won(&self) -> u64 {
         self.stages.iter().map(|s| s.speculative_won).sum()
+    }
+}
+
+/// Handle to a stage node registered on a [`StageGraph`], used to
+/// declare dependency edges of later nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// One registered stage node: its display name, the nodes whose
+/// completion it waits on, and the deferred body that dispatches its
+/// task sets when the node is admitted.
+struct GraphNode<'a, E> {
+    name: String,
+    deps: Vec<NodeId>,
+    run: Option<Box<dyn FnOnce(&mut Workflow) -> Result<(), E> + 'a>>,
+}
+
+/// A workflow compiled to a DAG of stage nodes instead of an eager
+/// loop.
+///
+/// The scenario drivers (`run_er_in`, the Sorted Neighborhood
+/// drivers, …) historically drove their stages to completion inline:
+/// build job 1, run it, build job 2 from its outputs, run it. A
+/// `StageGraph` separates *declaring* the stage structure from
+/// *executing* it: each stage registers as a [`StageGraph::node`]
+/// with explicit dependency edges, and [`StageGraph::run`] admits
+/// nodes in dependency order — a node's body fires only once every
+/// upstream node completed, and each body hands its task batches to
+/// the pool's central ready-queue (tagged with the workflow's
+/// tenant) rather than owning the pool until the stage finishes.
+/// That is what lets stages of *different* workflows interleave on
+/// the shared pool: while this graph waits on one stage's fence,
+/// the pool's workers are free to pull batches of any other tenant.
+///
+/// # Determinism
+///
+/// Admission order is deterministic: among ready nodes, insertion
+/// order wins. Since a node's dependencies must be `NodeId`s the
+/// same graph returned earlier, the graph is acyclic by
+/// construction and insertion order is always a valid topological
+/// order — so a linear chain executes exactly as the eager loop
+/// did, and outputs stay byte-identical.
+///
+/// Intermediate results flow between nodes through captured slots
+/// (e.g. `RefCell<Option<T>>`): an upstream node fills the slot, a
+/// downstream node takes it. The dependency edge guarantees the
+/// fill happens before the take.
+///
+/// # Errors
+///
+/// The first node body returning `Err` aborts the run; downstream
+/// nodes never fire. Node bodies of *other* workflows (other
+/// `StageGraph`s on other threads) are unaffected — failure
+/// isolation across tenants is the pool's concern and holds
+/// regardless (see [`crate::pool::WorkerPool`]).
+pub struct StageGraph<'a, E> {
+    nodes: Vec<GraphNode<'a, E>>,
+}
+
+impl<E> std::fmt::Debug for StageGraph<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<(&str, &[NodeId])> = self
+            .nodes
+            .iter()
+            .map(|n| (n.name.as_str(), n.deps.as_slice()))
+            .collect();
+        f.debug_struct("StageGraph").field("nodes", &names).finish()
+    }
+}
+
+impl<'a, E> Default for StageGraph<'a, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, E> StageGraph<'a, E> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Registers a stage node named `name` that runs `body` once
+    /// every node in `deps` has completed. Returns the node's handle
+    /// for downstream dependency edges.
+    ///
+    /// # Panics
+    /// If `deps` contains a handle this graph did not return (the
+    /// only way to name a not-yet-registered node, which would make
+    /// the graph cyclic).
+    pub fn node(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[NodeId],
+        body: impl FnOnce(&mut Workflow) -> Result<(), E> + 'a,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for dep in deps {
+            assert!(
+                dep.0 < id.0,
+                "dependency {dep:?} is not a node of this graph"
+            );
+        }
+        self.nodes.push(GraphNode {
+            name: name.into(),
+            deps: deps.to_vec(),
+            run: Some(Box::new(body)),
+        });
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Executes the graph on `workflow`: repeatedly admits the first
+    /// registered node whose dependencies have all completed, until
+    /// every node ran or a body failed.
+    pub fn run(mut self, workflow: &mut Workflow) -> Result<(), E> {
+        let total = self.nodes.len();
+        let mut completed = vec![false; total];
+        for _ in 0..total {
+            let ready = (0..total).find(|&i| {
+                !completed[i]
+                    && self.nodes[i].run.is_some()
+                    && self.nodes[i].deps.iter().all(|d| completed[d.0])
+            });
+            let Some(i) = ready else {
+                // Unreachable: acyclic by construction, so some
+                // uncompleted node always has its deps met.
+                unreachable!("stage graph admitted no node with {total} pending");
+            };
+            let body = self.nodes[i].run.take().expect("node admitted twice");
+            body(workflow)?;
+            completed[i] = true;
+        }
+        Ok(())
     }
 }
 
@@ -667,6 +849,76 @@ mod tests {
     #[should_panic(expected = "cap must be at least 1")]
     fn zero_parallelism_cap_is_rejected() {
         let _ = Workflow::new("bad").with_parallelism_cap(0);
+    }
+
+    #[test]
+    fn stage_graph_admits_in_dependency_order_and_threads_results() {
+        use std::cell::RefCell;
+        let order = RefCell::new(Vec::new());
+        let slot: RefCell<Option<u32>> = RefCell::new(None);
+        let mut graph: StageGraph<'_, MrError> = StageGraph::new();
+        let a = graph.node("a", &[], |_| {
+            order.borrow_mut().push("a");
+            *slot.borrow_mut() = Some(7);
+            Ok(())
+        });
+        let b = graph.node("b", &[a], |_| {
+            order.borrow_mut().push("b");
+            Ok(())
+        });
+        // A diamond: c depends on a only, d joins b and c.
+        let c = graph.node("c", &[a], |_| {
+            order.borrow_mut().push("c");
+            Ok(())
+        });
+        graph.node("d", &[b, c], |_| {
+            let upstream = slot.borrow_mut().take().expect("a must have run");
+            assert_eq!(upstream, 7);
+            order.borrow_mut().push("d");
+            Ok(())
+        });
+        assert_eq!(graph.len(), 4);
+        let mut wf = Workflow::new("graph");
+        graph.run(&mut wf).unwrap();
+        // Insertion order among ready nodes is the deterministic
+        // admission order.
+        assert_eq!(*order.borrow(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn stage_graph_failure_stops_downstream_nodes() {
+        use std::cell::Cell;
+        let downstream_ran = Cell::new(false);
+        let mut graph: StageGraph<'_, &'static str> = StageGraph::new();
+        let a = graph.node("fails", &[], |_| Err("boom"));
+        graph.node("after", &[a], |_| {
+            downstream_ran.set(true);
+            Ok(())
+        });
+        let mut wf = Workflow::new("graph");
+        assert_eq!(graph.run(&mut wf), Err("boom"));
+        assert!(
+            !downstream_ran.get(),
+            "downstream of a failure must not fire"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a node of this graph")]
+    fn stage_graph_rejects_foreign_dependency_handles() {
+        let mut foreign: StageGraph<'_, ()> = StageGraph::new();
+        foreign.node("x", &[], |_| Ok(()));
+        let other = foreign.node("y", &[], |_| Ok(()));
+        let mut graph: StageGraph<'_, ()> = StageGraph::new();
+        graph.node("first", &[other], |_| Ok(()));
+    }
+
+    #[test]
+    fn workflow_tenant_defaults_and_overrides() {
+        let wf = Workflow::new("wf");
+        assert_eq!(wf.tenant(), "default");
+        let wf = Workflow::new("wf").with_tenant("team-a");
+        assert_eq!(wf.tenant(), "team-a");
     }
 
     #[test]

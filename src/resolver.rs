@@ -375,14 +375,42 @@ impl Outcome {
 /// one [`SnConfig`] template synced with the runtime's
 /// [`RuntimeConfig`](mr_engine::runtime::RuntimeConfig), so a compiled
 /// scenario is *exactly* what the legacy entry point would have built.
+///
+/// # Concurrency contract
+///
+/// `Resolver` is `Send + Sync` (asserted at compile time):
+/// [`Resolver::resolve`] may be called from any number of threads at
+/// once — on one shared resolver, or on per-tenant clones of it
+/// (cloning is cheap; the configs are `Arc`-backed). Concurrent
+/// resolves interleave stage-by-stage on the runtime's pool under its
+/// [`SchedulingPolicy`](mr_engine::pool::SchedulingPolicy), and each
+/// produces the same [`Outcome`] — byte-identical result, exact
+/// per-workflow metrics — it would produce running alone. Give each
+/// tenant's clone its own [`Resolver::with_tenant`] label to make
+/// fair-share scheduling, [`mr_engine::pool::PoolStats`], and the
+/// per-tenant trace report section attribute work correctly. One
+/// tenant's failure (even an injected panic) never stalls another's
+/// dispatch — see [`Runtime`]'s concurrency contract.
 #[derive(Clone)]
 pub struct Resolver<'rt> {
     runtime: &'rt Runtime,
     er: ErConfig,
     sn: SnConfig,
+    /// Tenant label this session's workflows are attributed to on the
+    /// shared pool; `None` uses the pool's `"default"` tenant.
+    tenant: Option<Arc<str>>,
     /// Session-level trace sink; overrides the runtime's when set.
     trace_sink: Option<Arc<dyn TraceSink>>,
 }
+
+/// Compile-time pin of the concurrency contract: sessions must stay
+/// shareable across threads so one runtime can serve many concurrent
+/// tenants.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Resolver<'_>>();
+    assert_send_sync::<Scenario>();
+};
 
 // Manual: `dyn TraceSink` carries no `Debug` bound.
 impl std::fmt::Debug for Resolver<'_> {
@@ -407,6 +435,7 @@ impl<'rt> Resolver<'rt> {
             // The strategy placeholders are overwritten per scenario.
             er: ErConfig::new(StrategyKind::Basic).with_runtime(shared),
             sn: SnConfig::new(SnStrategy::JobSn).with_runtime(shared),
+            tenant: None,
             trace_sink: None,
         }
     }
@@ -547,6 +576,23 @@ impl<'rt> Resolver<'rt> {
         self
     }
 
+    /// Labels every workflow this session resolves with `tenant` on
+    /// the runtime's shared pool — the identity fair-share scheduling
+    /// balances across, [`mr_engine::pool::PoolStats`] reports
+    /// inflight work by, and the trace report's per-tenant section
+    /// aggregates on. Typical use: clone one configured resolver per
+    /// tenant and give each clone its own label. Purely operational —
+    /// outputs are byte-identical under any labeling.
+    pub fn with_tenant(mut self, tenant: impl Into<Arc<str>>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The tenant label of this session, if one is set.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
     /// Attaches a [`TraceSink`] receiving structured execution events
     /// (task attempts, retries, speculation, spills, pool scheduling;
     /// see [`mr_engine::trace`]) from every scenario this session
@@ -627,6 +673,9 @@ impl<'rt> Resolver<'rt> {
         workflow = workflow
             .with_fault_policy(self.er.fault_policy())
             .with_fault_plan(self.er.fault_plan().clone());
+        if let Some(tenant) = &self.tenant {
+            workflow = workflow.with_tenant(Arc::clone(tenant));
+        }
         if let Some(sink) = &self.trace_sink {
             workflow = workflow.with_trace_sink(Arc::clone(sink));
         }
