@@ -17,6 +17,9 @@
 //!   the allocation-free O(b²) compare loop,
 //! * the [`pairs`] enumeration arithmetic shared by PairRange and the
 //!   analytic workload model,
+//! * [`minhash`] signatures and banded LSH primitives (shingle sets,
+//!   seeded [`MinHasher`] families, band digests and the banding
+//!   S-curve), consumed by the er-lsh blocking family,
 //! * [`sortkey`] primitives for Sorted Neighborhood blocking: sort-key
 //!   derivation and an order-preserving [`RangePartitioner`] built
 //!   from a sampled key distribution (consumed by the er-sn crate).
@@ -26,6 +29,7 @@ pub mod blocking;
 pub mod entity;
 pub mod io;
 pub mod matcher;
+pub mod minhash;
 pub mod pairs;
 pub mod result;
 pub mod similarity;
@@ -35,6 +39,9 @@ pub use arena::{PreparedArena, PreparedId};
 pub use blocking::{BlockKey, BlockingFunction, ConstantBlocking, PrefixBlocking};
 pub use entity::{Entity, EntityId, EntityRef, SourceId};
 pub use matcher::{MatchRule, Matcher, MatcherCache, PreparedEntity, PreparedHandle};
+pub use minhash::{
+    band_hash, banding_probability, estimate_jaccard, shingle_hashes, MinHasher, ShingleScheme,
+};
 pub use result::{GoldStandard, MatchPair, MatchResult, QualityReport};
 pub use similarity::{
     CosineTokens, Jaccard, JaroWinkler, MongeElkan, NGram, NormalizedLevenshtein, Prepared,

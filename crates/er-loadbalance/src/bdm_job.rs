@@ -81,7 +81,21 @@ pub fn bdm_job(
     parallelism: usize,
     use_combiner: bool,
 ) -> Job<BdmMapper, BdmReducer> {
-    let mut builder = Job::builder("bdm", BdmMapper::new(blocking), BdmReducer::default())
+    bdm_job_named("bdm", blocking, reduce_tasks, parallelism, use_combiner)
+}
+
+/// [`bdm_job`] under a caller-chosen job name — for workflows that run
+/// the distribution job more than once (e.g. er-lsh's adaptive rounds,
+/// one signature job per `(bands, rows)` rung) and need the rounds
+/// distinguishable in the stage metrics.
+pub fn bdm_job_named(
+    name: &str,
+    blocking: Arc<dyn BlockingFunction>,
+    reduce_tasks: usize,
+    parallelism: usize,
+    use_combiner: bool,
+) -> Job<BdmMapper, BdmReducer> {
+    let mut builder = Job::builder(name, BdmMapper::new(blocking), BdmReducer::default())
         .reduce_tasks(reduce_tasks)
         .parallelism(parallelism)
         .partitioner(FnPartitioner::new(|key: &BdmKey, r: usize| {
@@ -114,8 +128,33 @@ pub fn compute_bdm_in(
     use_combiner: bool,
     spill_threshold: Option<usize>,
 ) -> Result<BdmProducts, MrError> {
+    compute_bdm_named_in(
+        workflow,
+        "bdm",
+        input,
+        blocking,
+        reduce_tasks,
+        parallelism,
+        use_combiner,
+        spill_threshold,
+    )
+}
+
+/// [`compute_bdm_in`] under a caller-chosen stage name (see
+/// [`bdm_job_named`]).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_bdm_named_in(
+    workflow: &mut Workflow,
+    name: &str,
+    input: Partitions<(), Ent>,
+    blocking: Arc<dyn BlockingFunction>,
+    reduce_tasks: usize,
+    parallelism: usize,
+    use_combiner: bool,
+    spill_threshold: Option<usize>,
+) -> Result<BdmProducts, MrError> {
     let m = input.len();
-    let job = bdm_job(blocking, reduce_tasks, parallelism, use_combiner)
+    let job = bdm_job_named(name, blocking, reduce_tasks, parallelism, use_combiner)
         .with_spill_threshold(spill_threshold);
     let out = workflow.chained_stage(&job, input)?;
     let bdm = BlockDistributionMatrix::from_counts(

@@ -1,0 +1,249 @@
+//! # er-lsh — banded-MinHash blocking as a MapReduce workload
+//!
+//! The engine's third blocking family, next to disjoint key blocking
+//! (er-loadbalance) and Sorted Neighborhood (er-sn): entities are
+//! shingled and MinHash-signed ([`er_core::minhash`]), the signature
+//! is cut into `bands × rows`, and each band's digest becomes a
+//! *blocking key* `b<band>:<digest>` — so the whole banded key space
+//! rides the existing machinery:
+//!
+//! * the **signature job** is the block-distribution-matrix job run
+//!   under [`LshBlocking`]: it emits one `(band key, partition)` count
+//!   per band replica and side-writes the band-annotated entities,
+//!   yielding the exact per-bucket pair counts of the banded key
+//!   space;
+//! * the **candidate job** is BlockSplit/PairRange over that BDM:
+//!   oversized buckets (near-duplicate clusters that collide in many
+//!   bands) are split into balanced sub-tasks exactly as the paper
+//!   splits skewed blocks;
+//! * **cross-band dedup is free**: every replica carries all of its
+//!   entity's band keys, and the reducers' smallest-common-block gate
+//!   ([`er_loadbalance::Keyed::should_compare_in`]) evaluates a pair
+//!   only in its lexicographically smallest shared band — the
+//!   smallest-band-wins analogue of multi-pass blocking, counted
+//!   under [`er_loadbalance::compare::MULTIPASS_SKIPPED`];
+//! * the **adaptive driver** ([`driver::run_lsh_in`]) walks a ladder
+//!   of `(bands, rows)` rungs from widest (highest recall, most
+//!   candidates) to tightest, running only the cheap signature job
+//!   per rung, until the enumerated candidate workload fits the
+//!   configured budget — each round reported in the workflow metrics.
+//!
+//! Both single-source dedup and two-source R×S linkage are supported;
+//! the facade crate serves them as `Scenario::Lsh`.
+
+pub mod driver;
+
+use er_core::blocking::{BlockKey, BlockingFunction};
+use er_core::minhash::{band_hash, banding_probability, shingle_hashes, MinHasher, ShingleScheme};
+use er_core::Entity;
+
+pub use driver::{
+    lsh_candidate_pairs, lsh_oracle, run_lsh, run_lsh_in, LshConfig, LshOutcome, LshRound,
+    LshStages,
+};
+
+/// Default seed of the MinHash family (stable across the workspace so
+/// signatures, tests and benches agree).
+pub const DEFAULT_LSH_SEED: u64 = 0x1CDE_2012;
+
+/// One banding configuration: `bands` bands of `rows` signature rows
+/// each (signature length `bands · rows`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshParams {
+    /// Number of bands — each a chance to collide.
+    pub bands: usize,
+    /// Rows per band — agreement demanded per chance.
+    pub rows: usize,
+}
+
+impl LshParams {
+    /// A `bands × rows` banding.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands >= 1 && rows >= 1, "need at least one band and row");
+        Self { bands, rows }
+    }
+
+    /// The signature length this banding consumes.
+    pub fn signature_len(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// The probability two entities of Jaccard similarity `s` share at
+    /// least one bucket — the banding S-curve
+    /// ([`er_core::minhash::banding_probability`]). This is the
+    /// *estimated recall at similarity `s`* the adaptive driver
+    /// reports per round.
+    pub fn collision_probability(&self, s: f64) -> f64 {
+        banding_probability(s, self.bands, self.rows)
+    }
+}
+
+impl std::fmt::Display for LshParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.bands, self.rows)
+    }
+}
+
+/// Banded-MinHash blocking: an entity's blocking keys are the digests
+/// of its signature bands, rendered as `b<band>:<digest hex>`. Plugged
+/// into [`er_loadbalance::Keyed::derive_all`], this replicates each
+/// entity into every band bucket it occupies — multi-pass blocking
+/// over the banded key space — and the smallest-common-block rule
+/// turns into *smallest-band-wins* exactly-once candidate dedup.
+#[derive(Debug, Clone)]
+pub struct LshBlocking {
+    params: LshParams,
+    hasher: MinHasher,
+    scheme: ShingleScheme,
+    attribute: String,
+}
+
+impl LshBlocking {
+    /// Banded blocking over `attribute` with the given shingle scheme
+    /// and MinHash seed.
+    pub fn new(
+        params: LshParams,
+        scheme: ShingleScheme,
+        attribute: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            params,
+            hasher: MinHasher::new(params.signature_len(), seed),
+            scheme,
+            attribute: attribute.into(),
+        }
+    }
+
+    /// The workspace default: character trigrams of `title` under
+    /// [`DEFAULT_LSH_SEED`].
+    pub fn title_trigrams(params: LshParams) -> Self {
+        Self::new(
+            params,
+            ShingleScheme::CharGrams(3),
+            "title",
+            DEFAULT_LSH_SEED,
+        )
+    }
+
+    /// The banding configuration.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The shingle scheme.
+    pub fn scheme(&self) -> ShingleScheme {
+        self.scheme
+    }
+
+    /// The attribute signatures are computed over.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The entity's MinHash signature, or `None` when the attribute is
+    /// missing or shingles to the empty set (such entities carry no
+    /// band keys and are counted under
+    /// [`er_loadbalance::bdm_job::NULL_KEY_ENTITIES`]).
+    pub fn signature(&self, entity: &Entity) -> Option<Vec<u64>> {
+        let text = entity.get(&self.attribute)?;
+        let shingles = shingle_hashes(text, self.scheme);
+        if shingles.is_empty() {
+            return None;
+        }
+        Some(self.hasher.signature(&shingles))
+    }
+
+    /// The band keys of a signature: one per band, zero-padded so the
+    /// lexicographic key order groups by band index first.
+    pub fn band_keys_of(&self, signature: &[u64]) -> Vec<BlockKey> {
+        (0..self.params.bands)
+            .map(|band| {
+                let digest = band_hash(signature, band, self.params.rows);
+                BlockKey::new(format!("b{band:03}:{digest:016x}"))
+            })
+            .collect()
+    }
+}
+
+impl BlockingFunction for LshBlocking {
+    fn key(&self, entity: &Entity) -> Option<BlockKey> {
+        self.keys(entity).into_iter().next()
+    }
+
+    fn keys(&self, entity: &Entity) -> Vec<BlockKey> {
+        match self.signature(entity) {
+            Some(sig) => self.band_keys_of(&sig),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: u64, title: &str) -> Entity {
+        Entity::new(id, [("title", title)])
+    }
+
+    #[test]
+    fn params_expose_signature_length_and_s_curve() {
+        let p = LshParams::new(16, 2);
+        assert_eq!(p.signature_len(), 32);
+        assert_eq!(p.to_string(), "16x2");
+        assert!(p.collision_probability(0.9) > p.collision_probability(0.3));
+        assert_eq!(p.collision_probability(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_bands_rejected() {
+        let _ = LshParams::new(0, 2);
+    }
+
+    #[test]
+    fn one_band_key_per_band_grouped_by_band_index() {
+        let blocking = LshBlocking::title_trigrams(LshParams::new(8, 4));
+        let keys = blocking.keys(&entity(1, "canon eos 5d mark iii"));
+        assert_eq!(keys.len(), 8);
+        for (band, key) in keys.iter().enumerate() {
+            assert!(
+                key.as_str().starts_with(&format!("b{band:03}:")),
+                "key {key} must carry its band index"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_titles_share_every_band_distinct_titles_rarely_any() {
+        let blocking = LshBlocking::title_trigrams(LshParams::new(16, 2));
+        let a = blocking.keys(&entity(1, "canon eos 5d mark iii"));
+        let b = blocking.keys(&entity(2, "canon eos 5d mark iii"));
+        assert_eq!(a, b, "equal text, equal buckets in every band");
+        let c = blocking.keys(&entity(3, "completely unrelated product"));
+        assert!(
+            a.iter().filter(|k| c.contains(k)).count() < a.len() / 2,
+            "unrelated text must not collide broadly"
+        );
+    }
+
+    #[test]
+    fn missing_or_empty_attribute_yields_no_keys() {
+        let blocking = LshBlocking::title_trigrams(LshParams::new(4, 2));
+        assert!(blocking.keys(&Entity::new(1, [("name", "x")])).is_empty());
+        assert!(blocking.keys(&entity(2, "   ")).is_empty());
+        assert!(blocking.key(&entity(3, "")).is_none());
+    }
+
+    #[test]
+    fn keys_are_deterministic_across_instances() {
+        let e = entity(7, "nikon d800 body only");
+        let a = LshBlocking::title_trigrams(LshParams::new(8, 2)).keys(&e);
+        let b = LshBlocking::title_trigrams(LshParams::new(8, 2)).keys(&e);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! LSH dedup: block by banded-MinHash signatures instead of key
+//! equality, on the same `Runtime`/`Resolver` session as every other
+//! scenario — then let the adaptive ladder tighten the banding until
+//! the candidate workload fits a budget.
+//!
+//! ```sh
+//! cargo run --release --example lsh_dedup
+//! ```
+
+use std::sync::Arc;
+
+use dedupe_mr::prelude::*;
+use er_datagen::duplicates::{perturb_title, rs_code, EditOps};
+use er_datagen::rng::stream_rng;
+use er_datagen::vocab::{block_prefix, PRODUCT_NOUNS, PRODUCT_QUALIFIERS};
+
+/// A corpus where textual similarity *is* duplicate-ness: distinct
+/// products carry distinct 13-char codes (far apart in trigram space),
+/// and every sixth product gets a near-duplicate with two character
+/// substitutions (trigram Jaccard well above the banding threshold).
+fn corpus(n: usize) -> (Vec<Ent>, GoldStandard) {
+    let mut entities = Vec::new();
+    let mut gold = Vec::new();
+    let mut id = 0u64;
+    for i in 0..n {
+        let title = format!(
+            "{} {} {} {}",
+            block_prefix(i % 25),
+            PRODUCT_QUALIFIERS[(i * 7) % PRODUCT_QUALIFIERS.len()],
+            PRODUCT_NOUNS[(i * 3) % PRODUCT_NOUNS.len()],
+            rs_code(i)
+        );
+        let original = Entity::new(id, [("title", title.as_str())]);
+        id += 1;
+        if i.is_multiple_of(6) {
+            let mut rng = stream_rng(2012, i as u64);
+            let (dup, _) = perturb_title(&mut rng, &title, 2, 4, EditOps::SubstituteOnly);
+            let duplicate = Entity::new(id, [("title", dup.as_str())]);
+            id += 1;
+            gold.push(MatchPair::new(
+                original.entity_ref(),
+                duplicate.entity_ref(),
+            ));
+            entities.push(Arc::new(duplicate) as Ent);
+        }
+        entities.push(Arc::new(original) as Ent);
+    }
+    (entities, GoldStandard::from_pairs(gold))
+}
+
+fn main() {
+    let (entities, gold) = corpus(1_200);
+    let n = entities.len();
+    let input = partition_evenly(entities.into_iter().map(|e| ((), e)).collect(), 4);
+    println!(
+        "corpus: {n} product offers, {} true duplicate pairs\n",
+        gold.len()
+    );
+
+    let runtime = Runtime::new(
+        RuntimeConfig::new()
+            .with_parallelism(4)
+            .with_reduce_tasks(8),
+    );
+    let resolver = Resolver::new(&runtime);
+
+    // 1. Fixed banding: 16 bands x 2 rows. The band digests become
+    //    ordinary BlockKeys, so the candidate space rides the same BDM
+    //    load balancing as BlockSplit/PairRange.
+    let params = LshParams { bands: 16, rows: 2 };
+    let lsh = resolver
+        .resolve(&Scenario::lsh(params), input.clone())
+        .unwrap();
+    let prefix = resolver
+        .resolve(
+            &Scenario::Dedup {
+                strategy: StrategyKind::BlockSplit,
+            },
+            input.clone(),
+        )
+        .unwrap();
+    let lsh_quality = QualityReport::evaluate(&lsh.result, &gold);
+    let prefix_quality = QualityReport::evaluate(&prefix.result, &gold);
+    println!("-- fixed banding {params} vs prefix blocking --");
+    println!(
+        "  LSH    : {:>7} comparisons, recall {:.3}, {} matches",
+        lsh.total_comparisons(),
+        lsh_quality.recall(),
+        lsh.result.len()
+    );
+    println!(
+        "  prefix : {:>7} comparisons, recall {:.3}, {} matches",
+        prefix.total_comparisons(),
+        prefix_quality.recall(),
+        prefix.result.len()
+    );
+
+    // 2. Adaptive: walk a (bands x rows) ladder until the measured
+    //    candidate count fits the budget; only the accepted rung pays
+    //    for similarity evaluation.
+    let budget = lsh.total_comparisons().saturating_sub(1).max(1);
+    let adaptive = resolver
+        .clone()
+        .with_lsh_ladder(vec![
+            LshParams { bands: 16, rows: 2 },
+            LshParams { bands: 8, rows: 4 },
+            LshParams { bands: 4, rows: 8 },
+        ])
+        .with_lsh_budget(Some(budget))
+        .resolve(&Scenario::lsh_adaptive(), input)
+        .unwrap();
+    println!("\n-- adaptive ladder (candidate budget {budget}) --");
+    for (i, round) in adaptive
+        .details
+        .lsh_rounds()
+        .expect("LSH reports its rounds")
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  round {}: {:>5}  {:>9} candidates  est recall {:.3}  {}",
+            i + 1,
+            round.params.to_string(),
+            round.candidate_pairs,
+            round.est_recall,
+            if round.accepted {
+                "accepted"
+            } else {
+                "over budget"
+            }
+        );
+    }
+    let accepted = adaptive.details.lsh_params().expect("a rung was accepted");
+    let adaptive_quality = QualityReport::evaluate(&adaptive.result, &gold);
+    println!(
+        "  -> matched with {accepted}: {} comparisons, recall {:.3}",
+        adaptive.total_comparisons(),
+        adaptive_quality.recall()
+    );
+    assert!(adaptive.total_comparisons() <= budget, "budget respected");
+}

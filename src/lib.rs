@@ -8,9 +8,11 @@
 //! matching, null-key handling and multi-pass blocking — together with
 //! every substrate the paper depends on: an in-process MapReduce
 //! runtime, an entity-resolution core (blocking, similarity,
-//! matching), the companion paper's Sorted Neighborhood subsystem,
-//! synthetic workload generators, and a virtual Hadoop cluster for
-//! paper-scale timing studies.
+//! matching), the companion paper's Sorted Neighborhood subsystem, an
+//! adaptive banded-MinHash (LSH) blocking family whose banded key
+//! space rides the same BDM load balancing, synthetic workload
+//! generators, and a virtual Hadoop cluster for paper-scale timing
+//! studies.
 //!
 //! ## One front door: `Runtime` + `Resolver`
 //!
@@ -66,6 +68,7 @@ pub use cluster_sim;
 pub use er_core;
 pub use er_datagen;
 pub use er_loadbalance;
+pub use er_lsh;
 pub use er_sn;
 pub use mr_engine;
 
@@ -101,6 +104,10 @@ pub mod prelude {
     pub use er_loadbalance::two_source::run_linkage;
     pub use er_loadbalance::{
         BlockDistributionMatrix, Ent, Keyed, RangePolicy, StrategyKind, WorkloadStats, COMPARISONS,
+    };
+    pub use er_lsh::{
+        lsh_candidate_pairs, lsh_oracle, run_lsh, LshBlocking, LshConfig, LshOutcome, LshParams,
+        LshRound,
     };
     pub use er_sn::{
         multipass_oracle_comparisons, multipass_sn_oracle, run_multipass_sn,

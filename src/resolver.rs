@@ -52,6 +52,8 @@ use er_loadbalance::block_split::SplitPolicy;
 use er_loadbalance::driver::run_er_in;
 use er_loadbalance::two_source::run_linkage_in;
 use er_loadbalance::{BlockDistributionMatrix, Ent, RangePolicy, StrategyKind};
+use er_lsh::driver::run_lsh_in;
+use er_lsh::{LshConfig, LshParams, LshRound};
 use er_sn::driver::run_sorted_neighborhood_in;
 use er_sn::multipass::run_multipass_sn_in;
 use er_sn::two_source::run_two_source_sn_in;
@@ -79,6 +81,7 @@ use er_loadbalance::ErConfig;
 /// | `SortedNeighborhood` (no passes) | `er_sn::run_sorted_neighborhood` |
 /// | `SortedNeighborhood` (explicit passes) | `er_sn::run_multipass_sn` |
 /// | `TwoSourceSn` | `er_sn::run_two_source_sn` |
+/// | `Lsh` | `er_lsh::run_lsh` |
 #[derive(Clone)]
 pub enum Scenario {
     /// Single-source deduplication via blocking (paper Figure 2) under
@@ -120,6 +123,25 @@ pub enum Scenario {
         /// One source tag per input partition.
         sources: Vec<SourceId>,
     },
+    /// Banded-MinHash (LSH) blocking, load-balanced over the banded
+    /// key space via the session's BlockSplit/PairRange configuration
+    /// (see [`Resolver::with_lsh_balance`]).
+    ///
+    /// With `params` fixed, one signature round runs under that
+    /// banding; with `params: None` the adaptive driver walks the
+    /// session's `(bands, rows)` ladder until the enumerated candidate
+    /// workload fits the configured budget (see
+    /// [`Resolver::with_lsh_ladder`] /
+    /// [`Resolver::with_lsh_budget`]), reporting every round in the
+    /// outcome's [`ScenarioDetails::Lsh`].
+    Lsh {
+        /// Fixed banding, or `None` for the adaptive ladder.
+        params: Option<LshParams>,
+        /// `None` deduplicates one source; `Some(tags)` links two
+        /// (`tags[p]` labels input partition `p`; only cross-source
+        /// pairs within shared band buckets are compared).
+        sources: Option<Vec<SourceId>>,
+    },
 }
 
 impl Scenario {
@@ -142,6 +164,32 @@ impl Scenario {
         }
     }
 
+    /// Single-source LSH deduplication under a fixed banding.
+    pub fn lsh(params: LshParams) -> Self {
+        Scenario::Lsh {
+            params: Some(params),
+            sources: None,
+        }
+    }
+
+    /// Single-source LSH deduplication under the session's adaptive
+    /// `(bands, rows)` ladder.
+    pub fn lsh_adaptive() -> Self {
+        Scenario::Lsh {
+            params: None,
+            sources: None,
+        }
+    }
+
+    /// Two-source LSH linkage (fixed banding when `params` is `Some`,
+    /// adaptive otherwise).
+    pub fn lsh_linkage(params: Option<LshParams>, sources: Vec<SourceId>) -> Self {
+        Scenario::Lsh {
+            params,
+            sources: Some(sources),
+        }
+    }
+
     /// The workflow name this scenario compiles to — identical to the
     /// name the matching legacy entry point uses, so metrics stay
     /// comparable across the old and new surface.
@@ -154,6 +202,10 @@ impl Scenario {
             }
             Scenario::SortedNeighborhood { strategy, .. } => format!("sn-multipass-{strategy}"),
             Scenario::TwoSourceSn { strategy, .. } => format!("sn-two-source-{strategy}"),
+            Scenario::Lsh { sources: None, .. } => "lsh".to_string(),
+            Scenario::Lsh {
+                sources: Some(_), ..
+            } => "lsh-linkage".to_string(),
         }
     }
 }
@@ -177,6 +229,11 @@ impl std::fmt::Debug for Scenario {
             Scenario::TwoSourceSn { strategy, sources } => f
                 .debug_struct("TwoSourceSn")
                 .field("strategy", strategy)
+                .field("sources", sources)
+                .finish(),
+            Scenario::Lsh { params, sources } => f
+                .debug_struct("Lsh")
+                .field("params", params)
                 .field("sources", sources)
                 .finish(),
         }
@@ -294,6 +351,19 @@ pub enum ScenarioDetails {
         /// Per-pass reports, in pass order.
         passes: Vec<SnPassReport>,
     },
+    /// Banded-MinHash scenarios ([`Scenario::Lsh`]).
+    Lsh {
+        /// The accepted banding.
+        params: LshParams,
+        /// One report per executed adaptive round, in ladder order.
+        rounds: Vec<LshRound>,
+        /// The accepted rung's band-bucket distribution matrix.
+        bdm: Arc<BlockDistributionMatrix>,
+        /// Metrics of the accepted signature job.
+        bdm_metrics: JobMetrics,
+        /// Metrics of the candidate/matching job.
+        match_metrics: JobMetrics,
+    },
 }
 
 impl ScenarioDetails {
@@ -303,15 +373,34 @@ impl ScenarioDetails {
     pub fn match_metrics(&self) -> Option<&JobMetrics> {
         match self {
             ScenarioDetails::Blocked { match_metrics, .. }
-            | ScenarioDetails::Sorted { match_metrics, .. } => Some(match_metrics),
+            | ScenarioDetails::Sorted { match_metrics, .. }
+            | ScenarioDetails::Lsh { match_metrics, .. } => Some(match_metrics),
             ScenarioDetails::MultiPass { .. } => None,
         }
     }
 
-    /// The Block Distribution Matrix, when the scenario computed one.
+    /// The Block Distribution Matrix, when the scenario computed one
+    /// (for LSH scenarios: the accepted rung's band-bucket matrix).
     pub fn bdm(&self) -> Option<&Arc<BlockDistributionMatrix>> {
         match self {
             ScenarioDetails::Blocked { bdm, .. } => bdm.as_ref(),
+            ScenarioDetails::Lsh { bdm, .. } => Some(bdm),
+            _ => None,
+        }
+    }
+
+    /// The accepted banding, for LSH scenarios.
+    pub fn lsh_params(&self) -> Option<LshParams> {
+        match self {
+            ScenarioDetails::Lsh { params, .. } => Some(*params),
+            _ => None,
+        }
+    }
+
+    /// Per-round adaptive reports, for LSH scenarios.
+    pub fn lsh_rounds(&self) -> Option<&[LshRound]> {
+        match self {
+            ScenarioDetails::Lsh { rounds, .. } => Some(rounds),
             _ => None,
         }
     }
@@ -396,6 +485,7 @@ pub struct Resolver<'rt> {
     runtime: &'rt Runtime,
     er: ErConfig,
     sn: SnConfig,
+    lsh: LshConfig,
     /// Tenant label this session's workflows are attributed to on the
     /// shared pool; `None` uses the pool's `"default"` tenant.
     tenant: Option<Arc<str>>,
@@ -419,6 +509,7 @@ impl std::fmt::Debug for Resolver<'_> {
             .field("runtime", &self.runtime)
             .field("er", &self.er)
             .field("sn", &self.sn)
+            .field("lsh", &self.lsh)
             .field("traced", &self.trace_sink.is_some())
             .finish_non_exhaustive()
     }
@@ -435,6 +526,7 @@ impl<'rt> Resolver<'rt> {
             // The strategy placeholders are overwritten per scenario.
             er: ErConfig::new(StrategyKind::Basic).with_runtime(shared),
             sn: SnConfig::new(SnStrategy::JobSn).with_runtime(shared),
+            lsh: LshConfig::new().with_runtime(shared),
             tenant: None,
             trace_sink: None,
         }
@@ -456,6 +548,7 @@ impl<'rt> Resolver<'rt> {
     /// distance ≥ 0.8 on `title`).
     pub fn with_matcher(mut self, matcher: Arc<Matcher>) -> Self {
         self.er = self.er.with_matcher(Arc::clone(&matcher));
+        self.lsh = self.lsh.with_matcher(Arc::clone(&matcher));
         self.sn = self.sn.with_matcher(matcher);
         self
     }
@@ -480,6 +573,7 @@ impl<'rt> Resolver<'rt> {
     /// independently.
     pub fn with_reduce_tasks(mut self, r: usize) -> Self {
         self.er = self.er.with_reduce_tasks(r);
+        self.lsh = self.lsh.with_reduce_tasks(r);
         self.sn = self.sn.with_partitions(r);
         self
     }
@@ -505,12 +599,14 @@ impl<'rt> Resolver<'rt> {
     /// Overrides the PairRange range formula.
     pub fn with_range_policy(mut self, policy: RangePolicy) -> Self {
         self.er = self.er.with_range_policy(policy);
+        self.lsh = self.lsh.with_range_policy(policy);
         self
     }
 
     /// Replaces the BlockSplit splitting policy.
     pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
         self.er.split_policy = policy;
+        self.lsh.split_policy = policy;
         self
     }
 
@@ -518,6 +614,7 @@ impl<'rt> Resolver<'rt> {
     /// entities.
     pub fn with_memory_cap(mut self, cap: u64) -> Self {
         self.er = self.er.with_memory_cap(cap);
+        self.lsh.split_policy = SplitPolicy::with_memory_cap(cap);
         self
     }
 
@@ -525,6 +622,7 @@ impl<'rt> Resolver<'rt> {
     pub fn with_use_combiner(mut self, use_combiner: bool) -> Self {
         self.er.use_combiner = use_combiner;
         self.sn.use_combiner = use_combiner;
+        self.lsh.use_combiner = use_combiner;
         self
     }
 
@@ -533,6 +631,7 @@ impl<'rt> Resolver<'rt> {
     pub fn with_count_only(mut self, count_only: bool) -> Self {
         self.er = self.er.with_count_only(count_only);
         self.sn = self.sn.with_count_only(count_only);
+        self.lsh = self.lsh.with_count_only(count_only);
         self
     }
 
@@ -541,6 +640,7 @@ impl<'rt> Resolver<'rt> {
     pub fn with_matcher_cache_capacity(mut self, capacity: Option<usize>) -> Self {
         self.er = self.er.with_matcher_cache_capacity(capacity);
         self.sn = self.sn.with_matcher_cache_capacity(capacity);
+        self.lsh = self.lsh.with_matcher_cache_capacity(capacity);
         self
     }
 
@@ -552,6 +652,7 @@ impl<'rt> Resolver<'rt> {
     pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
         self.er = self.er.with_spill_threshold(threshold);
         self.sn = self.sn.with_spill_threshold(threshold);
+        self.lsh = self.lsh.with_spill_threshold(threshold);
         self
     }
 
@@ -563,6 +664,7 @@ impl<'rt> Resolver<'rt> {
     pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
         self.er = self.er.with_fault_policy(policy);
         self.sn = self.sn.with_fault_policy(policy);
+        self.lsh = self.lsh.with_fault_policy(policy);
         self
     }
 
@@ -572,7 +674,59 @@ impl<'rt> Resolver<'rt> {
     /// coordinates. An empty plan (the default) injects nothing.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.er = self.er.with_fault_plan(plan.clone());
+        self.lsh = self.lsh.with_fault_plan(plan.clone());
         self.sn = self.sn.with_fault_plan(plan);
+        self
+    }
+
+    /// Replaces the LSH adaptive `(bands, rows)` ladder, widest rung
+    /// first — what [`Scenario::lsh_adaptive`] walks until the
+    /// candidate workload fits the budget.
+    pub fn with_lsh_ladder(mut self, ladder: Vec<LshParams>) -> Self {
+        self.lsh = self.lsh.with_ladder(ladder);
+        self
+    }
+
+    /// Sets the candidate budget the adaptive LSH rounds tighten
+    /// towards (`None`, the default, accepts the widest rung
+    /// immediately).
+    pub fn with_lsh_budget(mut self, budget: Option<u64>) -> Self {
+        self.lsh = self.lsh.with_candidate_budget(budget);
+        self
+    }
+
+    /// Sets the estimated-recall floor each adaptive LSH round is
+    /// scored against (default 0.8, evaluated at the target
+    /// similarity).
+    pub fn with_lsh_recall_floor(mut self, floor: f64) -> Self {
+        self.lsh = self.lsh.with_recall_floor(floor);
+        self
+    }
+
+    /// Overrides how the LSH candidate job balances the banded key
+    /// space (default: BlockSplit — oversized band buckets split into
+    /// balanced sub-tasks).
+    pub fn with_lsh_balance(mut self, balance: StrategyKind) -> Self {
+        self.lsh = self.lsh.with_balance(balance);
+        self
+    }
+
+    /// Overrides the LSH shingle scheme (default: character trigrams).
+    pub fn with_lsh_scheme(mut self, scheme: er_core::minhash::ShingleScheme) -> Self {
+        self.lsh = self.lsh.with_scheme(scheme);
+        self
+    }
+
+    /// Overrides the MinHash family seed.
+    pub fn with_lsh_seed(mut self, seed: u64) -> Self {
+        self.lsh = self.lsh.with_seed(seed);
+        self
+    }
+
+    /// Overrides the attribute LSH signatures are computed over
+    /// (default `title`).
+    pub fn with_lsh_attribute(mut self, attribute: impl Into<String>) -> Self {
+        self.lsh = self.lsh.with_attribute(attribute);
         self
     }
 
@@ -614,6 +768,17 @@ impl<'rt> Resolver<'rt> {
     /// The SN config this session would compile for `strategy`.
     pub fn sn_config(&self, strategy: SnStrategy) -> SnConfig {
         self.sn.clone().with_strategy(strategy)
+    }
+
+    /// The LSH config this session would compile — a one-rung ladder
+    /// when `params` fixes the banding, the session's adaptive ladder
+    /// otherwise. Exposed for oracles ([`er_lsh::lsh_oracle`]) and
+    /// tests.
+    pub fn lsh_config(&self, params: Option<LshParams>) -> LshConfig {
+        match params {
+            Some(p) => self.lsh.clone().with_params(p),
+            None => self.lsh.clone(),
+        }
     }
 
     /// Resolves one scenario over pre-partitioned input (each inner
@@ -741,6 +906,21 @@ impl<'rt> Resolver<'rt> {
                         sample_metrics: stages.sample_metrics,
                         match_metrics: stages.match_metrics,
                         stitch_metrics: stages.stitch_metrics,
+                    },
+                    workflow: workflow.finish(),
+                })
+            }
+            Scenario::Lsh { params, sources } => {
+                let config = self.lsh_config(*params);
+                let stages = run_lsh_in(&mut workflow, input, sources.clone(), &config)?;
+                Ok(Outcome {
+                    result: stages.result,
+                    details: ScenarioDetails::Lsh {
+                        params: stages.params,
+                        rounds: stages.rounds,
+                        bdm: stages.bdm,
+                        bdm_metrics: stages.bdm_metrics,
+                        match_metrics: stages.match_metrics,
                     },
                     workflow: workflow.finish(),
                 })

@@ -50,9 +50,9 @@ fn stage_names(metrics: &WorkflowMetrics) -> Vec<String> {
     metrics.stages.iter().map(|s| s.job_name.clone()).collect()
 }
 
-/// The mixed multi-tenant workload: four tenants, four scenario
-/// shapes, so concurrent stages of *different* workflows interleave
-/// on the shared pool.
+/// The mixed multi-tenant workload: five tenants, five scenario
+/// shapes (all three blocking families), so concurrent stages of
+/// *different* workflows interleave on the shared pool.
 fn tenants() -> Vec<(&'static str, Scenario, Partitions<(), Ent>)> {
     vec![
         (
@@ -78,6 +78,11 @@ fn tenants() -> Vec<(&'static str, Scenario, Partitions<(), Ent>)> {
             "tenant-jobsn",
             Scenario::sorted_neighborhood(SnStrategy::JobSn),
             corpus(4),
+        ),
+        (
+            "tenant-lsh",
+            Scenario::lsh(LshParams { bands: 8, rows: 2 }),
+            corpus(3),
         ),
     ]
 }
@@ -133,7 +138,7 @@ fn assert_matches_reference(context: &str, outcome: &dedupe_mr::Outcome, referen
     );
 }
 
-/// Four tenant threads × parallelism {1, 2, 4, 8} × all three
+/// Five tenant threads × parallelism {1, 2, 4, 8} × all three
 /// scheduling policies: every tenant's output and metrics are exactly
 /// the sequential reference. Interleaving changes only wall time.
 #[test]
@@ -183,7 +188,7 @@ fn concurrent_tenants_are_byte_identical_to_sequential_under_every_policy() {
 }
 
 /// One tenant's session injects a terminal fault. That tenant gets
-/// its typed `TaskFailed` error; the three co-resident tenants are
+/// its typed `TaskFailed` error; the four co-resident tenants are
 /// byte-identical to the sequential reference; and the runtime keeps
 /// serving resolves afterwards.
 #[test]
